@@ -1,0 +1,14 @@
+"""A4 — ablation: performance-aware routing on vs off."""
+
+from repro.experiments import ablation_perfaware
+
+
+def test_ablation_performance_aware(run_experiment):
+    result = run_experiment(ablation_perfaware, hours=1.0)
+    # Perf-aware mode lowers traffic-weighted mean RTT (it moves
+    # prefixes whose alternates are measurably faster).
+    assert result.metrics["rtt_improvement_ms"] > 0.1
+    assert (
+        result.metrics["rtt_perf_aware_ms"]
+        < result.metrics["rtt_capacity_only_ms"]
+    )

@@ -1,0 +1,17 @@
+"""A3 — ablation: sFlow sampling-rate sweep."""
+
+from repro.experiments import ablation_sampling
+from repro.experiments.ablation_sampling import SAMPLING_RATES
+
+
+def test_ablation_sampling_rate(run_experiment):
+    result = run_experiment(ablation_sampling, hours=1.0)
+    # Estimation error grows monotonically-ish with coarser sampling.
+    errors = [
+        result.metrics[f"median_error@{rate}"] for rate in SAMPLING_RATES
+    ]
+    assert errors[0] < errors[-1]
+    # Finest sampling keeps median error tight.
+    assert errors[0] < 0.1
+    # Coarsest sampling is materially noisy.
+    assert errors[-1] > errors[0] * 2

@@ -1,0 +1,15 @@
+"""A5 — ablation: more-specific prefix splitting."""
+
+from repro.experiments import ablation_splitting
+
+
+def test_ablation_prefix_splitting(run_experiment):
+    result = run_experiment(ablation_splitting, hours=0.75)
+    # With alternates sized to hold half (but not all) of the heaviest
+    # prefix, splitting kicks in and protection improves.
+    assert result.metrics["split_overrides_on"] > 0
+    assert result.metrics["split_overrides_off"] == 0
+    assert (
+        result.metrics["dropped_gbit_on"]
+        < result.metrics["dropped_gbit_off"]
+    )

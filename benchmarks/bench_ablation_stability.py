@@ -1,0 +1,15 @@
+"""A1 — ablation: stability preference on vs off."""
+
+from repro.experiments import ablation_stability
+
+
+def test_ablation_stability_preference(run_experiment):
+    result = run_experiment(ablation_stability, hours=1.0)
+    # With contended detour targets, re-deriving targets from scratch
+    # (stability off) flaps overrides: materially more churn for the
+    # same protection.
+    assert result.metrics["churn_ratio_off_over_on"] > 1.1
+    # Protection is equivalent: drops within 2x of each other.
+    on = result.metrics["dropped_on_gbit"]
+    off = result.metrics["dropped_off_gbit"]
+    assert on <= off * 2 + 1 and off <= on * 2 + 1

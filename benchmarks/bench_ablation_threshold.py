@@ -1,0 +1,20 @@
+"""A2 — ablation: utilization threshold sweep."""
+
+from repro.experiments import ablation_threshold
+from repro.experiments.ablation_threshold import THRESHOLDS
+
+
+def test_ablation_threshold_sweep(run_experiment):
+    result = run_experiment(ablation_threshold, hours=1.0)
+    # Lower thresholds detour more traffic.
+    detours = [
+        result.metrics[f"peak_detour@{threshold}"]
+        for threshold in THRESHOLDS
+    ]
+    assert detours[0] >= detours[-1]
+    # The loosest threshold leaves the least headroom: its residual
+    # drops must be at least those of the default threshold.
+    assert (
+        result.metrics["dropped_gbit@0.99"]
+        >= result.metrics["dropped_gbit@0.95"] * 0.99
+    )

@@ -1,0 +1,13 @@
+"""E2 / Fig 2 — route diversity available to traffic."""
+
+from repro.experiments import fig2_route_diversity
+
+
+def test_fig2_route_diversity(run_experiment):
+    result = run_experiment(fig2_route_diversity)
+    # Paper shape: virtually all traffic has >=2 routes, and most has
+    # >=4 at every study PoP (redundant transit guarantees it).
+    for pop in ("pop-a", "pop-b", "pop-c", "pop-d"):
+        assert result.metrics[f"{pop}.traffic_with_2_routes"] > 0.99
+        assert result.metrics[f"{pop}.traffic_with_4_routes"] > 0.95
+        assert result.metrics[f"{pop}.median_routes_per_prefix"] >= 4

@@ -1,0 +1,16 @@
+"""E3 / Fig 3 — BGP policy's preferred placement of traffic."""
+
+from repro.experiments import fig3_preferred_placement
+
+
+def test_fig3_preferred_placement(run_experiment):
+    result = run_experiment(fig3_preferred_placement)
+    # Paper shape: peering carries the bulk of traffic everywhere, and
+    # the transit-heavy PoP (pop-b) keeps the largest transit share.
+    shares = {
+        pop: result.metrics[f"{pop}.peering_share"]
+        for pop in ("pop-a", "pop-b", "pop-c", "pop-d")
+    }
+    for pop, share in shares.items():
+        assert share > 0.6, f"{pop} peering share {share}"
+    assert shares["pop-b"] == min(shares.values())

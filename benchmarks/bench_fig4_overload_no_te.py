@@ -1,0 +1,14 @@
+"""E4 / Fig 4 — interfaces that would overload without Edge Fabric."""
+
+from repro.experiments import fig4_overload_no_te
+
+
+def test_fig4_overload_without_edge_fabric(run_experiment):
+    result = run_experiment(fig4_overload_no_te, hours=2.0)
+    # Paper shape: a minority of interfaces (the under-provisioned
+    # private interconnects) overload — but those overload for a large
+    # share of the peak window; most interfaces never do.
+    assert result.metrics["interfaces_ever_overloaded"] >= 1
+    assert result.metrics["overloaded_interface_share"] < 0.5
+    assert result.metrics["max_overload_fraction"] > 0.5
+    assert result.metrics["total_dropped_gbit"] > 0

@@ -1,0 +1,12 @@
+"""E5 / Fig 5 — magnitude of projected overload."""
+
+from repro.experiments import fig5_overload_magnitude
+
+
+def test_fig5_overload_magnitude(run_experiment):
+    result = run_experiment(fig5_overload_magnitude, hours=2.0)
+    # Paper shape: the median overloaded interval is modestly over
+    # capacity, the tail reaches far beyond it.
+    assert 1.0 < result.metrics["median_overload"] < 2.0
+    assert result.metrics["p99_overload"] > result.metrics["median_overload"]
+    assert result.metrics["max_overload"] >= 1.2

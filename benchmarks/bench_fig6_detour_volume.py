@@ -1,0 +1,16 @@
+"""E6 / Fig 6 — traffic detoured by Edge Fabric over the peak window."""
+
+from repro.experiments import fig6_detour_volume
+
+
+def test_fig6_detour_volume(run_experiment):
+    result = run_experiment(fig6_detour_volume, hours=2.0)
+    # Paper shape: Edge Fabric eliminates nearly all overload loss while
+    # detouring only a modest share of egress.
+    assert result.metrics["loss_reduction"] > 0.9
+    assert 0.0 < result.metrics["peak_detoured_fraction"] < 0.25
+    assert result.metrics["max_active_overrides"] >= 1
+    assert (
+        result.metrics["ef_dropped_gbit"]
+        < result.metrics["bgp_dropped_gbit"] / 10
+    )

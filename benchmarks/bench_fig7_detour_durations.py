@@ -1,0 +1,16 @@
+"""E7 / Fig 7 — detour duration distribution."""
+
+from repro.experiments import fig7_detour_durations
+
+
+def test_fig7_detour_durations(run_experiment):
+    result = run_experiment(fig7_detour_durations, hours=2.0)
+    # Paper shape: heavy-tailed durations — many short-lived overrides,
+    # a median of minutes, and a long tail spanning much of the peak.
+    assert result.metrics["detours_observed"] >= 5
+    assert result.metrics["median_duration_cycles"] <= 10
+    assert (
+        result.metrics["p90_duration_s"]
+        > result.metrics["median_duration_s"]
+    )
+    assert result.metrics["single_cycle_fraction"] > 0.1

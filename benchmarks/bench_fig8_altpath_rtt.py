@@ -1,0 +1,13 @@
+"""E8 / Fig 8 — alternate-path RTT vs the preferred path."""
+
+from repro.experiments import fig8_altpath_rtt
+
+
+def test_fig8_altpath_rtt(run_experiment):
+    result = run_experiment(fig8_altpath_rtt)
+    # Paper shape for the 2nd-preferred path: median delta within a few
+    # ms, a meaningful minority of alternates faster, a small tail
+    # >=20ms worse.
+    assert abs(result.metrics["rank1.median_delta_ms"]) < 10
+    assert 0.05 < result.metrics["rank1.faster_share"] < 0.6
+    assert 0.0 < result.metrics["rank1.worse20ms_share"] < 0.25

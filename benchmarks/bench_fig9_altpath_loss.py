@@ -1,0 +1,15 @@
+"""E9 / Fig 9 — retransmissions and loss: alternates, overload, relief."""
+
+from repro.experiments import fig9_altpath_loss
+
+
+def test_fig9_altpath_loss(run_experiment):
+    result = run_experiment(fig9_altpath_loss, hours=2.0)
+    # Paper shape: alternates match preferred-path loss at baseline;
+    # overload multiplies loss; Edge Fabric restores near-baseline.
+    assert abs(result.metrics["median_retx_delta"]) < 0.01
+    assert (
+        result.metrics["bgp_only_loss"]
+        > result.metrics["edge_fabric_loss"] * 5
+    )
+    assert result.metrics["edge_fabric_loss"] < 0.01

@@ -1,0 +1,15 @@
+"""E1 / Table 1 — study PoP characteristics."""
+
+from repro.experiments import table1_pops
+
+
+def test_table1_pop_characteristics(run_experiment):
+    result = run_experiment(table1_pops)
+    # Four PoPs, spanning the archetypes.
+    assert len(result.tables[0].rows) == 4
+    # pop-a is the best-peered; pop-b leans on transit.
+    assert result.metrics["pop-a.sessions"] > result.metrics["pop-b.sessions"]
+    assert (
+        result.metrics["pop-a.peering_capacity_share"]
+        > result.metrics["pop-b.peering_capacity_share"]
+    )

@@ -1,0 +1,15 @@
+"""E10 / Table 2 — controller behaviour accounting."""
+
+from repro.experiments import table2_controller
+
+
+def test_table2_controller_accounting(run_experiment):
+    result = run_experiment(table2_controller, hours=2.0)
+    # Paper shape: every cycle completes (well under the period), holds
+    # a bounded set of overrides with low churn, resolves every
+    # overload it can see.
+    assert result.metrics["cycles"] >= 10
+    assert result.metrics["skipped_cycles"] == 0
+    assert result.metrics["unresolved_overload_cycles"] == 0
+    assert result.metrics["median_runtime_ms"] < 5_000
+    assert result.metrics["mean_churn"] < 20

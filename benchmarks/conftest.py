@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once (``benchmark.pedantic`` with a single round — these
+are minutes-long simulations, not microbenchmarks), prints the same rows
+or series the paper reports, and asserts the qualitative shape (who
+wins, roughly by how much) rather than absolute numbers.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment module's ``run`` once, print it, return it."""
+
+    def _run(module, **kwargs):
+        result = benchmark.pedantic(
+            module.run, kwargs=kwargs, rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        return result
+
+    return _run

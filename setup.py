@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so
+``pip install -e .`` cannot build a PEP 660 editable wheel.  This shim lets
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+on machines with wheel available) install the package; all metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro — a reproduction of *Engineering Egress with Edge Fabric* (SIGCOMM 2017).
+
+Edge Fabric is Facebook's egress traffic-engineering controller: at each
+point of presence (PoP) it watches every BGP route and every egress
+interface, projects where BGP alone would place traffic, and injects
+higher-preference routes to detour traffic away from interfaces that would
+otherwise be overloaded.
+
+This package implements the controller and every substrate it depends on —
+a BGP stack with a wire codec and full decision process, BMP route
+collection, sFlow traffic sampling, a PoP/Internet topology model, a
+flow-level dataplane simulator, synthetic traffic generation, and a path
+performance model for the paper's alternate-path measurement subsystem.
+
+Typical entry points:
+
+- :func:`repro.topology.scenarios.build_study_pop` — a ready-made PoP.
+- :class:`repro.core.controller.EdgeFabricController` — the 30-second loop.
+- :mod:`repro.experiments` — one module per figure/table of the paper.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

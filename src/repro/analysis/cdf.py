@@ -1,0 +1,100 @@
+"""Empirical CDFs, optionally weighted — the evaluation's lingua franca.
+
+The paper reports most results as CDFs over prefixes or over traffic
+(weighting each prefix by its volume).  :class:`Cdf` supports both and
+answers the two standard queries: ``fraction_at_most(x)`` (the y value at
+x) and ``percentile(p)`` (the x value at y=p).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Cdf"]
+
+
+class Cdf:
+    """An empirical (weighted) cumulative distribution."""
+
+    def __init__(
+        self,
+        values: Iterable[float],
+        weights: Optional[Iterable[float]] = None,
+    ) -> None:
+        values = np.asarray(list(values), dtype=float)
+        if values.size == 0:
+            raise ValueError("CDF needs at least one value")
+        if weights is None:
+            weights = np.ones_like(values)
+        else:
+            weights = np.asarray(list(weights), dtype=float)
+            if weights.shape != values.shape:
+                raise ValueError("weights must match values")
+            if (weights < 0).any():
+                raise ValueError("weights must be non-negative")
+            if weights.sum() == 0:
+                raise ValueError("weights must not all be zero")
+        order = np.argsort(values, kind="stable")
+        self._values = values[order]
+        cumulative = np.cumsum(weights[order])
+        self._cumulative = cumulative / cumulative[-1]
+
+    @property
+    def count(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def min(self) -> float:
+        return float(self._values[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._values[-1])
+
+    def fraction_at_most(self, x: float) -> float:
+        """P(value <= x)."""
+        index = bisect_right(self._values.tolist(), x)
+        if index == 0:
+            return 0.0
+        return float(self._cumulative[index - 1])
+
+    def fraction_above(self, x: float) -> float:
+        return 1.0 - self.fraction_at_most(x)
+
+    def percentile(self, p: float) -> float:
+        """Smallest x with P(value <= x) >= p (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        target = p / 100.0
+        index = int(np.searchsorted(self._cumulative, target, side="left"))
+        index = min(index, self._values.size - 1)
+        return float(self._values[index])
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def points(self, count: int = 50) -> List[Tuple[float, float]]:
+        """(x, y) samples of the curve, for plotting or table rows."""
+        if count < 2:
+            raise ValueError("need at least two points")
+        indices = np.linspace(0, self._values.size - 1, count).astype(int)
+        return [
+            (float(self._values[i]), float(self._cumulative[i]))
+            for i in indices
+        ]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.min,
+            "p25": self.percentile(25),
+            "median": self.median,
+            "p75": self.percentile(75),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }

@@ -1,0 +1,97 @@
+"""Plain-text tables and series — what the benchmark harness prints.
+
+Each experiment returns a :class:`Table` (rows like the paper's tables)
+and/or :class:`Series` (the data behind a figure); both render to aligned
+monospace text so `pytest benchmarks/ --benchmark-only -s` output reads
+like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Table", "Series", "format_value"]
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        cells = [[format_value(v) for v in row] for row in self.rows]
+        headers = [str(c) for c in self.columns]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class Series:
+    """A named (x, y) series — the data behind one figure curve."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def render(self, max_points: int = 24) -> str:
+        lines = [f"{self.name}  ({self.x_label} -> {self.y_label})"]
+        points = self.points
+        if len(points) > max_points:
+            step = len(points) / max_points
+            points = [
+                points[int(i * step)] for i in range(max_points)
+            ] + [points[-1]]
+        for x, y in points:
+            lines.append(
+                f"  {format_value(x):>14}  {format_value(y):>12}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_all(*items) -> str:
+    """Render tables and series separated by blank lines."""
+    return "\n\n".join(str(item) for item in items)

@@ -1,0 +1,62 @@
+"""The community plan used by this deployment.
+
+Following the paper, routes are tagged at ingress with communities that
+record *how* they were learned (peer type, router), and the Edge Fabric
+injector marks its override announcements with a dedicated community so
+that they are recognizable everywhere — in RIB dumps, in BMP feeds, and by
+the guard that stops the controller from treating its own injected routes
+as fresh input (a feedback loop the paper explicitly engineers away).
+
+All values live under one reserved "operator" ASN so they cannot collide
+with communities received from the Internet.
+"""
+
+from __future__ import annotations
+
+from .attributes import Community, community
+from .peering import PeerType
+
+__all__ = [
+    "OPERATOR_ASN",
+    "INJECTED",
+    "ALT_PATH_MEASUREMENT",
+    "PEER_TYPE_COMMUNITIES",
+    "peer_type_community",
+    "peer_type_from_communities",
+]
+
+#: The content provider's own AS (Facebook's 32934 in the paper; any value
+#: works — tests rely on it being stable).
+OPERATOR_ASN = 64600
+
+#: Marks routes announced by the Edge Fabric injector.
+INJECTED: Community = community(OPERATOR_ASN, 911)
+
+#: Marks routes injected into alternate-path measurement tables only.
+ALT_PATH_MEASUREMENT: Community = community(OPERATOR_ASN, 912)
+
+PEER_TYPE_COMMUNITIES = {
+    PeerType.PRIVATE: community(OPERATOR_ASN, 101),
+    PeerType.PUBLIC: community(OPERATOR_ASN, 102),
+    PeerType.ROUTE_SERVER: community(OPERATOR_ASN, 103),
+    PeerType.TRANSIT: community(OPERATOR_ASN, 104),
+    PeerType.INTERNAL: community(OPERATOR_ASN, 105),
+}
+
+_COMMUNITY_TO_PEER_TYPE = {
+    value: peer_type for peer_type, value in PEER_TYPE_COMMUNITIES.items()
+}
+
+
+def peer_type_community(peer_type: PeerType) -> Community:
+    """The ingress-tagging community for a peer type."""
+    return PEER_TYPE_COMMUNITIES[peer_type]
+
+
+def peer_type_from_communities(communities) -> PeerType | None:
+    """Recover the tagged peer type from a route's community set."""
+    for value in communities:
+        found = _COMMUNITY_TO_PEER_TYPE.get(value)
+        if found is not None:
+            return found
+    return None

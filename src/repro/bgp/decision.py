@@ -1,0 +1,202 @@
+"""The BGP decision process (RFC 4271 §9.1, with common vendor behaviours).
+
+Edge Fabric depends on the decision process twice over:
+
+1. The *projection* step must predict which route each PR would pick for
+   each prefix if the controller did nothing — that is exactly "run the
+   decision process over the Adj-RIB-Ins".
+2. The *allocator* walks a prefix's routes in decision-process order when
+   choosing a detour target ("the best alternate is the next route BGP
+   would have chosen").
+
+Steps implemented, in order:
+
+1. Highest LOCAL_PREF.
+2. Shortest AS_PATH (AS_SET counts as 1).
+3. Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+4. Lowest MED, compared only between routes from the same neighbor AS
+   (unless ``always_compare_med``); missing MED treated as 0.
+5. eBGP over iBGP.
+6. Lowest IGP cost to the next hop.
+7. Oldest route (stability; optional, on by default like most vendors).
+8. Lowest peer address / session identity as the final deterministic
+   tiebreak.
+
+MED and transitivity
+--------------------
+
+Because step 4 applies only between same-neighbor-AS routes, the *pairwise*
+relation is famously not transitive (the "MED oscillation" problem).  A
+controller, unlike a router, needs a stable total order, so ranking uses
+the **deterministic-MED** construction: routes are grouped by neighbor AS,
+each route's MED is converted to its rank *within its group*, and that
+group-relative rank is used as the step-4 key.  Within a group this is
+exactly the MED rule; across groups it deterministically demotes routes
+already beaten by a same-AS sibling — the same idea as Cisco's
+``bgp deterministic-med``.  :func:`compare_routes` keeps the literal
+pairwise semantics for callers that want router-faithful behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .route import Route
+
+__all__ = [
+    "DecisionConfig",
+    "DEFAULT_CONFIG",
+    "compare_routes",
+    "best_route",
+    "rank_routes",
+]
+
+
+@dataclass(frozen=True)
+class DecisionConfig:
+    """Knobs for the decision process.
+
+    ``prefer_oldest`` applies the "prefer the oldest external route"
+    stabilizer; experiments that need rankings independent of arrival
+    time can turn it off.
+    """
+
+    always_compare_med: bool = False
+    prefer_oldest: bool = True
+
+
+DEFAULT_CONFIG = DecisionConfig()
+
+
+def compare_routes(
+    a: Route, b: Route, config: DecisionConfig = DEFAULT_CONFIG
+) -> int:
+    """Pairwise three-way comparison: negative if *a* beats *b*.
+
+    This is the router-faithful relation; see the module docstring for why
+    it is not transitive when MEDs are present.  Use :func:`rank_routes`
+    for a total order.
+    """
+    # 1. Highest LOCAL_PREF wins.
+    if a.local_pref != b.local_pref:
+        return -1 if a.local_pref > b.local_pref else 1
+    # 2. Shortest AS_PATH wins.
+    a_len, b_len = a.as_path_length, b.as_path_length
+    if a_len != b_len:
+        return -1 if a_len < b_len else 1
+    # 3. Lowest ORIGIN wins.
+    if a.attributes.origin != b.attributes.origin:
+        return -1 if a.attributes.origin < b.attributes.origin else 1
+    # 4. Lowest MED wins, same-neighbor-AS only unless configured otherwise.
+    if config.always_compare_med or (
+        a.next_hop_asn is not None and a.next_hop_asn == b.next_hop_asn
+    ):
+        a_med = a.attributes.med or 0
+        b_med = b.attributes.med or 0
+        if a_med != b_med:
+            return -1 if a_med < b_med else 1
+    return _compare_tail(a, b, config)
+
+
+def _compare_tail(a: Route, b: Route, config: DecisionConfig) -> int:
+    """Steps 5-8, shared by the pairwise and key-based paths."""
+    # 5. eBGP over iBGP.
+    if a.is_ebgp != b.is_ebgp:
+        return -1 if a.is_ebgp else 1
+    # 6. Lowest IGP cost to next hop.
+    if a.igp_cost != b.igp_cost:
+        return -1 if a.igp_cost < b.igp_cost else 1
+    # 7. Oldest route.
+    if config.prefer_oldest and a.learned_at != b.learned_at:
+        return -1 if a.learned_at < b.learned_at else 1
+    # 8. Deterministic final tiebreak on the session identity.
+    a_key = (a.source.address, a.source.router, a.source.name)
+    b_key = (b.source.address, b.source.router, b.source.name)
+    if a_key != b_key:
+        return -1 if a_key < b_key else 1
+    return 0
+
+
+def _med_ranks(
+    routes: Sequence[Route], config: DecisionConfig
+) -> Dict[int, int]:
+    """Deterministic-MED step-4 key per route (by index into *routes*).
+
+    Routes are grouped by neighbor AS (or one global group when
+    ``always_compare_med``); within a group the key is the rank of the
+    route's MED among the group's distinct MED values.
+    """
+    groups: Dict[object, List[int]] = defaultdict(list)
+    for index, route in enumerate(routes):
+        if config.always_compare_med:
+            group_key: object = "all"
+        else:
+            group_key = (
+                route.next_hop_asn
+                if route.next_hop_asn is not None
+                else ("session", route.source.name)
+            )
+        groups[group_key].append(index)
+    ranks: Dict[int, int] = {}
+    for members in groups.values():
+        meds = sorted({routes[i].attributes.med or 0 for i in members})
+        position = {med: rank for rank, med in enumerate(meds)}
+        for i in members:
+            ranks[i] = position[routes[i].attributes.med or 0]
+    return ranks
+
+
+def _sort_key(route: Route, med_rank: int, config: DecisionConfig) -> Tuple:
+    key = [
+        -route.local_pref,
+        route.as_path_length,
+        int(route.attributes.origin),
+        med_rank,
+        0 if route.is_ebgp else 1,
+        route.igp_cost,
+    ]
+    if config.prefer_oldest:
+        key.append(route.learned_at)
+    key.extend(
+        (route.source.address, route.source.router, route.source.name)
+    )
+    # Last-resort tiebreak so the ranking is a deterministic function of
+    # the route *set* even for inputs no real RIB would hold (two routes
+    # from one session differing only in attribute details).
+    key.extend(
+        (
+            str(route.attributes.as_path),
+            route.attributes.med or 0,
+            tuple(route.attributes.sorted_communities()),
+            route.learned_at,
+        )
+    )
+    return tuple(key)
+
+
+def rank_routes(
+    routes: Sequence[Route], config: DecisionConfig = DEFAULT_CONFIG
+) -> List[Route]:
+    """All routes in decision order, most preferred first (total order).
+
+    ``rank_routes(rs)[0] == best_route(rs)``, and ``rank_routes(rs)[1:]``
+    is the allocator's detour-candidate order.  The result depends only on
+    the *set* of routes, never on input order.
+    """
+    ranks = _med_ranks(routes, config)
+    indexed = sorted(
+        range(len(routes)),
+        key=lambda i: _sort_key(routes[i], ranks[i], config),
+    )
+    return [routes[i] for i in indexed]
+
+
+def best_route(
+    routes: Sequence[Route], config: DecisionConfig = DEFAULT_CONFIG
+) -> Optional[Route]:
+    """The route the decision process selects, or None if empty."""
+    if not routes:
+        return None
+    return rank_routes(routes, config)[0]

@@ -1,0 +1,179 @@
+"""BGP session finite state machine (RFC 4271 §8, simplified but faithful).
+
+The simulator drives sessions with an explicit clock, so the FSM exposes a
+``tick(now)`` that fires its timers (connect retry, hold, keepalive) and
+returns the messages the session wants to send.  Transport is abstracted
+to "the TCP connection came up / went down" events; the in-memory link
+layer of the speaker provides those.
+
+States and the transitions implemented:
+
+- IDLE         --start-->                        CONNECT
+- CONNECT      --tcp up-->   (send OPEN)         OPEN_SENT
+- CONNECT      --retry expired-->                ACTIVE
+- ACTIVE       --tcp up-->   (send OPEN)         OPEN_SENT
+- OPEN_SENT    --OPEN ok-->  (send KEEPALIVE)    OPEN_CONFIRM
+- OPEN_CONFIRM --KEEPALIVE-->                    ESTABLISHED
+- any          --NOTIFICATION / hold expiry / stop--> IDLE
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..netbase.errors import SessionError
+from .messages import (
+    BgpMessage,
+    KeepaliveMessage,
+    NotificationCode,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+
+__all__ = ["SessionState", "FsmEvent", "SessionFsm"]
+
+
+class SessionState(Enum):
+    IDLE = "idle"
+    CONNECT = "connect"
+    ACTIVE = "active"
+    OPEN_SENT = "open_sent"
+    OPEN_CONFIRM = "open_confirm"
+    ESTABLISHED = "established"
+
+
+class FsmEvent(Enum):
+    MANUAL_START = "manual_start"
+    MANUAL_STOP = "manual_stop"
+    TCP_ESTABLISHED = "tcp_established"
+    TCP_FAILED = "tcp_failed"
+
+
+_CONNECT_RETRY_SECS = 30.0
+
+
+@dataclass
+class SessionFsm:
+    """FSM for one session.  ``local_open`` is the OPEN we send."""
+
+    local_open: OpenMessage
+    state: SessionState = SessionState.IDLE
+    remote_open: Optional[OpenMessage] = None
+    hold_time: float = 0.0
+    _last_received: float = 0.0
+    _last_keepalive_sent: float = 0.0
+    _connect_deadline: float = 0.0
+    _outbox: List[BgpMessage] = field(default_factory=list)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def is_established(self) -> bool:
+        return self.state is SessionState.ESTABLISHED
+
+    @property
+    def keepalive_interval(self) -> float:
+        return self.hold_time / 3.0 if self.hold_time else 0.0
+
+    def take_outbox(self) -> List[BgpMessage]:
+        """Messages the FSM wants transmitted, draining the queue."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    # -- administrative events ---------------------------------------------------
+
+    def handle_event(self, event: FsmEvent, now: float) -> None:
+        if event is FsmEvent.MANUAL_START:
+            if self.state is SessionState.IDLE:
+                self.state = SessionState.CONNECT
+                self._connect_deadline = now + _CONNECT_RETRY_SECS
+        elif event is FsmEvent.MANUAL_STOP:
+            if self.state is not SessionState.IDLE:
+                self._outbox.append(
+                    NotificationMessage(NotificationCode.CEASE)
+                )
+            self._reset()
+        elif event is FsmEvent.TCP_ESTABLISHED:
+            if self.state in (SessionState.CONNECT, SessionState.ACTIVE):
+                self._outbox.append(self.local_open)
+                self.state = SessionState.OPEN_SENT
+                self._last_received = now
+        elif event is FsmEvent.TCP_FAILED:
+            if self.state is not SessionState.IDLE:
+                self.state = SessionState.ACTIVE
+                self._connect_deadline = now + _CONNECT_RETRY_SECS
+
+    # -- message handling -----------------------------------------------------------
+
+    def handle_message(self, message: BgpMessage, now: float) -> bool:
+        """Process an inbound message.
+
+        Returns True if the session just became established.  UPDATEs are
+        *not* consumed here — the speaker routes them to its RIB — but the
+        FSM validates that they only arrive in ESTABLISHED and refreshes
+        the hold timer.
+        """
+        self._last_received = now
+        if isinstance(message, NotificationMessage):
+            self._reset()
+            return False
+        if isinstance(message, OpenMessage):
+            if self.state is not SessionState.OPEN_SENT:
+                self._send_fsm_error()
+                return False
+            self.remote_open = message
+            self.hold_time = float(
+                min(self.local_open.hold_time, message.hold_time)
+            )
+            self._outbox.append(KeepaliveMessage())
+            self._last_keepalive_sent = now
+            self.state = SessionState.OPEN_CONFIRM
+            return False
+        if isinstance(message, KeepaliveMessage):
+            if self.state is SessionState.OPEN_CONFIRM:
+                self.state = SessionState.ESTABLISHED
+                return True
+            if self.state is SessionState.ESTABLISHED:
+                return False
+            self._send_fsm_error()
+            return False
+        if isinstance(message, UpdateMessage):
+            if self.state is not SessionState.ESTABLISHED:
+                self._send_fsm_error()
+                raise SessionError(
+                    f"UPDATE received in state {self.state.value}"
+                )
+            return False
+        raise SessionError(f"unhandled message {type(message).__name__}")
+
+    # -- timers -------------------------------------------------------------------------
+
+    def tick(self, now: float) -> None:
+        """Fire any expired timers."""
+        if self.state is SessionState.ESTABLISHED and self.hold_time:
+            if now - self._last_received > self.hold_time:
+                self._outbox.append(
+                    NotificationMessage(NotificationCode.HOLD_TIMER_EXPIRED)
+                )
+                self._reset()
+                return
+            if now - self._last_keepalive_sent >= self.keepalive_interval:
+                self._outbox.append(KeepaliveMessage())
+                self._last_keepalive_sent = now
+        elif self.state is SessionState.CONNECT:
+            if now >= self._connect_deadline:
+                self.state = SessionState.ACTIVE
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _send_fsm_error(self) -> None:
+        self._outbox.append(NotificationMessage(NotificationCode.FSM_ERROR))
+        self._reset()
+
+    def _reset(self) -> None:
+        self.state = SessionState.IDLE
+        self.remote_open = None
+        self.hold_time = 0.0

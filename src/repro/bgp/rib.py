@@ -1,0 +1,210 @@
+"""Routing information bases: per-peer Adj-RIB-In and the Loc-RIB.
+
+The Loc-RIB here is deliberately richer than a router's: it keeps *every*
+accepted route per prefix and can return them in decision-process order.
+That is the view Edge Fabric needs — the paper's controller consumes the
+Adj-RIB-In of every peering session (via BMP) precisely because the
+routers' own Loc-RIBs hide the alternatives the allocator wants to detour
+onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..netbase.addr import Family, Prefix
+from ..netbase.errors import RibError
+from ..netbase.trie import PrefixMap
+from .decision import DecisionConfig, DEFAULT_CONFIG, best_route, rank_routes
+from .peering import PeerDescriptor
+from .route import Route
+
+__all__ = ["AdjRibIn", "RibChange", "LocRib"]
+
+
+class AdjRibIn:
+    """Routes learned from a single peer, post-import-policy."""
+
+    def __init__(self, peer: PeerDescriptor) -> None:
+        self.peer = peer
+        self._routes: PrefixMap[Route] = PrefixMap()
+
+    def update(self, route: Route) -> Optional[Route]:
+        """Install an announcement; returns the route it replaced, if any."""
+        if route.source != self.peer:
+            raise RibError(
+                f"route from {route.source.name} offered to Adj-RIB-In "
+                f"of {self.peer.name}"
+            )
+        previous = self._routes.get(route.prefix)
+        self._routes[route.prefix] = route
+        return previous
+
+    def withdraw(self, prefix: Prefix) -> Optional[Route]:
+        """Remove a route; returns it, or None if we had none (BGP allows
+        withdrawing routes the receiver never accepted)."""
+        return self._routes.pop(prefix, None)
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        return self._routes.get(prefix)
+
+    def routes(self) -> Iterator[Route]:
+        yield from self._routes.values()
+
+    def prefixes(self) -> Iterator[Prefix]:
+        yield from self._routes.keys()
+
+    def clear(self) -> List[Route]:
+        """Drop everything (session down); returns the dropped routes."""
+        dropped = list(self._routes.values())
+        self._routes.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+
+@dataclass(frozen=True)
+class RibChange:
+    """A best-path change event emitted by the Loc-RIB."""
+
+    prefix: Prefix
+    old_best: Optional[Route]
+    new_best: Optional[Route]
+
+    @property
+    def is_new_prefix(self) -> bool:
+        return self.old_best is None and self.new_best is not None
+
+    @property
+    def is_prefix_gone(self) -> bool:
+        return self.old_best is not None and self.new_best is None
+
+
+class LocRib:
+    """All accepted routes for all prefixes, with best-path selection.
+
+    Routes are keyed by (prefix, source session): a peer announces at most
+    one route per prefix, so a re-announcement replaces the old one
+    (implicit withdraw).
+    """
+
+    def __init__(self, config: DecisionConfig = DEFAULT_CONFIG) -> None:
+        self._config = config
+        self._by_prefix: PrefixMap[Dict[PeerDescriptor, Route]] = PrefixMap()
+        self._best_cache: Dict[Prefix, Route] = {}
+
+    @property
+    def decision_config(self) -> DecisionConfig:
+        return self._config
+
+    # -- mutation -----------------------------------------------------------
+
+    def update(self, route: Route) -> RibChange:
+        """Install or replace a route; returns the best-path change."""
+        old_best = self._best_cache.get(route.prefix)
+        holders = self._by_prefix.get(route.prefix)
+        if holders is None:
+            holders = {}
+            self._by_prefix[route.prefix] = holders
+        holders[route.source] = route
+        new_best = best_route(list(holders.values()), self._config)
+        self._set_best(route.prefix, new_best)
+        return RibChange(route.prefix, old_best, new_best)
+
+    def withdraw(self, prefix: Prefix, source: PeerDescriptor) -> RibChange:
+        """Remove the route *source* announced for *prefix*, if present."""
+        old_best = self._best_cache.get(prefix)
+        holders = self._by_prefix.get(prefix)
+        if holders is None or source not in holders:
+            return RibChange(prefix, old_best, old_best)
+        del holders[source]
+        if holders:
+            new_best = best_route(list(holders.values()), self._config)
+        else:
+            self._by_prefix.pop(prefix, None)
+            new_best = None
+        self._set_best(prefix, new_best)
+        return RibChange(prefix, old_best, new_best)
+
+    def withdraw_peer(self, source: PeerDescriptor) -> List[RibChange]:
+        """Remove every route from one session (session down)."""
+        affected = [
+            prefix
+            for prefix, holders in self._by_prefix.items()
+            if source in holders
+        ]
+        return [self.withdraw(prefix, source) for prefix in affected]
+
+    def _set_best(self, prefix: Prefix, best: Optional[Route]) -> None:
+        if best is None:
+            self._best_cache.pop(prefix, None)
+        else:
+            self._best_cache[prefix] = best
+
+    # -- queries -----------------------------------------------------------
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        return self._best_cache.get(prefix)
+
+    def routes_for(self, prefix: Prefix) -> List[Route]:
+        """All routes for *prefix* in decision-process order."""
+        holders = self._by_prefix.get(prefix)
+        if not holders:
+            return []
+        return rank_routes(list(holders.values()), self._config)
+
+    def route_from(
+        self, prefix: Prefix, source: PeerDescriptor
+    ) -> Optional[Route]:
+        holders = self._by_prefix.get(prefix)
+        return holders.get(source) if holders else None
+
+    def prefixes(self, family: Optional[Family] = None) -> Iterator[Prefix]:
+        for prefix in self._by_prefix.keys():
+            if family is None or prefix.family is family:
+                yield prefix
+
+    def items(self) -> Iterator[Tuple[Prefix, List[Route]]]:
+        """(prefix, ranked routes) for every prefix."""
+        for prefix, holders in self._by_prefix.items():
+            yield prefix, rank_routes(list(holders.values()), self._config)
+
+    def best_routes(self) -> Iterator[Route]:
+        for prefix in self._by_prefix.keys():
+            best = self._best_cache.get(prefix)
+            if best is not None:
+                yield best
+
+    def longest_match(self, target: Prefix) -> Optional[Route]:
+        """Best route of the most specific prefix covering *target*."""
+        found = self._by_prefix.longest_match(target)
+        if found is None:
+            return None
+        return self._best_cache.get(found[0])
+
+    def more_specifics(self, covering: Prefix) -> List[Route]:
+        """Best routes of prefixes strictly more specific than *covering*."""
+        out: List[Route] = []
+        for prefix, _holders in self._by_prefix.covered_by(covering):
+            if prefix == covering:
+                continue
+            best = self._best_cache.get(prefix)
+            if best is not None:
+                out.append(best)
+        return out
+
+    def route_count(self) -> int:
+        """Total routes across all prefixes (not just best paths)."""
+        return sum(len(holders) for holders in self._by_prefix.values())
+
+    def __len__(self) -> int:
+        """Number of prefixes with at least one route."""
+        return len(self._by_prefix)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._by_prefix

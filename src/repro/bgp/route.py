@@ -1,0 +1,86 @@
+"""The Route object: a prefix, its path attributes, and where it came from.
+
+Routes are the currency of the whole system — the BMP collector hands them
+to the controller, the decision process ranks them, the allocator picks
+among them, and the injector re-announces them with boosted preference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..netbase.addr import Prefix
+from .attributes import PathAttributes
+from .communities import INJECTED
+from .peering import PeerDescriptor, PeerType
+
+__all__ = ["Route"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One path to one destination prefix, learned from one peer.
+
+    ``learned_at`` is simulation time (seconds); the decision process uses
+    it only for the "prefer oldest" stabilizer between otherwise-equal
+    external routes, and the controller uses it for staleness checks.
+    """
+
+    prefix: Prefix
+    attributes: PathAttributes
+    source: PeerDescriptor
+    learned_at: float = 0.0
+    igp_cost: int = 0
+
+    @property
+    def peer_type(self) -> PeerType:
+        return self.source.peer_type
+
+    @property
+    def interface(self) -> str:
+        """Egress interface this route's traffic would use."""
+        return self.source.interface
+
+    @property
+    def router(self) -> str:
+        return self.source.router
+
+    @property
+    def is_ebgp(self) -> bool:
+        return self.source.is_ebgp
+
+    @property
+    def is_injected(self) -> bool:
+        """True for routes announced by the Edge Fabric injector."""
+        return self.attributes.has_community(INJECTED)
+
+    @property
+    def local_pref(self) -> int:
+        return self.attributes.effective_local_pref
+
+    @property
+    def as_path_length(self) -> int:
+        return self.attributes.as_path.length()
+
+    @property
+    def next_hop_asn(self) -> Optional[int]:
+        return self.attributes.as_path.next_hop_asn
+
+    def with_attributes(self, attributes: PathAttributes) -> "Route":
+        return replace(self, attributes=attributes)
+
+    def with_local_pref(self, local_pref: int) -> "Route":
+        return replace(
+            self, attributes=self.attributes.with_local_pref(local_pref)
+        )
+
+    def key(self) -> tuple:
+        """Identity of this route within a RIB: (prefix, session)."""
+        return (self.prefix, self.source)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.prefix} via {self.source.name} "
+            f"lp={self.local_pref} path=[{self.attributes.as_path}]"
+        )

@@ -1,0 +1,39 @@
+"""BMP substrate: route monitoring from peering routers to the controller."""
+
+from .collector import BmpCollector, CollectorStats, PeerRegistry
+from .exporter import BmpExporter
+from .messages import (
+    BMP_VERSION,
+    BmpMessage,
+    BmpMessageType,
+    InitiationMessage,
+    PeerDownMessage,
+    PeerHeader,
+    PeerUpMessage,
+    RouteMonitoringMessage,
+    StatisticsReport,
+    TerminationMessage,
+    decode_bmp,
+    decode_bmp_stream,
+    encode_bmp,
+)
+
+__all__ = [
+    "BmpCollector",
+    "CollectorStats",
+    "PeerRegistry",
+    "BmpExporter",
+    "BMP_VERSION",
+    "BmpMessage",
+    "BmpMessageType",
+    "InitiationMessage",
+    "PeerDownMessage",
+    "PeerHeader",
+    "PeerUpMessage",
+    "RouteMonitoringMessage",
+    "StatisticsReport",
+    "TerminationMessage",
+    "decode_bmp",
+    "decode_bmp_stream",
+    "encode_bmp",
+]

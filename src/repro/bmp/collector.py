@@ -1,0 +1,224 @@
+"""The BMP monitoring station: the controller's view of every route.
+
+One :class:`BmpCollector` per PoP consumes the BMP byte streams of all the
+PoP's peering routers and reconstructs, per (router, peering session), the
+post-policy Adj-RIB-In.  The result is the controller's route input: for
+any destination prefix it can list *every* available egress route at the
+PoP, in contrast to a router's FIB which only shows the winner.
+
+BMP identifies peers by (address, ASN); which *session* that is — its peer
+type and, critically, its egress interface — is configuration, not wire
+data, so the collector is constructed with a registry mapping
+(router name, peer address, peer ASN) to :class:`PeerDescriptor`, exactly
+the join a production deployment does against its router configs.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..bgp.communities import INJECTED
+from ..bgp.decision import DecisionConfig, DEFAULT_CONFIG
+from ..bgp.messages import UpdateMessage, decode_stream
+from ..bgp.peering import PeerDescriptor
+from ..bgp.rib import LocRib
+from ..bgp.route import Route
+from ..netbase.addr import Family, Prefix
+from ..netbase.errors import MalformedMessage
+from .messages import (
+    BmpMessage,
+    InitiationMessage,
+    PeerDownMessage,
+    PeerHeader,
+    PeerUpMessage,
+    RouteMonitoringMessage,
+    StatisticsReport,
+    TerminationMessage,
+    decode_bmp_stream,
+)
+
+__all__ = ["PeerRegistry", "BmpCollector", "CollectorStats"]
+
+
+class PeerRegistry:
+    """Maps BMP per-peer headers back to configured sessions."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[Tuple[str, int, int], PeerDescriptor] = {}
+
+    def register(self, peer: PeerDescriptor) -> None:
+        key = (peer.router, peer.address, peer.peer_asn)
+        self._sessions[key] = peer
+
+    def register_all(self, peers: Iterable[PeerDescriptor]) -> None:
+        for peer in peers:
+            self.register(peer)
+
+    def resolve(
+        self, router: str, header: PeerHeader
+    ) -> Optional[PeerDescriptor]:
+        return self._sessions.get(
+            (router, header.peer_address, header.peer_asn)
+        )
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+
+@dataclass
+class CollectorStats:
+    """Counters the collector keeps about its own operation."""
+
+    messages: int = 0
+    route_monitoring: int = 0
+    announcements: int = 0
+    withdrawals: int = 0
+    peer_ups: int = 0
+    peer_downs: int = 0
+    unknown_peers: int = 0
+    decode_errors: int = 0
+    injected_dropped: int = 0
+
+
+class BmpCollector:
+    """Reconstructs the PoP-wide multi-route RIB from BMP feeds."""
+
+    def __init__(
+        self,
+        registry: PeerRegistry,
+        decision_config: DecisionConfig = DEFAULT_CONFIG,
+        clock: Optional[callable] = None,
+    ) -> None:
+        self._registry = registry
+        self._rib = LocRib(decision_config)
+        self._buffers: Dict[str, bytes] = {}
+        self._routers_seen: Dict[str, float] = {}
+        self._last_update_at: Optional[float] = None
+        self._clock = clock or _time.monotonic
+        self.stats = CollectorStats()
+
+    # -- feed ingestion ------------------------------------------------------
+
+    def feed(self, router: str, data: bytes) -> None:
+        """Consume bytes from one router's BMP stream."""
+        buffer = self._buffers.get(router, b"") + data
+        messages, remainder = decode_bmp_stream(buffer)
+        self._buffers[router] = remainder
+        for message in messages:
+            self._handle(router, message)
+
+    def _handle(self, router: str, message: BmpMessage) -> None:
+        self.stats.messages += 1
+        if isinstance(message, InitiationMessage):
+            name = message.sys_name or router
+            self._routers_seen[name] = self._clock()
+            return
+        if isinstance(message, TerminationMessage):
+            self._routers_seen.pop(router, None)
+            return
+        if isinstance(message, PeerUpMessage):
+            self.stats.peer_ups += 1
+            return
+        if isinstance(message, PeerDownMessage):
+            self.stats.peer_downs += 1
+            peer = self._registry.resolve(router, message.peer)
+            if peer is not None:
+                self._rib.withdraw_peer(peer)
+            else:
+                self.stats.unknown_peers += 1
+            return
+        if isinstance(message, RouteMonitoringMessage):
+            self._handle_route_monitoring(router, message)
+            return
+        if isinstance(message, StatisticsReport):
+            # Statistics double as liveness: a quiet-but-healthy feed
+            # keeps reporting, so it must not be considered stale.
+            now = self._clock()
+            self._routers_seen[router] = now
+            self._last_update_at = now
+
+    def _handle_route_monitoring(
+        self, router: str, message: RouteMonitoringMessage
+    ) -> None:
+        self.stats.route_monitoring += 1
+        peer = self._registry.resolve(router, message.peer)
+        if peer is None:
+            self.stats.unknown_peers += 1
+            return
+        try:
+            updates, remainder = decode_stream(message.update_pdu)
+            if remainder:
+                raise MalformedMessage("trailing bytes after UPDATE")
+        except MalformedMessage:
+            self.stats.decode_errors += 1
+            return
+        now = self._clock()
+        for update in updates:
+            if not isinstance(update, UpdateMessage):
+                self.stats.decode_errors += 1
+                continue
+            self._apply_update(peer, update, now)
+        self._routers_seen[router] = now
+        self._last_update_at = now
+
+    def _apply_update(
+        self, peer: PeerDescriptor, update: UpdateMessage, now: float
+    ) -> None:
+        for prefix in update.withdrawn:
+            self.stats.withdrawals += 1
+            self._rib.withdraw(prefix, peer)
+        if update.announced and update.attributes is not None:
+            if update.attributes.has_community(INJECTED):
+                # Defense in depth: even if an injected route leaked into
+                # a BMP feed, the controller must not treat it as input.
+                self.stats.injected_dropped += len(update.announced)
+                return
+            for prefix in update.announced:
+                self.stats.announcements += 1
+                route = Route(
+                    prefix=prefix,
+                    attributes=update.attributes,
+                    source=peer,
+                    learned_at=now,
+                )
+                self._rib.update(route)
+
+    # -- controller-facing queries ----------------------------------------------
+
+    def routes_for(self, prefix: Prefix) -> List[Route]:
+        """Every route for *prefix* across all routers, ranked."""
+        return self._rib.routes_for(prefix)
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        return self._rib.best(prefix)
+
+    def prefixes(self, family: Optional[Family] = None) -> Iterator[Prefix]:
+        return self._rib.prefixes(family)
+
+    def longest_match(self, target: Prefix) -> Optional[Route]:
+        return self._rib.longest_match(target)
+
+    @property
+    def rib(self) -> LocRib:
+        """Direct access to the assembled multi-route RIB."""
+        return self._rib
+
+    def route_count(self) -> int:
+        return self._rib.route_count()
+
+    def prefix_count(self) -> int:
+        return len(self._rib)
+
+    # -- health -------------------------------------------------------------------
+
+    def routers(self) -> Dict[str, float]:
+        """Routers with live feeds and the time of their last activity."""
+        return dict(self._routers_seen)
+
+    def age(self) -> float:
+        """Seconds since any route monitoring or liveness data arrived."""
+        if self._last_update_at is None:
+            return float("inf")
+        return max(0.0, self._clock() - self._last_update_at)

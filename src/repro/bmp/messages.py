@@ -1,0 +1,367 @@
+"""BMP — BGP Monitoring Protocol v3 wire codec (RFC 7854 subset).
+
+Edge Fabric learns *all* routes available at a PoP, not just chosen ones,
+by having every peering router stream its per-peer Adj-RIB-In over BMP.
+This module implements the message types that pipeline needs:
+
+- INITIATION / TERMINATION (monitoring session lifecycle, sysName TLV),
+- PEER_UP / PEER_DOWN (per-peer monitoring lifecycle),
+- ROUTE_MONITORING (a per-peer header + a verbatim BGP UPDATE PDU),
+- STATISTICS_REPORT (counter TLVs, used for collector health checks).
+
+Route monitoring messages carry the real BGP UPDATE bytes produced by
+:mod:`repro.bgp.messages`, exactly as production BMP re-encapsulates the
+PDUs the router received.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from ..netbase.addr import Family
+from ..netbase.errors import MalformedMessage, TruncatedMessage
+
+__all__ = [
+    "BmpMessageType",
+    "PeerHeader",
+    "InitiationMessage",
+    "TerminationMessage",
+    "PeerUpMessage",
+    "PeerDownMessage",
+    "RouteMonitoringMessage",
+    "StatisticsReport",
+    "BmpMessage",
+    "encode_bmp",
+    "decode_bmp",
+    "decode_bmp_stream",
+    "BMP_VERSION",
+]
+
+BMP_VERSION = 3
+_COMMON_HEADER_LEN = 6
+_PEER_HEADER_LEN = 42
+
+
+class BmpMessageType(IntEnum):
+    ROUTE_MONITORING = 0
+    STATISTICS_REPORT = 1
+    PEER_DOWN = 2
+    PEER_UP = 3
+    INITIATION = 4
+    TERMINATION = 5
+
+
+class InfoTlvType(IntEnum):
+    STRING = 0
+    SYS_DESCR = 1
+    SYS_NAME = 2
+
+
+#: Peer flag bit: this feed is the post-policy Adj-RIB-In (the L flag).
+PEER_FLAG_POST_POLICY = 0x40
+PEER_FLAG_IPV6 = 0x80
+
+
+@dataclass(frozen=True)
+class PeerHeader:
+    """The 42-byte per-peer header identifying whose RIB a message is about."""
+
+    peer_address: int
+    peer_asn: int
+    peer_bgp_id: int
+    family: Family = Family.IPV4
+    post_policy: bool = True
+    timestamp: float = 0.0
+    peer_type: int = 0  # 0 = global instance peer
+    distinguisher: int = 0
+
+    def encode(self) -> bytes:
+        flags = 0
+        if self.family is Family.IPV6:
+            flags |= PEER_FLAG_IPV6
+        if self.post_policy:
+            flags |= PEER_FLAG_POST_POLICY
+        seconds = int(self.timestamp)
+        micros = int(round((self.timestamp - seconds) * 1_000_000))
+        return (
+            struct.pack("!BB", self.peer_type, flags)
+            + struct.pack("!Q", self.distinguisher)
+            + self.peer_address.to_bytes(16, "big")
+            + struct.pack("!II", self.peer_asn, self.peer_bgp_id)
+            + struct.pack("!II", seconds, micros)
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PeerHeader":
+        if len(data) < _PEER_HEADER_LEN:
+            raise TruncatedMessage("BMP per-peer header truncated")
+        peer_type, flags = struct.unpack_from("!BB", data, 0)
+        distinguisher = struct.unpack_from("!Q", data, 2)[0]
+        address = int.from_bytes(data[10:26], "big")
+        asn, bgp_id, seconds, micros = struct.unpack_from("!IIII", data, 26)
+        return cls(
+            peer_address=address,
+            peer_asn=asn,
+            peer_bgp_id=bgp_id,
+            family=Family.IPV6 if flags & PEER_FLAG_IPV6 else Family.IPV4,
+            post_policy=bool(flags & PEER_FLAG_POST_POLICY),
+            timestamp=seconds + micros / 1_000_000,
+            peer_type=peer_type,
+            distinguisher=distinguisher,
+        )
+
+
+def _encode_info_tlvs(tlvs: List[Tuple[int, bytes]]) -> bytes:
+    out = b""
+    for tlv_type, value in tlvs:
+        out += struct.pack("!HH", tlv_type, len(value)) + value
+    return out
+
+
+def _decode_info_tlvs(data: bytes) -> List[Tuple[int, bytes]]:
+    tlvs = []
+    offset = 0
+    while offset < len(data):
+        if offset + 4 > len(data):
+            raise TruncatedMessage("BMP TLV header truncated")
+        tlv_type, length = struct.unpack_from("!HH", data, offset)
+        offset += 4
+        if offset + length > len(data):
+            raise TruncatedMessage("BMP TLV body truncated")
+        tlvs.append((tlv_type, data[offset : offset + length]))
+        offset += length
+    return tlvs
+
+
+@dataclass(frozen=True)
+class InitiationMessage:
+    """Start of a monitoring session; identifies the exporting router."""
+
+    sys_name: str
+    sys_descr: str = ""
+
+    def _body(self) -> bytes:
+        tlvs = [(int(InfoTlvType.SYS_NAME), self.sys_name.encode())]
+        if self.sys_descr:
+            tlvs.append((int(InfoTlvType.SYS_DESCR), self.sys_descr.encode()))
+        return _encode_info_tlvs(tlvs)
+
+
+@dataclass(frozen=True)
+class TerminationMessage:
+    reason: str = ""
+
+    def _body(self) -> bytes:
+        return _encode_info_tlvs([(int(InfoTlvType.STRING), self.reason.encode())])
+
+
+@dataclass(frozen=True)
+class PeerUpMessage:
+    peer: PeerHeader
+    local_address: int = 0
+    local_port: int = 179
+    remote_port: int = 179
+    sent_open: bytes = b""  # verbatim BGP OPEN PDUs
+    received_open: bytes = b""
+
+    def _body(self) -> bytes:
+        return (
+            self.peer.encode()
+            + self.local_address.to_bytes(16, "big")
+            + struct.pack("!HH", self.local_port, self.remote_port)
+            + self.sent_open
+            + self.received_open
+        )
+
+
+class PeerDownReason(IntEnum):
+    LOCAL_NOTIFICATION = 1
+    LOCAL_NO_NOTIFICATION = 2
+    REMOTE_NOTIFICATION = 3
+    REMOTE_NO_NOTIFICATION = 4
+
+
+@dataclass(frozen=True)
+class PeerDownMessage:
+    peer: PeerHeader
+    reason: int = PeerDownReason.REMOTE_NO_NOTIFICATION
+    data: bytes = b""
+
+    def _body(self) -> bytes:
+        return self.peer.encode() + bytes([self.reason]) + self.data
+
+
+@dataclass(frozen=True)
+class RouteMonitoringMessage:
+    """One BGP UPDATE, re-encapsulated with the peer it came from."""
+
+    peer: PeerHeader
+    update_pdu: bytes  # verbatim BGP UPDATE wire bytes
+
+    def _body(self) -> bytes:
+        return self.peer.encode() + self.update_pdu
+
+
+class StatType(IntEnum):
+    REJECTED_BY_POLICY = 0
+    DUPLICATE_ADVERTISEMENTS = 1
+    ADJ_RIB_IN_ROUTES = 7
+
+
+@dataclass(frozen=True)
+class StatisticsReport:
+    peer: PeerHeader
+    stats: Tuple[Tuple[int, int], ...] = ()  # (stat type, counter64) pairs
+
+    def _body(self) -> bytes:
+        out = self.peer.encode() + struct.pack("!I", len(self.stats))
+        for stat_type, value in self.stats:
+            out += struct.pack("!HHQ", stat_type, 8, value)
+        return out
+
+
+BmpMessage = (
+    InitiationMessage
+    | TerminationMessage
+    | PeerUpMessage
+    | PeerDownMessage
+    | RouteMonitoringMessage
+    | StatisticsReport
+)
+
+_TYPE_OF_MESSAGE = {
+    InitiationMessage: BmpMessageType.INITIATION,
+    TerminationMessage: BmpMessageType.TERMINATION,
+    PeerUpMessage: BmpMessageType.PEER_UP,
+    PeerDownMessage: BmpMessageType.PEER_DOWN,
+    RouteMonitoringMessage: BmpMessageType.ROUTE_MONITORING,
+    StatisticsReport: BmpMessageType.STATISTICS_REPORT,
+}
+
+
+def encode_bmp(message: BmpMessage) -> bytes:
+    """Encode a BMP message with its common header."""
+    msg_type = _TYPE_OF_MESSAGE.get(type(message))
+    if msg_type is None:
+        raise MalformedMessage(f"cannot encode {type(message).__name__}")
+    body = message._body()
+    length = _COMMON_HEADER_LEN + len(body)
+    return struct.pack("!BIB", BMP_VERSION, length, msg_type) + body
+
+
+def decode_bmp(data: bytes) -> Tuple[BmpMessage, int]:
+    """Decode one BMP message; returns (message, bytes consumed)."""
+    if len(data) < _COMMON_HEADER_LEN:
+        raise TruncatedMessage("BMP common header truncated")
+    version, length, msg_type = struct.unpack_from("!BIB", data, 0)
+    if version != BMP_VERSION:
+        raise MalformedMessage(f"unsupported BMP version {version}")
+    if length < _COMMON_HEADER_LEN:
+        raise MalformedMessage(f"bad BMP length {length}")
+    if len(data) < length:
+        raise TruncatedMessage("BMP body truncated")
+    body = data[_COMMON_HEADER_LEN:length]
+    message = _decode_body(msg_type, body)
+    return message, length
+
+
+def _decode_body(msg_type: int, body: bytes) -> BmpMessage:
+    if msg_type == BmpMessageType.INITIATION:
+        sys_name, sys_descr = "", ""
+        for tlv_type, value in _decode_info_tlvs(body):
+            if tlv_type == InfoTlvType.SYS_NAME:
+                sys_name = value.decode(errors="replace")
+            elif tlv_type == InfoTlvType.SYS_DESCR:
+                sys_descr = value.decode(errors="replace")
+        return InitiationMessage(sys_name=sys_name, sys_descr=sys_descr)
+    if msg_type == BmpMessageType.TERMINATION:
+        reason = ""
+        for tlv_type, value in _decode_info_tlvs(body):
+            if tlv_type == InfoTlvType.STRING:
+                reason = value.decode(errors="replace")
+        return TerminationMessage(reason=reason)
+    if msg_type == BmpMessageType.PEER_UP:
+        peer = PeerHeader.decode(body)
+        offset = _PEER_HEADER_LEN
+        if len(body) < offset + 20:
+            raise TruncatedMessage("PEER_UP body truncated")
+        local_address = int.from_bytes(body[offset : offset + 16], "big")
+        local_port, remote_port = struct.unpack_from(
+            "!HH", body, offset + 16
+        )
+        # The two OPEN PDUs follow; split on the BGP length field.
+        rest = body[offset + 20 :]
+        sent_open, received_open = _split_two_pdus(rest)
+        return PeerUpMessage(
+            peer=peer,
+            local_address=local_address,
+            local_port=local_port,
+            remote_port=remote_port,
+            sent_open=sent_open,
+            received_open=received_open,
+        )
+    if msg_type == BmpMessageType.PEER_DOWN:
+        peer = PeerHeader.decode(body)
+        rest = body[_PEER_HEADER_LEN:]
+        if not rest:
+            raise TruncatedMessage("PEER_DOWN missing reason")
+        return PeerDownMessage(peer=peer, reason=rest[0], data=rest[1:])
+    if msg_type == BmpMessageType.ROUTE_MONITORING:
+        peer = PeerHeader.decode(body)
+        return RouteMonitoringMessage(
+            peer=peer, update_pdu=body[_PEER_HEADER_LEN:]
+        )
+    if msg_type == BmpMessageType.STATISTICS_REPORT:
+        peer = PeerHeader.decode(body)
+        offset = _PEER_HEADER_LEN
+        if len(body) < offset + 4:
+            raise TruncatedMessage("STATS count truncated")
+        count = struct.unpack_from("!I", body, offset)[0]
+        offset += 4
+        stats = []
+        for _ in range(count):
+            if offset + 4 > len(body):
+                raise TruncatedMessage("STATS TLV truncated")
+            stat_type, stat_len = struct.unpack_from("!HH", body, offset)
+            offset += 4
+            if offset + stat_len > len(body):
+                raise TruncatedMessage("STATS TLV body truncated")
+            if stat_len == 8:
+                value = struct.unpack_from("!Q", body, offset)[0]
+            elif stat_len == 4:
+                value = struct.unpack_from("!I", body, offset)[0]
+            else:
+                raise MalformedMessage(f"bad stat length {stat_len}")
+            stats.append((stat_type, value))
+            offset += stat_len
+        return StatisticsReport(peer=peer, stats=tuple(stats))
+    raise MalformedMessage(f"unknown BMP message type {msg_type}")
+
+
+def _split_two_pdus(data: bytes) -> Tuple[bytes, bytes]:
+    """Split a buffer holding exactly two BGP PDUs (as in PEER_UP)."""
+    if not data:
+        return b"", b""
+    if len(data) < 19:
+        raise TruncatedMessage("PEER_UP OPEN PDU truncated")
+    first_len = struct.unpack_from("!H", data, 16)[0]
+    if first_len > len(data):
+        raise TruncatedMessage("PEER_UP first OPEN truncated")
+    return data[:first_len], data[first_len:]
+
+
+def decode_bmp_stream(data: bytes) -> Tuple[List[BmpMessage], bytes]:
+    """Decode every complete BMP message; returns (messages, remainder)."""
+    messages: List[BmpMessage] = []
+    offset = 0
+    while offset < len(data):
+        try:
+            message, consumed = decode_bmp(data[offset:])
+        except TruncatedMessage:
+            break
+        messages.append(message)
+        offset += consumed
+    return messages, data[offset:]

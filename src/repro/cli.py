@@ -1,0 +1,125 @@
+"""Command-line interface: run demos and regenerate experiments.
+
+Usage::
+
+    python -m repro quickstart [--pop pop-a] [--minutes 10] [--seed 7]
+    python -m repro experiment fig4 [--hours 2.0]
+    python -m repro list
+
+``experiment`` accepts the short names below and prints the same tables
+and series the benchmark harness does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from . import experiments
+from .core.pipeline import PopDeployment
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": experiments.table1_pops.run,
+    "fig2": experiments.fig2_route_diversity.run,
+    "fig3": experiments.fig3_preferred_placement.run,
+    "fig4": experiments.fig4_overload_no_te.run,
+    "fig5": experiments.fig5_overload_magnitude.run,
+    "fig6": experiments.fig6_detour_volume.run,
+    "fig7": experiments.fig7_detour_durations.run,
+    "fig8": experiments.fig8_altpath_rtt.run,
+    "fig9": experiments.fig9_altpath_loss.run,
+    "table2": experiments.table2_controller.run,
+    "a1": experiments.ablation_stability.run,
+    "a2": experiments.ablation_threshold.run,
+    "a3": experiments.ablation_sampling.run,
+    "a4": experiments.ablation_perfaware.run,
+    "a5": experiments.ablation_splitting.run,
+}
+
+#: Experiments that accept an ``hours`` keyword.
+_TAKES_HOURS = {
+    "fig4", "fig5", "fig6", "fig7", "fig9", "table2", "a1", "a2", "a3",
+    "a4", "a5",
+}
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    deployment = PopDeployment.build(pop_name=args.pop, seed=args.seed)
+    start = deployment.demand.config.peak_time
+    ticks = int(args.minutes * 60 / deployment.tick_seconds)
+    print(
+        f"Running {args.pop} for {args.minutes} simulated minutes "
+        f"at peak (seed {args.seed})..."
+    )
+    for index in range(ticks):
+        deployment.step(start + index * deployment.tick_seconds)
+        tick = deployment.record.ticks[-1]
+        print(
+            f"t={tick.time - start:5.0f}s offered={str(tick.offered):>14} "
+            f"dropped={str(tick.dropped):>12} "
+            f"overrides={tick.active_overrides}"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENTS.get(args.name)
+    if runner is None:
+        print(
+            f"unknown experiment {args.name!r}; try: "
+            + ", ".join(sorted(EXPERIMENTS)),
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {}
+    if args.name in _TAKES_HOURS and args.hours is not None:
+        kwargs["hours"] = args.hours
+    result = runner(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in sorted(EXPERIMENTS):
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Edge Fabric reproduction: demos and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = sub.add_parser(
+        "quickstart", help="run a PoP with the controller at peak"
+    )
+    quickstart.add_argument("--pop", default="pop-a")
+    quickstart.add_argument("--minutes", type=float, default=10.0)
+    quickstart.add_argument("--seed", type=int, default=7)
+    quickstart.set_defaults(func=_cmd_quickstart)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one table/figure"
+    )
+    experiment.add_argument("name", help="e.g. fig4, table2, a1")
+    experiment.add_argument("--hours", type=float, default=None)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    lister = sub.add_parser("list", help="list experiment names")
+    lister.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

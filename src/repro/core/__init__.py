@@ -1,0 +1,37 @@
+"""Edge Fabric: the egress traffic-engineering controller."""
+
+from .allocator import AllocationResult, Allocator, Detour
+from .config import ControllerConfig
+from .controller import EdgeFabricController
+from .fleet import FleetDeployment
+from .injector import BgpInjector
+from .inputs import ControllerInputs, InputAssembler
+from .monitoring import ControllerMonitor, CycleReport
+from .overrides import Override, OverrideDiff, OverrideSet
+from .perfaware import PerformanceAwarePass
+from .pipeline import PopDeployment, RunRecord, TickSummary
+from .projection import Placement, Projection, project
+
+__all__ = [
+    "AllocationResult",
+    "Allocator",
+    "Detour",
+    "ControllerConfig",
+    "EdgeFabricController",
+    "FleetDeployment",
+    "BgpInjector",
+    "ControllerInputs",
+    "InputAssembler",
+    "ControllerMonitor",
+    "CycleReport",
+    "Override",
+    "OverrideDiff",
+    "OverrideSet",
+    "PerformanceAwarePass",
+    "PopDeployment",
+    "RunRecord",
+    "TickSummary",
+    "Placement",
+    "Projection",
+    "project",
+]

@@ -1,0 +1,65 @@
+"""Edge Fabric controller configuration.
+
+Every number the paper calls out as a design choice lives here so the
+ablation benchmarks can sweep it: the cycle period, the utilization
+threshold that defines "overloaded", the staleness bound on inputs, and
+the stability preference that keeps detours from churning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netbase.errors import ControllerError
+from ..netbase.units import Rate, mbps
+
+__all__ = ["ControllerConfig"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    #: How often the controller runs (the paper's ~30 seconds).
+    cycle_seconds: float = 30.0
+    #: An interface is overloaded when projected load exceeds this
+    #: fraction of capacity; detour targets must stay below it too.
+    utilization_threshold: float = 0.95
+    #: Refuse to act on route/traffic inputs older than this.
+    max_input_age_seconds: float = 90.0
+    #: LOCAL_PREF for injected overrides — above every import tier, so an
+    #: injected route always wins the decision process.
+    injected_local_pref: int = 10_000
+    #: Prefixes below this rate are never detoured (not worth an
+    #: override; mirrors production's focus on the heavy hitters).
+    min_detour_rate: Rate = mbps(1)
+    #: Prefer last cycle's detour target for a prefix still detoured.
+    stability_preference: bool = True
+    #: Enable the performance-aware second pass (paper §5).
+    performance_aware: bool = False
+    #: Detour a prefix for performance when an alternate beats the
+    #: preferred path's median RTT by at least this much.
+    perf_improvement_threshold_ms: float = 20.0
+    #: Cap on how many prefixes the perf-aware pass may move per cycle.
+    perf_moves_per_cycle: int = 50
+    #: Safety rail: at most this many *new* detours per cycle (kept
+    #: detours are free).  A controller fed garbage inputs can then
+    #: shift only a bounded amount of traffic before a human notices.
+    #: ``None`` disables the cap.
+    max_new_detours_per_cycle: int | None = None
+    #: When a prefix is too large for any single alternate, announce
+    #: more-specific halves and detour them independently (the
+    #: finer-granularity mechanism the paper discusses).
+    allow_prefix_splitting: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cycle_seconds <= 0:
+            raise ControllerError("cycle_seconds must be positive")
+        if not 0.0 < self.utilization_threshold <= 1.0:
+            raise ControllerError(
+                "utilization_threshold must be in (0, 1]"
+            )
+        if self.max_input_age_seconds <= 0:
+            raise ControllerError("max_input_age_seconds must be positive")
+        if self.injected_local_pref <= 1000:
+            raise ControllerError(
+                "injected_local_pref must clear every import tier"
+            )

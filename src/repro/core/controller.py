@@ -1,0 +1,124 @@
+"""The Edge Fabric controller: the 30-second decision loop.
+
+Each cycle:
+
+1. assemble fresh inputs (skip the cycle if routes or traffic are stale),
+2. project interface load assuming BGP-preferred placement,
+3. allocate detours for every interface over the threshold,
+4. optionally extend with performance-aware moves,
+5. reconcile against the active override set and hand the diff to the
+   BGP injector.
+
+The controller holds no essential state between cycles: the override set
+is re-derived every time, so a crashed-and-restarted controller converges
+to the same decisions within one cycle, and killing it entirely leaves
+BGP to withdraw nothing — the injector's routes simply stay until
+withdrawn, and `shutdown()` withdraws them all, restoring default
+routing.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, Optional
+
+from ..measurement.altpath import AltPathMonitor
+from ..netbase.addr import Prefix
+from ..netbase.errors import StaleInputError
+from .allocator import Allocator
+from .config import ControllerConfig
+from .injector import BgpInjector
+from .inputs import ControllerInputs, InputAssembler
+from .monitoring import ControllerMonitor, CycleReport
+from .overrides import OverrideSet
+from .perfaware import PerformanceAwarePass
+from .projection import project
+
+__all__ = ["EdgeFabricController"]
+
+
+class EdgeFabricController:
+    """One controller instance per PoP."""
+
+    def __init__(
+        self,
+        assembler: InputAssembler,
+        injector: BgpInjector,
+        config: ControllerConfig = ControllerConfig(),
+        altpath: Optional[AltPathMonitor] = None,
+    ) -> None:
+        self.assembler = assembler
+        self.injector = injector
+        self.config = config
+        self.allocator = Allocator(assembler.pop, config)
+        self.overrides = OverrideSet()
+        self.monitor = ControllerMonitor()
+        self.altpath = altpath
+        if config.performance_aware and altpath is None:
+            raise ValueError(
+                "performance_aware requires an AltPathMonitor"
+            )
+
+    # -- the cycle ------------------------------------------------------------
+
+    def run_cycle(self, now: float) -> CycleReport:
+        """Run one full decision cycle at simulation time *now*."""
+        started = _time.perf_counter()
+        try:
+            inputs = self.assembler.snapshot(now)
+        except StaleInputError as exc:
+            report = CycleReport(
+                time=now, skipped=True, skip_reason=str(exc)
+            )
+            self.monitor.record(report)
+            return report
+
+        projection = project(self.assembler.pop, inputs)
+        allocation = self.allocator.allocate(
+            projection,
+            inputs,
+            previous_targets=self.overrides.active_targets(),
+        )
+        perf_moves = 0
+        if self.config.performance_aware and self.altpath is not None:
+            perf_pass = PerformanceAwarePass(
+                pop=self.assembler.pop,
+                config=self.config,
+                altpath=self.altpath,
+            )
+            perf_moves = len(
+                perf_pass.extend(
+                    allocation.detours, allocation.final_loads, inputs
+                )
+            )
+
+        diff = self.overrides.reconcile(allocation.detours, now)
+        self.injector.apply(diff)
+
+        report = CycleReport(
+            time=now,
+            total_traffic=inputs.total_traffic(),
+            prefixes_seen=len(inputs.traffic),
+            overloaded_interfaces=tuple(allocation.overloaded_before),
+            detour_count=len(allocation.detours),
+            detoured_rate=allocation.detoured_rate(),
+            announced=len(diff.announce),
+            withdrawn=len(diff.withdraw),
+            kept=len(diff.keep),
+            unresolved=tuple(allocation.unresolved),
+            perf_moves=perf_moves,
+            runtime_seconds=_time.perf_counter() - started,
+        )
+        self.monitor.record(report)
+        return report
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def shutdown(self, now: float) -> int:
+        """Withdraw every override, restoring pure-BGP routing."""
+        flushed = self.overrides.flush(now)
+        self.injector.withdraw_all(flushed)
+        return len(flushed)
+
+    def active_override_targets(self) -> Dict[Prefix, str]:
+        return self.overrides.active_targets()

@@ -1,0 +1,160 @@
+"""Fleet orchestration: Edge Fabric across many PoPs.
+
+The paper deploys one controller instance per PoP, with no cross-PoP
+coordination — each PoP's egress problem is local.  The fleet runner
+mirrors that: independent :class:`PopDeployment` instances stepped in
+lockstep, plus deployment-wide aggregation (the paper's "across N PoPs"
+numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.report import Table
+from ..core.config import ControllerConfig
+from ..netbase.units import Rate, gbps
+from ..topology.builder import build_pop, provision_against_demand
+from ..topology.scenarios import default_internet, fleet_specs
+from ..traffic.demand import DemandConfig, DemandModel
+from .pipeline import PopDeployment
+
+__all__ = ["FleetDeployment"]
+
+
+@dataclass
+class FleetDeployment:
+    """Independent per-PoP deployments, stepped together."""
+
+    deployments: Dict[str, PopDeployment]
+    tick_seconds: float
+
+    @classmethod
+    def build(
+        cls,
+        pop_count: int = 4,
+        seed: int = 0,
+        tick_seconds: float = 60.0,
+        controller_config: Optional[ControllerConfig] = None,
+        sampling_rate: int = 131_072,
+    ) -> "FleetDeployment":
+        """Build *pop_count* PoPs over one shared synthetic Internet.
+
+        Each PoP gets its own demand (different seeds: PoPs serve
+        different regions with offset peaks) and its own controller.
+        """
+        internet = default_internet(seed)
+        config = controller_config or ControllerConfig(
+            cycle_seconds=tick_seconds
+        )
+        deployments: Dict[str, PopDeployment] = {}
+        for index, spec in enumerate(fleet_specs(pop_count, seed)):
+            wired = build_pop(spec, internet)
+            peak = spec.expected_peak or gbps(160)
+            demand = DemandModel(
+                internet.all_prefixes(),
+                DemandConfig(
+                    seed=seed + 100 + index,
+                    peak_total=peak,
+                    # Regional peaks: offset each PoP by ~90 minutes.
+                    peak_time=(64_800.0 + index * 5_400.0) % 86_400.0,
+                ),
+                popular=wired.popular_prefixes(),
+            )
+            provision_against_demand(
+                wired,
+                demand.weight_of,
+                expected_peak=peak,
+                headroom=spec.private_headroom,
+                tight_headroom=spec.tight_headroom,
+                tight_peer_count=spec.tight_peer_count,
+                seed=seed + 200 + index,
+            )
+            deployments[spec.name] = PopDeployment(
+                wired,
+                demand,
+                controller_config=config,
+                tick_seconds=tick_seconds,
+                sampling_rate=sampling_rate,
+                seed=seed + 300 + index,
+            )
+        return cls(deployments=deployments, tick_seconds=tick_seconds)
+
+    # -- stepping ---------------------------------------------------------------
+
+    def step(self, now: float, run_controller: bool = True) -> None:
+        for deployment in self.deployments.values():
+            deployment.step(now, run_controller=run_controller)
+
+    def run(
+        self, start: float, duration: float, run_controller: bool = True
+    ) -> None:
+        now = start
+        while now < start + duration:
+            self.step(now, run_controller=run_controller)
+            now += self.tick_seconds
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def total_offered(self) -> Rate:
+        total = Rate(0)
+        for deployment in self.deployments.values():
+            if deployment.record.ticks:
+                total = total + deployment.record.ticks[-1].offered
+        return total
+
+    def total_active_overrides(self) -> int:
+        return sum(
+            len(deployment.controller.overrides)
+            for deployment in self.deployments.values()
+        )
+
+    def summary_table(self) -> Table:
+        """Per-PoP roll-up of the run so far."""
+        table = Table(
+            title=f"Fleet summary ({len(self.deployments)} PoPs)",
+            columns=[
+                "pop",
+                "peak offered",
+                "dropped (Gbit)",
+                "peak detoured",
+                "max overrides",
+                "unresolved cycles",
+            ],
+        )
+        for name, deployment in sorted(self.deployments.items()):
+            ticks = deployment.record.ticks
+            if not ticks:
+                continue
+            monitor = deployment.controller.monitor
+            fractions = [
+                (t.detoured / t.offered) if t.offered else 0.0
+                for t in ticks
+            ]
+            table.add_row(
+                name,
+                str(deployment.record.peak_offered()),
+                round(
+                    deployment.record.total_dropped_bits(
+                        self.tick_seconds
+                    )
+                    / 1e9,
+                    2,
+                ),
+                round(max(fractions), 3),
+                max((t.active_overrides for t in ticks), default=0),
+                monitor.unresolved_overload_cycles(),
+            )
+        return table
+
+    def fleet_detoured_fraction(self) -> float:
+        """Latest-tick fleet-wide share of traffic on injected routes."""
+        offered = detoured = 0.0
+        for deployment in self.deployments.values():
+            if not deployment.record.ticks:
+                continue
+            tick = deployment.record.ticks[-1]
+            offered += tick.offered.bits_per_second
+            detoured += tick.detoured.bits_per_second
+        return detoured / offered if offered else 0.0

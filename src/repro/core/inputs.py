@@ -1,0 +1,102 @@
+"""Controller input snapshots with staleness guards.
+
+The controller is only safe if it acts on a current picture of the
+network: detouring based on stale traffic can push an interface *into*
+overload.  :class:`InputAssembler` gathers one consistent snapshot per
+cycle — the multi-route RIB from the BMP collector and per-prefix rates
+from the sFlow collector — and refuses (raises
+:class:`~repro.netbase.errors.StaleInputError`) when either source is too
+old, which the controller turns into a skipped cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bgp.route import Route
+from ..bmp.collector import BmpCollector
+from ..netbase.addr import Prefix
+from ..netbase.errors import StaleInputError
+from ..netbase.units import Rate
+from ..sflow.collector import SflowCollector
+from ..topology.entities import InterfaceKey, PoP
+from .config import ControllerConfig
+
+__all__ = ["ControllerInputs", "InputAssembler"]
+
+
+@dataclass
+class ControllerInputs:
+    """One cycle's consistent view of routes, traffic and capacity."""
+
+    taken_at: float
+    traffic: Dict[Prefix, Rate]
+    capacities: Dict[InterfaceKey, Rate]
+    _collector: BmpCollector = field(repr=False, default=None)
+
+    def routes_of(self, prefix: Prefix) -> List[Route]:
+        """Available eBGP routes for *prefix*, decision-ranked.
+
+        Injected routes never appear (the exporter filters the injector's
+        sessions and the collector drops INJECTED-tagged announcements),
+        so this is the BGP-only view the projection needs.
+        """
+        return [
+            route
+            for route in self._collector.routes_for(prefix)
+            if not route.is_injected
+        ]
+
+    def total_traffic(self) -> Rate:
+        total = Rate(0)
+        for rate in self.traffic.values():
+            total = total + rate
+        return total
+
+
+class InputAssembler:
+    """Builds per-cycle snapshots and enforces freshness."""
+
+    def __init__(
+        self,
+        pop: PoP,
+        bmp: BmpCollector,
+        sflow: SflowCollector,
+        config: ControllerConfig = ControllerConfig(),
+    ) -> None:
+        self.pop = pop
+        self.bmp = bmp
+        self.sflow = sflow
+        self.config = config
+        self._capacities = {
+            interface.key: interface.capacity
+            for interface in pop.interfaces()
+        }
+        self._last_traffic_at: Optional[float] = None
+
+    def snapshot(self, now: float) -> ControllerInputs:
+        """Assemble inputs for a cycle starting at *now*."""
+        route_age = self.bmp.age()
+        if route_age > self.config.max_input_age_seconds:
+            raise StaleInputError(
+                f"route feed is {route_age:.0f}s old "
+                f"(limit {self.config.max_input_age_seconds:.0f}s)"
+            )
+        traffic = self.sflow.prefix_rates(now)
+        if traffic:
+            self._last_traffic_at = now
+        elif (
+            self._last_traffic_at is None
+            or now - self._last_traffic_at
+            > self.config.max_input_age_seconds
+        ):
+            raise StaleInputError(
+                "no traffic measurements within the staleness bound"
+            )
+        return ControllerInputs(
+            taken_at=now,
+            traffic=traffic,
+            capacities=dict(self._capacities),
+            _collector=self.bmp,
+        )

@@ -1,0 +1,105 @@
+"""Controller self-monitoring: per-cycle reports and run-level history.
+
+Production Edge Fabric is audited heavily (every decision logged, every
+override accounted for); this module is that audit trail, and doubles as
+the data source for the evaluation — detour volume over time, detour
+durations, override churn, unresolved overloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netbase.addr import Prefix
+from ..netbase.units import Rate
+from ..topology.entities import InterfaceKey
+
+__all__ = ["CycleReport", "ControllerMonitor"]
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """What one controller cycle saw and did."""
+
+    time: float
+    skipped: bool = False
+    skip_reason: str = ""
+    total_traffic: Rate = Rate(0)
+    prefixes_seen: int = 0
+    overloaded_interfaces: tuple = ()
+    detour_count: int = 0
+    detoured_rate: Rate = Rate(0)
+    announced: int = 0
+    withdrawn: int = 0
+    kept: int = 0
+    unresolved: tuple = ()
+    perf_moves: int = 0
+    runtime_seconds: float = 0.0
+
+    @property
+    def churn(self) -> int:
+        return self.announced + self.withdrawn
+
+    @property
+    def detoured_fraction(self) -> float:
+        if self.total_traffic.is_zero():
+            return 0.0
+        return self.detoured_rate / self.total_traffic
+
+
+@dataclass
+class ControllerMonitor:
+    """Accumulates cycle reports for a whole run."""
+
+    reports: List[CycleReport] = field(default_factory=list)
+
+    def record(self, report: CycleReport) -> None:
+        self.reports.append(report)
+
+    # -- run-level queries ---------------------------------------------------
+
+    def cycles(self) -> int:
+        return len(self.reports)
+
+    def skipped_cycles(self) -> int:
+        return sum(1 for report in self.reports if report.skipped)
+
+    def detoured_fraction_series(self) -> List[tuple]:
+        """(time, fraction of traffic detoured) per active cycle."""
+        return [
+            (report.time, report.detoured_fraction)
+            for report in self.reports
+            if not report.skipped
+        ]
+
+    def detour_count_series(self) -> List[tuple]:
+        return [
+            (report.time, report.detour_count)
+            for report in self.reports
+            if not report.skipped
+        ]
+
+    def total_churn(self) -> int:
+        return sum(report.churn for report in self.reports)
+
+    def mean_churn_per_cycle(self) -> float:
+        active = [r for r in self.reports if not r.skipped]
+        if not active:
+            return 0.0
+        return sum(r.churn for r in active) / len(active)
+
+    def peak_detoured_fraction(self) -> float:
+        return max(
+            (r.detoured_fraction for r in self.reports if not r.skipped),
+            default=0.0,
+        )
+
+    def unresolved_overload_cycles(self) -> int:
+        return sum(1 for r in self.reports if r.unresolved)
+
+    def mean_runtime(self) -> float:
+        active = [r for r in self.reports if not r.skipped]
+        if not active:
+            return 0.0
+        return sum(r.runtime_seconds for r in active) / len(active)

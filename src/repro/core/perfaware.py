@@ -1,0 +1,104 @@
+"""Performance-aware routing: detour for latency, not just capacity.
+
+Paper §5: once alternate-path measurement shows that, for some prefixes,
+a less-preferred route consistently outperforms the BGP-preferred one,
+the controller can override those prefixes *even without overload*.  This
+pass runs after the capacity allocator, spends only headroom the
+allocator left behind, and is capped per cycle so a measurement glitch
+cannot flip half the PoP's routing at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..dataplane.fib import egress_interface
+from ..measurement.altpath import AltPathMonitor
+from ..netbase.addr import Prefix
+from ..netbase.units import Rate
+from ..topology.entities import InterfaceKey, PoP
+from .allocator import Detour
+from .config import ControllerConfig
+from .inputs import ControllerInputs
+
+__all__ = ["PerformanceAwarePass"]
+
+
+@dataclass
+class PerformanceAwarePass:
+    """Adds performance detours on top of a capacity allocation."""
+
+    pop: PoP
+    config: ControllerConfig
+    altpath: AltPathMonitor
+
+    def extend(
+        self,
+        detours: Dict[Prefix, Detour],
+        loads: Dict[InterfaceKey, Rate],
+        inputs: ControllerInputs,
+    ) -> List[Detour]:
+        """Mutates *detours*/*loads* in place; returns the added moves.
+
+        Only prefixes not already detoured for capacity are considered;
+        moves must keep the target under the utilization threshold.
+        """
+        added: List[Detour] = []
+        threshold = self.config.utilization_threshold
+        improvement_needed = self.config.perf_improvement_threshold_ms
+        candidates = sorted(
+            (
+                comparison
+                for comparison in self.altpath.comparisons()
+                if comparison.median_rtt_delta_ms <= -improvement_needed
+            ),
+            key=lambda c: c.median_rtt_delta_ms,
+        )
+        for comparison in candidates:
+            if len(added) >= self.config.perf_moves_per_cycle:
+                break
+            prefix = comparison.prefix
+            if prefix in detours:
+                continue
+            rate = inputs.traffic.get(prefix)
+            if rate is None or rate < self.config.min_detour_rate:
+                continue
+            routes = inputs.routes_of(prefix)
+            if not routes:
+                continue
+            preferred = routes[0]
+            target = next(
+                (
+                    route
+                    for route in routes[1:]
+                    if route.source.name == comparison.alternate_session
+                ),
+                None,
+            )
+            if target is None:
+                continue
+            from_key = egress_interface(self.pop, preferred)
+            to_key = egress_interface(self.pop, target)
+            if to_key == from_key:
+                continue
+            capacity = inputs.capacities.get(to_key)
+            if capacity is None or capacity.is_zero():
+                continue
+            limit = capacity.bits_per_second * threshold
+            projected = loads.get(to_key, Rate(0)).bits_per_second
+            if projected + rate.bits_per_second > limit:
+                continue
+            detour = Detour(
+                prefix=prefix,
+                rate=rate,
+                preferred=preferred,
+                target=target,
+                from_interface=from_key,
+                to_interface=to_key,
+            )
+            detours[prefix] = detour
+            loads[from_key] = loads.get(from_key, Rate(0)) - rate
+            loads[to_key] = loads.get(to_key, Rate(0)) + rate
+            added.append(detour)
+        return added

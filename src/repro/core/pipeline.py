@@ -1,0 +1,350 @@
+"""PopDeployment: the full Edge Fabric pipeline wired end to end.
+
+One object assembles everything a PoP runs:
+
+- the wired PoP (routers, sessions, RIBs) from :mod:`repro.topology`,
+- BMP exporters on every PR feeding one :class:`BmpCollector`,
+- sFlow agents (inside the dataplane simulator) feeding one
+  :class:`SflowCollector`, with destination prefixes resolved against the
+  BMP RIB — the same join production does,
+- the dataplane simulator,
+- the injector, the alternate-path monitor, and the controller.
+
+``step(now)`` advances one tick; ``run(...)`` drives a whole experiment
+and returns the accumulated record.  Benchmarks and examples build on
+this object rather than re-wiring the parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bmp.collector import BmpCollector
+from ..bmp.exporter import BmpExporter
+from ..dataplane.fib import egress_interface
+from ..dataplane.simulator import PopSimulator, TickResult
+from ..measurement.altpath import AltPathMonitor
+from ..measurement.pathmodel import PathModelConfig, PathPerformanceModel
+from ..netbase.addr import Family, Prefix
+from ..netbase.units import Rate, gbps
+from ..sflow.collector import SflowCollector
+from ..topology.builder import WiredPop
+from ..topology.scenarios import build_study_pop
+from ..traffic.demand import DemandConfig, DemandModel, FlashEvent
+from .config import ControllerConfig
+from .controller import EdgeFabricController
+from .injector import BgpInjector
+from .inputs import InputAssembler
+from .monitoring import CycleReport
+
+__all__ = ["TickSummary", "RunRecord", "PopDeployment"]
+
+
+@dataclass(frozen=True)
+class TickSummary:
+    """Per-tick roll-up kept for the whole run."""
+
+    time: float
+    offered: Rate
+    dropped: Rate
+    detoured: Rate
+    active_overrides: int
+
+
+@dataclass
+class RunRecord:
+    """Everything a run accumulated."""
+
+    ticks: List[TickSummary] = field(default_factory=list)
+    cycle_reports: List[CycleReport] = field(default_factory=list)
+
+    def total_dropped_bits(self, tick_seconds: float) -> float:
+        return sum(
+            t.dropped.bits_per_second * tick_seconds for t in self.ticks
+        )
+
+    def peak_offered(self) -> Rate:
+        return max(
+            (t.offered for t in self.ticks), default=Rate(0)
+        )
+
+    def detoured_fraction_series(self) -> List[tuple]:
+        return [
+            (
+                t.time,
+                (t.detoured / t.offered) if t.offered else 0.0,
+            )
+            for t in self.ticks
+        ]
+
+
+class PopDeployment:
+    """A PoP with its full Edge Fabric stack."""
+
+    def __init__(
+        self,
+        wired: WiredPop,
+        demand: DemandModel,
+        controller_config: ControllerConfig = ControllerConfig(),
+        tick_seconds: float = 30.0,
+        sampling_rate: int = 65536,
+        estimator_window: float = 60.0,
+        altpath_every_ticks: int = 0,
+        altpath_prefix_count: int = 200,
+        path_model_seed: int = 0,
+        seed: int = 0,
+    ) -> None:
+        self.wired = wired
+        self.demand = demand
+        self.config = controller_config
+        self.tick_seconds = tick_seconds
+        self.current_time = 0.0
+
+        # Routes: exporters -> BMP collector (sim-clocked).
+        self.bmp = BmpCollector(
+            wired.registry, clock=lambda: self.current_time
+        )
+        self.exporters = [
+            BmpExporter(speaker, self.bmp.feed)
+            for speaker in wired.speakers.values()
+        ]
+        for exporter in self.exporters:
+            exporter.export_full_rib()
+
+        # Traffic: simulator's agents -> sFlow collector, resolved
+        # against the BMP RIB.  The estimator window must span a whole
+        # number of ticks: each tick feeds tick_seconds worth of bytes,
+        # so a window shorter than two ticks would average one tick's
+        # bytes over less time than they represent, inflating every
+        # rate estimate by tick/window.
+        effective_window = max(estimator_window, 2.0 * tick_seconds)
+        self.sflow = SflowCollector(
+            self._resolve_prefix, window_seconds=effective_window
+        )
+        self.simulator = PopSimulator(
+            wired,
+            demand,
+            tick_seconds=tick_seconds,
+            sampling_rate=sampling_rate,
+            seed=seed,
+        )
+        for router, agent in self.simulator.agents.items():
+            self.sflow.register_router(
+                router, agent.agent_address, agent.interfaces
+            )
+
+        # Measurement: the alternate-path monitor (paper §5).
+        self.path_model = PathPerformanceModel(
+            PathModelConfig(seed=path_model_seed)
+        )
+        self.altpath = AltPathMonitor(
+            routes_of=lambda prefix: [
+                route
+                for route in self.bmp.routes_for(prefix)
+                if not route.is_injected
+            ],
+            model=self.path_model,
+            egress_interface_of=lambda route: egress_interface(
+                wired.pop, route
+            ),
+            seed=seed,
+        )
+        self.altpath_every_ticks = altpath_every_ticks
+        self.altpath_prefix_count = altpath_prefix_count
+
+        # Control: injector + controller.
+        self.injector = BgpInjector(
+            wired.pop, wired.speakers, controller_config
+        )
+        self.assembler = InputAssembler(
+            wired.pop, self.bmp, self.sflow, controller_config
+        )
+        self.controller = EdgeFabricController(
+            self.assembler,
+            self.injector,
+            controller_config,
+            altpath=self.altpath,
+        )
+
+        self.record = RunRecord()
+        self._last_cycle_at: Optional[float] = None
+        self._tick_index = 0
+        self._resolve_cache: Dict = {}
+        self._resolve_cache_version = -1
+
+    # -- construction helper ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        pop_name: str = "pop-a",
+        seed: int = 0,
+        peak_total: Rate = gbps(260),
+        demand_overrides: Optional[dict] = None,
+        controller_config: ControllerConfig = ControllerConfig(),
+        flash_events: tuple = (),
+        **kwargs,
+    ) -> "PopDeployment":
+        """Build a canonical study-PoP deployment in one call."""
+        wired = build_study_pop(pop_name, seed=seed)
+        demand_kwargs = dict(seed=seed + 1, peak_total=peak_total)
+        if demand_overrides:
+            demand_kwargs.update(demand_overrides)
+        demand = DemandModel(
+            wired.internet.all_prefixes(),
+            DemandConfig(**demand_kwargs),
+            popular=wired.popular_prefixes(),
+            flash_events=flash_events,
+        )
+        # Provision private capacity against the measured demand — as
+        # operators do — leaving the spec's "tight" peers under-built.
+        from ..topology.builder import provision_against_demand
+        from ..topology.scenarios import study_pop_spec
+
+        spec = study_pop_spec(pop_name, seed=seed)
+        provision_against_demand(
+            wired,
+            demand.weight_of,
+            expected_peak=peak_total,
+            headroom=spec.private_headroom,
+            tight_headroom=spec.tight_headroom,
+            tight_peer_count=spec.tight_peer_count,
+            seed=seed + 2,
+        )
+        return cls(wired, demand, controller_config, seed=seed, **kwargs)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _resolve_prefix(
+        self, family: Family, address: int
+    ) -> Optional[Prefix]:
+        """LPM of a sampled destination against the BMP RIB, cached.
+
+        The import policy rejects prefixes longer than /24 (v4) or /48
+        (v6), so every address inside the same /24 (or /48) shares one
+        longest-prefix match — the cache keys on that masked address.
+        Any route change invalidates the whole cache (version check),
+        keeping the shortcut exactly equivalent to a fresh LPM.
+        """
+        version = (
+            self.bmp.stats.announcements + self.bmp.stats.withdrawals
+        )
+        if version != self._resolve_cache_version:
+            self._resolve_cache.clear()
+            self._resolve_cache_version = version
+        granularity = 24 if family is Family.IPV4 else 48
+        mask_bits = family.max_length - granularity
+        key = (family, address >> mask_bits)
+        try:
+            return self._resolve_cache[key]
+        except KeyError:
+            pass
+        host = Prefix.from_address(family, address, family.max_length)
+        route = self.bmp.longest_match(host)
+        prefix = route.prefix if route is not None else None
+        self._resolve_cache[key] = prefix
+        return prefix
+
+    # -- live reconfiguration -----------------------------------------------------
+
+    def set_interface_capacity(self, key, capacity: Rate) -> None:
+        """Change an egress interface's capacity mid-experiment.
+
+        Models capacity augments and failures (e.g. an IXP port brought
+        down to half rate).  Updates both the dataplane's view and the
+        controller's capacity table, as a production config push would.
+        """
+        from ..topology.entities import Interface
+
+        router_name, interface_name = key
+        router = self.wired.pop.routers[router_name]
+        if interface_name not in router.interfaces:
+            raise KeyError(f"unknown interface {key}")
+        router.interfaces[interface_name] = Interface(
+            router=router_name, name=interface_name, capacity=capacity
+        )
+        self.assembler._capacities[key] = capacity
+
+    # -- stepping -----------------------------------------------------------------
+
+    def step(self, now: float, run_controller: bool = True) -> TickResult:
+        """Advance the deployment one tick to time *now*."""
+        self.current_time = now
+        self._tick_index += 1
+        result = self.simulator.tick(now)
+        for datagrams in result.datagrams.values():
+            self.sflow.feed_many(datagrams, now)
+        for exporter in self.exporters:
+            exporter.heartbeat()
+
+        if (
+            self.altpath_every_ticks
+            and self._tick_index % self.altpath_every_ticks == 0
+        ):
+            targets = self.demand.top_prefixes(self.altpath_prefix_count)
+            self.altpath.measure_round(
+                targets, utilization_of=self._current_utilization
+            )
+
+        if run_controller and self._cycle_due(now):
+            report = self.controller.run_cycle(now)
+            self.record.cycle_reports.append(report)
+            self._last_cycle_at = now
+
+        detoured = self._currently_detoured_rate(result)
+        self.record.ticks.append(
+            TickSummary(
+                time=now,
+                offered=result.total_offered(),
+                dropped=result.total_dropped(),
+                detoured=detoured,
+                active_overrides=len(self.controller.overrides),
+            )
+        )
+        return result
+
+    def _cycle_due(self, now: float) -> bool:
+        if self._last_cycle_at is None:
+            return True
+        return (
+            now - self._last_cycle_at
+            >= self.config.cycle_seconds - 1e-9
+        )
+
+    def _current_utilization(self, key) -> float:
+        return self.simulator.metrics.utilization_at(
+            key, self.current_time
+        )
+
+    def _currently_detoured_rate(self, result: TickResult) -> Rate:
+        """Measured rate of traffic that actually followed injected routes."""
+        total = Rate(0)
+        for prefix in self.controller.overrides.active():
+            route = result.assignments.get(prefix)
+            if route is not None and route.is_injected:
+                total = total + self.sflow.prefix_rate(
+                    prefix, self.current_time
+                )
+        # Traffic split off by injected more-specifics (the dataplane
+        # tracks its exact diverted rate per tick).
+        for diverted in result.splits.values():
+            for _route, rate in diverted:
+                total = total + rate
+        return total
+
+    # -- whole runs ------------------------------------------------------------------
+
+    def run(
+        self,
+        start: float,
+        duration: float,
+        run_controller: bool = True,
+    ) -> RunRecord:
+        """Run from *start* for *duration* seconds."""
+        now = start
+        end = start + duration
+        while now < end:
+            self.step(now, run_controller=run_controller)
+            now += self.tick_seconds
+        return self.record

@@ -1,0 +1,92 @@
+"""Load projection: where would BGP alone put today's traffic?
+
+The controller's first step each cycle assigns every measured prefix's
+current rate to the interface its most-preferred (BGP-policy) route would
+use, yielding projected per-interface load *absent any intervention*.
+This is deliberately independent of any overrides currently in effect —
+the controller is stateless across cycles and re-derives the full
+override set from this clean projection every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bgp.route import Route
+from ..dataplane.fib import egress_interface
+from ..netbase.addr import Prefix
+from ..netbase.units import Rate
+from ..topology.entities import InterfaceKey, PoP
+from .inputs import ControllerInputs
+
+__all__ = ["Placement", "Projection", "project"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One prefix's projected assignment."""
+
+    prefix: Prefix
+    rate: Rate
+    route: Route
+    interface: InterfaceKey
+
+
+@dataclass
+class Projection:
+    """Projected interface loads plus the per-prefix placements."""
+
+    loads: Dict[InterfaceKey, Rate] = field(default_factory=dict)
+    placements: Dict[Prefix, Placement] = field(default_factory=dict)
+    #: Traffic for prefixes with no route at all (should be ~zero).
+    unplaceable: Rate = Rate(0)
+
+    def load_on(self, key: InterfaceKey) -> Rate:
+        return self.loads.get(key, Rate(0))
+
+    def prefixes_on(self, key: InterfaceKey) -> List[Placement]:
+        """Placements assigned to one interface, heaviest first."""
+        placements = [
+            placement
+            for placement in self.placements.values()
+            if placement.interface == key
+        ]
+        placements.sort(key=lambda p: (-p.rate.bits_per_second, p.prefix))
+        return placements
+
+    def overloaded(
+        self,
+        capacities: Dict[InterfaceKey, Rate],
+        threshold: float,
+    ) -> List[InterfaceKey]:
+        """Interfaces whose projected load exceeds threshold x capacity,
+        most-overloaded (by absolute excess) first."""
+        excesses = []
+        for key, load in self.loads.items():
+            capacity = capacities.get(key)
+            if capacity is None or capacity.is_zero():
+                continue
+            limit = capacity.bits_per_second * threshold
+            excess = load.bits_per_second - limit
+            if excess > 0:
+                excesses.append((excess, key))
+        excesses.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [key for _excess, key in excesses]
+
+
+def project(pop: PoP, inputs: ControllerInputs) -> Projection:
+    """Build the BGP-only projection for one cycle."""
+    projection = Projection()
+    for prefix, rate in inputs.traffic.items():
+        routes = inputs.routes_of(prefix)
+        if not routes:
+            projection.unplaceable = projection.unplaceable + rate
+            continue
+        preferred: Optional[Route] = routes[0]
+        key = egress_interface(pop, preferred)
+        projection.loads[key] = projection.load_on(key) + rate
+        projection.placements[prefix] = Placement(
+            prefix=prefix, rate=rate, route=preferred, interface=key
+        )
+    return projection

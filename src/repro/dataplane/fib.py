@@ -1,0 +1,80 @@
+"""Egress resolution: from a chosen route to the interface its traffic uses.
+
+An eBGP route's egress interface is simply the interface its session rides
+on.  An *injected* route (from the Edge Fabric injector, an iBGP session)
+carries the alternate peer's address as its NEXT_HOP; the router resolves
+that next hop to the peering session it belongs to — same recursion a real
+FIB performs — and the traffic egresses on that session's interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..bgp.peering import PeerDescriptor, PeerType
+from ..bgp.route import Route
+from ..netbase.errors import DataplaneError
+from ..topology.entities import InterfaceKey, PoP
+
+__all__ = ["egress_interface", "resolve_egress", "split_shares"]
+
+#: v6 next hops embed the 32-bit session address in the low bits.
+_SESSION_ADDRESS_MASK = 0xFFFFFFFF
+
+
+def egress_interface(pop: PoP, route: Route) -> InterfaceKey:
+    """The interface *route*'s traffic would leave on."""
+    if route.source.peer_type is not PeerType.INTERNAL:
+        return (route.source.router, route.source.interface)
+    next_hop_address = route.attributes.next_hop[1] & _SESSION_ADDRESS_MASK
+    session: Optional[PeerDescriptor] = pop.session_by_address(
+        next_hop_address
+    )
+    if session is None:
+        raise DataplaneError(
+            f"injected route for {route.prefix} has unresolvable next hop "
+            f"{next_hop_address:#x}"
+        )
+    return (session.router, session.interface)
+
+
+def resolve_egress(
+    pop: PoP, best: Optional[Route]
+) -> Optional[Tuple[Route, InterfaceKey]]:
+    """Pair a best route with its egress interface (None if unrouted)."""
+    if best is None:
+        return None
+    return best, egress_interface(pop, best)
+
+
+def split_shares(covering, specifics):
+    """Longest-prefix-match traffic shares of injected more-specifics.
+
+    Traffic to *covering* is assumed address-uniform, so a /25 inside a
+    /24 captures half its traffic — minus whatever even-more-specific
+    announcements capture inside *it*.  Returns ``[(route, fraction)]``
+    plus the leftover fraction that stays on the covering prefix's own
+    best path.
+    """
+    def nominal(prefix) -> float:
+        return 2.0 ** (covering.length - prefix.length)
+
+    shares = []
+    processed: list = []
+    for route in sorted(specifics, key=lambda r: -r.prefix.length):
+        inside = [p for p in processed if route.prefix.covers(p)]
+        # Sum only the *maximal* already-processed prefixes inside this
+        # one; nested ones are part of their parents' nominal share.
+        maximal = [
+            p
+            for p in inside
+            if not any(q != p and q.covers(p) for q in inside)
+        ]
+        fraction = max(0.0, nominal(route.prefix) - sum(
+            nominal(p) for p in maximal
+        ))
+        processed.append(route.prefix)
+        if fraction > 0.0:
+            shares.append((route, fraction))
+    remainder = max(0.0, 1.0 - sum(f for _r, f in shares))
+    return shares, remainder

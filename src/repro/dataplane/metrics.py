@@ -1,0 +1,129 @@
+"""Interface utilization and loss accounting over simulated time.
+
+Every simulator tick records, per egress interface, what was offered,
+what fit, and what dropped.  The evaluation experiments (overload
+frequency and magnitude, loss avoided by Edge Fabric) are all queries
+over this store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..netbase.units import Rate
+from ..topology.entities import InterfaceKey
+
+__all__ = ["InterfaceSample", "MetricsStore", "OverloadSummary"]
+
+
+@dataclass(frozen=True)
+class InterfaceSample:
+    """One interface, one tick."""
+
+    time: float
+    offered: Rate
+    capacity: Rate
+    transmitted: Rate
+    dropped: Rate
+
+    @property
+    def utilization(self) -> float:
+        """Offered load over capacity (can exceed 1.0)."""
+        if self.capacity.is_zero():
+            return 0.0
+        return self.offered / self.capacity
+
+    @property
+    def is_overloaded(self) -> bool:
+        return self.offered > self.capacity
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.offered.is_zero():
+            return 0.0
+        return self.dropped / self.offered
+
+
+@dataclass(frozen=True)
+class OverloadSummary:
+    """Aggregate overload behaviour of one interface over a run."""
+
+    interface: InterfaceKey
+    samples: int
+    overloaded_samples: int
+    peak_utilization: float
+    total_dropped_bits: float
+
+    @property
+    def overload_fraction(self) -> float:
+        return (
+            self.overloaded_samples / self.samples if self.samples else 0.0
+        )
+
+
+class MetricsStore:
+    """Time series of :class:`InterfaceSample` per interface."""
+
+    def __init__(self) -> None:
+        self._series: Dict[InterfaceKey, List[InterfaceSample]] = {}
+        self._tick_seconds: Optional[float] = None
+
+    def record(
+        self,
+        key: InterfaceKey,
+        sample: InterfaceSample,
+        tick_seconds: Optional[float] = None,
+    ) -> None:
+        self._series.setdefault(key, []).append(sample)
+        if tick_seconds is not None:
+            self._tick_seconds = tick_seconds
+
+    def series(self, key: InterfaceKey) -> List[InterfaceSample]:
+        return list(self._series.get(key, []))
+
+    def interfaces(self) -> List[InterfaceKey]:
+        return list(self._series)
+
+    def items(self) -> Iterator[Tuple[InterfaceKey, List[InterfaceSample]]]:
+        for key, samples in self._series.items():
+            yield key, list(samples)
+
+    # -- aggregates --------------------------------------------------------------
+
+    def overload_summary(self, key: InterfaceKey) -> OverloadSummary:
+        samples = self._series.get(key, [])
+        tick = self._tick_seconds or 1.0
+        return OverloadSummary(
+            interface=key,
+            samples=len(samples),
+            overloaded_samples=sum(1 for s in samples if s.is_overloaded),
+            peak_utilization=max(
+                (s.utilization for s in samples), default=0.0
+            ),
+            total_dropped_bits=sum(
+                s.dropped.bits_per_second * tick for s in samples
+            ),
+        )
+
+    def overload_summaries(self) -> List[OverloadSummary]:
+        return [self.overload_summary(key) for key in self._series]
+
+    def total_dropped_bits(self) -> float:
+        return sum(
+            summary.total_dropped_bits
+            for summary in self.overload_summaries()
+        )
+
+    def overloaded_interface_count(self) -> int:
+        return sum(
+            1
+            for summary in self.overload_summaries()
+            if summary.overloaded_samples > 0
+        )
+
+    def utilization_at(self, key: InterfaceKey, time: float) -> float:
+        for sample in reversed(self._series.get(key, [])):
+            if sample.time <= time:
+                return sample.utilization
+        return 0.0

@@ -1,0 +1,76 @@
+"""Policy-based routing: DSCP-steered forwarding for measurement slices.
+
+Production Edge Fabric measures alternate paths by having servers mark a
+sliver of flows with DSCP values and installing PBR rules on the peering
+routers that map each value onto the corresponding-rank egress route for
+the destination (paper §5).  :class:`PbrTable` is that rule set: given a
+flow's DSCP and destination, it returns the route the flow must follow —
+falling back to the normal best path for unmarked traffic or when the
+requested rank does not exist.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..bgp.route import Route
+from ..measurement.altpath import DscpPolicy
+from ..netbase.addr import Prefix
+
+__all__ = ["PbrTable"]
+
+#: Returns a prefix's eBGP routes in decision order.
+RankedRoutes = Callable[[Prefix], Sequence[Route]]
+
+
+class PbrTable:
+    """DSCP → path-rank steering over a ranked-routes provider."""
+
+    def __init__(
+        self,
+        ranked_routes: RankedRoutes,
+        policy: DscpPolicy = DscpPolicy(),
+    ) -> None:
+        self.ranked_routes = ranked_routes
+        self.policy = policy
+        self.steered_flows = 0
+        self.fallback_flows = 0
+
+    def route_for(
+        self, prefix: Prefix, dscp: int = 0
+    ) -> Optional[Route]:
+        """The route a flow to *prefix* with *dscp* must follow.
+
+        DSCP 0 (and any unassigned value) follows normal forwarding —
+        the rank-0 (best) path.  A mapped DSCP follows the route of its
+        rank; if the prefix has fewer routes than the rank asks for,
+        the flow falls back to the best path, exactly as a router whose
+        PBR rule's next hop is unresolvable falls through to the FIB.
+        """
+        routes = [
+            route
+            for route in self.ranked_routes(prefix)
+            if not route.is_injected
+        ]
+        if not routes:
+            return None
+        rank = self.policy.rank_for(dscp)
+        if rank is None or rank == 0:
+            return routes[0]
+        if rank < len(routes):
+            self.steered_flows += 1
+            return routes[rank]
+        self.fallback_flows += 1
+        return routes[0]
+
+    def slices_for(self, prefix: Prefix) -> List[int]:
+        """The DSCP values that would actually steer for this prefix."""
+        routes = [
+            route
+            for route in self.ranked_routes(prefix)
+            if not route.is_injected
+        ]
+        usable = []
+        for rank in range(1, min(len(routes), self.policy.measured_ranks)):
+            usable.append(self.policy.dscp_for(rank))
+        return usable

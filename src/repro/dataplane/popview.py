@@ -1,0 +1,77 @@
+"""PopView: the converged PoP-wide routing state.
+
+Production PoPs run an iBGP mesh between peering routers, so every PR ends
+up able to use the best route the *PoP* has, not just its own sessions.
+Rather than simulating the mesh message-by-message, :class:`PopView`
+subscribes to every PR speaker's route events and maintains the merged
+RIB the mesh would converge to.  Injected (Edge Fabric) routes arrive
+through PR sessions like any other route and win on LOCAL_PREF, so the
+view's best path *is* the PoP's forwarding decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..bgp.rib import LocRib
+from ..bgp.route import Route
+from ..bgp.speaker import BgpSpeaker, RouteEvent
+from ..netbase.addr import Family, Prefix
+
+__all__ = ["PopView"]
+
+
+class PopView:
+    """Merged multi-router RIB, kept current by speaker subscriptions."""
+
+    def __init__(self, speakers: Iterable[BgpSpeaker]) -> None:
+        self.rib = LocRib()
+        self._speakers = list(speakers)
+        for speaker in self._speakers:
+            self._sync_existing(speaker)
+            speaker.subscribe(self._on_event)
+
+    def _sync_existing(self, speaker: BgpSpeaker) -> None:
+        for session in speaker.sessions():
+            for route in session.adj_rib_in.routes():
+                self.rib.update(route)
+
+    def _on_event(self, _speaker: BgpSpeaker, event: RouteEvent) -> None:
+        if event.withdrawn or event.route is None:
+            self.rib.withdraw(event.prefix, event.peer)
+        else:
+            self.rib.update(event.route)
+
+    # -- queries ---------------------------------------------------------------
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        return self.rib.best(prefix)
+
+    def routes_for(self, prefix: Prefix) -> List[Route]:
+        return self.rib.routes_for(prefix)
+
+    def prefixes(self, family: Optional[Family] = None):
+        return self.rib.prefixes(family)
+
+    def longest_match(self, target: Prefix) -> Optional[Route]:
+        return self.rib.longest_match(target)
+
+    def injected_specifics(self, covering: Prefix) -> List[Route]:
+        """Injected more-specifics whose traffic splits off *covering*.
+
+        When the controller announces a more-specific of a demanded
+        prefix, longest-prefix match diverts that subnet's share of the
+        traffic — the splitting mechanism the paper describes for
+        prefixes too large to move whole.
+        """
+        return [
+            route
+            for route in self.rib.more_specifics(covering)
+            if route.is_injected
+        ]
+
+    def route_count(self) -> int:
+        return self.rib.route_count()
+
+    def __len__(self) -> int:
+        return len(self.rib)

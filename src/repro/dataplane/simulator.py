@@ -1,0 +1,232 @@
+"""The flow-level dataplane simulator for one PoP.
+
+Each tick it:
+
+1. asks the demand model for per-prefix rates,
+2. resolves every prefix's egress via the PoP's converged routing state
+   (which includes any routes the Edge Fabric injector has placed),
+3. sums offered load per egress interface, caps it at capacity, and
+   accounts drops,
+4. records interface metrics and hands the tick's flows to the sFlow
+   agents, returning their datagrams for the collection pipeline.
+
+sFlow sampling happens on the router *before* the egress queue, so
+samples reflect offered load, not post-drop load — this is why the
+controller can see (and project) demand above capacity, the paper's
+central measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.route import Route
+from ..netbase.addr import Prefix
+from ..netbase.units import Rate
+from ..sflow.agent import InterfaceIndexMap, SflowAgent
+from ..topology.builder import WiredPop
+from ..topology.entities import InterfaceKey
+from ..traffic.demand import DemandModel
+from ..traffic.flows import FlowSynthesizer
+from .fib import egress_interface, split_shares
+from .metrics import InterfaceSample, MetricsStore
+from .popview import PopView
+
+__all__ = ["TickResult", "PopSimulator"]
+
+
+@dataclass
+class TickResult:
+    """Everything one tick produced."""
+
+    time: float
+    #: Offered load per interface.
+    loads: Dict[InterfaceKey, Rate]
+    #: Dropped rate per interface (offered minus capacity, floored at 0).
+    drops: Dict[InterfaceKey, Rate]
+    #: The route each prefix's (remaining) traffic followed.
+    assignments: Dict[Prefix, Route]
+    #: Traffic split off by injected more-specifics, per demanded
+    #: prefix: [(more-specific route, rate diverted to it)].
+    splits: Dict[Prefix, List[Tuple[Route, Rate]]]
+    #: Demand that had no route at all.
+    unrouted: Rate
+    #: Encoded sFlow datagrams, per router.
+    datagrams: Dict[str, List[bytes]] = field(default_factory=dict)
+
+    def total_offered(self) -> Rate:
+        total = Rate(0)
+        for load in self.loads.values():
+            total = total + load
+        return total
+
+    def total_dropped(self) -> Rate:
+        total = Rate(0)
+        for drop in self.drops.values():
+            total = total + drop
+        return total
+
+    def overloaded_interfaces(self) -> List[InterfaceKey]:
+        return [key for key, drop in self.drops.items() if drop]
+
+
+class PopSimulator:
+    """Drives the dataplane of one wired PoP."""
+
+    def __init__(
+        self,
+        wired: WiredPop,
+        demand: DemandModel,
+        tick_seconds: float = 30.0,
+        sampling_rate: int = 65536,
+        seed: int = 0,
+    ) -> None:
+        self.wired = wired
+        self.demand = demand
+        self.tick_seconds = tick_seconds
+        self.view = PopView(wired.speakers.values())
+        self.metrics = MetricsStore()
+        self.synthesizer = FlowSynthesizer(
+            mean_packet_bytes=demand.config.mean_packet_bytes, seed=seed
+        )
+        self.interface_maps: Dict[str, InterfaceIndexMap] = {}
+        self.agents: Dict[str, SflowAgent] = {}
+        for index, (router_name, router) in enumerate(
+            wired.pop.routers.items()
+        ):
+            index_map = InterfaceIndexMap(sorted(router.interfaces))
+            self.interface_maps[router_name] = index_map
+            self.agents[router_name] = SflowAgent(
+                router=router_name,
+                agent_address=0x0A400001 + index,
+                interfaces=index_map,
+                sampling_rate=sampling_rate,
+                seed=seed + index,
+            )
+
+    @property
+    def agent_addresses(self) -> Dict[str, int]:
+        return {
+            router: agent.agent_address
+            for router, agent in self.agents.items()
+        }
+
+    def tick(self, now: float) -> TickResult:
+        """Advance the dataplane to time *now* and forward one interval."""
+        rates = self.demand.rates(now)
+        loads: Dict[InterfaceKey, Rate] = {}
+        assignments: Dict[Prefix, Route] = {}
+        splits: Dict[Prefix, List[Tuple[Route, Rate]]] = {}
+        per_router_flows: Dict[str, List[Tuple[Prefix, Rate, str]]] = {
+            router: [] for router in self.agents
+        }
+        unrouted = Rate(0)
+        for prefix, rate in rates.items():
+            best = self.view.best(prefix)
+            if best is None:
+                unrouted = unrouted + rate
+                continue
+            remaining = rate
+            specifics = self.view.injected_specifics(prefix)
+            if specifics:
+                # Injected more-specifics capture their LPM share of
+                # the prefix's (address-uniform) traffic.
+                shares, remainder = split_shares(prefix, specifics)
+                diverted: List[Tuple[Route, Rate]] = []
+                for route, fraction in shares:
+                    sub_rate = rate * fraction
+                    sub_key = egress_interface(self.wired.pop, route)
+                    loads[sub_key] = (
+                        loads.get(sub_key, Rate(0)) + sub_rate
+                    )
+                    per_router_flows[sub_key[0]].append(
+                        (prefix, sub_rate, sub_key[1])
+                    )
+                    diverted.append((route, sub_rate))
+                splits[prefix] = diverted
+                remaining = rate * remainder
+            key = egress_interface(self.wired.pop, best)
+            assignments[prefix] = best
+            loads[key] = loads.get(key, Rate(0)) + remaining
+            per_router_flows[key[0]].append((prefix, remaining, key[1]))
+
+        drops: Dict[InterfaceKey, Rate] = {}
+        for key, offered in loads.items():
+            capacity = self.wired.pop.capacity_of(key)
+            transmitted = offered if offered <= capacity else capacity
+            dropped = offered - capacity
+            drops[key] = dropped
+            self.metrics.record(
+                key,
+                InterfaceSample(
+                    time=now,
+                    offered=offered,
+                    capacity=capacity,
+                    transmitted=transmitted,
+                    dropped=dropped,
+                ),
+                tick_seconds=self.tick_seconds,
+            )
+        # Interfaces with zero offered load still get a sample, so
+        # "fraction of time overloaded" denominators are honest.
+        for key in self.wired.pop.interface_keys():
+            if key not in loads:
+                capacity = self.wired.pop.capacity_of(key)
+                self.metrics.record(
+                    key,
+                    InterfaceSample(
+                        time=now,
+                        offered=Rate(0),
+                        capacity=capacity,
+                        transmitted=Rate(0),
+                        dropped=Rate(0),
+                    ),
+                    tick_seconds=self.tick_seconds,
+                )
+
+        datagrams: Dict[str, List[bytes]] = {}
+        for router, flow_specs in per_router_flows.items():
+            if not flow_specs:
+                datagrams[router] = []
+                continue
+            flows = self.synthesizer.flows(
+                iter(flow_specs), self.tick_seconds
+            )
+            datagrams[router] = self.agents[router].observe(flows, now)
+
+        return TickResult(
+            time=now,
+            loads=loads,
+            drops=drops,
+            assignments=assignments,
+            splits=splits,
+            unrouted=unrouted,
+            datagrams=datagrams,
+        )
+
+    # -- what-if projection (used by experiments, not the controller) -------------
+
+    def project_bgp_only_loads(
+        self, rates: Optional[Dict[Prefix, Rate]] = None, now: float = 0.0
+    ) -> Dict[InterfaceKey, Rate]:
+        """Interface loads if BGP policy alone placed today's demand.
+
+        Ignores injected routes: ranks each prefix's *eBGP* routes and
+        assigns all its traffic to the winner — the paper's "what would
+        happen without Edge Fabric" projection.
+        """
+        if rates is None:
+            rates = self.demand.rates(now)
+        loads: Dict[InterfaceKey, Rate] = {}
+        for prefix, rate in rates.items():
+            routes = [
+                route
+                for route in self.view.routes_for(prefix)
+                if not route.is_injected
+            ]
+            if not routes:
+                continue
+            key = egress_interface(self.wired.pop, routes[0])
+            loads[key] = loads.get(key, Rate(0)) + rate
+        return loads

@@ -1,0 +1,44 @@
+"""One module per reproduced table/figure, plus the ablations.
+
+Each module exposes ``run(...) -> ExperimentResult``.  The benchmark
+targets in ``benchmarks/`` time these calls and print the rendered
+results; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from . import (
+    ablation_perfaware,
+    ablation_sampling,
+    ablation_splitting,
+    ablation_stability,
+    ablation_threshold,
+    fig2_route_diversity,
+    fig3_preferred_placement,
+    fig4_overload_no_te,
+    fig5_overload_magnitude,
+    fig6_detour_volume,
+    fig7_detour_durations,
+    fig8_altpath_rtt,
+    fig9_altpath_loss,
+    table1_pops,
+    table2_controller,
+)
+from .common import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "table1_pops",
+    "fig2_route_diversity",
+    "fig3_preferred_placement",
+    "fig4_overload_no_te",
+    "fig5_overload_magnitude",
+    "fig6_detour_volume",
+    "fig7_detour_durations",
+    "fig8_altpath_rtt",
+    "fig9_altpath_loss",
+    "table2_controller",
+    "ablation_stability",
+    "ablation_threshold",
+    "ablation_sampling",
+    "ablation_perfaware",
+    "ablation_splitting",
+]

@@ -1,0 +1,101 @@
+"""A1 — ablation: the stability preference.
+
+Design choice: when a prefix stays detoured across cycles, keep its
+previous target rather than re-deriving the "best" alternate from
+scratch.  Claim: with the preference off, volatility makes detours flap
+between equivalent alternates — more override churn (BGP updates, FIB
+programming) for identical overload protection.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Table
+from ..core.config import ControllerConfig
+from ..netbase.units import gbps
+from .common import STUDY_SEED, ExperimentResult, build_deployment, peak_for, run_window
+
+__all__ = ["run"]
+
+
+def run(
+    pop_name: str = "pop-a",
+    seed: int = STUDY_SEED,
+    hours: float = 2.0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="A1 — stability preference ablation",
+        claim=(
+            "Disabling the stability preference increases override churn "
+            "without improving overload protection."
+        ),
+    )
+    table = Table(
+        title="A1 — stability preference on vs off (stressed demand)",
+        columns=[
+            "stability",
+            "mean churn/cycle",
+            "total churn",
+            "dropped (Gbit)",
+            "peak detoured fraction",
+        ],
+    )
+    # Stress the PoP past its provisioning point AND tighten the shared
+    # IXP port so the detours' first-choice alternate hovers at its
+    # threshold: whether a detoured prefix fits on the IXP flips cycle
+    # to cycle with demand volatility — the regime where re-deriving
+    # targets from scratch (stability off) flaps overrides.
+    provision_peak = peak_for(pop_name)
+    stress_peak = gbps(provision_peak.gigabits_per_second * 1.3)
+    outcomes = {}
+    for stability in (True, False):
+        config = ControllerConfig(
+            cycle_seconds=90.0, stability_preference=stability
+        )
+        deployment = build_deployment(
+            pop_name,
+            seed=seed,
+            peak_total=provision_peak,
+            controller_config=config,
+            demand_overrides={
+                "peak_total": stress_peak,
+                "volatility_sigma": 0.3,
+            },
+        )
+        ixp_keys = [
+            key
+            for key in deployment.wired.pop.interface_keys()
+            if "ixp" in key[1]
+        ]
+        for key in ixp_keys:
+            deployment.set_interface_capacity(key, gbps(48))
+        run_window(deployment, hours=hours)
+        monitor = deployment.controller.monitor
+        dropped = deployment.record.total_dropped_bits(
+            deployment.tick_seconds
+        )
+        outcomes[stability] = {
+            "mean_churn": monitor.mean_churn_per_cycle(),
+            "total_churn": monitor.total_churn(),
+            "dropped": dropped,
+            "peak_fraction": monitor.peak_detoured_fraction(),
+        }
+        table.add_row(
+            "on" if stability else "off",
+            round(monitor.mean_churn_per_cycle(), 2),
+            monitor.total_churn(),
+            round(dropped / 1e9, 2),
+            round(monitor.peak_detoured_fraction(), 3),
+        )
+    result.tables.append(table)
+    result.metrics["churn_ratio_off_over_on"] = round(
+        outcomes[False]["mean_churn"]
+        / max(outcomes[True]["mean_churn"], 1e-9),
+        2,
+    )
+    result.metrics["dropped_on_gbit"] = round(
+        outcomes[True]["dropped"] / 1e9, 2
+    )
+    result.metrics["dropped_off_gbit"] = round(
+        outcomes[False]["dropped"] / 1e9, 2
+    )
+    return result

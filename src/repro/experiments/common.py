@@ -1,0 +1,117 @@
+"""Shared experiment harness.
+
+Every experiment module exposes ``run(...) -> ExperimentResult``; the
+benchmark targets time that call and print the rendered result, so the
+bench output reads like the paper's evaluation section.
+
+Workload calibration: the canonical study workload drives each PoP with
+a diurnal peak chosen so that, at peak, the BGP-preferred placement
+overloads a handful of private interconnects — the regime the paper's
+motivating figures describe (most interfaces fine, the well-peered ones
+overloaded for hours around the daily peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.report import Series, Table
+from ..core.config import ControllerConfig
+from ..core.pipeline import PopDeployment
+from ..netbase.units import Rate, gbps
+
+__all__ = [
+    "ExperimentResult",
+    "STUDY_SEED",
+    "peak_for",
+    "build_deployment",
+    "run_window",
+    "DAY_SECONDS",
+]
+
+DAY_SECONDS = 86_400.0
+STUDY_SEED = 11
+
+def peak_for(pop_name: str) -> Rate:
+    """The peak demand each PoP's capacities were provisioned against.
+
+    Driving the PoP at exactly its provisioning point means the
+    well-provisioned interfaces peak below threshold while the
+    under-provisioned ("tight") ones overload — the paper's regime.
+    """
+    from ..topology.scenarios import study_pop_spec
+
+    spec = study_pop_spec(pop_name)
+    return spec.expected_peak or gbps(160)
+
+
+@dataclass
+class ExperimentResult:
+    """What one experiment produced."""
+
+    name: str
+    claim: str
+    tables: List[Table] = field(default_factory=list)
+    series: List[Series] = field(default_factory=list)
+    #: Headline scalars (recorded into EXPERIMENTS.md).
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"== {self.name} ==", self.claim, ""]
+        for table in self.tables:
+            lines.append(table.render())
+            lines.append("")
+        for series in self.series:
+            lines.append(series.render())
+            lines.append("")
+        if self.metrics:
+            lines.append("key metrics:")
+            for key, value in self.metrics.items():
+                from ..analysis.report import format_value
+
+                lines.append(f"  {key} = {format_value(value)}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def build_deployment(
+    pop_name: str = "pop-a",
+    seed: int = STUDY_SEED,
+    peak_total: Optional[Rate] = None,
+    tick_seconds: float = 90.0,
+    controller_config: Optional[ControllerConfig] = None,
+    sampling_rate: int = 131_072,
+    **kwargs,
+) -> PopDeployment:
+    """A study deployment with the canonical workload."""
+    config = controller_config or ControllerConfig(
+        cycle_seconds=tick_seconds
+    )
+    return PopDeployment.build(
+        pop_name=pop_name,
+        seed=seed,
+        peak_total=peak_total or peak_for(pop_name),
+        controller_config=config,
+        tick_seconds=tick_seconds,
+        sampling_rate=sampling_rate,
+        **kwargs,
+    )
+
+
+def run_window(
+    deployment: PopDeployment,
+    hours: float = 3.0,
+    run_controller: bool = True,
+    center_on_peak: bool = True,
+) -> PopDeployment:
+    """Run a window of simulated time, by default centered on the peak."""
+    duration = hours * 3600.0
+    if center_on_peak:
+        start = deployment.demand.config.peak_time - duration / 2.0
+    else:
+        start = deployment.demand.config.peak_time - duration
+    deployment.run(start, duration, run_controller=run_controller)
+    return deployment

@@ -1,0 +1,72 @@
+"""E3 / Fig 3 — where BGP policy alone places traffic.
+
+The import policy prefers peer routes over transit (and private over
+public over route-server), so the bulk of traffic concentrates on
+peering interfaces — which is exactly why those interfaces, not the big
+transit pipes, are the ones that overload.  Reported: per PoP, the share
+of demand whose *preferred* route is each peering type.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Table
+from ..bgp.peering import PeerType
+from ..dataplane.popview import PopView
+from ..topology.scenarios import (
+    STUDY_POP_NAMES,
+    build_study_pop,
+    default_internet,
+)
+from ..traffic.demand import DemandConfig, DemandModel
+from .common import STUDY_SEED, ExperimentResult, peak_for
+
+__all__ = ["run"]
+
+
+def run(seed: int = STUDY_SEED) -> ExperimentResult:
+    internet = default_internet(seed)
+    result = ExperimentResult(
+        name="E3 / Fig 3",
+        claim=(
+            "BGP policy concentrates traffic on peering (private first), "
+            "leaving transit pipes mostly idle — the imbalance Edge "
+            "Fabric exists to manage."
+        ),
+    )
+    table = Table(
+        title="Fig 3 — traffic share by preferred egress type",
+        columns=["pop", "private", "public", "route server", "transit"],
+    )
+    for name in STUDY_POP_NAMES:
+        wired = build_study_pop(name, seed=seed, internet=internet)
+        demand = DemandModel(
+            internet.all_prefixes(),
+            DemandConfig(
+                seed=seed + 1,
+                peak_total=peak_for(name),
+                volatility_sigma=0.0,
+            ),
+            popular=wired.popular_prefixes(),
+        )
+        view = PopView(wired.speakers.values())
+        share = {peer_type: 0.0 for peer_type in PeerType}
+        for prefix in internet.all_prefixes():
+            best = view.best(prefix)
+            if best is None:
+                continue
+            share[best.peer_type] += demand.weight_of(prefix)
+        table.add_row(
+            name,
+            round(share[PeerType.PRIVATE], 3),
+            round(share[PeerType.PUBLIC], 3),
+            round(share[PeerType.ROUTE_SERVER], 3),
+            round(share[PeerType.TRANSIT], 3),
+        )
+        result.metrics[f"{name}.peering_share"] = round(
+            share[PeerType.PRIVATE]
+            + share[PeerType.PUBLIC]
+            + share[PeerType.ROUTE_SERVER],
+            4,
+        )
+    result.tables.append(table)
+    return result

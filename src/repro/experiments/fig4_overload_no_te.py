@@ -1,0 +1,83 @@
+"""E4 / Fig 4 — without Edge Fabric, preferred interfaces overload.
+
+The paper's motivating measurement: project demand onto BGP-preferred
+interfaces and count, per interface, the fraction of intervals in which
+offered load would exceed capacity.  The shape to reproduce: most
+interfaces never overload, while the preferred private interconnects at
+a well-peered PoP are overloaded for a substantial share of the
+peak-centered window.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cdf import Cdf
+from ..analysis.report import Series, Table
+from .common import STUDY_SEED, ExperimentResult
+from .overload_runs import bgp_only_window
+
+__all__ = ["run"]
+
+
+def run(
+    pop_name: str = "pop-a",
+    seed: int = STUDY_SEED,
+    hours: float = 3.0,
+) -> ExperimentResult:
+    deployment = bgp_only_window(pop_name, seed=seed, hours=hours)
+    result = ExperimentResult(
+        name="E4 / Fig 4",
+        claim=(
+            "Left to BGP, a handful of preferred (mostly private-peer) "
+            "interfaces would be overloaded for much of the peak window "
+            "while transit sits idle."
+        ),
+    )
+    summaries = deployment.simulator.metrics.overload_summaries()
+    table = Table(
+        title=(
+            f"Fig 4 — {pop_name}: interfaces by fraction of intervals "
+            f"overloaded (BGP only, {hours:.0f}h around peak)"
+        ),
+        columns=[
+            "interface",
+            "capacity",
+            "overloaded fraction",
+            "peak utilization",
+        ],
+    )
+    overloaded = [s for s in summaries if s.overloaded_samples > 0]
+    overloaded.sort(key=lambda s: -s.overload_fraction)
+    for summary in overloaded:
+        capacity = deployment.wired.pop.capacity_of(summary.interface)
+        table.add_row(
+            "/".join(summary.interface),
+            str(capacity),
+            round(summary.overload_fraction, 3),
+            round(summary.peak_utilization, 3),
+        )
+    result.tables.append(table)
+
+    fractions = [s.overload_fraction for s in summaries]
+    cdf = Cdf(fractions)
+    series = Series(
+        name="fig4: CDF over interfaces of overloaded-interval fraction",
+        x_label="fraction of intervals overloaded",
+        y_label="CDF over interfaces",
+    )
+    for x, y in cdf.points(12):
+        series.add(round(x, 4), round(y, 4))
+    result.series.append(series)
+
+    total = len(summaries)
+    result.metrics["interfaces"] = total
+    result.metrics["interfaces_ever_overloaded"] = len(overloaded)
+    result.metrics["overloaded_interface_share"] = round(
+        len(overloaded) / total, 3
+    )
+    result.metrics["max_overload_fraction"] = round(
+        max(fractions), 3
+    )
+    result.metrics["total_dropped_gbit"] = round(
+        deployment.simulator.metrics.total_dropped_bits() / 1e9, 1
+    )
+    return result

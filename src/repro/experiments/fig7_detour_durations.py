@@ -1,0 +1,67 @@
+"""E7 / Fig 7 — how long do detours last?
+
+Because the controller recomputes from scratch every cycle, an override
+lives exactly as long as the overload that caused it.  Paper shape: many
+detours are short (a few cycles around a demand wobble), the median
+lasts minutes, and a tail persists for the whole peak.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cdf import Cdf
+from ..analysis.report import Series, Table
+from .common import STUDY_SEED, ExperimentResult
+from .overload_runs import edge_fabric_window
+
+__all__ = ["run"]
+
+
+def run(
+    pop_name: str = "pop-a",
+    seed: int = STUDY_SEED,
+    hours: float = 3.0,
+) -> ExperimentResult:
+    deployment = edge_fabric_window(pop_name, seed=seed, hours=hours)
+    result = ExperimentResult(
+        name="E7 / Fig 7",
+        claim=(
+            "Detour durations are heavy-tailed: many short-lived "
+            "overrides around demand wobbles, a median of minutes, and "
+            "a tail lasting most of the peak."
+        ),
+    )
+    end_of_run = deployment.current_time
+    durations = deployment.controller.overrides.durations(now=end_of_run)
+    if not durations:
+        result.claim += "  (no detours in this window!)"
+        return result
+    cdf = Cdf(durations)
+    series = Series(
+        name=f"fig7 {pop_name}: CDF of detour durations",
+        x_label="duration (s)",
+        y_label="CDF",
+    )
+    for x, y in cdf.points(12):
+        series.add(round(x, 1), round(y, 4))
+    result.series.append(series)
+
+    table = Table(
+        title=f"Fig 7 — {pop_name}: detour duration percentiles",
+        columns=["percentile", "duration (s)"],
+    )
+    for p in (10, 25, 50, 75, 90):
+        table.add_row(f"p{p}", round(cdf.percentile(p), 1))
+    table.add_row("max", round(cdf.max, 1))
+    result.tables.append(table)
+
+    cycle = deployment.config.cycle_seconds
+    result.metrics["detours_observed"] = cdf.count
+    result.metrics["median_duration_s"] = round(cdf.median, 1)
+    result.metrics["median_duration_cycles"] = round(
+        cdf.median / cycle, 2
+    )
+    result.metrics["p90_duration_s"] = round(cdf.percentile(90), 1)
+    result.metrics["single_cycle_fraction"] = round(
+        cdf.fraction_at_most(cycle * 1.5), 3
+    )
+    return result

@@ -1,0 +1,67 @@
+"""Shared simulation runs for the overload experiments (E4-E7, E10).
+
+Running a multi-hour window of the deployment is the expensive part of
+several experiments, so runs are cached per-process by their parameters:
+fig4 and fig5 read the same BGP-only window; fig6, fig7 and table2 read
+the same Edge-Fabric-enabled window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.config import ControllerConfig
+from ..core.pipeline import PopDeployment
+from .common import STUDY_SEED, build_deployment, run_window
+
+__all__ = ["bgp_only_window", "edge_fabric_window"]
+
+_CACHE: Dict[Tuple, PopDeployment] = {}
+
+
+def bgp_only_window(
+    pop_name: str = "pop-a",
+    seed: int = STUDY_SEED,
+    hours: float = 3.0,
+    tick_seconds: float = 90.0,
+) -> PopDeployment:
+    """A peak-centered window with the controller disabled."""
+    key = ("bgp", pop_name, seed, hours, tick_seconds)
+    if key not in _CACHE:
+        deployment = build_deployment(
+            pop_name, seed=seed, tick_seconds=tick_seconds
+        )
+        run_window(deployment, hours=hours, run_controller=False)
+        _CACHE[key] = deployment
+    return _CACHE[key]
+
+
+def edge_fabric_window(
+    pop_name: str = "pop-a",
+    seed: int = STUDY_SEED,
+    hours: float = 3.0,
+    tick_seconds: float = 90.0,
+    controller_config: Optional[ControllerConfig] = None,
+) -> PopDeployment:
+    """The same window with Edge Fabric running."""
+    config_key = (
+        None
+        if controller_config is None
+        else (
+            controller_config.utilization_threshold,
+            controller_config.stability_preference,
+            controller_config.cycle_seconds,
+        )
+    )
+    key = ("ef", pop_name, seed, hours, tick_seconds, config_key)
+    if key not in _CACHE:
+        deployment = build_deployment(
+            pop_name,
+            seed=seed,
+            tick_seconds=tick_seconds,
+            controller_config=controller_config
+            or ControllerConfig(cycle_seconds=tick_seconds),
+        )
+        run_window(deployment, hours=hours, run_controller=True)
+        _CACHE[key] = deployment
+    return _CACHE[key]

@@ -1,0 +1,83 @@
+"""E10 / Table 2 — controller behaviour accounting.
+
+The operational story of the paper: the controller runs every cycle
+within budget, holds tens of overrides at peak, changes few of them per
+cycle (the stability preference), and never leaves an overload
+unresolved while alternates exist.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cdf import Cdf
+from ..analysis.report import Table
+from .common import STUDY_SEED, ExperimentResult
+from .overload_runs import edge_fabric_window
+
+__all__ = ["run"]
+
+
+def run(
+    pop_name: str = "pop-a",
+    seed: int = STUDY_SEED,
+    hours: float = 3.0,
+) -> ExperimentResult:
+    deployment = edge_fabric_window(pop_name, seed=seed, hours=hours)
+    monitor = deployment.controller.monitor
+    reports = [r for r in monitor.reports if not r.skipped]
+    result = ExperimentResult(
+        name="E10 / Table 2",
+        claim=(
+            "Cycles complete in milliseconds, hold tens of overrides at "
+            "peak with low per-cycle churn, and leave no overload "
+            "unresolved."
+        ),
+    )
+    detours = Cdf([r.detour_count for r in reports])
+    churn = Cdf([r.churn for r in reports])
+    runtimes = Cdf([r.runtime_seconds * 1000 for r in reports])
+    fractions = Cdf([r.detoured_fraction for r in reports])
+
+    table = Table(
+        title=f"Table 2 — {pop_name}: controller cycles "
+        f"({len(reports)} cycles, {hours:.0f}h window)",
+        columns=["metric", "median", "p90", "max"],
+    )
+    table.add_row(
+        "active detours",
+        detours.median,
+        detours.percentile(90),
+        detours.max,
+    )
+    table.add_row(
+        "override churn per cycle",
+        churn.median,
+        churn.percentile(90),
+        churn.max,
+    )
+    table.add_row(
+        "detoured traffic fraction",
+        round(fractions.median, 3),
+        round(fractions.percentile(90), 3),
+        round(fractions.max, 3),
+    )
+    table.add_row(
+        "cycle runtime (ms)",
+        round(runtimes.median, 1),
+        round(runtimes.percentile(90), 1),
+        round(runtimes.max, 1),
+    )
+    result.tables.append(table)
+
+    result.metrics["cycles"] = len(reports)
+    result.metrics["skipped_cycles"] = monitor.skipped_cycles()
+    result.metrics["unresolved_overload_cycles"] = (
+        monitor.unresolved_overload_cycles()
+    )
+    result.metrics["mean_churn"] = round(
+        monitor.mean_churn_per_cycle(), 2
+    )
+    result.metrics["median_runtime_ms"] = round(runtimes.median, 2)
+    result.metrics["peak_detoured_fraction"] = round(
+        monitor.peak_detoured_fraction(), 4
+    )
+    return result

@@ -1,0 +1,92 @@
+"""Passive flow measurement aggregation.
+
+Production Edge Fabric taps TCP state on the front-end servers (an
+eBPF-style sampler) and aggregates per ⟨destination prefix, egress path⟩
+performance.  This module is that aggregation layer: it ingests
+:class:`~repro.measurement.pathmodel.FlowMeasurement` records and answers
+median/percentile RTT and retransmission-rate queries per key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..netbase.addr import Prefix
+from ..netbase.errors import MeasurementError
+from .pathmodel import FlowMeasurement
+
+__all__ = ["PathStats", "PassiveMonitor"]
+
+#: Identifies one measured egress path for one prefix.
+PathKey = Tuple[Prefix, str]  # (prefix, session name)
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Aggregate statistics for one (prefix, path)."""
+
+    prefix: Prefix
+    session_name: str
+    samples: int
+    median_rtt_ms: float
+    p90_rtt_ms: float
+    retransmit_rate: float
+
+
+class PassiveMonitor:
+    """Accumulates flow measurements per (prefix, egress session)."""
+
+    def __init__(self, max_samples_per_key: int = 4096) -> None:
+        if max_samples_per_key < 1:
+            raise MeasurementError("need at least one sample per key")
+        self.max_samples_per_key = max_samples_per_key
+        self._rtts: Dict[PathKey, List[float]] = {}
+        self._retx: Dict[PathKey, List[bool]] = {}
+
+    def record(
+        self,
+        prefix: Prefix,
+        session_name: str,
+        measurements: Iterable[FlowMeasurement],
+    ) -> None:
+        key = (prefix, session_name)
+        rtts = self._rtts.setdefault(key, [])
+        retx = self._retx.setdefault(key, [])
+        for measurement in measurements:
+            if len(rtts) >= self.max_samples_per_key:
+                # Simple reservoir-ish recycling: drop the oldest half.
+                del rtts[: self.max_samples_per_key // 2]
+                del retx[: self.max_samples_per_key // 2]
+            rtts.append(measurement.rtt_ms)
+            retx.append(measurement.retransmitted)
+
+    def stats(self, prefix: Prefix, session_name: str) -> Optional[PathStats]:
+        key = (prefix, session_name)
+        rtts = self._rtts.get(key)
+        if not rtts:
+            return None
+        retx = self._retx[key]
+        return PathStats(
+            prefix=prefix,
+            session_name=session_name,
+            samples=len(rtts),
+            median_rtt_ms=float(np.median(rtts)),
+            p90_rtt_ms=float(np.percentile(rtts, 90)),
+            retransmit_rate=float(np.mean(retx)),
+        )
+
+    def keys(self) -> List[PathKey]:
+        return list(self._rtts)
+
+    def prefixes(self) -> List[Prefix]:
+        return sorted({prefix for prefix, _name in self._rtts})
+
+    def paths_for(self, prefix: Prefix) -> List[str]:
+        return [name for p, name in self._rtts if p == prefix]
+
+    def clear(self) -> None:
+        self._rtts.clear()
+        self._retx.clear()

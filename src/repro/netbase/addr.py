@@ -1,0 +1,208 @@
+"""IP address and prefix value types.
+
+The whole library keys routing tables, traffic counters and override sets by
+destination prefix, so :class:`Prefix` is the most heavily used value type in
+the package.  It stores the network as a plain integer plus a mask length,
+which makes hashing, comparison and longest-prefix-match bit tests cheap —
+far cheaper than carrying :mod:`ipaddress` network objects around — while
+delegating parsing and rendering to the standard library.
+
+Both IPv4 and IPv6 are supported; Facebook's PoPs (and therefore Edge
+Fabric) serve both families, and the paper's controller treats them
+uniformly.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from enum import IntEnum
+from typing import Iterator, Union
+
+from .errors import AddressError
+
+__all__ = ["Family", "Prefix", "parse_prefix", "parse_address"]
+
+
+class Family(IntEnum):
+    """Address family, numbered per IANA AFI values (used on the wire)."""
+
+    IPV4 = 1
+    IPV6 = 2
+
+    @property
+    def max_length(self) -> int:
+        return 32 if self is Family.IPV4 else 128
+
+    @property
+    def address_bytes(self) -> int:
+        return 4 if self is Family.IPV4 else 16
+
+
+def parse_address(text: str) -> tuple[Family, int]:
+    """Parse a bare IP address into (family, integer value)."""
+    try:
+        address = ipaddress.ip_address(text)
+    except ValueError as exc:
+        raise AddressError(f"invalid IP address {text!r}: {exc}") from exc
+    family = Family.IPV4 if address.version == 4 else Family.IPV6
+    return family, int(address)
+
+
+class Prefix:
+    """An immutable IP prefix (network address + mask length).
+
+    >>> p = Prefix.parse("93.184.216.0/24")
+    >>> p.length, p.family
+    (24, <Family.IPV4: 1>)
+    >>> p.contains_address(*parse_address("93.184.216.34"))
+    True
+    >>> Prefix.parse("93.184.0.0/16").covers(p)
+    True
+    """
+
+    __slots__ = ("_family", "_network", "_length")
+
+    def __init__(self, family: Family, network: int, length: int) -> None:
+        if not isinstance(family, Family):
+            raise AddressError(f"family must be a Family, got {family!r}")
+        max_length = family.max_length
+        if not 0 <= length <= max_length:
+            raise AddressError(
+                f"prefix length {length} out of range for {family.name}"
+            )
+        if network < 0 or network >= (1 << max_length):
+            raise AddressError(f"network value {network} out of range")
+        host_bits = max_length - length
+        if host_bits and network & ((1 << host_bits) - 1):
+            raise AddressError(
+                f"host bits set in network value for /{length} prefix"
+            )
+        self._family = family
+        self._network = network
+        self._length = length
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"net/len"`` notation; host bits must be zero."""
+        try:
+            net = ipaddress.ip_network(text, strict=True)
+        except ValueError as exc:
+            raise AddressError(f"invalid prefix {text!r}: {exc}") from exc
+        family = Family.IPV4 if net.version == 4 else Family.IPV6
+        return cls(family, int(net.network_address), net.prefixlen)
+
+    @classmethod
+    def from_address(
+        cls, family: Family, address: int, length: int
+    ) -> "Prefix":
+        """Build a prefix by masking an arbitrary address down to *length*."""
+        host_bits = family.max_length - length
+        if not 0 <= host_bits <= family.max_length:
+            raise AddressError(
+                f"prefix length {length} out of range for {family.name}"
+            )
+        mask = ((1 << family.max_length) - 1) >> host_bits << host_bits
+        return cls(family, address & mask, length)
+
+    @classmethod
+    def default(cls, family: Family) -> "Prefix":
+        """The default route (0.0.0.0/0 or ::/0)."""
+        return cls(family, 0, 0)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def family(self) -> Family:
+        return self._family
+
+    @property
+    def network(self) -> int:
+        return self._network
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    @property
+    def bits(self) -> str:
+        """The network as a bit string of exactly ``length`` characters."""
+        if self._length == 0:
+            return ""
+        shifted = self._network >> (self._family.max_length - self._length)
+        return format(shifted, f"0{self._length}b")
+
+    def network_bytes(self) -> bytes:
+        """The full network address as packed bytes (4 or 16)."""
+        return self._network.to_bytes(self._family.address_bytes, "big")
+
+    def nlri_bytes(self) -> bytes:
+        """BGP NLRI encoding: length octet + minimal network octets."""
+        octets = (self._length + 7) // 8
+        shift = self._family.max_length - octets * 8
+        truncated = self._network >> shift if shift else self._network
+        return bytes([self._length]) + truncated.to_bytes(octets, "big")
+
+    # -- relations -----------------------------------------------------------
+
+    def contains_address(self, family: Family, address: int) -> bool:
+        """True if *address* falls inside this prefix."""
+        if family is not self._family:
+            return False
+        host_bits = self._family.max_length - self._length
+        return (address >> host_bits) == (self._network >> host_bits)
+
+    def covers(self, other: "Prefix") -> bool:
+        """True if *other* is equal to or more specific than this prefix."""
+        if other._family is not self._family or other._length < self._length:
+            return False
+        return self.contains_address(other._family, other._network)
+
+    def subnets(self) -> Iterator["Prefix"]:
+        """The two immediate subnets (one bit longer)."""
+        if self._length >= self._family.max_length:
+            raise AddressError("cannot subnet a host prefix")
+        child_len = self._length + 1
+        bit = 1 << (self._family.max_length - child_len)
+        yield Prefix(self._family, self._network, child_len)
+        yield Prefix(self._family, self._network | bit, child_len)
+
+    # -- value semantics -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Prefix)
+            and self._family is other._family
+            and self._length == other._length
+            and self._network == other._network
+        )
+
+    def __lt__(self, other: "Prefix") -> bool:
+        """Total order for deterministic iteration: family, network, length."""
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self._family, self._network, self._length) < (
+            other._family,
+            other._network,
+            other._length,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._family, self._network, self._length))
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __str__(self) -> str:
+        if self._family is Family.IPV4:
+            addr: Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+            addr = ipaddress.IPv4Address(self._network)
+        else:
+            addr = ipaddress.IPv6Address(self._network)
+        return f"{addr}/{self._length}"
+
+
+def parse_prefix(text: str) -> Prefix:
+    """Convenience wrapper for :meth:`Prefix.parse`."""
+    return Prefix.parse(text)

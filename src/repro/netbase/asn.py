@@ -1,0 +1,87 @@
+"""Autonomous system numbers and inter-AS business relationships.
+
+Edge Fabric's world is AS-level: every peer on a PoP's peering routers is an
+AS, every BGP path is a sequence of ASes, and the synthetic Internet
+topology assigns Gao-Rexford style relationships between ASes.  This module
+provides ASN validation plus the relationship vocabulary shared by the
+topology generator and the BGP policy engine.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from .errors import AddressError
+
+__all__ = [
+    "MAX_ASN",
+    "AS_TRANS",
+    "validate_asn",
+    "is_private_asn",
+    "is_reserved_asn",
+    "Relationship",
+]
+
+MAX_ASN = 2**32 - 1
+
+#: RFC 6793: placeholder ASN used in 2-byte fields by 4-byte-ASN speakers.
+AS_TRANS = 23456
+
+_PRIVATE_16 = range(64512, 65535)  # RFC 6996 (65535 itself is reserved)
+_PRIVATE_32 = range(4200000000, 4294967295)
+
+
+def validate_asn(asn: int) -> int:
+    """Validate an AS number, returning it unchanged.
+
+    Raises :class:`AddressError` for out-of-range values.  ASN 0 is
+    reserved (RFC 7607) and rejected because no real peer may use it.
+    """
+    if not isinstance(asn, int) or isinstance(asn, bool):
+        raise AddressError(f"ASN must be an int, got {asn!r}")
+    if asn <= 0 or asn > MAX_ASN:
+        raise AddressError(f"ASN {asn} out of range 1..{MAX_ASN}")
+    return asn
+
+
+def is_private_asn(asn: int) -> bool:
+    """True for RFC 6996 private-use AS numbers."""
+    return asn in _PRIVATE_16 or asn in _PRIVATE_32
+
+
+def is_reserved_asn(asn: int) -> bool:
+    """True for reserved ASNs that must not appear in a public AS_PATH."""
+    return asn == 0 or asn == 65535 or asn == MAX_ASN or asn == AS_TRANS
+
+
+class Relationship(Enum):
+    """Business relationship of a neighbor AS, from our point of view.
+
+    The values follow the Gao-Rexford model used by the synthetic Internet
+    topology: routes learned from customers may be exported to everyone;
+    routes learned from peers or providers may be exported only to
+    customers.
+    """
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+
+    def may_export_to(self, learned_from: "Relationship") -> bool:
+        """Valley-free export rule.
+
+        ``self`` is the neighbor a route would be exported *to*;
+        *learned_from* is the neighbor the route was learned from.
+        """
+        if learned_from is Relationship.CUSTOMER:
+            return True
+        return self is Relationship.CUSTOMER
+
+    @property
+    def inverse(self) -> "Relationship":
+        """The same link seen from the other side."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER

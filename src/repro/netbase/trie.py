@@ -1,0 +1,395 @@
+"""Binary radix trie keyed by IP prefix, with longest-prefix match.
+
+The forwarding simulator resolves every destination address through a FIB,
+and the controller resolves sFlow samples back to the covering routed
+prefix; both need longest-prefix match over tens of thousands of prefixes,
+so a proper path-compressed radix trie matters here.
+
+One trie instance holds one address family.  :class:`PrefixMap` bundles a
+v4 and a v6 trie behind a dict-like interface, which is what most callers
+use.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+from .addr import Family, Prefix
+from .errors import AddressError
+
+__all__ = ["RadixTrie", "PrefixMap"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    """A path-compressed trie node covering ``prefix``.
+
+    ``value`` is set only for nodes that represent inserted prefixes;
+    intermediate branch nodes carry ``has_value = False``.
+    """
+
+    __slots__ = ("prefix", "value", "has_value", "left", "right")
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self.value: Optional[V] = None
+        self.has_value = False
+        self.left: Optional["_Node[V]"] = None
+        self.right: Optional["_Node[V]"] = None
+
+
+def _bit_at(family: Family, network: int, index: int) -> int:
+    """The bit of *network* at position *index* (0 = most significant)."""
+    return (network >> (family.max_length - 1 - index)) & 1
+
+
+def _common_length(a: Prefix, b: Prefix) -> int:
+    """Length of the longest common prefix of two networks."""
+    max_len = a.family.max_length
+    limit = min(a.length, b.length)
+    diff = (a.network ^ b.network) >> (max_len - limit) if limit else 0
+    if diff == 0:
+        return limit
+    return limit - diff.bit_length()
+
+
+class RadixTrie(Generic[V]):
+    """Path-compressed binary trie over one address family.
+
+    >>> trie = RadixTrie(Family.IPV4)
+    >>> trie[Prefix.parse("10.0.0.0/8")] = "coarse"
+    >>> trie[Prefix.parse("10.1.0.0/16")] = "fine"
+    >>> trie.longest_match(Prefix.parse("10.1.2.0/24"))
+    (Prefix('10.1.0.0/16'), 'fine')
+    """
+
+    def __init__(self, family: Family) -> None:
+        self._family = family
+        self._root: Optional[_Node[V]] = None
+        self._size = 0
+
+    @property
+    def family(self) -> Family:
+        return self._family
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at *prefix*."""
+        self._check_family(prefix)
+        if self._root is None:
+            node: _Node[V] = _Node(prefix)
+            node.value, node.has_value = value, True
+            self._root = node
+            self._size = 1
+            return
+        self._root = self._insert(self._root, prefix, value)
+
+    def _insert(self, node: _Node[V], prefix: Prefix, value: V) -> _Node[V]:
+        common = _common_length(node.prefix, prefix)
+        if common < node.prefix.length:
+            # Split: make a branch node covering the common part.
+            branch_prefix = Prefix.from_address(
+                prefix.family, prefix.network, common
+            )
+            branch: _Node[V] = _Node(branch_prefix)
+            node_bit = _bit_at(prefix.family, node.prefix.network, common)
+            if common == prefix.length:
+                # The new prefix *is* the branch point.
+                branch.value, branch.has_value = value, True
+                self._size += 1
+            else:
+                leaf: _Node[V] = _Node(prefix)
+                leaf.value, leaf.has_value = value, True
+                self._size += 1
+                if node_bit:
+                    branch.left = leaf
+                else:
+                    branch.right = leaf
+            if node_bit:
+                branch.right = node
+            else:
+                branch.left = node
+            return branch
+        if prefix.length == node.prefix.length:
+            if not node.has_value:
+                self._size += 1
+            node.value, node.has_value = value, True
+            return node
+        # Descend: prefix is strictly longer and node covers it.
+        bit = _bit_at(prefix.family, prefix.network, node.prefix.length)
+        child = node.right if bit else node.left
+        if child is None:
+            leaf = _Node(prefix)
+            leaf.value, leaf.has_value = value, True
+            self._size += 1
+            if bit:
+                node.right = leaf
+            else:
+                node.left = leaf
+        else:
+            replacement = self._insert(child, prefix, value)
+            if bit:
+                node.right = replacement
+            else:
+                node.left = replacement
+        return node
+
+    def delete(self, prefix: Prefix) -> V:
+        """Remove *prefix*, returning its value.  Raises KeyError if absent."""
+        self._check_family(prefix)
+        path: list[Tuple[Optional[_Node[V]], int]] = []
+        node = self._root
+        while node is not None:
+            common = _common_length(node.prefix, prefix)
+            if common < node.prefix.length or node.prefix.length > prefix.length:
+                node = None
+                break
+            if node.prefix.length == prefix.length:
+                break
+            bit = _bit_at(prefix.family, prefix.network, node.prefix.length)
+            path.append((node, bit))
+            node = node.right if bit else node.left
+        if node is None or not node.has_value or node.prefix != prefix:
+            raise KeyError(str(prefix))
+        value = node.value
+        node.value, node.has_value = None, False
+        self._size -= 1
+        self._prune(node, path)
+        return value  # type: ignore[return-value]
+
+    def _prune(
+        self,
+        node: _Node[V],
+        path: list[Tuple[Optional[_Node[V]], int]],
+    ) -> None:
+        """Collapse now-redundant branch nodes after a deletion."""
+        child_count = (node.left is not None) + (node.right is not None)
+        replacement: Optional[_Node[V]]
+        if child_count == 2:
+            return
+        if child_count == 1:
+            replacement = node.left if node.left is not None else node.right
+        else:
+            replacement = None
+        if not path:
+            self._root = replacement
+            return
+        parent, bit = path[-1]
+        assert parent is not None
+        if bit:
+            parent.right = replacement
+        else:
+            parent.left = replacement
+        if (
+            replacement is None
+            and not parent.has_value
+            and parent is not self._root
+        ):
+            self._prune(parent, path[:-1])
+
+    def clear(self) -> None:
+        self._root = None
+        self._size = 0
+
+    # -- dict-style access -----------------------------------------------------
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self.insert(prefix, value)
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        found = self.get(prefix)
+        if found is None and not self.__contains__(prefix):
+            raise KeyError(str(prefix))
+        return found  # type: ignore[return-value]
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._exact_node(prefix)
+        return node is not None and node.has_value
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        """Exact-match lookup."""
+        node = self._exact_node(prefix)
+        if node is not None and node.has_value:
+            return node.value
+        return default
+
+    def _exact_node(self, prefix: Prefix) -> Optional[_Node[V]]:
+        self._check_family(prefix)
+        node = self._root
+        while node is not None:
+            common = _common_length(node.prefix, prefix)
+            if common < node.prefix.length:
+                return None
+            if node.prefix.length == prefix.length:
+                return node
+            if node.prefix.length > prefix.length:
+                return None
+            bit = _bit_at(prefix.family, prefix.network, node.prefix.length)
+            node = node.right if bit else node.left
+        return None
+
+    # -- longest-prefix match ---------------------------------------------------
+
+    def longest_match(self, target: Prefix) -> Optional[Tuple[Prefix, V]]:
+        """The most specific inserted prefix covering *target*, if any."""
+        self._check_family(target)
+        best: Optional[Tuple[Prefix, V]] = None
+        node = self._root
+        while node is not None:
+            common = _common_length(node.prefix, target)
+            if common < node.prefix.length or node.prefix.length > target.length:
+                break
+            if node.has_value:
+                best = (node.prefix, node.value)  # type: ignore[arg-type]
+            if node.prefix.length == target.length:
+                break
+            bit = _bit_at(target.family, target.network, node.prefix.length)
+            node = node.right if bit else node.left
+        return best
+
+    def lookup_address(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for a host address."""
+        host = Prefix.from_address(
+            self._family, address, self._family.max_length
+        )
+        return self.longest_match(host)
+
+    # -- iteration ----------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """All (prefix, value) pairs in lexicographic prefix order."""
+        stack: list[_Node[V]] = []
+        if self._root is not None:
+            stack.append(self._root)
+        while stack:
+            node = stack.pop()
+            if node.has_value:
+                yield node.prefix, node.value  # type: ignore[misc]
+            # Push right first so left (lower networks) pops first.
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def keys(self) -> Iterator[Prefix]:
+        for prefix, _value in self.items():
+            yield prefix
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return self.keys()
+
+    def covered_by(self, covering: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """All inserted prefixes equal to or more specific than *covering*."""
+        self._check_family(covering)
+        node = self._root
+        while node is not None and node.prefix.length < covering.length:
+            common = _common_length(node.prefix, covering)
+            if common < node.prefix.length:
+                return
+            bit = _bit_at(covering.family, covering.network, node.prefix.length)
+            node = node.right if bit else node.left
+        if node is None or not covering.covers(node.prefix):
+            return
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.has_value:
+                yield current.prefix, current.value  # type: ignore[misc]
+            if current.right is not None:
+                stack.append(current.right)
+            if current.left is not None:
+                stack.append(current.left)
+
+    def _check_family(self, prefix: Prefix) -> None:
+        if prefix.family is not self._family:
+            raise AddressError(
+                f"prefix {prefix} is {prefix.family.name}, "
+                f"trie holds {self._family.name}"
+            )
+
+
+class PrefixMap(Generic[V]):
+    """A dual-stack mapping from :class:`Prefix` to values.
+
+    Wraps one :class:`RadixTrie` per family behind a dict-like interface so
+    callers that handle mixed v4/v6 prefix sets (RIBs, traffic counters,
+    override tables) do not need to dispatch on family themselves.
+    """
+
+    def __init__(self) -> None:
+        self._tries = {
+            Family.IPV4: RadixTrie[V](Family.IPV4),
+            Family.IPV6: RadixTrie[V](Family.IPV6),
+        }
+
+    def __len__(self) -> int:
+        return sum(len(trie) for trie in self._tries.values())
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self._tries[prefix.family].insert(prefix, value)
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        return self._tries[prefix.family][prefix]
+
+    def __delitem__(self, prefix: Prefix) -> None:
+        self._tries[prefix.family].delete(prefix)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._tries[prefix.family]
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        return self._tries[prefix.family].get(prefix, default)
+
+    def pop(self, prefix: Prefix, *default: V) -> V:
+        try:
+            return self._tries[prefix.family].delete(prefix)
+        except KeyError:
+            if default:
+                return default[0]
+            raise
+
+    def setdefault(self, prefix: Prefix, default: V) -> V:
+        existing = self.get(prefix)
+        if existing is None and prefix not in self:
+            self[prefix] = default
+            return default
+        return existing  # type: ignore[return-value]
+
+    def longest_match(self, target: Prefix) -> Optional[Tuple[Prefix, V]]:
+        return self._tries[target.family].longest_match(target)
+
+    def covered_by(self, covering: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """All entries equal to or more specific than *covering*."""
+        return self._tries[covering.family].covered_by(covering)
+
+    def lookup_address(
+        self, family: Family, address: int
+    ) -> Optional[Tuple[Prefix, V]]:
+        return self._tries[family].lookup_address(address)
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        for family in (Family.IPV4, Family.IPV6):
+            yield from self._tries[family].items()
+
+    def keys(self) -> Iterator[Prefix]:
+        for prefix, _value in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        for _prefix, value in self.items():
+            yield value
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return self.keys()
+
+    def clear(self) -> None:
+        for trie in self._tries.values():
+            trie.clear()

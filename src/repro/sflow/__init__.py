@@ -1,0 +1,18 @@
+"""sFlow substrate: packet sampling, collection, and rate estimation."""
+
+from .agent import InterfaceIndexMap, ObservedFlow, SflowAgent
+from .collector import SflowCollector
+from .datagram import FlowSample, PacketRecord, SflowDatagram, SFLOW_VERSION
+from .estimator import RateEstimator
+
+__all__ = [
+    "InterfaceIndexMap",
+    "ObservedFlow",
+    "SflowAgent",
+    "SflowCollector",
+    "FlowSample",
+    "PacketRecord",
+    "SflowDatagram",
+    "SFLOW_VERSION",
+    "RateEstimator",
+]

@@ -1,0 +1,169 @@
+"""sFlow sampling agent: 1-in-N packet sampling on a router's interfaces.
+
+The dataplane simulator hands the agent the flows it forwarded during a
+tick; the agent draws how many of each flow's packets the 1-in-N sampler
+would have caught (binomially, matching real per-packet random sampling)
+and emits encoded datagrams.
+
+Sampling noise is the point: the controller's traffic estimates inherit
+exactly the variance a production sFlow pipeline has, and the sampling-
+rate ablation (A3) turns this knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..netbase.addr import Family
+from ..netbase.errors import TrafficError
+from .datagram import FlowSample, PacketRecord, SflowDatagram
+
+__all__ = ["ObservedFlow", "SflowAgent", "InterfaceIndexMap"]
+
+_MAX_SAMPLES_PER_DATAGRAM = 64
+
+
+@dataclass(frozen=True)
+class ObservedFlow:
+    """What the dataplane tells the agent it forwarded.
+
+    ``bytes_sent``/``packets`` cover one observation interval on one
+    egress interface.
+    """
+
+    family: Family
+    src_address: int
+    dst_address: int
+    bytes_sent: float
+    packets: float
+    egress_interface: str
+    dscp: int = 0
+
+
+class InterfaceIndexMap:
+    """Bidirectional interface-name <-> ifIndex mapping for one router."""
+
+    def __init__(self, interfaces: Sequence[str]) -> None:
+        self._index_of: Dict[str, int] = {}
+        self._name_of: Dict[int, str] = {}
+        for offset, name in enumerate(interfaces):
+            index = offset + 1  # ifIndex 0 is reserved
+            self._index_of[name] = index
+            self._name_of[index] = name
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index_of[name]
+        except KeyError:
+            raise TrafficError(f"unknown interface {name!r}") from None
+
+    def name_of(self, index: int) -> str:
+        try:
+            return self._name_of[index]
+        except KeyError:
+            raise TrafficError(f"unknown ifIndex {index}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index_of
+
+    def names(self) -> List[str]:
+        return list(self._index_of)
+
+
+class SflowAgent:
+    """Per-router sampling agent."""
+
+    def __init__(
+        self,
+        router: str,
+        agent_address: int,
+        interfaces: InterfaceIndexMap,
+        sampling_rate: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if sampling_rate < 1:
+            raise TrafficError(f"sampling rate must be >= 1: {sampling_rate}")
+        self.router = router
+        self.agent_address = agent_address
+        self.interfaces = interfaces
+        self.sampling_rate = sampling_rate
+        self._rng = np.random.default_rng(seed)
+        self._datagram_seq = 0
+        self._sample_seq = 0
+        self._sample_pool = 0
+        self._started_at_ms = 0
+
+    def observe(
+        self, flows: Iterable[ObservedFlow], now: float
+    ) -> List[bytes]:
+        """Sample one interval's flows; returns encoded datagrams."""
+        samples: List[FlowSample] = []
+        for flow in flows:
+            packets = max(0.0, flow.packets)
+            if packets == 0.0:
+                continue
+            # The pool is a u32 on the wire and wraps, as in real agents.
+            self._sample_pool = (
+                self._sample_pool + int(round(packets))
+            ) & 0xFFFFFFFF
+            sampled = self._draw_sample_count(packets)
+            if sampled == 0:
+                continue
+            frame_length = int(
+                max(64, round(flow.bytes_sent / max(packets, 1.0)))
+            )
+            ifindex = self.interfaces.index_of(flow.egress_interface)
+            for _ in range(sampled):
+                self._sample_seq += 1
+                samples.append(
+                    FlowSample(
+                        sequence=self._sample_seq,
+                        sampling_rate=self.sampling_rate,
+                        sample_pool=self._sample_pool,
+                        drops=0,
+                        input_ifindex=0,
+                        output_ifindex=ifindex,
+                        record=PacketRecord(
+                            family=flow.family,
+                            src_address=flow.src_address,
+                            dst_address=flow.dst_address,
+                            frame_length=frame_length,
+                            dscp=flow.dscp,
+                        ),
+                    )
+                )
+        return self._package(samples, now)
+
+    def _draw_sample_count(self, packets: float) -> int:
+        """How many of *packets* the 1-in-N sampler catches."""
+        if self.sampling_rate == 1:
+            return int(round(packets))
+        whole = int(packets)
+        fraction = packets - whole
+        count = 0
+        if whole:
+            count += int(
+                self._rng.binomial(whole, 1.0 / self.sampling_rate)
+            )
+        if fraction and self._rng.random() < fraction / self.sampling_rate:
+            count += 1
+        return count
+
+    def _package(
+        self, samples: List[FlowSample], now: float
+    ) -> List[bytes]:
+        datagrams: List[bytes] = []
+        for start in range(0, len(samples), _MAX_SAMPLES_PER_DATAGRAM):
+            batch = tuple(samples[start : start + _MAX_SAMPLES_PER_DATAGRAM])
+            self._datagram_seq += 1
+            datagram = SflowDatagram(
+                agent_address=self.agent_address,
+                sequence=self._datagram_seq,
+                uptime_ms=int(now * 1000) - self._started_at_ms,
+                samples=batch,
+            )
+            datagrams.append(datagram.encode())
+        return datagrams

@@ -1,0 +1,183 @@
+"""sFlow v5-style datagram codec.
+
+Peering routers sample 1-in-N packets on their egress interfaces and ship
+the samples to a collector, which scales the samples back up to estimate
+per-destination traffic rates — the paper's traffic input.
+
+The framing follows sFlow v5 (datagram header, flow samples with sequence
+numbers, sampling rate, sample pool, interface indices).  The sampled
+packet payload is a compact fixed-layout record carrying what the
+simulation's "packets" contain — family, source and destination address,
+frame length, DSCP — standing in for the raw Ethernet header a production
+agent would excerpt.  All scaling semantics (rate, pool, drops) are
+faithful, which is what matters to estimator accuracy.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..netbase.addr import Family
+from ..netbase.errors import MalformedMessage, TruncatedMessage
+
+__all__ = ["PacketRecord", "FlowSample", "SflowDatagram", "SFLOW_VERSION"]
+
+SFLOW_VERSION = 5
+
+_RECORD_LEN = 4 + 16 + 16 + 4 + 4  # family, src, dst, frame_len, dscp+pad
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One sampled packet."""
+
+    family: Family
+    src_address: int
+    dst_address: int
+    frame_length: int
+    dscp: int = 0
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack("!I", int(self.family))
+            + self.src_address.to_bytes(16, "big")
+            + self.dst_address.to_bytes(16, "big")
+            + struct.pack("!I", self.frame_length)
+            + struct.pack("!B3x", self.dscp)
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["PacketRecord", int]:
+        if offset + _RECORD_LEN > len(data):
+            raise TruncatedMessage("packet record truncated")
+        afi = struct.unpack_from("!I", data, offset)[0]
+        try:
+            family = Family(afi)
+        except ValueError as exc:
+            raise MalformedMessage(f"bad record AFI {afi}") from exc
+        src = int.from_bytes(data[offset + 4 : offset + 20], "big")
+        dst = int.from_bytes(data[offset + 20 : offset + 36], "big")
+        frame_length = struct.unpack_from("!I", data, offset + 36)[0]
+        dscp = data[offset + 40]
+        return (
+            cls(
+                family=family,
+                src_address=src,
+                dst_address=dst,
+                frame_length=frame_length,
+                dscp=dscp,
+            ),
+            offset + _RECORD_LEN,
+        )
+
+
+@dataclass(frozen=True)
+class FlowSample:
+    """One flow sample: a sampled packet plus sampling metadata.
+
+    ``sampling_rate`` is the N of 1-in-N sampling: each sample stands for
+    approximately N packets.  ``sample_pool`` is the total number of
+    packets that were candidates for sampling since the agent started —
+    collectors can detect sampling gaps by watching it.
+    """
+
+    sequence: int
+    sampling_rate: int
+    sample_pool: int
+    drops: int
+    input_ifindex: int
+    output_ifindex: int
+    record: PacketRecord
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack(
+                "!IIIIII",
+                self.sequence,
+                self.sampling_rate,
+                self.sample_pool,
+                self.drops,
+                self.input_ifindex,
+                self.output_ifindex,
+            )
+            + self.record.encode()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["FlowSample", int]:
+        if offset + 24 > len(data):
+            raise TruncatedMessage("flow sample header truncated")
+        (
+            sequence,
+            sampling_rate,
+            sample_pool,
+            drops,
+            input_ifindex,
+            output_ifindex,
+        ) = struct.unpack_from("!IIIIII", data, offset)
+        if sampling_rate == 0:
+            raise MalformedMessage("sampling rate of zero")
+        record, end = PacketRecord.decode(data, offset + 24)
+        return (
+            cls(
+                sequence=sequence,
+                sampling_rate=sampling_rate,
+                sample_pool=sample_pool,
+                drops=drops,
+                input_ifindex=input_ifindex,
+                output_ifindex=output_ifindex,
+                record=record,
+            ),
+            end,
+        )
+
+
+@dataclass(frozen=True)
+class SflowDatagram:
+    """A batch of flow samples from one agent."""
+
+    agent_address: int
+    sequence: int
+    uptime_ms: int
+    samples: Tuple[FlowSample, ...]
+    sub_agent_id: int = 0
+
+    def encode(self) -> bytes:
+        header = struct.pack("!I", SFLOW_VERSION)
+        header += self.agent_address.to_bytes(16, "big")
+        header += struct.pack(
+            "!III",
+            self.sub_agent_id,
+            self.sequence,
+            self.uptime_ms,
+        )
+        header += struct.pack("!I", len(self.samples))
+        return header + b"".join(sample.encode() for sample in self.samples)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SflowDatagram":
+        if len(data) < 36:
+            raise TruncatedMessage("sFlow datagram header truncated")
+        version = struct.unpack_from("!I", data, 0)[0]
+        if version != SFLOW_VERSION:
+            raise MalformedMessage(f"unsupported sFlow version {version}")
+        agent_address = int.from_bytes(data[4:20], "big")
+        sub_agent_id, sequence, uptime_ms, count = struct.unpack_from(
+            "!IIII", data, 20
+        )
+        samples: List[FlowSample] = []
+        offset = 36
+        for _ in range(count):
+            sample, offset = FlowSample.decode(data, offset)
+            samples.append(sample)
+        if offset != len(data):
+            raise MalformedMessage("trailing bytes in sFlow datagram")
+        return cls(
+            agent_address=agent_address,
+            sequence=sequence,
+            uptime_ms=uptime_ms,
+            samples=tuple(samples),
+            sub_agent_id=sub_agent_id,
+        )

@@ -1,0 +1,75 @@
+"""Windowed traffic-rate estimation from scaled samples.
+
+The collector turns samples into byte estimates; this module turns byte
+estimates into *rates* over a sliding window (the paper's controller uses
+an average over roughly the last minute of traffic, long enough to smooth
+sampling noise, short enough to track demand shifts).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, Generic, Hashable, Iterator, Tuple, TypeVar
+
+from ..netbase.units import Rate
+
+__all__ = ["RateEstimator"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+class RateEstimator(Generic[K]):
+    """Sliding-window byte-rate estimator keyed by an arbitrary key.
+
+    ``add(key, byte_count, now)`` records an estimate; ``rate(key, now)``
+    returns bytes-in-window / window as a :class:`Rate` (bits/second).
+    """
+
+    def __init__(self, window_seconds: float = 60.0) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        self.window_seconds = window_seconds
+        self._events: Dict[K, Deque[Tuple[float, float]]] = defaultdict(deque)
+        self._totals: Dict[K, float] = defaultdict(float)
+
+    def add(self, key: K, byte_count: float, now: float) -> None:
+        if byte_count < 0:
+            raise ValueError("byte count cannot be negative")
+        self._expire(key, now)
+        self._events[key].append((now, byte_count))
+        self._totals[key] += byte_count
+
+    def _expire(self, key: K, now: float) -> None:
+        horizon = now - self.window_seconds
+        events = self._events[key]
+        total = self._totals[key]
+        while events and events[0][0] <= horizon:
+            _ts, stale = events.popleft()
+            total -= stale
+        self._totals[key] = max(0.0, total)
+        if not events:
+            del self._events[key]
+            del self._totals[key]
+
+    def rate(self, key: K, now: float) -> Rate:
+        """Estimated rate for *key* over the window ending at *now*."""
+        if key in self._events:
+            self._expire(key, now)
+        total_bytes = self._totals.get(key, 0.0)
+        return Rate(total_bytes * 8.0 / self.window_seconds)
+
+    def keys(self) -> Iterator[K]:
+        return iter(list(self._events.keys()))
+
+    def rates(self, now: float) -> Dict[K, Rate]:
+        """Snapshot of every key's current rate (zero-rate keys dropped)."""
+        out: Dict[K, Rate] = {}
+        for key in list(self._events.keys()):
+            value = self.rate(key, now)
+            if not value.is_zero():
+                out[key] = value
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._totals.clear()

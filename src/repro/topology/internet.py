@@ -1,0 +1,294 @@
+"""Synthetic AS-level Internet with Gao-Rexford routing.
+
+The paper's PoPs see the real Internet through their peers' announcements.
+This module builds the stand-in: a three-tier AS hierarchy (tier-1 transit
+backbone, regional tier-2 providers, stub edge networks that originate
+prefixes), with valley-free routing, from which the route feeds for every
+kind of peering session can be derived:
+
+- a **transit** provider announces a route to *every* prefix,
+- a **peer** (private or public) announces its own prefixes plus its
+  customer cone,
+- a **route server** re-announces the prefixes of its member ASes.
+
+Construction is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netbase.addr import Family, Prefix
+from ..netbase.asn import Relationship
+from ..netbase.errors import TopologyError
+
+__all__ = ["InternetConfig", "AsNode", "InternetTopology"]
+
+
+@dataclass(frozen=True)
+class InternetConfig:
+    """Shape of the synthetic Internet."""
+
+    seed: int = 0
+    tier1_count: int = 4
+    tier2_count: int = 36
+    stub_count: int = 400
+    #: Providers per stub (multihoming degree), drawn inclusive.
+    stub_providers: Tuple[int, int] = (1, 3)
+    #: Providers per tier-2.
+    tier2_providers: Tuple[int, int] = (2, 3)
+    #: IPv4 prefixes originated per stub.
+    prefixes_per_stub: Tuple[int, int] = (1, 6)
+    #: Fraction of stubs that also originate one IPv6 prefix.
+    ipv6_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.tier1_count < 1 or self.tier2_count < 1 or self.stub_count < 1:
+            raise TopologyError("every tier needs at least one AS")
+
+
+@dataclass
+class AsNode:
+    """One autonomous system."""
+
+    asn: int
+    tier: int  # 1, 2, or 3 (stub)
+    providers: List[int] = field(default_factory=list)
+    customers: List[int] = field(default_factory=list)
+    peers: List[int] = field(default_factory=list)
+    prefixes: List[Prefix] = field(default_factory=list)
+
+
+class InternetTopology:
+    """The generated AS graph plus routing queries over it."""
+
+    def __init__(self, config: InternetConfig = InternetConfig()) -> None:
+        self.config = config
+        self.nodes: Dict[int, AsNode] = {}
+        self._origin_of: Dict[Prefix, int] = {}
+        self._cone_cache: Dict[int, FrozenSet[int]] = {}
+        self._build()
+
+    # -- generation -------------------------------------------------------------
+
+    def _build(self) -> None:
+        rng = np.random.default_rng(self.config.seed)
+        asn = 100
+        tier1s: List[int] = []
+        for _ in range(self.config.tier1_count):
+            self.nodes[asn] = AsNode(asn=asn, tier=1)
+            tier1s.append(asn)
+            asn += 1
+        # Tier-1s form a full peering mesh.
+        for i, a in enumerate(tier1s):
+            for b in tier1s[i + 1 :]:
+                self.nodes[a].peers.append(b)
+                self.nodes[b].peers.append(a)
+        tier2s: List[int] = []
+        for _ in range(self.config.tier2_count):
+            node = AsNode(asn=asn, tier=2)
+            count = int(rng.integers(*self.config.tier2_providers, endpoint=True))
+            chosen = rng.choice(tier1s, size=min(count, len(tier1s)), replace=False)
+            for provider in sorted(int(p) for p in chosen):
+                node.providers.append(provider)
+                self.nodes[provider].customers.append(asn)
+            self.nodes[asn] = node
+            tier2s.append(asn)
+            asn += 1
+        # Sparse tier-2 peering mesh (regional peering).
+        for i, a in enumerate(tier2s):
+            for b in tier2s[i + 1 :]:
+                if rng.random() < 0.15:
+                    self.nodes[a].peers.append(b)
+                    self.nodes[b].peers.append(a)
+        prefix_block = 0
+        for _ in range(self.config.stub_count):
+            node = AsNode(asn=asn, tier=3)
+            count = int(rng.integers(*self.config.stub_providers, endpoint=True))
+            chosen = rng.choice(tier2s, size=min(count, len(tier2s)), replace=False)
+            for provider in sorted(int(p) for p in chosen):
+                node.providers.append(provider)
+                self.nodes[provider].customers.append(asn)
+            n_prefixes = int(
+                rng.integers(*self.config.prefixes_per_stub, endpoint=True)
+            )
+            for _ in range(n_prefixes):
+                prefix = self._nth_v4_prefix(prefix_block)
+                prefix_block += 1
+                node.prefixes.append(prefix)
+                self._origin_of[prefix] = asn
+            if rng.random() < self.config.ipv6_fraction:
+                prefix = self._nth_v6_prefix(prefix_block)
+                prefix_block += 1
+                node.prefixes.append(prefix)
+                self._origin_of[prefix] = asn
+            self.nodes[asn] = node
+            asn += 1
+
+    @staticmethod
+    def _nth_v4_prefix(n: int) -> Prefix:
+        # Carve /24s out of 11.0.0.0/8 (never collides with test prefixes).
+        if n >= (1 << 16):
+            raise TopologyError("prefix space exhausted (max 65536 /24s)")
+        network = (11 << 24) | (n << 8)
+        return Prefix(Family.IPV4, network, 24)
+
+    @staticmethod
+    def _nth_v6_prefix(n: int) -> Prefix:
+        network = (0x20020000 << 96) + (n << 80)
+        return Prefix(Family.IPV6, network, 48)
+
+    # -- basic queries ----------------------------------------------------------
+
+    def node(self, asn: int) -> AsNode:
+        try:
+            return self.nodes[asn]
+        except KeyError:
+            raise TopologyError(f"unknown AS {asn}") from None
+
+    def tier(self, tier: int) -> List[int]:
+        return [asn for asn, node in self.nodes.items() if node.tier == tier]
+
+    @property
+    def tier1s(self) -> List[int]:
+        return self.tier(1)
+
+    @property
+    def tier2s(self) -> List[int]:
+        return self.tier(2)
+
+    @property
+    def stubs(self) -> List[int]:
+        return self.tier(3)
+
+    def all_prefixes(self) -> List[Prefix]:
+        return list(self._origin_of)
+
+    def origin_of(self, prefix: Prefix) -> int:
+        try:
+            return self._origin_of[prefix]
+        except KeyError:
+            raise TopologyError(f"no origin for {prefix}") from None
+
+    def prefixes_of(self, asn: int) -> List[Prefix]:
+        return list(self.node(asn).prefixes)
+
+    # -- customer cones and valley-free paths ----------------------------------------
+
+    def customer_cone(self, asn: int) -> FrozenSet[int]:
+        """The AS itself plus everything reachable via customer links."""
+        cached = self._cone_cache.get(asn)
+        if cached is not None:
+            return cached
+        cone = {asn}
+        frontier = [asn]
+        while frontier:
+            current = frontier.pop()
+            for customer in self.nodes[current].customers:
+                if customer not in cone:
+                    cone.add(customer)
+                    frontier.append(customer)
+        result = frozenset(cone)
+        self._cone_cache[asn] = result
+        return result
+
+    def cone_prefixes(self, asn: int) -> List[Prefix]:
+        """Every prefix originated inside *asn*'s customer cone."""
+        out: List[Prefix] = []
+        for member in sorted(self.customer_cone(asn)):
+            out.extend(self.nodes[member].prefixes)
+        return out
+
+    def path_down_to(self, from_asn: int, origin: int) -> Optional[List[int]]:
+        """Shortest customer-chain path from *from_asn* down to *origin*.
+
+        Returns the AS path (starting at *from_asn*, ending at *origin*)
+        or None if the origin is outside the customer cone.  BFS over
+        customer links gives the shortest such chain, which is what a
+        sane BGP configuration would propagate.
+        """
+        if from_asn == origin:
+            return [from_asn]
+        if origin not in self.customer_cone(from_asn):
+            return None
+        parents = {from_asn: None}
+        frontier = [from_asn]
+        while frontier:
+            next_frontier: List[int] = []
+            for current in frontier:
+                for customer in sorted(self.nodes[current].customers):
+                    if customer in parents:
+                        continue
+                    parents[customer] = current
+                    if customer == origin:
+                        path = [customer]
+                        while parents[path[-1]] is not None:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    next_frontier.append(customer)
+            frontier = next_frontier
+        return None
+
+    def transit_path_to(self, tier1: int, origin: int) -> List[int]:
+        """The valley-free path a tier-1 transit provider announces.
+
+        Either straight down its cone, or across the tier-1 mesh to the
+        provider that covers the origin, then down.
+        """
+        direct = self.path_down_to(tier1, origin)
+        if direct is not None:
+            return direct
+        best: Optional[List[int]] = None
+        for peer in sorted(self.nodes[tier1].peers):
+            if self.nodes[peer].tier != 1:
+                continue
+            down = self.path_down_to(peer, origin)
+            if down is not None and (best is None or len(down) + 1 < len(best)):
+                best = [tier1] + down
+        if best is None:
+            raise TopologyError(
+                f"origin AS {origin} unreachable from tier-1 {tier1}"
+            )
+        return best
+
+    def peer_path_to(self, peer_asn: int, origin: int) -> Optional[List[int]]:
+        """The path a settlement-free peer announces (cone only)."""
+        return self.path_down_to(peer_asn, origin)
+
+    # -- route feeds for a PoP's sessions ------------------------------------------------
+
+    def transit_feed(self, tier1: int) -> Iterator[Tuple[Prefix, List[int]]]:
+        """(prefix, AS path) for everything — the full table."""
+        for prefix in self.all_prefixes():
+            yield prefix, self.transit_path_to(tier1, self.origin_of(prefix))
+
+    def peer_feed(self, peer_asn: int) -> Iterator[Tuple[Prefix, List[int]]]:
+        """(prefix, AS path) for the peer's customer cone."""
+        for prefix in self.cone_prefixes(peer_asn):
+            path = self.peer_path_to(peer_asn, self.origin_of(prefix))
+            if path is not None:
+                yield prefix, path
+
+    def route_server_feed(
+        self, members: Sequence[int]
+    ) -> Iterator[Tuple[Prefix, List[int]]]:
+        """(prefix, AS path) as a route server re-announces member routes.
+
+        Route servers are transparent: they do not add their own ASN.
+        """
+        for member in members:
+            yield from self.peer_feed(member)
+
+    def relationship(self, a: int, b: int) -> Optional[Relationship]:
+        """Relationship of *b* from *a*'s point of view."""
+        node = self.node(a)
+        if b in node.customers:
+            return Relationship.CUSTOMER
+        if b in node.providers:
+            return Relationship.PROVIDER
+        if b in node.peers:
+            return Relationship.PEER
+        return None

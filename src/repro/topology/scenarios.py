@@ -1,0 +1,153 @@
+"""Canonical scenarios: the four study PoPs and the 20-PoP fleet.
+
+The paper examines four PoPs in depth (differing in how well-peered they
+are and how tight their peering capacity is) and reports deployment-wide
+numbers across roughly twenty PoPs.  These constructors produce seeded
+synthetic equivalents; every experiment references them by name so that
+results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..netbase.errors import TopologyError
+from ..netbase.units import gbps
+from .builder import PopSpec, WiredPop, build_pop
+from .internet import InternetConfig, InternetTopology
+
+__all__ = [
+    "STUDY_POP_NAMES",
+    "default_internet",
+    "study_pop_spec",
+    "build_study_pop",
+    "fleet_specs",
+    "build_fleet",
+]
+
+STUDY_POP_NAMES = ("pop-a", "pop-b", "pop-c", "pop-d")
+
+
+def default_internet(
+    seed: int = 0, config: Optional[InternetConfig] = None
+) -> InternetTopology:
+    """The synthetic Internet shared by the canonical scenarios."""
+    return InternetTopology(config or InternetConfig(seed=seed))
+
+
+def study_pop_spec(name: str, seed: int = 0) -> PopSpec:
+    """Spec for one of the four study PoPs.
+
+    - **pop-a** — well-peered, deliberately tight private capacity: the
+      overload-prone PoP the paper's motivating figures describe.
+    - **pop-b** — transit-heavy with few peers: BGP's preferred placement
+      mostly lands on big transit pipes, so little TE is needed.
+    - **pop-c** — balanced mid-size PoP.
+    - **pop-d** — exchange-heavy: many public peers behind one shared IXP
+      port, the sharing that makes public peering risky.
+    """
+    base = dict(seed=seed)
+    if name == "pop-a":
+        return PopSpec(
+            name=name,
+            expected_peak=gbps(170),
+            tight_peer_count=3,
+            router_count=2,
+            transit_count=2,
+            private_peer_count=10,
+            public_peer_count=24,
+            route_server_member_count=40,
+            private_capacity_min=gbps(8),
+            private_capacity_max=gbps(22),
+            ixp_capacity=gbps(80),
+            **base,
+        )
+    if name == "pop-b":
+        return PopSpec(
+            name=name,
+            expected_peak=gbps(200),
+            tight_peer_count=1,
+            router_count=2,
+            transit_count=3,
+            private_peer_count=3,
+            public_peer_count=8,
+            route_server_member_count=12,
+            private_capacity_min=gbps(20),
+            private_capacity_max=gbps(40),
+            ixp_capacity=gbps(40),
+            **base,
+        )
+    if name == "pop-c":
+        return PopSpec(
+            name=name,
+            expected_peak=gbps(150),
+            tight_peer_count=2,
+            router_count=2,
+            transit_count=2,
+            private_peer_count=6,
+            public_peer_count=16,
+            route_server_member_count=30,
+            private_capacity_min=gbps(10),
+            private_capacity_max=gbps(30),
+            ixp_capacity=gbps(60),
+            **base,
+        )
+    if name == "pop-d":
+        return PopSpec(
+            name=name,
+            expected_peak=gbps(160),
+            tight_peer_count=1,
+            router_count=2,
+            transit_count=2,
+            private_peer_count=4,
+            public_peer_count=36,
+            route_server_member_count=80,
+            private_capacity_min=gbps(15),
+            private_capacity_max=gbps(35),
+            ixp_capacity=gbps(50),
+            **base,
+        )
+    raise TopologyError(
+        f"unknown study PoP {name!r}; expected one of {STUDY_POP_NAMES}"
+    )
+
+
+def build_study_pop(
+    name: str = "pop-a",
+    seed: int = 0,
+    internet: Optional[InternetTopology] = None,
+) -> WiredPop:
+    """Build one of the four canonical study PoPs."""
+    internet = internet or default_internet(seed)
+    return build_pop(study_pop_spec(name, seed), internet)
+
+
+def fleet_specs(count: int = 20, seed: int = 0) -> List[PopSpec]:
+    """Specs for a deployment-wide fleet, cycling the four archetypes."""
+    specs = []
+    for index in range(count):
+        archetype = STUDY_POP_NAMES[index % len(STUDY_POP_NAMES)]
+        spec = study_pop_spec(archetype, seed=seed + index)
+        specs.append(
+            PopSpec(
+                **{
+                    **spec.__dict__,
+                    "name": f"pop-{index:02d}",
+                    "seed": seed + index,
+                }
+            )
+        )
+    return specs
+
+
+def build_fleet(
+    count: int = 20,
+    seed: int = 0,
+    internet: Optional[InternetTopology] = None,
+) -> Dict[str, WiredPop]:
+    """Build the whole fleet against one shared Internet."""
+    internet = internet or default_internet(seed)
+    return {
+        spec.name: build_pop(spec, internet)
+        for spec in fleet_specs(count, seed)
+    }

@@ -1,0 +1,6 @@
+"""Synthetic traffic: skewed, diurnal, volatile egress demand."""
+
+from .demand import DemandConfig, DemandModel, FlashEvent
+from .flows import FlowSynthesizer
+
+__all__ = ["DemandConfig", "DemandModel", "FlashEvent", "FlowSynthesizer"]

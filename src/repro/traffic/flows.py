@@ -1,0 +1,71 @@
+"""Turn per-prefix demand into flow observations for the sampling plane.
+
+The dataplane decides which interface each prefix's traffic uses; this
+module materializes that decision as :class:`ObservedFlow` records — the
+input the sFlow agents sample.  Destination addresses are drawn inside the
+prefix (varying the host part tick to tick, as real traffic does) and the
+source is one of the PoP's server addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..netbase.addr import Family, Prefix
+from ..netbase.units import Rate
+from ..sflow.agent import ObservedFlow
+
+__all__ = ["FlowSynthesizer"]
+
+_SERVER_SOURCE_V4 = 0x0A600001  # 10.96.0.1 — the PoP's server pool
+_SERVER_SOURCE_V6 = (0x20010DB8 << 96) | 0x1
+
+
+class FlowSynthesizer:
+    """Materializes per-(prefix, interface) demand as sampled-plane flows."""
+
+    def __init__(self, mean_packet_bytes: int = 1000, seed: int = 0) -> None:
+        self.mean_packet_bytes = mean_packet_bytes
+        self._rng = np.random.default_rng(seed)
+
+    def flows(
+        self,
+        assignments: Iterator[Tuple[Prefix, Rate, str]],
+        interval_seconds: float,
+        dscp: int = 0,
+    ) -> Iterator[ObservedFlow]:
+        """One flow observation per (prefix, egress interface) per tick.
+
+        *assignments* yields (prefix, rate, egress interface name) — the
+        interface is the one on the router whose agent will sample this
+        flow, so the caller groups assignments per router.
+        """
+        for prefix, rate, interface in assignments:
+            total_bytes = rate.bits_per_second * interval_seconds / 8.0
+            if total_bytes <= 0:
+                continue
+            packets = total_bytes / self.mean_packet_bytes
+            yield ObservedFlow(
+                family=prefix.family,
+                src_address=(
+                    _SERVER_SOURCE_V4
+                    if prefix.family is Family.IPV4
+                    else _SERVER_SOURCE_V6
+                ),
+                dst_address=self._address_in(prefix),
+                bytes_sent=total_bytes,
+                packets=packets,
+                egress_interface=interface,
+                dscp=dscp,
+            )
+
+    def _address_in(self, prefix: Prefix) -> int:
+        """A host address inside *prefix*, varied per call."""
+        host_bits = prefix.family.max_length - prefix.length
+        if host_bits == 0:
+            return prefix.network
+        span = min(host_bits, 16)
+        offset = int(self._rng.integers(1, 1 << span))
+        return prefix.network | offset

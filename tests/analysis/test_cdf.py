@@ -1,0 +1,121 @@
+"""Tests for the weighted empirical CDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import Cdf
+
+
+class TestBasics:
+    def test_simple_distribution(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.count == 4
+        assert cdf.min == 1 and cdf.max == 4
+        assert cdf.fraction_at_most(2) == 0.5
+        assert cdf.fraction_at_most(0.5) == 0.0
+        assert cdf.fraction_at_most(10) == 1.0
+        assert cdf.fraction_above(2) == 0.5
+
+    def test_percentiles(self):
+        cdf = Cdf(range(1, 101))
+        assert cdf.percentile(0) == 1
+        assert cdf.percentile(50) == 50
+        assert cdf.percentile(100) == 100
+        assert cdf.median == 50
+
+    def test_percentile_bounds(self):
+        cdf = Cdf([1])
+        with pytest.raises(ValueError):
+            cdf.percentile(-1)
+        with pytest.raises(ValueError):
+            cdf.percentile(101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+    def test_duplicates(self):
+        cdf = Cdf([5, 5, 5, 10])
+        assert cdf.fraction_at_most(5) == 0.75
+        assert cdf.median == 5
+
+
+class TestWeighted:
+    def test_weights_shift_the_distribution(self):
+        plain = Cdf([1, 10])
+        weighted = Cdf([1, 10], weights=[9, 1])
+        assert plain.fraction_at_most(1) == 0.5
+        assert weighted.fraction_at_most(1) == 0.9
+        assert weighted.percentile(80) == 1
+        assert weighted.percentile(95) == 10
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            Cdf([1, 2], weights=[1])
+        with pytest.raises(ValueError):
+            Cdf([1, 2], weights=[-1, 2])
+        with pytest.raises(ValueError):
+            Cdf([1, 2], weights=[0, 0])
+
+    def test_zero_weight_values_ignored_in_mass(self):
+        cdf = Cdf([1, 100], weights=[1, 0])
+        assert cdf.fraction_at_most(1) == 1.0
+
+
+class TestRendering:
+    def test_points_cover_range(self):
+        cdf = Cdf(range(100))
+        points = cdf.points(10)
+        assert len(points) == 10
+        assert points[0][0] == cdf.min
+        assert points[-1][0] == cdf.max
+        ys = [y for _x, y in points]
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_points_validation(self):
+        with pytest.raises(ValueError):
+            Cdf([1, 2]).points(1)
+
+    def test_summary_keys(self):
+        summary = Cdf([1, 2, 3]).summary()
+        assert set(summary) == {
+            "count", "min", "p25", "median", "p75", "p90", "p99", "max",
+        }
+
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(finite, min_size=1, max_size=50))
+    def test_monotone_nondecreasing(self, values):
+        cdf = Cdf(values)
+        xs = sorted(values)
+        fractions = [cdf.fraction_at_most(x) for x in xs]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(finite, min_size=1, max_size=50))
+    def test_median_matches_numpy_ish(self, values):
+        cdf = Cdf(values)
+        # Our median is the smallest x with mass >= 0.5 — it must lie
+        # within the data and be >= numpy's lower percentile convention.
+        assert cdf.min <= cdf.median <= cdf.max
+        assert cdf.fraction_at_most(cdf.median) >= 0.5
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(finite, min_size=1, max_size=30),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_percentile_inverse(self, values, p):
+        cdf = Cdf(values)
+        x = cdf.percentile(p)
+        assert cdf.fraction_at_most(x) >= p / 100 - 1e-9

@@ -1,0 +1,78 @@
+"""Tests for table/series rendering."""
+
+import pytest
+
+from repro.analysis.report import (
+    Series,
+    Table,
+    format_value,
+    render_all,
+)
+
+
+class TestFormatValue:
+    def test_ints_and_strings(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+    def test_floats_trimmed(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(2.0) == "2"
+        assert format_value(1234.5678) == "1,234.568"
+
+    def test_tiny_floats_scientific(self):
+        assert "e" in format_value(0.0001)
+        assert format_value(0.0) == "0"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(title="T", columns=["a", "longer"])
+        table.add_row(1, 2)
+        table.add_row(100000, 3)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        header = lines[2]
+        assert "a" in header and "longer" in header
+        # All rows share the same width.
+        assert len(lines[4]) == len(lines[5]) or lines[4].rstrip()
+
+    def test_wrong_arity_rejected(self):
+        table = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        table = Table(title="Empty", columns=["x"])
+        assert "Empty" in table.render()
+
+    def test_str(self):
+        table = Table(title="T", columns=["x"])
+        table.add_row(7)
+        assert "7" in str(table)
+
+
+class TestSeries:
+    def test_render_contains_points(self):
+        series = Series(name="s", x_label="t", y_label="v")
+        series.add(1.0, 2.0)
+        series.add(3.0, 4.0)
+        text = series.render()
+        assert "s" in text and "t -> v" in text
+        assert "1" in text and "4" in text
+
+    def test_downsampling_keeps_last_point(self):
+        series = Series(name="s")
+        for i in range(100):
+            series.add(float(i), float(i))
+        text = series.render(max_points=10)
+        assert "99" in text
+        assert len(text.splitlines()) <= 12
+
+    def test_render_all(self):
+        table = Table(title="T", columns=["x"])
+        series = Series(name="S")
+        series.add(1, 1)
+        combined = render_all(table, series)
+        assert "T" in combined and "S" in combined

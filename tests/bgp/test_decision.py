@@ -1,0 +1,220 @@
+"""Tests for the BGP decision process, including total-order properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import Origin
+from repro.bgp.decision import (
+    DecisionConfig,
+    best_route,
+    compare_routes,
+    rank_routes,
+)
+from repro.bgp.peering import PeerType
+
+from .helpers import make_peer, make_route
+
+
+class TestDecisionSteps:
+    def test_higher_local_pref_wins(self):
+        a = make_route(local_pref=300, as_path=(1, 2, 3))
+        b = make_route(local_pref=100, as_path=(1,))
+        assert compare_routes(a, b) < 0
+        assert best_route([b, a]) == a
+
+    def test_shorter_as_path_wins_at_equal_pref(self):
+        a = make_route(local_pref=100, as_path=(1,))
+        b = make_route(local_pref=100, as_path=(1, 2))
+        assert compare_routes(a, b) < 0
+
+    def test_lower_origin_wins(self):
+        a = make_route(origin=Origin.IGP)
+        b = make_route(origin=Origin.INCOMPLETE)
+        assert compare_routes(a, b) < 0
+
+    def test_med_compared_for_same_neighbor_as(self):
+        peer1 = make_peer(asn=65001, interface="eth0")
+        peer2 = make_peer(asn=65001, interface="eth1", address=0x0A000002)
+        a = make_route(peer=peer1, as_path=(65001, 9), med=10)
+        b = make_route(peer=peer2, as_path=(65001, 9), med=20)
+        assert compare_routes(a, b) < 0
+
+    def test_med_ignored_for_different_neighbor_as(self):
+        peer1 = make_peer(asn=65001)
+        peer2 = make_peer(asn=65002, address=0x0A000002)
+        # b has lower MED but different neighbor AS; MED must not decide.
+        a = make_route(peer=peer1, as_path=(65001, 9), med=100, learned_at=1)
+        b = make_route(peer=peer2, as_path=(65002, 9), med=5, learned_at=2)
+        assert compare_routes(a, b) < 0  # decided by age, not MED
+
+    def test_always_compare_med(self):
+        config = DecisionConfig(always_compare_med=True)
+        peer1 = make_peer(asn=65001)
+        peer2 = make_peer(asn=65002, address=0x0A000002)
+        a = make_route(peer=peer1, as_path=(65001, 9), med=100)
+        b = make_route(peer=peer2, as_path=(65002, 9), med=5)
+        assert compare_routes(b, a, config) < 0
+
+    def test_missing_med_treated_as_zero(self):
+        peer1 = make_peer(asn=65001, interface="eth0")
+        peer2 = make_peer(asn=65001, interface="eth1", address=0x0A000002)
+        a = make_route(peer=peer1, as_path=(65001, 9), med=None)
+        b = make_route(peer=peer2, as_path=(65001, 9), med=10)
+        assert compare_routes(a, b) < 0
+
+    def test_ebgp_beats_ibgp(self):
+        ebgp_peer = make_peer(peer_type=PeerType.TRANSIT)
+        ibgp_peer = make_peer(
+            peer_type=PeerType.INTERNAL, address=0x0A000002
+        )
+        a = make_route(peer=ebgp_peer)
+        b = make_route(peer=ibgp_peer)
+        assert compare_routes(a, b) < 0
+
+    def test_lower_igp_cost_wins(self):
+        a = make_route(igp_cost=5, learned_at=10)
+        b = make_route(
+            peer=make_peer(address=0x0A000002), igp_cost=1, learned_at=20
+        )
+        assert compare_routes(b, a) < 0
+
+    def test_oldest_route_wins(self):
+        a = make_route(learned_at=5.0)
+        b = make_route(peer=make_peer(address=0x0A000002), learned_at=1.0)
+        assert compare_routes(b, a) < 0
+
+    def test_prefer_oldest_disabled(self):
+        config = DecisionConfig(prefer_oldest=False)
+        a = make_route(peer=make_peer(address=0x0A000001), learned_at=5.0)
+        b = make_route(peer=make_peer(address=0x0A000002), learned_at=1.0)
+        # Falls through to the address tiebreak: lower address wins.
+        assert compare_routes(a, b, config) < 0
+
+    def test_address_tiebreak(self):
+        a = make_route(peer=make_peer(address=0x0A000001))
+        b = make_route(peer=make_peer(address=0x0A000002))
+        assert compare_routes(a, b) < 0
+
+    def test_identical_routes_compare_equal(self):
+        a = make_route()
+        assert compare_routes(a, a) == 0
+
+
+class TestBestAndRank:
+    def test_best_route_empty(self):
+        assert best_route([]) is None
+
+    def test_rank_is_total_and_consistent_with_best(self):
+        routes = [
+            make_route(
+                local_pref=lp,
+                as_path=path,
+                peer=make_peer(address=addr),
+                learned_at=age,
+            )
+            for lp, path, addr, age in [
+                (300, (1, 2), 0x0A000001, 3.0),
+                (300, (1,), 0x0A000002, 2.0),
+                (100, (1,), 0x0A000003, 1.0),
+                (300, (1,), 0x0A000004, 1.0),
+            ]
+        ]
+        ranked = rank_routes(routes)
+        assert ranked[0] == best_route(routes)
+        assert len(ranked) == len(routes)
+        # Most preferred: lp=300, short path, oldest.
+        assert ranked[0].source.address == 0x0A000004
+        assert ranked[-1].local_pref == 100
+
+    def test_rank_does_not_mutate_input(self):
+        routes = [make_route(local_pref=100), make_route(local_pref=300)]
+        snapshot = list(routes)
+        rank_routes(routes)
+        assert routes == snapshot
+
+
+addresses = st.integers(min_value=1, max_value=2**32 - 1)
+
+
+@st.composite
+def arbitrary_routes(draw):
+    peer = make_peer(
+        asn=draw(st.integers(min_value=1, max_value=65000)),
+        peer_type=draw(st.sampled_from(list(PeerType))),
+        address=draw(addresses),
+        interface=draw(st.sampled_from(["eth0", "eth1", "eth2"])),
+    )
+    path_len = draw(st.integers(min_value=1, max_value=4))
+    return make_route(
+        peer=peer,
+        local_pref=draw(st.sampled_from([100, 260, 280, 300])),
+        as_path=tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=65000),
+                    min_size=path_len,
+                    max_size=path_len,
+                )
+            )
+        ),
+        origin=draw(st.sampled_from(list(Origin))),
+        med=draw(st.one_of(st.none(), st.integers(0, 100))),
+        learned_at=draw(st.floats(0, 100, allow_nan=False)),
+        igp_cost=draw(st.integers(0, 10)),
+    )
+
+
+class TestDecisionProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(arbitrary_routes(), arbitrary_routes())
+    def test_antisymmetry(self, a, b):
+        assert compare_routes(a, b) == -compare_routes(b, a)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            arbitrary_routes().filter(lambda r: r.attributes.med is None),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_transitivity_without_med(self, routes):
+        # With MEDs, the pairwise BGP relation is famously non-transitive;
+        # without them it must be a strict weak order.
+        a, b, c = routes
+        if compare_routes(a, b) <= 0 and compare_routes(b, c) <= 0:
+            assert compare_routes(a, c) <= 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(arbitrary_routes(), min_size=1, max_size=8))
+    def test_best_is_rank_head(self, routes):
+        assert rank_routes(routes)[0] == best_route(routes)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(arbitrary_routes(), min_size=1, max_size=8), st.randoms())
+    def test_rank_independent_of_input_order(self, routes, rng):
+        # The deterministic-MED ranking is a function of the route *set*.
+        baseline = rank_routes(routes)
+        shuffled = list(routes)
+        rng.shuffle(shuffled)
+        assert rank_routes(shuffled) == baseline
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(arbitrary_routes(), min_size=1, max_size=8))
+    def test_rank_preserves_multiset(self, routes):
+        ranked = rank_routes(routes)
+        assert sorted(map(id, ranked)) == sorted(map(id, routes))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            arbitrary_routes().filter(lambda r: r.attributes.med is None),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_rank_agrees_with_pairwise_without_med(self, routes):
+        ranked = rank_routes(routes)
+        for earlier, later in zip(ranked, ranked[1:]):
+            assert compare_routes(earlier, later) <= 0

@@ -1,0 +1,145 @@
+"""Tests for the BGP session FSM."""
+
+import pytest
+
+from repro.bgp.fsm import FsmEvent, SessionFsm, SessionState
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    NotificationCode,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.netbase.errors import SessionError
+
+
+def make_fsm(hold_time: int = 90) -> SessionFsm:
+    return SessionFsm(
+        OpenMessage.standard(asn=64600, router_id=1, hold_time=hold_time)
+    )
+
+
+def establish(fsm: SessionFsm, now: float = 0.0) -> None:
+    fsm.handle_event(FsmEvent.MANUAL_START, now)
+    fsm.handle_event(FsmEvent.TCP_ESTABLISHED, now)
+    fsm.take_outbox()
+    fsm.handle_message(
+        OpenMessage.standard(asn=65001, router_id=2, hold_time=90), now
+    )
+    fsm.take_outbox()
+    fsm.handle_message(KeepaliveMessage(), now)
+
+
+class TestHandshake:
+    def test_full_handshake(self):
+        fsm = make_fsm()
+        assert fsm.state is SessionState.IDLE
+        fsm.handle_event(FsmEvent.MANUAL_START, 0.0)
+        assert fsm.state is SessionState.CONNECT
+        fsm.handle_event(FsmEvent.TCP_ESTABLISHED, 0.0)
+        assert fsm.state is SessionState.OPEN_SENT
+        sent = fsm.take_outbox()
+        assert len(sent) == 1 and isinstance(sent[0], OpenMessage)
+
+        remote = OpenMessage.standard(asn=65001, router_id=2, hold_time=60)
+        fsm.handle_message(remote, 0.0)
+        assert fsm.state is SessionState.OPEN_CONFIRM
+        assert fsm.hold_time == 60  # min of ours (90) and theirs (60)
+        sent = fsm.take_outbox()
+        assert len(sent) == 1 and isinstance(sent[0], KeepaliveMessage)
+
+        became = fsm.handle_message(KeepaliveMessage(), 0.0)
+        assert became
+        assert fsm.is_established
+
+    def test_connect_retry_falls_to_active(self):
+        fsm = make_fsm()
+        fsm.handle_event(FsmEvent.MANUAL_START, 0.0)
+        fsm.tick(31.0)
+        assert fsm.state is SessionState.ACTIVE
+        fsm.handle_event(FsmEvent.TCP_ESTABLISHED, 31.0)
+        assert fsm.state is SessionState.OPEN_SENT
+
+    def test_open_in_wrong_state_is_fsm_error(self):
+        fsm = make_fsm()
+        establish(fsm)
+        fsm.take_outbox()
+        fsm.handle_message(
+            OpenMessage.standard(asn=65001, router_id=2), 1.0
+        )
+        assert fsm.state is SessionState.IDLE
+        sent = fsm.take_outbox()
+        assert any(
+            isinstance(m, NotificationMessage)
+            and m.code == NotificationCode.FSM_ERROR
+            for m in sent
+        )
+
+
+class TestEstablishedOperation:
+    def test_update_allowed_only_when_established(self):
+        fsm = make_fsm()
+        establish(fsm)
+        fsm.handle_message(UpdateMessage(), 1.0)  # no exception
+
+        idle = make_fsm()
+        idle.handle_event(FsmEvent.MANUAL_START, 0.0)
+        idle.handle_event(FsmEvent.TCP_ESTABLISHED, 0.0)
+        with pytest.raises(SessionError):
+            idle.handle_message(UpdateMessage(), 0.0)
+
+    def test_keepalives_sent_on_interval(self):
+        fsm = make_fsm(hold_time=90)
+        establish(fsm)
+        fsm.take_outbox()
+        fsm.tick(29.0)
+        assert fsm.take_outbox() == []
+        fsm.tick(31.0)
+        sent = fsm.take_outbox()
+        assert len(sent) == 1 and isinstance(sent[0], KeepaliveMessage)
+
+    def test_hold_timer_expiry_resets_session(self):
+        fsm = make_fsm(hold_time=90)
+        establish(fsm)
+        fsm.take_outbox()
+        fsm.tick(91.0)
+        assert fsm.state is SessionState.IDLE
+        sent = fsm.take_outbox()
+        assert any(
+            isinstance(m, NotificationMessage)
+            and m.code == NotificationCode.HOLD_TIMER_EXPIRED
+            for m in sent
+        )
+
+    def test_inbound_traffic_refreshes_hold_timer(self):
+        fsm = make_fsm(hold_time=90)
+        establish(fsm)
+        fsm.take_outbox()
+        fsm.handle_message(KeepaliveMessage(), 60.0)
+        fsm.tick(120.0)  # 60s since last received < 90s hold
+        assert fsm.is_established
+
+    def test_notification_resets(self):
+        fsm = make_fsm()
+        establish(fsm)
+        fsm.handle_message(NotificationMessage(code=6), 1.0)
+        assert fsm.state is SessionState.IDLE
+
+    def test_manual_stop_sends_cease(self):
+        fsm = make_fsm()
+        establish(fsm)
+        fsm.take_outbox()
+        fsm.handle_event(FsmEvent.MANUAL_STOP, 2.0)
+        assert fsm.state is SessionState.IDLE
+        sent = fsm.take_outbox()
+        assert any(
+            isinstance(m, NotificationMessage)
+            and m.code == NotificationCode.CEASE
+            for m in sent
+        )
+
+    def test_tcp_failure_goes_active(self):
+        fsm = make_fsm()
+        establish(fsm)
+        fsm.handle_event(FsmEvent.TCP_FAILED, 2.0)
+        assert fsm.state is SessionState.ACTIVE

@@ -1,0 +1,179 @@
+"""Tests for the BMP wire codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.messages import (
+    OpenMessage,
+    UpdateMessage,
+    encode_message,
+)
+from repro.bmp.messages import (
+    BMP_VERSION,
+    InitiationMessage,
+    PeerDownMessage,
+    PeerHeader,
+    PeerUpMessage,
+    RouteMonitoringMessage,
+    StatisticsReport,
+    TerminationMessage,
+    decode_bmp,
+    decode_bmp_stream,
+    encode_bmp,
+)
+from repro.netbase.addr import Family, Prefix
+from repro.netbase.errors import MalformedMessage, TruncatedMessage
+
+
+def header(**overrides) -> PeerHeader:
+    base = dict(
+        peer_address=0x0A000001,
+        peer_asn=65001,
+        peer_bgp_id=0x0A000001,
+        timestamp=12.5,
+    )
+    base.update(overrides)
+    return PeerHeader(**base)
+
+
+class TestPeerHeader:
+    def test_round_trip(self):
+        original = header()
+        decoded = PeerHeader.decode(original.encode())
+        assert decoded == original
+
+    def test_v6_flag(self):
+        original = header(family=Family.IPV6, peer_address=0x20010DB8 << 96)
+        decoded = PeerHeader.decode(original.encode())
+        assert decoded.family is Family.IPV6
+        assert decoded.peer_address == original.peer_address
+
+    def test_post_policy_flag(self):
+        decoded = PeerHeader.decode(header(post_policy=False).encode())
+        assert not decoded.post_policy
+        decoded = PeerHeader.decode(header(post_policy=True).encode())
+        assert decoded.post_policy
+
+    def test_timestamp_precision(self):
+        decoded = PeerHeader.decode(header(timestamp=123.456789).encode())
+        assert decoded.timestamp == pytest.approx(123.456789, abs=1e-6)
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedMessage):
+            PeerHeader.decode(b"\x00" * 10)
+
+
+class TestLifecycleMessages:
+    def test_initiation_round_trip(self):
+        msg = InitiationMessage(sys_name="pop0-pr1", sys_descr="sim router")
+        decoded, consumed = decode_bmp(encode_bmp(msg))
+        assert decoded == msg
+        assert consumed == len(encode_bmp(msg))
+
+    def test_termination_round_trip(self):
+        msg = TerminationMessage(reason="maintenance")
+        decoded, _ = decode_bmp(encode_bmp(msg))
+        assert decoded == msg
+
+    def test_peer_up_round_trip_with_opens(self):
+        sent = encode_message(OpenMessage.standard(asn=64600, router_id=1))
+        received = encode_message(
+            OpenMessage.standard(asn=65001, router_id=2)
+        )
+        msg = PeerUpMessage(
+            peer=header(),
+            local_address=0x0A0000FE,
+            local_port=179,
+            remote_port=33001,
+            sent_open=sent,
+            received_open=received,
+        )
+        decoded, _ = decode_bmp(encode_bmp(msg))
+        assert decoded.peer == msg.peer
+        assert decoded.sent_open == sent
+        assert decoded.received_open == received
+        assert decoded.remote_port == 33001
+
+    def test_peer_down_round_trip(self):
+        msg = PeerDownMessage(peer=header(), reason=2, data=b"")
+        decoded, _ = decode_bmp(encode_bmp(msg))
+        assert decoded.reason == 2
+        assert decoded.peer == msg.peer
+
+
+class TestRouteMonitoring:
+    def test_round_trip_carries_verbatim_update(self):
+        update = UpdateMessage(withdrawn=(Prefix.parse("203.0.113.0/24"),))
+        pdu = encode_message(update)
+        msg = RouteMonitoringMessage(peer=header(), update_pdu=pdu)
+        decoded, _ = decode_bmp(encode_bmp(msg))
+        assert decoded.update_pdu == pdu
+        assert decoded.peer.peer_asn == 65001
+
+
+class TestStatistics:
+    def test_round_trip(self):
+        msg = StatisticsReport(peer=header(), stats=((7, 123456), (0, 9)))
+        decoded, _ = decode_bmp(encode_bmp(msg))
+        assert decoded.stats == ((7, 123456), (0, 9))
+
+
+class TestFraming:
+    def test_bad_version(self):
+        wire = bytearray(encode_bmp(InitiationMessage(sys_name="x")))
+        wire[0] = BMP_VERSION + 1
+        with pytest.raises(MalformedMessage):
+            decode_bmp(bytes(wire))
+
+    def test_truncated(self):
+        wire = encode_bmp(InitiationMessage(sys_name="router"))
+        with pytest.raises(TruncatedMessage):
+            decode_bmp(wire[:-1])
+
+    def test_stream_decoding_with_partial_tail(self):
+        a = encode_bmp(InitiationMessage(sys_name="a"))
+        b = encode_bmp(TerminationMessage(reason="bye"))
+        messages, rest = decode_bmp_stream(a + b + a[:5])
+        assert len(messages) == 2
+        assert rest == a[:5]
+
+    def test_unknown_type(self):
+        wire = bytearray(encode_bmp(InitiationMessage(sys_name="x")))
+        wire[5] = 99
+        with pytest.raises(MalformedMessage):
+            decode_bmp(bytes(wire))
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**128 - 1),
+        st.integers(min_value=1, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.floats(min_value=0, max_value=2**31, allow_nan=False),
+        st.booleans(),
+    )
+    def test_peer_header_round_trip(
+        self, address, asn, bgp_id, timestamp, post_policy
+    ):
+        original = PeerHeader(
+            peer_address=address,
+            peer_asn=asn,
+            peer_bgp_id=bgp_id,
+            family=Family.IPV6 if address >= 2**32 else Family.IPV4,
+            post_policy=post_policy,
+            timestamp=timestamp,
+        )
+        decoded = PeerHeader.decode(original.encode())
+        assert decoded.peer_address == address
+        assert decoded.peer_asn == asn
+        assert decoded.post_policy == post_policy
+        assert decoded.timestamp == pytest.approx(timestamp, abs=1e-5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_route_monitoring_pdu_is_opaque(self, pdu):
+        msg = RouteMonitoringMessage(peer=header(), update_pdu=pdu)
+        decoded, _ = decode_bmp(encode_bmp(msg))
+        assert decoded.update_pdu == pdu

@@ -1,0 +1,121 @@
+"""Shared fixtures for controller tests: a small hand-built PoP.
+
+The mini-PoP has one router with:
+
+- tr0: one transit session, 100 Gbps (routes to everything),
+- pni0: one private peer, 10 Gbps (routes to its cone),
+- ixp0: one public peer + route server, 20 Gbps shared.
+
+Small enough that tests can reason about every byte, yet exercising every
+peer type and the capacity-sharing corner (two sessions on ixp0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.peering import PeerDescriptor, PeerType
+from repro.bgp.policy import standard_import_policy
+from repro.bgp.route import Route
+from repro.bgp.speaker import BgpSpeaker
+from repro.bmp.collector import BmpCollector, PeerRegistry
+from repro.core.config import ControllerConfig
+from repro.core.inputs import ControllerInputs
+from repro.netbase.addr import Family, Prefix
+from repro.netbase.units import Rate, gbps
+from repro.topology.entities import PoP
+
+LOCAL_ASN = 64600
+
+P_CONE = Prefix.parse("11.0.0.0/24")  # in the private peer's cone
+P_CONE2 = Prefix.parse("11.0.1.0/24")  # also private cone
+P_IXP = Prefix.parse("11.0.2.0/24")  # public peer's cone
+P_TRANSIT_ONLY = Prefix.parse("11.0.3.0/24")  # only transit reaches it
+
+
+class MiniPop:
+    """One-router PoP with deterministic sessions and feeds."""
+
+    def __init__(self) -> None:
+        self.pop = PoP("mini", local_asn=LOCAL_ASN)
+        router = self.pop.add_router("mini-pr0", router_id=1)
+        router.add_interface("tr0", gbps(100))
+        router.add_interface("pni0", gbps(10))
+        router.add_interface("ixp0", gbps(20))
+        self.speaker = BgpSpeaker(
+            name="mini-pr0", asn=LOCAL_ASN, router_id=1
+        )
+        self.registry = PeerRegistry()
+        self.transit = self._session(65001, PeerType.TRANSIT, "tr0", 1)
+        self.private = self._session(65002, PeerType.PRIVATE, "pni0", 2)
+        self.public = self._session(65003, PeerType.PUBLIC, "ixp0", 3)
+        self.route_server = self._session(
+            65004, PeerType.ROUTE_SERVER, "ixp0", 4
+        )
+        self.clock = 0.0
+        self.collector = BmpCollector(
+            self.registry, clock=lambda: self.clock
+        )
+        from repro.bmp.exporter import BmpExporter
+
+        self.exporter = BmpExporter(self.speaker, self.collector.feed)
+        self._announce_feeds()
+
+    def _session(self, asn, peer_type, interface, address):
+        session = PeerDescriptor(
+            router="mini-pr0",
+            peer_asn=asn,
+            peer_type=peer_type,
+            interface=interface,
+            address=address,
+        )
+        self.pop.add_session(session)
+        self.registry.register(session)
+        self.speaker.add_session(
+            session, standard_import_policy(LOCAL_ASN, peer_type)
+        )
+        self.speaker.establish_directly(session.name)
+        return session
+
+    def _announce_feeds(self) -> None:
+        announce = self.announce
+        # Transit reaches everything (2-hop paths).
+        for prefix in (P_CONE, P_CONE2, P_IXP, P_TRANSIT_ONLY):
+            announce(self.transit, prefix, (65001, 64900))
+        # The private peer originates the cone prefixes.
+        announce(self.private, P_CONE, (65002,))
+        announce(self.private, P_CONE2, (65002,))
+        # The public peer covers the IXP prefix and one cone prefix.
+        announce(self.public, P_IXP, (65003,))
+        announce(self.public, P_CONE, (65003, 65002))
+        # The route server re-announces the IXP prefix (member path).
+        announce(self.route_server, P_IXP, (65005,))
+
+    def announce(self, session, prefix, as_path) -> None:
+        attrs = PathAttributes(
+            as_path=AsPath.sequence(*as_path),
+            next_hop=(Family.IPV4, session.address),
+        )
+        self.speaker.inject_update(session.name, [prefix], attrs)
+
+    def inputs(
+        self,
+        traffic: Dict[Prefix, Rate],
+        taken_at: float = 0.0,
+    ) -> ControllerInputs:
+        return ControllerInputs(
+            taken_at=taken_at,
+            traffic=dict(traffic),
+            capacities={
+                interface.key: interface.capacity
+                for interface in self.pop.interfaces()
+            },
+            _collector=self.collector,
+        )
+
+
+def default_config(**overrides) -> ControllerConfig:
+    base = dict(utilization_threshold=0.95)
+    base.update(overrides)
+    return ControllerConfig(**base)

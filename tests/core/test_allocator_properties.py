@@ -1,0 +1,135 @@
+"""Property-based tests for the allocator's safety invariants.
+
+Random traffic matrices on the MiniPop must never drive the allocator to
+violate its contract:
+
+1. a detour's target interface never exceeds the threshold in the
+   post-allocation projection,
+2. interfaces not listed unresolved end under the threshold,
+3. detours only move prefixes that were on an overloaded interface,
+4. every detour target is one of the prefix's real alternate routes,
+5. total traffic is conserved by the move bookkeeping.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import Allocator
+from repro.core.projection import project
+from repro.netbase.units import Rate
+
+from .helpers import (
+    MiniPop,
+    P_CONE,
+    P_CONE2,
+    P_IXP,
+    P_TRANSIT_ONLY,
+    default_config,
+)
+
+PREFIXES = [P_CONE, P_CONE2, P_IXP, P_TRANSIT_ONLY]
+
+#: Per-prefix rates up to 30 Gbps (interfaces are 10/20/100 Gbps).
+rates = st.lists(
+    st.floats(min_value=0, max_value=30e9, allow_nan=False),
+    min_size=len(PREFIXES),
+    max_size=len(PREFIXES),
+)
+
+thresholds = st.sampled_from([0.80, 0.90, 0.95, 0.99])
+
+
+def run_allocation(rate_values, threshold):
+    mini = MiniPop()
+    config = default_config(utilization_threshold=threshold)
+    traffic = {
+        prefix: Rate(value)
+        for prefix, value in zip(PREFIXES, rate_values)
+        if value > 0
+    }
+    inputs = mini.inputs(traffic)
+    projection = project(mini.pop, inputs)
+    allocator = Allocator(mini.pop, config)
+    result = allocator.allocate(projection, inputs)
+    return mini, inputs, projection, result, threshold
+
+
+@settings(max_examples=80, deadline=None)
+@given(rates, thresholds)
+def test_targets_never_pushed_over_threshold(rate_values, threshold):
+    mini, inputs, projection, result, threshold = run_allocation(
+        rate_values, threshold
+    )
+    for key, load in result.final_loads.items():
+        if key in result.unresolved:
+            continue
+        if key in projection.loads and key not in result.overloaded_before:
+            # Interfaces that started under threshold must stay there.
+            capacity = inputs.capacities[key]
+            assert (
+                load.bits_per_second
+                <= capacity.bits_per_second * threshold + 1.0
+            )
+
+
+@settings(max_examples=80, deadline=None)
+@given(rates, thresholds)
+def test_unresolved_is_honest(rate_values, threshold):
+    _mini, inputs, _projection, result, threshold = run_allocation(
+        rate_values, threshold
+    )
+    for key, load in result.final_loads.items():
+        capacity = inputs.capacities[key]
+        limit = capacity.bits_per_second * threshold
+        if load.bits_per_second > limit + 1.0:
+            assert key in result.unresolved
+
+
+@settings(max_examples=80, deadline=None)
+@given(rates, thresholds)
+def test_detours_only_from_overloaded_interfaces(rate_values, threshold):
+    _mini, _inputs, _projection, result, _threshold = run_allocation(
+        rate_values, threshold
+    )
+    for detour in result.detours.values():
+        assert detour.from_interface in result.overloaded_before
+
+
+@settings(max_examples=80, deadline=None)
+@given(rates, thresholds)
+def test_detour_targets_are_real_alternates(rate_values, threshold):
+    _mini, inputs, _projection, result, _threshold = run_allocation(
+        rate_values, threshold
+    )
+    for prefix, detour in result.detours.items():
+        routes = inputs.routes_of(prefix)
+        assert detour.target in routes
+        assert detour.target != routes[0]  # never "detour" to preferred
+        assert detour.to_interface != detour.from_interface
+
+
+@settings(max_examples=80, deadline=None)
+@given(rates, thresholds)
+def test_traffic_conserved(rate_values, threshold):
+    _mini, inputs, projection, result, _threshold = run_allocation(
+        rate_values, threshold
+    )
+    before = sum(v.bits_per_second for v in projection.loads.values())
+    after = sum(v.bits_per_second for v in result.final_loads.values())
+    assert after == pytest.approx(before, rel=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rates, thresholds, st.randoms())
+def test_allocation_deterministic(rate_values, threshold, rng):
+    _m1, _i1, _p1, first, _t = run_allocation(rate_values, threshold)
+    _m2, _i2, _p2, second, _t = run_allocation(rate_values, threshold)
+    assert {
+        prefix: detour.target.source.name
+        for prefix, detour in first.detours.items()
+    } == {
+        prefix: detour.target.source.name
+        for prefix, detour in second.detours.items()
+    }
+    assert first.unresolved == second.unresolved

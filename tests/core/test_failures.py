@@ -1,0 +1,156 @@
+"""Failure injection: sessions dropping, capacity changes, v6 detours.
+
+Edge Fabric's operational story rests on graceful degradation — these
+tests exercise the paths the happy-path integration tests do not.
+"""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.peering import PeerType
+from repro.core.config import ControllerConfig
+from repro.core.controller import EdgeFabricController
+from repro.core.injector import BgpInjector
+from repro.core.inputs import InputAssembler
+from repro.netbase.addr import Family, Prefix
+from repro.netbase.units import gbps
+from repro.sflow.collector import SflowCollector
+
+from .helpers import MiniPop, P_CONE, default_config
+from .test_controller import Harness
+
+
+class TestPeerSessionLoss:
+    def test_detour_target_session_down_retargets(self):
+        harness = Harness()
+        harness.feed_traffic({P_CONE: gbps(12)}, now=10.0)
+        harness.controller.run_cycle(10.0)
+        # The override currently points at the public peer.
+        target = harness.controller.overrides.active()[P_CONE]
+        assert "65003" in target.target_session
+        # The public peer session dies: its routes vanish PoP-wide.
+        harness.mini.speaker.stop_session(harness.mini.public.name)
+        harness.feed_traffic({P_CONE: gbps(12)}, now=100.0)
+        report = harness.controller.run_cycle(100.0)
+        # Controller retargets the detour to the next alternate
+        # (transit), since the public route no longer exists.
+        replacement = harness.controller.overrides.active()[P_CONE]
+        assert "65001" in replacement.target_session
+        assert report.churn >= 2  # withdraw + announce
+
+    def test_preferred_session_down_no_detour_needed(self):
+        harness = Harness()
+        harness.feed_traffic({P_CONE: gbps(12)}, now=10.0)
+        harness.controller.run_cycle(10.0)
+        assert len(harness.controller.overrides) == 1
+        # The overloaded *private* session itself goes down: BGP now
+        # prefers the public route organically; no override needed.
+        harness.mini.speaker.stop_session(harness.mini.private.name)
+        harness.feed_traffic({P_CONE: gbps(12)}, now=100.0)
+        harness.controller.run_cycle(100.0)
+        assert len(harness.controller.overrides) == 0
+
+    def test_session_loss_reflected_in_collector(self):
+        mini = MiniPop()
+        assert len(mini.collector.routes_for(P_CONE)) == 3
+        mini.speaker.stop_session(mini.private.name)
+        routes = mini.collector.routes_for(P_CONE)
+        assert len(routes) == 2
+        assert all(r.source != mini.private for r in routes)
+
+
+class TestCapacityChanges:
+    def test_capacity_cut_triggers_detour(self):
+        harness = Harness()
+        harness.feed_traffic({P_CONE: gbps(8)}, now=10.0)
+        report = harness.controller.run_cycle(10.0)
+        assert report.detour_count == 0
+        # Halve pni0 (a failed LAG member): 8G on 5G is now overloaded.
+        harness.assembler._capacities[("mini-pr0", "pni0")] = gbps(5)
+        harness.feed_traffic({P_CONE: gbps(8)}, now=100.0)
+        report = harness.controller.run_cycle(100.0)
+        assert report.detour_count == 1
+
+    def test_capacity_augment_releases_detour(self):
+        harness = Harness()
+        harness.feed_traffic({P_CONE: gbps(12)}, now=10.0)
+        harness.controller.run_cycle(10.0)
+        assert len(harness.controller.overrides) == 1
+        harness.assembler._capacities[("mini-pr0", "pni0")] = gbps(40)
+        harness.feed_traffic({P_CONE: gbps(12)}, now=100.0)
+        report = harness.controller.run_cycle(100.0)
+        assert report.withdrawn == 1
+        assert len(harness.controller.overrides) == 0
+
+
+class TestIpv6EndToEnd:
+    V6 = Prefix.parse("2002:db8::/48")
+
+    def make_harness(self):
+        harness = Harness()
+        mini = harness.mini
+        # Announce the v6 prefix over private and transit sessions.
+        for session, path in (
+            (mini.private, (65002,)),
+            (mini.transit, (65001, 64900)),
+        ):
+            attrs = PathAttributes(
+                as_path=AsPath.sequence(*path),
+                next_hop=(
+                    Family.IPV6,
+                    (0xFE80 << 112) | session.address,
+                ),
+            )
+            mini.speaker.inject_update(
+                session.name, [self.V6], attrs, family=Family.IPV6
+            )
+        return harness
+
+    def test_v6_routes_collected(self):
+        harness = self.make_harness()
+        routes = harness.mini.collector.routes_for(self.V6)
+        assert len(routes) == 2
+        assert routes[0].peer_type is PeerType.PRIVATE
+
+    def test_v6_prefix_detoured(self):
+        harness = self.make_harness()
+        harness.feed_traffic_v6({self.V6: gbps(12)}, now=10.0)
+        report = harness.controller.run_cycle(10.0)
+        assert report.detour_count == 1
+        best = harness.mini.speaker.loc_rib.best(self.V6)
+        assert best.is_injected
+        assert best.attributes.next_hop[0] is Family.IPV6
+        # The injected next hop resolves to the transit interface.
+        from repro.dataplane.fib import egress_interface
+
+        assert egress_interface(harness.mini.pop, best) == (
+            "mini-pr0",
+            "tr0",
+        )
+
+    def test_v6_withdraw_restores(self):
+        harness = self.make_harness()
+        harness.feed_traffic_v6({self.V6: gbps(12)}, now=10.0)
+        harness.controller.run_cycle(10.0)
+        harness.feed_traffic_v6({self.V6: gbps(1)}, now=100.0)
+        harness.controller.run_cycle(100.0)
+        best = harness.mini.speaker.loc_rib.best(self.V6)
+        assert not best.is_injected
+
+
+class TestInjectorRestartDrill:
+    def test_full_shutdown_and_cold_start(self):
+        """Kill everything, rebuild the control plane, converge again."""
+        harness = Harness()
+        harness.feed_traffic({P_CONE: gbps(12)}, now=10.0)
+        harness.controller.run_cycle(10.0)
+        harness.controller.shutdown(20.0)
+        assert harness.injector.injected_prefixes() == []
+        # Cold start: new assembler + controller over the same network.
+        controller = EdgeFabricController(
+            harness.assembler, harness.injector, harness.config
+        )
+        harness.feed_traffic({P_CONE: gbps(12)}, now=100.0)
+        report = controller.run_cycle(100.0)
+        assert report.detour_count == 1
+        assert harness.injector.injected_prefixes() == [P_CONE]

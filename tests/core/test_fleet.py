@@ -1,0 +1,49 @@
+"""Tests for the fleet deployment (multiple independent PoPs)."""
+
+import pytest
+
+from repro.core.fleet import FleetDeployment
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    fleet = FleetDeployment.build(pop_count=2, seed=17, tick_seconds=60.0)
+    # Run 10 minutes near the first PoP's peak.
+    first = next(iter(fleet.deployments.values()))
+    start = first.demand.config.peak_time
+    fleet.run(start, 600.0)
+    return fleet
+
+
+class TestFleet:
+    def test_independent_pops(self, fleet):
+        names = list(fleet.deployments)
+        assert len(names) == 2
+        a, b = (fleet.deployments[n] for n in names)
+        assert a.wired.pop.name != b.wired.pop.name
+        # Shared Internet, separate controllers.
+        assert a.wired.internet is b.wired.internet
+        assert a.controller is not b.controller
+
+    def test_all_pops_ticked(self, fleet):
+        for deployment in fleet.deployments.values():
+            assert len(deployment.record.ticks) == 10
+
+    def test_aggregates(self, fleet):
+        assert fleet.total_offered().bits_per_second > 0
+        assert 0.0 <= fleet.fleet_detoured_fraction() < 1.0
+        assert fleet.total_active_overrides() >= 0
+
+    def test_summary_table(self, fleet):
+        table = fleet.summary_table()
+        assert len(table.rows) == 2
+        rendered = table.render()
+        for name in fleet.deployments:
+            assert name in rendered
+
+    def test_offset_peaks(self, fleet):
+        peaks = [
+            deployment.demand.config.peak_time
+            for deployment in fleet.deployments.values()
+        ]
+        assert len(set(peaks)) == len(peaks)

@@ -1,0 +1,175 @@
+"""Tests for the override set and the BGP injector."""
+
+import pytest
+
+from repro.bgp.communities import INJECTED
+from repro.core.allocator import Detour
+from repro.core.config import ControllerConfig
+from repro.core.injector import BgpInjector
+from repro.core.overrides import Override, OverrideDiff, OverrideSet
+from repro.netbase.units import gbps
+
+from .helpers import MiniPop, P_CONE, P_CONE2, default_config
+
+
+@pytest.fixture()
+def mini():
+    return MiniPop()
+
+
+def make_detour(mini, prefix=P_CONE, target_session=None):
+    routes = mini.collector.routes_for(prefix)
+    preferred = routes[0]
+    if target_session is None:
+        target = routes[1]
+    else:
+        target = next(
+            r for r in routes if r.source.name == target_session
+        )
+    return Detour(
+        prefix=prefix,
+        rate=gbps(2),
+        preferred=preferred,
+        target=target,
+        from_interface=(preferred.source.router, preferred.source.interface),
+        to_interface=(target.source.router, target.source.interface),
+    )
+
+
+class TestOverrideSet:
+    def test_new_detour_announced(self, mini):
+        overrides = OverrideSet()
+        detour = make_detour(mini)
+        diff = overrides.reconcile({P_CONE: detour}, now=10.0)
+        assert len(diff.announce) == 1
+        assert diff.withdraw == () and diff.keep == ()
+        assert P_CONE in overrides
+        assert overrides.active_targets() == {
+            P_CONE: detour.target.source.name
+        }
+
+    def test_unchanged_detour_kept(self, mini):
+        overrides = OverrideSet()
+        detour = make_detour(mini)
+        overrides.reconcile({P_CONE: detour}, now=10.0)
+        diff = overrides.reconcile({P_CONE: detour}, now=40.0)
+        assert diff.announce == () and diff.withdraw == ()
+        assert len(diff.keep) == 1
+        assert diff.keep[0].created_at == 10.0  # age preserved
+
+    def test_removed_detour_withdrawn_with_duration(self, mini):
+        overrides = OverrideSet()
+        overrides.reconcile({P_CONE: make_detour(mini)}, now=10.0)
+        diff = overrides.reconcile({}, now=70.0)
+        assert len(diff.withdraw) == 1
+        assert len(overrides) == 0
+        assert overrides.durations() == [60.0]
+
+    def test_retarget_counts_as_withdraw_plus_announce(self, mini):
+        overrides = OverrideSet()
+        overrides.reconcile({P_CONE: make_detour(mini)}, now=10.0)
+        retargeted = make_detour(
+            mini, target_session=mini.transit.name
+        )
+        diff = overrides.reconcile({P_CONE: retargeted}, now=40.0)
+        assert len(diff.withdraw) == 1 and len(diff.announce) == 1
+        assert diff.churn == 2
+        assert overrides.active_targets()[P_CONE] == mini.transit.name
+
+    def test_flush(self, mini):
+        overrides = OverrideSet()
+        overrides.reconcile(
+            {P_CONE: make_detour(mini), P_CONE2: make_detour(mini, P_CONE2)},
+            now=10.0,
+        )
+        flushed = overrides.flush(now=100.0)
+        assert len(flushed) == 2
+        assert len(overrides) == 0
+        assert sorted(overrides.durations()) == [90.0, 90.0]
+
+    def test_durations_include_running(self, mini):
+        overrides = OverrideSet()
+        overrides.reconcile({P_CONE: make_detour(mini)}, now=10.0)
+        assert overrides.durations(now=25.0) == [15.0]
+
+
+class TestInjector:
+    def make_injector(self, mini, **config_overrides):
+        config = default_config(**config_overrides)
+        return BgpInjector(
+            mini.pop, {"mini-pr0": mini.speaker}, config
+        )
+
+    def apply_one(self, mini, injector, prefix=P_CONE, session=None):
+        detour = make_detour(mini, prefix, session)
+        override = Override(
+            prefix=prefix,
+            target=detour.target,
+            rate_at_decision=detour.rate,
+            created_at=0.0,
+        )
+        injector.apply(
+            OverrideDiff(announce=(override,), withdraw=(), keep=())
+        )
+        return override
+
+    def test_injected_route_wins_decision(self, mini):
+        injector = self.make_injector(mini)
+        self.apply_one(mini, injector)
+        best = mini.speaker.loc_rib.best(P_CONE)
+        assert best.is_injected
+        assert best.local_pref == 10_000
+        assert best.attributes.has_community(INJECTED)
+
+    def test_injected_next_hop_resolves_to_target_interface(self, mini):
+        from repro.dataplane.fib import egress_interface
+
+        injector = self.make_injector(mini)
+        override = self.apply_one(mini, injector)
+        best = mini.speaker.loc_rib.best(P_CONE)
+        key = egress_interface(mini.pop, best)
+        assert key == (
+            override.target.source.router,
+            override.target.source.interface,
+        )
+
+    def test_withdraw_restores_bgp_routing(self, mini):
+        injector = self.make_injector(mini)
+        override = self.apply_one(mini, injector)
+        injector.apply(
+            OverrideDiff(announce=(), withdraw=(override,), keep=())
+        )
+        best = mini.speaker.loc_rib.best(P_CONE)
+        assert not best.is_injected
+        assert best.source == mini.private
+
+    def test_replacement_skips_redundant_withdraw(self, mini):
+        injector = self.make_injector(mini)
+        old = self.apply_one(mini, injector)
+        new = Override(
+            prefix=P_CONE,
+            target=make_detour(mini, target_session=mini.transit.name).target,
+            rate_at_decision=gbps(2),
+            created_at=1.0,
+        )
+        before = injector.withdrawn_updates
+        injector.apply(
+            OverrideDiff(announce=(new,), withdraw=(old,), keep=())
+        )
+        assert injector.withdrawn_updates == before  # implicit replace
+        from repro.dataplane.fib import egress_interface
+
+        best = mini.speaker.loc_rib.best(P_CONE)
+        assert egress_interface(mini.pop, best) == ("mini-pr0", "tr0")
+
+    def test_injector_does_not_feed_back_into_collector(self, mini):
+        injector = self.make_injector(mini)
+        self.apply_one(mini, injector)
+        routes = mini.collector.routes_for(P_CONE)
+        assert all(not route.is_injected for route in routes)
+
+    def test_injected_prefixes_listing(self, mini):
+        injector = self.make_injector(mini)
+        assert injector.injected_prefixes() == []
+        self.apply_one(mini, injector)
+        assert injector.injected_prefixes() == [P_CONE]

@@ -1,0 +1,128 @@
+"""Tests for the performance-aware routing pass (paper §5)."""
+
+import pytest
+
+from repro.core.allocator import Detour
+from repro.core.perfaware import PerformanceAwarePass
+from repro.measurement.altpath import AltPathMonitor
+from repro.measurement.pathmodel import PathModelConfig, PathPerformanceModel
+from repro.netbase.units import Rate, gbps, mbps
+
+from .helpers import MiniPop, P_CONE, P_CONE2, default_config
+
+
+class ForcedModel(PathPerformanceModel):
+    """Path model whose offsets we control per session suffix."""
+
+    def __init__(self, offsets):
+        super().__init__(PathModelConfig(seed=0))
+        self._offsets = offsets
+
+    def path_offset_ms(self, prefix, session_name):
+        for needle, offset in self._offsets.items():
+            if needle in session_name:
+                return offset
+        return 0.0
+
+
+@pytest.fixture()
+def mini():
+    return MiniPop()
+
+
+def build_pass(mini, offsets, **config_overrides):
+    config = default_config(
+        performance_aware=True, **config_overrides
+    )
+    model = ForcedModel(offsets)
+    monitor = AltPathMonitor(
+        routes_of=lambda p: [
+            r for r in mini.collector.routes_for(p) if not r.is_injected
+        ],
+        model=model,
+        egress_interface_of=lambda r: (r.source.router, r.source.interface),
+        flows_per_round=30,
+        seed=3,
+    )
+    return (
+        PerformanceAwarePass(pop=mini.pop, config=config, altpath=monitor),
+        monitor,
+    )
+
+
+class TestPerformanceAwarePass:
+    def test_moves_prefix_to_faster_alternate(self, mini):
+        # The public path is 40ms faster than the private path for
+        # everything; a perf-aware pass should move cone prefixes.
+        perf_pass, monitor = build_pass(
+            mini, {"AS65003": -40.0}
+        )
+        monitor.measure_round([P_CONE])
+        detours = {}
+        loads = {}
+        inputs = mini.inputs({P_CONE: gbps(2)})
+        added = perf_pass.extend(detours, loads, inputs)
+        assert len(added) == 1
+        assert added[0].prefix == P_CONE
+        assert "AS65003" in added[0].target.source.name
+
+    def test_small_improvements_ignored(self, mini):
+        perf_pass, monitor = build_pass(mini, {"AS65003": -5.0})
+        monitor.measure_round([P_CONE])
+        detours, loads = {}, {}
+        inputs = mini.inputs({P_CONE: gbps(2)})
+        assert perf_pass.extend(detours, loads, inputs) == []
+
+    def test_capacity_respected(self, mini):
+        perf_pass, monitor = build_pass(mini, {"AS65003": -40.0})
+        monitor.measure_round([P_CONE])
+        detours = {}
+        # IXP already projected nearly full.
+        loads = {("mini-pr0", "ixp0"): gbps(18.5)}
+        inputs = mini.inputs({P_CONE: gbps(2)})
+        assert perf_pass.extend(detours, loads, inputs) == []
+
+    def test_capacity_detours_take_precedence(self, mini):
+        perf_pass, monitor = build_pass(mini, {"AS65003": -40.0})
+        monitor.measure_round([P_CONE])
+        routes = mini.collector.routes_for(P_CONE)
+        existing = Detour(
+            prefix=P_CONE,
+            rate=gbps(2),
+            preferred=routes[0],
+            target=routes[-1],
+            from_interface=("mini-pr0", "pni0"),
+            to_interface=("mini-pr0", "tr0"),
+        )
+        detours = {P_CONE: existing}
+        loads = {}
+        inputs = mini.inputs({P_CONE: gbps(2)})
+        assert perf_pass.extend(detours, loads, inputs) == []
+        assert detours[P_CONE] is existing
+
+    def test_per_cycle_cap(self, mini):
+        perf_pass, monitor = build_pass(
+            mini, {"AS65003": -40.0}, perf_moves_per_cycle=1
+        )
+        monitor.measure_round([P_CONE, P_CONE2])
+        detours, loads = {}, {}
+        inputs = mini.inputs({P_CONE: gbps(2), P_CONE2: gbps(2)})
+        added = perf_pass.extend(detours, loads, inputs)
+        assert len(added) == 1
+
+    def test_tiny_prefixes_not_moved(self, mini):
+        perf_pass, monitor = build_pass(mini, {"AS65003": -40.0})
+        monitor.measure_round([P_CONE])
+        detours, loads = {}, {}
+        inputs = mini.inputs({P_CONE: Rate(100)})  # 100 bps
+        assert perf_pass.extend(detours, loads, inputs) == []
+
+    def test_loads_updated_in_place(self, mini):
+        perf_pass, monitor = build_pass(mini, {"AS65003": -40.0})
+        monitor.measure_round([P_CONE])
+        detours = {}
+        loads = {("mini-pr0", "pni0"): gbps(5)}
+        inputs = mini.inputs({P_CONE: gbps(2)})
+        perf_pass.extend(detours, loads, inputs)
+        assert loads[("mini-pr0", "pni0")] == gbps(3)
+        assert loads[("mini-pr0", "ixp0")] == gbps(2)

@@ -1,0 +1,106 @@
+"""Tests for the load projection step."""
+
+import pytest
+
+from repro.core.projection import project
+from repro.netbase.addr import Prefix
+from repro.netbase.units import Rate, gbps
+
+from .helpers import (
+    MiniPop,
+    P_CONE,
+    P_CONE2,
+    P_IXP,
+    P_TRANSIT_ONLY,
+)
+
+
+@pytest.fixture()
+def mini():
+    return MiniPop()
+
+
+class TestProjection:
+    def test_places_on_bgp_preferred(self, mini):
+        inputs = mini.inputs({P_CONE: gbps(2), P_TRANSIT_ONLY: gbps(3)})
+        projection = project(mini.pop, inputs)
+        # P_CONE prefers the private peer; P_TRANSIT_ONLY has only transit.
+        assert projection.placements[P_CONE].interface == (
+            "mini-pr0",
+            "pni0",
+        )
+        assert projection.placements[P_TRANSIT_ONLY].interface == (
+            "mini-pr0",
+            "tr0",
+        )
+
+    def test_loads_sum_per_interface(self, mini):
+        inputs = mini.inputs(
+            {P_CONE: gbps(2), P_CONE2: gbps(3), P_IXP: gbps(1)}
+        )
+        projection = project(mini.pop, inputs)
+        assert projection.load_on(("mini-pr0", "pni0")) == gbps(5)
+        assert projection.load_on(("mini-pr0", "ixp0")) == gbps(1)
+        assert projection.load_on(("mini-pr0", "tr0")) == Rate(0)
+
+    def test_unplaceable_traffic_counted(self, mini):
+        stranger = Prefix.parse("192.0.2.0/24")
+        inputs = mini.inputs({stranger: gbps(1), P_CONE: gbps(1)})
+        projection = project(mini.pop, inputs)
+        assert projection.unplaceable == gbps(1)
+        assert stranger not in projection.placements
+
+    def test_prefixes_on_sorted_heaviest_first(self, mini):
+        inputs = mini.inputs({P_CONE: gbps(1), P_CONE2: gbps(4)})
+        projection = project(mini.pop, inputs)
+        placements = projection.prefixes_on(("mini-pr0", "pni0"))
+        assert [p.prefix for p in placements] == [P_CONE2, P_CONE]
+
+    def test_overloaded_ordering(self, mini):
+        # pni0 (10G cap): 12G → excess 2.5G over 95%; ixp0 (20G): 30G →
+        # excess 11G.  ixp0 must come first (larger absolute excess).
+        inputs = mini.inputs(
+            {P_CONE: gbps(12), P_IXP: gbps(30)}
+        )
+        projection = project(mini.pop, inputs)
+        overloaded = projection.overloaded(inputs.capacities, 0.95)
+        assert overloaded == [("mini-pr0", "ixp0"), ("mini-pr0", "pni0")]
+
+    def test_overloaded_respects_threshold(self, mini):
+        inputs = mini.inputs({P_CONE: gbps(9.4)})
+        projection = project(mini.pop, inputs)
+        assert projection.overloaded(inputs.capacities, 0.95) == []
+        assert projection.overloaded(inputs.capacities, 0.90) == [
+            ("mini-pr0", "pni0")
+        ]
+
+    def test_projection_ignores_injected_routes(self, mini):
+        """Even with an injected override in the PR's RIB, the projection
+        sees only the organic (eBGP) preferred placement."""
+        from repro.core.config import ControllerConfig
+        from repro.core.injector import BgpInjector
+        from repro.core.overrides import Override
+        from repro.bgp.route import Route
+
+        injector = BgpInjector(
+            mini.pop, {"mini-pr0": mini.speaker}, ControllerConfig()
+        )
+        target = mini.collector.routes_for(P_CONE)[-1]
+        override = Override(
+            prefix=P_CONE,
+            target=target,
+            rate_at_decision=gbps(1),
+            created_at=0.0,
+        )
+        from repro.core.overrides import OverrideDiff
+
+        injector.apply(
+            OverrideDiff(announce=(override,), withdraw=(), keep=())
+        )
+        inputs = mini.inputs({P_CONE: gbps(2)})
+        projection = project(mini.pop, inputs)
+        assert projection.placements[P_CONE].interface == (
+            "mini-pr0",
+            "pni0",
+        )
+        assert not projection.placements[P_CONE].route.is_injected

@@ -1,0 +1,108 @@
+"""Tests for DSCP policy-based routing."""
+
+import pytest
+
+from repro.dataplane.pbr import PbrTable
+from repro.measurement.altpath import DscpPolicy
+from repro.netbase.addr import Prefix
+
+from ..core.helpers import MiniPop, P_CONE, P_TRANSIT_ONLY
+
+
+@pytest.fixture()
+def mini():
+    return MiniPop()
+
+
+def make_table(mini):
+    return PbrTable(
+        ranked_routes=lambda prefix: mini.collector.routes_for(prefix)
+    )
+
+
+class TestSteering:
+    def test_dscp_zero_follows_best(self, mini):
+        table = make_table(mini)
+        route = table.route_for(P_CONE, dscp=0)
+        assert route.source == mini.private
+
+    def test_unmapped_dscp_follows_best(self, mini):
+        table = make_table(mini)
+        route = table.route_for(P_CONE, dscp=63)
+        assert route.source == mini.private
+
+    def test_mapped_dscp_steers_to_rank(self, mini):
+        table = make_table(mini)
+        policy = table.policy
+        second = table.route_for(P_CONE, dscp=policy.dscp_for(1))
+        third = table.route_for(P_CONE, dscp=policy.dscp_for(2))
+        assert second.source == mini.public
+        assert third.source == mini.transit
+        assert table.steered_flows == 2
+
+    def test_missing_rank_falls_back(self, mini):
+        table = make_table(mini)
+        route = table.route_for(
+            P_TRANSIT_ONLY, dscp=table.policy.dscp_for(1)
+        )
+        assert route.source == mini.transit  # the only route
+        assert table.fallback_flows == 1
+
+    def test_unknown_prefix(self, mini):
+        table = make_table(mini)
+        assert table.route_for(Prefix.parse("192.0.2.0/24")) is None
+
+    def test_injected_routes_invisible_to_pbr(self, mini):
+        """Measurement slices must measure organic paths, not overrides."""
+        from repro.core.config import ControllerConfig
+        from repro.core.injector import BgpInjector
+        from repro.core.overrides import Override, OverrideDiff
+        from repro.netbase.units import gbps
+
+        injector = BgpInjector(
+            mini.pop, {"mini-pr0": mini.speaker}, ControllerConfig()
+        )
+        target = mini.collector.routes_for(P_CONE)[-1]
+        injector.apply(
+            OverrideDiff(
+                announce=(
+                    Override(
+                        prefix=P_CONE,
+                        target=target,
+                        rate_at_decision=gbps(1),
+                        created_at=0.0,
+                    ),
+                ),
+                withdraw=(),
+                keep=(),
+            )
+        )
+        # PBR over the PR's own loc-rib would see the injected route;
+        # over the collector's organic view it must not.
+        table = PbrTable(
+            ranked_routes=lambda p: mini.speaker.loc_rib.routes_for(p)
+        )
+        best = table.route_for(P_CONE, dscp=0)
+        assert not best.is_injected
+
+
+class TestSlices:
+    def test_slices_for_multi_route_prefix(self, mini):
+        table = make_table(mini)
+        slices = table.slices_for(P_CONE)
+        # Three routes -> two measurable alternates.
+        assert slices == [
+            table.policy.dscp_for(1),
+            table.policy.dscp_for(2),
+        ]
+
+    def test_slices_for_single_route_prefix(self, mini):
+        table = make_table(mini)
+        assert table.slices_for(P_TRANSIT_ONLY) == []
+
+    def test_policy_with_fewer_ranks(self, mini):
+        table = PbrTable(
+            ranked_routes=lambda p: mini.collector.routes_for(p),
+            policy=DscpPolicy(dscp_of_rank=(0, 12)),
+        )
+        assert table.slices_for(P_CONE) == [12]

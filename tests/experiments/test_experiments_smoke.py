@@ -1,0 +1,74 @@
+"""Smoke tests for the experiment modules, at reduced scale.
+
+The benchmarks run the canonical (slow) configurations; these tests run
+the same code paths in under a minute total, so refactors that break an
+experiment fail in the unit suite rather than only at bench time.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2_route_diversity,
+    fig4_overload_no_te,
+    fig5_overload_magnitude,
+    fig8_altpath_rtt,
+    table1_pops,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    build_deployment,
+    peak_for,
+    run_window,
+)
+from repro.netbase.units import gbps
+
+
+class TestCommonHarness:
+    def test_peak_for_matches_specs(self):
+        assert peak_for("pop-a") == gbps(170)
+        assert peak_for("pop-b") == gbps(200)
+
+    def test_build_and_run_window(self):
+        deployment = build_deployment("pop-b", tick_seconds=120.0)
+        run_window(deployment, hours=0.2)
+        assert len(deployment.record.ticks) == 6
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult(name="X", claim="c")
+        result.metrics["k"] = 1.5
+        text = result.render()
+        assert "== X ==" in text and "k = 1.5" in text
+
+
+class TestCheapExperiments:
+    def test_table1(self):
+        result = table1_pops.run()
+        assert len(result.tables[0].rows) == 4
+
+    def test_fig8_small(self):
+        result = fig8_altpath_rtt.run(prefix_count=40, rounds=1)
+        assert result.series
+        assert "rank1.median_delta_ms" in result.metrics
+
+
+@pytest.fixture(scope="module")
+def short_bgp_only():
+    """One shared 0.5h BGP-only window for fig4/fig5 smoke."""
+    from repro.experiments.overload_runs import bgp_only_window
+
+    return bgp_only_window("pop-a", hours=0.5)
+
+
+class TestOverloadExperimentsSmoke:
+    def test_fig4_small(self, short_bgp_only):
+        result = fig4_overload_no_te.run(hours=0.5)
+        assert result.metrics["interfaces"] > 0
+        assert result.metrics["interfaces_ever_overloaded"] >= 1
+
+    def test_fig5_small(self, short_bgp_only):
+        result = fig5_overload_magnitude.run(hours=0.5)
+        assert result.metrics["median_overload"] > 1.0
+
+    def test_fig2_runs(self):
+        result = fig2_route_diversity.run()
+        assert result.metrics["pop-a.traffic_with_2_routes"] > 0.9

@@ -1,0 +1,183 @@
+"""Tests for repro.netbase.addr (Prefix and address parsing)."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase.addr import Family, Prefix, parse_address, parse_prefix
+from repro.netbase.errors import AddressError
+
+
+class TestFamily:
+    def test_afi_values_match_iana(self):
+        assert Family.IPV4 == 1
+        assert Family.IPV6 == 2
+
+    def test_lengths(self):
+        assert Family.IPV4.max_length == 32
+        assert Family.IPV6.max_length == 128
+        assert Family.IPV4.address_bytes == 4
+        assert Family.IPV6.address_bytes == 16
+
+
+class TestParseAddress:
+    def test_v4(self):
+        family, value = parse_address("192.0.2.1")
+        assert family is Family.IPV4
+        assert value == 0xC0000201
+
+    def test_v6(self):
+        family, value = parse_address("2001:db8::1")
+        assert family is Family.IPV6
+        assert value == 0x20010DB8000000000000000000000001
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AddressError):
+            parse_address("not-an-ip")
+
+
+class TestPrefixConstruction:
+    def test_parse_v4(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.family is Family.IPV4
+        assert p.network == 10 << 24
+        assert p.length == 8
+
+    def test_parse_v6(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert p.family is Family.IPV6
+        assert p.length == 32
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.1/8")
+
+    def test_constructor_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix(Family.IPV4, 0xC0000201, 24)
+
+    def test_constructor_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix(Family.IPV4, 0, 33)
+        with pytest.raises(AddressError):
+            Prefix(Family.IPV4, 0, -1)
+
+    def test_from_address_masks(self):
+        p = Prefix.from_address(Family.IPV4, 0xC0000201, 24)
+        assert p == Prefix.parse("192.0.2.0/24")
+
+    def test_default_route(self):
+        assert str(Prefix.default(Family.IPV4)) == "0.0.0.0/0"
+        assert str(Prefix.default(Family.IPV6)) == "::/0"
+
+    def test_parse_prefix_helper(self):
+        assert parse_prefix("10.0.0.0/8") == Prefix.parse("10.0.0.0/8")
+
+
+class TestPrefixRelations:
+    def test_contains_address(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert p.contains_address(*parse_address("192.0.2.99"))
+        assert not p.contains_address(*parse_address("192.0.3.1"))
+        assert not p.contains_address(*parse_address("2001:db8::1"))
+
+    def test_covers(self):
+        coarse = Prefix.parse("10.0.0.0/8")
+        fine = Prefix.parse("10.1.0.0/16")
+        assert coarse.covers(fine)
+        assert coarse.covers(coarse)
+        assert not fine.covers(coarse)
+        assert not coarse.covers(Prefix.parse("11.0.0.0/16"))
+
+    def test_covers_is_family_scoped(self):
+        assert not Prefix.default(Family.IPV4).covers(
+            Prefix.parse("2001:db8::/32")
+        )
+
+    def test_subnets(self):
+        low, high = Prefix.parse("10.0.0.0/8").subnets()
+        assert str(low) == "10.0.0.0/9"
+        assert str(high) == "10.128.0.0/9"
+
+    def test_subnets_of_host_prefix_rejected(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.1/32").subnets())
+
+
+class TestPrefixEncoding:
+    def test_bits(self):
+        assert Prefix.parse("192.0.0.0/2").bits == "11"
+        assert Prefix.default(Family.IPV4).bits == ""
+
+    def test_network_bytes(self):
+        assert Prefix.parse("192.0.2.0/24").network_bytes() == bytes(
+            [192, 0, 2, 0]
+        )
+
+    def test_nlri_bytes_truncates_to_needed_octets(self):
+        assert Prefix.parse("192.0.2.0/24").nlri_bytes() == bytes(
+            [24, 192, 0, 2]
+        )
+        assert Prefix.parse("10.0.0.0/8").nlri_bytes() == bytes([8, 10])
+        assert Prefix.default(Family.IPV4).nlri_bytes() == bytes([0])
+
+
+class TestPrefixValueSemantics:
+    def test_equality_and_hash(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/8")
+        assert a == b and hash(a) == hash(b)
+        assert a != Prefix.parse("10.0.0.0/9")
+
+    def test_sort_order_deterministic(self):
+        prefixes = [
+            Prefix.parse("10.0.0.0/9"),
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("9.0.0.0/8"),
+            Prefix.parse("2001:db8::/32"),
+        ]
+        ordered = sorted(prefixes)
+        assert [str(p) for p in ordered] == [
+            "9.0.0.0/8",
+            "10.0.0.0/8",
+            "10.0.0.0/9",
+            "2001:db8::/32",
+        ]
+
+    def test_str_round_trip(self):
+        for text in ("10.0.0.0/8", "2001:db8::/32", "0.0.0.0/0"):
+            assert str(Prefix.parse(text)) == text
+
+
+@st.composite
+def prefixes(draw, family=None):
+    fam = family or draw(st.sampled_from([Family.IPV4, Family.IPV6]))
+    length = draw(st.integers(min_value=0, max_value=fam.max_length))
+    address = draw(st.integers(min_value=0, max_value=(1 << fam.max_length) - 1))
+    return Prefix.from_address(fam, address, length)
+
+
+class TestPrefixProperties:
+    @given(prefixes())
+    def test_parse_str_round_trip(self, prefix):
+        assert Prefix.parse(str(prefix)) == prefix
+
+    @given(prefixes())
+    def test_covers_matches_ipaddress(self, prefix):
+        net = ipaddress.ip_network(str(prefix))
+        if prefix.length < prefix.family.max_length:
+            for sub in prefix.subnets():
+                assert prefix.covers(sub)
+                assert ipaddress.ip_network(str(sub)).subnet_of(net)
+
+    @given(prefixes())
+    def test_contains_own_network_address(self, prefix):
+        assert prefix.contains_address(prefix.family, prefix.network)
+
+    @given(prefixes())
+    def test_nlri_length_minimal(self, prefix):
+        encoded = prefix.nlri_bytes()
+        assert encoded[0] == prefix.length
+        assert len(encoded) == 1 + (prefix.length + 7) // 8

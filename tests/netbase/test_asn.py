@@ -1,0 +1,64 @@
+"""Tests for repro.netbase.asn."""
+
+import pytest
+
+from repro.netbase.asn import (
+    AS_TRANS,
+    MAX_ASN,
+    Relationship,
+    is_private_asn,
+    is_reserved_asn,
+    validate_asn,
+)
+from repro.netbase.errors import AddressError
+
+
+class TestValidateAsn:
+    def test_accepts_normal_asns(self):
+        assert validate_asn(65000) == 65000
+        assert validate_asn(1) == 1
+        assert validate_asn(MAX_ASN) == MAX_ASN
+
+    @pytest.mark.parametrize("bad", [0, -1, MAX_ASN + 1])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(AddressError):
+            validate_asn(bad)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(AddressError):
+            validate_asn("65000")  # type: ignore[arg-type]
+        with pytest.raises(AddressError):
+            validate_asn(True)  # type: ignore[arg-type]
+
+
+class TestRanges:
+    def test_private_ranges(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(65000)
+        assert is_private_asn(4200000000)
+        assert not is_private_asn(15169)
+        assert not is_private_asn(65535)
+
+    def test_reserved(self):
+        assert is_reserved_asn(0)
+        assert is_reserved_asn(65535)
+        assert is_reserved_asn(AS_TRANS)
+        assert is_reserved_asn(MAX_ASN)
+        assert not is_reserved_asn(3356)
+
+
+class TestRelationship:
+    def test_inverse(self):
+        assert Relationship.CUSTOMER.inverse is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse is Relationship.PEER
+
+    def test_customer_routes_export_everywhere(self):
+        for target in Relationship:
+            assert target.may_export_to(Relationship.CUSTOMER)
+
+    def test_peer_and_provider_routes_export_only_to_customers(self):
+        for learned in (Relationship.PEER, Relationship.PROVIDER):
+            assert Relationship.CUSTOMER.may_export_to(learned)
+            assert not Relationship.PEER.may_export_to(learned)
+            assert not Relationship.PROVIDER.may_export_to(learned)

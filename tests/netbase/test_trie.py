@@ -1,0 +1,301 @@
+"""Tests for repro.netbase.trie — radix trie and PrefixMap.
+
+The property tests compare the trie against a brute-force reference model
+(a dict scanned linearly for longest match), which is the strongest check
+we have that path compression and node splitting are correct.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netbase.addr import Family, Prefix
+from repro.netbase.errors import AddressError
+from repro.netbase.trie import PrefixMap, RadixTrie
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestBasicOperations:
+    def test_insert_and_exact_get(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/8")] = "a"
+        trie[p("10.1.0.0/16")] = "b"
+        assert trie[p("10.0.0.0/8")] == "a"
+        assert trie[p("10.1.0.0/16")] == "b"
+        assert len(trie) == 2
+
+    def test_get_missing_returns_default(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/8")] = "a"
+        assert trie.get(p("10.0.0.0/9")) is None
+        assert trie.get(p("10.0.0.0/9"), "x") == "x"
+
+    def test_getitem_missing_raises(self):
+        trie = RadixTrie(Family.IPV4)
+        with pytest.raises(KeyError):
+            trie[p("10.0.0.0/8")]
+
+    def test_replace_does_not_grow(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/8")] = "a"
+        trie[p("10.0.0.0/8")] = "b"
+        assert len(trie) == 1
+        assert trie[p("10.0.0.0/8")] == "b"
+
+    def test_contains(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/8")] = "a"
+        assert p("10.0.0.0/8") in trie
+        assert p("10.0.0.0/16") not in trie
+
+    def test_family_mismatch_rejected(self):
+        trie = RadixTrie(Family.IPV4)
+        with pytest.raises(AddressError):
+            trie.insert(p("2001:db8::/32"), "x")
+
+    def test_default_route(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("0.0.0.0/0")] = "default"
+        trie[p("10.0.0.0/8")] = "ten"
+        assert trie.longest_match(p("11.0.0.0/24")) == (
+            p("0.0.0.0/0"),
+            "default",
+        )
+        assert trie.longest_match(p("10.9.0.0/24")) == (p("10.0.0.0/8"), "ten")
+
+
+class TestDeletion:
+    def test_delete_returns_value(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/8")] = "a"
+        assert trie.delete(p("10.0.0.0/8")) == "a"
+        assert len(trie) == 0
+        assert p("10.0.0.0/8") not in trie
+
+    def test_delete_missing_raises(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/8")] = "a"
+        with pytest.raises(KeyError):
+            trie.delete(p("10.0.0.0/16"))
+        with pytest.raises(KeyError):
+            trie.delete(p("11.0.0.0/8"))
+
+    def test_delete_branch_value_keeps_children(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/8")] = "a"
+        trie[p("10.0.0.0/16")] = "b"
+        trie[p("10.128.0.0/16")] = "c"
+        trie.delete(p("10.0.0.0/8"))
+        assert sorted(str(k) for k in trie) == [
+            "10.0.0.0/16",
+            "10.128.0.0/16",
+        ]
+        assert trie.longest_match(p("10.0.1.0/24")) == (p("10.0.0.0/16"), "b")
+
+    def test_delete_leaf_collapses_branch(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/16")] = "b"
+        trie[p("10.128.0.0/16")] = "c"
+        trie.delete(p("10.0.0.0/16"))
+        assert list(trie.items()) == [(p("10.128.0.0/16"), "c")]
+        trie.delete(p("10.128.0.0/16"))
+        assert len(trie) == 0
+
+    def test_clear(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/8")] = "a"
+        trie.clear()
+        assert len(trie) == 0 and not trie
+
+
+class TestLongestMatch:
+    def test_most_specific_wins(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.0.0.0/8")] = 8
+        trie[p("10.1.0.0/16")] = 16
+        trie[p("10.1.2.0/24")] = 24
+        assert trie.longest_match(p("10.1.2.3/32"))[1] == 24
+        assert trie.longest_match(p("10.1.9.0/24"))[1] == 16
+        assert trie.longest_match(p("10.9.0.0/16"))[1] == 8
+        assert trie.longest_match(p("11.0.0.0/8")) is None
+
+    def test_lookup_address(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("192.0.2.0/24")] = "doc"
+        found = trie.lookup_address(0xC0000263)  # 192.0.2.99
+        assert found == (p("192.0.2.0/24"), "doc")
+        assert trie.lookup_address(0xC0000363) is None
+
+    def test_target_shorter_than_entry_no_match(self):
+        trie = RadixTrie(Family.IPV4)
+        trie[p("10.1.0.0/16")] = "fine"
+        assert trie.longest_match(p("10.0.0.0/8")) is None
+
+
+class TestIteration:
+    def test_items_in_lexicographic_order(self):
+        trie = RadixTrie(Family.IPV4)
+        entries = ["10.0.0.0/9", "9.0.0.0/8", "10.0.0.0/8", "10.128.0.0/9"]
+        for i, text in enumerate(entries):
+            trie[p(text)] = i
+        assert [str(k) for k, _ in trie.items()] == [
+            "9.0.0.0/8",
+            "10.0.0.0/8",
+            "10.0.0.0/9",
+            "10.128.0.0/9",
+        ]
+
+    def test_covered_by(self):
+        trie = RadixTrie(Family.IPV4)
+        for text in ("10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16", "11.0.0.0/8"):
+            trie[p(text)] = text
+        covered = {str(k) for k, _ in trie.covered_by(p("10.0.0.0/8"))}
+        assert covered == {"10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16"}
+        covered = {str(k) for k, _ in trie.covered_by(p("10.1.0.0/16"))}
+        assert covered == {"10.1.0.0/16"}
+        assert list(trie.covered_by(p("12.0.0.0/8"))) == []
+
+
+class TestPrefixMap:
+    def test_dual_stack(self):
+        mapping: PrefixMap[str] = PrefixMap()
+        mapping[p("10.0.0.0/8")] = "v4"
+        mapping[p("2001:db8::/32")] = "v6"
+        assert len(mapping) == 2
+        assert mapping[p("10.0.0.0/8")] == "v4"
+        assert mapping.longest_match(p("2001:db8:1::/48")) == (
+            p("2001:db8::/32"),
+            "v6",
+        )
+
+    def test_pop_and_del(self):
+        mapping: PrefixMap[str] = PrefixMap()
+        mapping[p("10.0.0.0/8")] = "a"
+        assert mapping.pop(p("10.0.0.0/8")) == "a"
+        assert mapping.pop(p("10.0.0.0/8"), "default") == "default"
+        with pytest.raises(KeyError):
+            mapping.pop(p("10.0.0.0/8"))
+        mapping[p("10.0.0.0/8")] = "b"
+        del mapping[p("10.0.0.0/8")]
+        assert p("10.0.0.0/8") not in mapping
+
+    def test_setdefault(self):
+        mapping: PrefixMap[list] = PrefixMap()
+        first = mapping.setdefault(p("10.0.0.0/8"), [])
+        first.append(1)
+        assert mapping.setdefault(p("10.0.0.0/8"), []) == [1]
+
+    def test_iteration_covers_both_families(self):
+        mapping: PrefixMap[int] = PrefixMap()
+        mapping[p("10.0.0.0/8")] = 1
+        mapping[p("2001:db8::/32")] = 2
+        assert sorted(mapping.values()) == [1, 2]
+        assert len(list(mapping.keys())) == 2
+
+    def test_lookup_address(self):
+        mapping: PrefixMap[str] = PrefixMap()
+        mapping[p("192.0.2.0/24")] = "doc"
+        assert mapping.lookup_address(Family.IPV4, 0xC0000201) == (
+            p("192.0.2.0/24"),
+            "doc",
+        )
+
+    def test_clear(self):
+        mapping: PrefixMap[int] = PrefixMap()
+        mapping[p("10.0.0.0/8")] = 1
+        mapping.clear()
+        assert len(mapping) == 0
+
+
+# ---------------------------------------------------------------------------
+# Property tests against a brute-force reference model.
+# ---------------------------------------------------------------------------
+
+v4_prefixes = st.builds(
+    lambda addr, length: Prefix.from_address(Family.IPV4, addr, length),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+def reference_longest_match(model: dict, target: Prefix):
+    best = None
+    for prefix, value in model.items():
+        if prefix.covers(target):
+            if best is None or prefix.length > best[0].length:
+                best = (prefix, value)
+    return best
+
+
+class TestTrieAgainstReference:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.tuples(v4_prefixes, st.integers()), max_size=60),
+        v4_prefixes,
+    )
+    def test_longest_match_matches_reference(self, entries, target):
+        trie = RadixTrie(Family.IPV4)
+        model: dict = {}
+        for prefix, value in entries:
+            trie[prefix] = value
+            model[prefix] = value
+        assert len(trie) == len(model)
+        expected = reference_longest_match(model, target)
+        actual = trie.longest_match(target)
+        if expected is None:
+            assert actual is None
+        else:
+            # Value must match; the winning prefix length must match too.
+            assert actual is not None
+            assert actual[0].length == expected[0].length
+            assert actual[1] == model[actual[0]]
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.tuples(v4_prefixes, st.integers()), max_size=60))
+    def test_items_round_trip(self, entries):
+        trie = RadixTrie(Family.IPV4)
+        model: dict = {}
+        for prefix, value in entries:
+            trie[prefix] = value
+            model[prefix] = value
+        assert dict(trie.items()) == model
+        assert sorted(trie.keys()) == sorted(model)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.tuples(v4_prefixes, st.integers()), max_size=40),
+        st.data(),
+    )
+    def test_delete_matches_reference(self, entries, data):
+        trie = RadixTrie(Family.IPV4)
+        model: dict = {}
+        for prefix, value in entries:
+            trie[prefix] = value
+            model[prefix] = value
+        keys = sorted(model)
+        if keys:
+            doomed = data.draw(st.sampled_from(keys))
+            assert trie.delete(doomed) == model.pop(doomed)
+        assert dict(trie.items()) == model
+        for prefix in model:
+            assert trie.get(prefix) == model[prefix]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.tuples(v4_prefixes, st.integers()), max_size=40),
+        v4_prefixes,
+    )
+    def test_covered_by_matches_reference(self, entries, covering):
+        trie = RadixTrie(Family.IPV4)
+        model: dict = {}
+        for prefix, value in entries:
+            trie[prefix] = value
+            model[prefix] = value
+        expected = {
+            prefix for prefix in model if covering.covers(prefix)
+        }
+        actual = {prefix for prefix, _ in trie.covered_by(covering)}
+        assert actual == expected

@@ -1,0 +1,30 @@
+"""PrefixMap.covered_by — added for the prefix-splitting feature."""
+
+from repro.netbase.addr import Prefix
+from repro.netbase.trie import PrefixMap
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+class TestPrefixMapCoveredBy:
+    def test_returns_specifics(self):
+        mapping: PrefixMap[str] = PrefixMap()
+        mapping[p("11.0.0.0/24")] = "parent"
+        mapping[p("11.0.0.0/25")] = "low"
+        mapping[p("11.0.0.128/25")] = "high"
+        mapping[p("11.0.1.0/24")] = "sibling"
+        found = dict(mapping.covered_by(p("11.0.0.0/24")))
+        assert set(found.values()) == {"parent", "low", "high"}
+
+    def test_family_scoped(self):
+        mapping: PrefixMap[int] = PrefixMap()
+        mapping[p("11.0.0.0/24")] = 1
+        mapping[p("2001:db8::/32")] = 2
+        found = list(mapping.covered_by(p("2001:db8::/32")))
+        assert found == [(p("2001:db8::/32"), 2)]
+
+    def test_empty(self):
+        mapping: PrefixMap[int] = PrefixMap()
+        assert list(mapping.covered_by(p("10.0.0.0/8"))) == []

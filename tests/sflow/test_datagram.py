@@ -1,0 +1,157 @@
+"""Tests for the sFlow datagram codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netbase.addr import Family
+from repro.netbase.errors import MalformedMessage, TruncatedMessage
+from repro.sflow.datagram import (
+    FlowSample,
+    PacketRecord,
+    SflowDatagram,
+    SFLOW_VERSION,
+)
+
+
+def record(**overrides) -> PacketRecord:
+    base = dict(
+        family=Family.IPV4,
+        src_address=0x0A000001,
+        dst_address=0xC6336401,
+        frame_length=1400,
+        dscp=0,
+    )
+    base.update(overrides)
+    return PacketRecord(**base)
+
+
+def sample(**overrides) -> FlowSample:
+    base = dict(
+        sequence=1,
+        sampling_rate=4096,
+        sample_pool=100000,
+        drops=0,
+        input_ifindex=0,
+        output_ifindex=3,
+        record=record(),
+    )
+    base.update(overrides)
+    return FlowSample(**base)
+
+
+class TestRoundTrips:
+    def test_empty_datagram(self):
+        datagram = SflowDatagram(
+            agent_address=0x0A000001, sequence=7, uptime_ms=1234, samples=()
+        )
+        decoded = SflowDatagram.decode(datagram.encode())
+        assert decoded == datagram
+
+    def test_datagram_with_samples(self):
+        datagram = SflowDatagram(
+            agent_address=0x0A000001,
+            sequence=7,
+            uptime_ms=1234,
+            samples=(sample(), sample(sequence=2, output_ifindex=4)),
+        )
+        decoded = SflowDatagram.decode(datagram.encode())
+        assert decoded == datagram
+        assert decoded.samples[1].output_ifindex == 4
+
+    def test_v6_record(self):
+        datagram = SflowDatagram(
+            agent_address=1,
+            sequence=1,
+            uptime_ms=0,
+            samples=(
+                sample(
+                    record=record(
+                        family=Family.IPV6,
+                        dst_address=0x20010DB8 << 96,
+                    )
+                ),
+            ),
+        )
+        decoded = SflowDatagram.decode(datagram.encode())
+        assert decoded.samples[0].record.family is Family.IPV6
+        assert decoded.samples[0].record.dst_address == 0x20010DB8 << 96
+
+    def test_dscp_preserved(self):
+        datagram = SflowDatagram(
+            agent_address=1,
+            sequence=1,
+            uptime_ms=0,
+            samples=(sample(record=record(dscp=46)),),
+        )
+        decoded = SflowDatagram.decode(datagram.encode())
+        assert decoded.samples[0].record.dscp == 46
+
+
+class TestValidation:
+    def test_bad_version(self):
+        wire = bytearray(
+            SflowDatagram(
+                agent_address=1, sequence=1, uptime_ms=0, samples=()
+            ).encode()
+        )
+        wire[3] = SFLOW_VERSION + 1
+        with pytest.raises(MalformedMessage):
+            SflowDatagram.decode(bytes(wire))
+
+    def test_truncated(self):
+        wire = SflowDatagram(
+            agent_address=1, sequence=1, uptime_ms=0, samples=(sample(),)
+        ).encode()
+        with pytest.raises(TruncatedMessage):
+            SflowDatagram.decode(wire[:-4])
+
+    def test_trailing_garbage_rejected(self):
+        wire = SflowDatagram(
+            agent_address=1, sequence=1, uptime_ms=0, samples=()
+        ).encode()
+        with pytest.raises(MalformedMessage):
+            SflowDatagram.decode(wire + b"\x00")
+
+    def test_zero_sampling_rate_rejected(self):
+        wire = SflowDatagram(
+            agent_address=1,
+            sequence=1,
+            uptime_ms=0,
+            samples=(sample(sampling_rate=0),),
+        ).encode()
+        with pytest.raises(MalformedMessage):
+            SflowDatagram.decode(wire)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=2**32 - 1),  # rate
+                st.integers(min_value=0, max_value=2**32 - 1),  # dst
+                st.integers(min_value=64, max_value=9000),  # frame len
+                st.integers(min_value=1, max_value=64),  # out ifindex
+            ),
+            max_size=10,
+        ),
+        st.integers(min_value=0, max_value=2**128 - 1),
+    )
+    def test_round_trip(self, rows, agent):
+        samples = tuple(
+            FlowSample(
+                sequence=i,
+                sampling_rate=rate,
+                sample_pool=i * 1000,
+                drops=0,
+                input_ifindex=0,
+                output_ifindex=ifindex,
+                record=record(dst_address=dst, frame_length=frame),
+            )
+            for i, (rate, dst, frame, ifindex) in enumerate(rows)
+        )
+        datagram = SflowDatagram(
+            agent_address=agent, sequence=1, uptime_ms=99, samples=samples
+        )
+        assert SflowDatagram.decode(datagram.encode()) == datagram

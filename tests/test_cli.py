@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.pop == "pop-a"
+        assert args.minutes == 10.0
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig4", "--hours", "1.0"]
+        )
+        assert args.name == "fig4" and args.hours == 1.0
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig4" in out and "table2" in out and "a1" in out
+        assert out == sorted(out)
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_registry_complete(self):
+        # One entry per reconstructed table/figure plus four ablations.
+        assert len(EXPERIMENTS) == 15
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "pop-a" in out
+
+    def test_quickstart_tiny(self, capsys):
+        assert main(["quickstart", "--minutes", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "offered=" in out

@@ -1,0 +1,168 @@
+"""Tests for the synthetic Internet topology."""
+
+import pytest
+
+from repro.netbase.asn import Relationship
+from repro.netbase.errors import TopologyError
+from repro.topology.internet import InternetConfig, InternetTopology
+
+
+@pytest.fixture(scope="module")
+def net():
+    return InternetTopology(
+        InternetConfig(seed=7, tier1_count=3, tier2_count=10, stub_count=60)
+    )
+
+
+class TestStructure:
+    def test_tier_counts(self, net):
+        assert len(net.tier1s) == 3
+        assert len(net.tier2s) == 10
+        assert len(net.stubs) == 60
+
+    def test_tier1_full_mesh(self, net):
+        tier1s = set(net.tier1s)
+        for asn in tier1s:
+            assert tier1s - {asn} <= set(net.node(asn).peers)
+
+    def test_every_tier2_has_tier1_providers(self, net):
+        for asn in net.tier2s:
+            providers = net.node(asn).providers
+            assert providers
+            assert all(net.node(p).tier == 1 for p in providers)
+
+    def test_every_stub_has_tier2_providers(self, net):
+        for asn in net.stubs:
+            providers = net.node(asn).providers
+            assert providers
+            assert all(net.node(p).tier == 2 for p in providers)
+
+    def test_stubs_originate_prefixes(self, net):
+        for asn in net.stubs:
+            assert net.prefixes_of(asn)
+
+    def test_prefixes_have_unique_origins(self, net):
+        seen = {}
+        for asn in net.stubs:
+            for prefix in net.prefixes_of(asn):
+                assert prefix not in seen
+                seen[prefix] = asn
+                assert net.origin_of(prefix) == asn
+
+    def test_deterministic_given_seed(self):
+        config = InternetConfig(
+            seed=3, tier1_count=2, tier2_count=5, stub_count=20
+        )
+        a = InternetTopology(config)
+        b = InternetTopology(config)
+        assert a.all_prefixes() == b.all_prefixes()
+        assert {n: a.nodes[n].providers for n in a.nodes} == {
+            n: b.nodes[n].providers for n in b.nodes
+        }
+
+    def test_unknown_asn_rejected(self, net):
+        with pytest.raises(TopologyError):
+            net.node(999999)
+        from repro.netbase.addr import Prefix
+
+        with pytest.raises(TopologyError):
+            net.origin_of(Prefix.parse("192.0.2.0/24"))
+
+
+class TestCones:
+    def test_cone_contains_self(self, net):
+        for asn in net.tier2s:
+            assert asn in net.customer_cone(asn)
+
+    def test_stub_cone_is_self_only(self, net):
+        for asn in net.stubs[:10]:
+            assert net.customer_cone(asn) == frozenset({asn})
+
+    def test_tier1_cones_cover_everything(self, net):
+        covered = set()
+        for asn in net.tier1s:
+            covered |= net.customer_cone(asn)
+        assert set(net.stubs) <= covered
+
+    def test_cone_prefixes_match_members(self, net):
+        asn = net.tier2s[0]
+        cone = net.customer_cone(asn)
+        prefixes = set(net.cone_prefixes(asn))
+        expected = {
+            prefix
+            for member in cone
+            for prefix in net.prefixes_of(member)
+        }
+        assert prefixes == expected
+
+
+class TestPaths:
+    def test_path_down_to_self(self, net):
+        asn = net.tier2s[0]
+        assert net.path_down_to(asn, asn) == [asn]
+
+    def test_path_down_follows_customer_links(self, net):
+        tier2 = net.tier2s[0]
+        stubs_in_cone = [
+            s for s in net.customer_cone(tier2) if net.node(s).tier == 3
+        ]
+        stub = stubs_in_cone[0]
+        path = net.path_down_to(tier2, stub)
+        assert path[0] == tier2 and path[-1] == stub
+        for parent, child in zip(path, path[1:]):
+            assert child in net.node(parent).customers
+
+    def test_path_down_outside_cone_is_none(self, net):
+        tier2 = net.tier2s[0]
+        outside = [
+            s for s in net.stubs if s not in net.customer_cone(tier2)
+        ]
+        if outside:
+            assert net.path_down_to(tier2, outside[0]) is None
+
+    def test_transit_path_reaches_everything(self, net):
+        tier1 = net.tier1s[0]
+        for prefix in net.all_prefixes()[:50]:
+            path = net.transit_path_to(tier1, net.origin_of(prefix))
+            assert path[0] == tier1
+            assert path[-1] == net.origin_of(prefix)
+            assert len(path) <= 5
+
+    def test_transit_path_valley_free(self, net):
+        # After at most one tier-1 peer hop, links only go provider→customer.
+        tier1 = net.tier1s[0]
+        for prefix in net.all_prefixes()[:50]:
+            path = net.transit_path_to(tier1, net.origin_of(prefix))
+            start = 1 if (len(path) > 1 and net.node(path[1]).tier == 1) else 0
+            for parent, child in zip(path[start:], path[start + 1 :]):
+                assert child in net.node(parent).customers
+
+
+class TestFeeds:
+    def test_transit_feed_covers_all_prefixes(self, net):
+        feed = dict(net.transit_feed(net.tier1s[0]))
+        assert set(feed) == set(net.all_prefixes())
+
+    def test_peer_feed_covers_cone_only(self, net):
+        asn = net.tier2s[0]
+        feed = dict(net.peer_feed(asn))
+        assert set(feed) == set(net.cone_prefixes(asn))
+        for prefix, path in feed.items():
+            assert path[0] == asn
+
+    def test_route_server_feed_transparent(self, net):
+        members = net.stubs[:3]
+        feed = list(net.route_server_feed(members))
+        assert feed
+        for prefix, path in feed:
+            assert path[0] in members  # RS adds no ASN
+
+    def test_relationship(self, net):
+        tier2 = net.tier2s[0]
+        provider = net.node(tier2).providers[0]
+        assert net.relationship(tier2, provider) is Relationship.PROVIDER
+        assert net.relationship(provider, tier2) is Relationship.CUSTOMER
+        assert net.relationship(net.tier1s[0], net.tier1s[1]) is (
+            Relationship.PEER
+        )
+        assert net.relationship(tier2, 999999) is None
