@@ -1,0 +1,138 @@
+"""Tick hot-path perf harness.
+
+Measures the wall-clock cost of the full per-tick pipeline (dataplane
+tick, sFlow encode/decode, estimator feeds, controller cycles) on the
+canonical study PoP, and compares against the committed pre-optimization
+baseline in ``BENCH_hotpath_baseline.json``.
+
+Run directly (not a pytest benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_tick_hotpath.py [--quick]
+
+Writes ``BENCH_hotpath.json`` next to this file: tick/cycle percentile
+snapshots plus the speedup over the baseline's mean tick time.  Pass
+``--min-speedup 3`` to make the run fail (exit 1) when the speedup falls
+short — the acceptance gate for the fast-path work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "src"))
+
+from repro.analysis.perf import PerfRecorder  # noqa: E402
+from repro.core.pipeline import PopDeployment  # noqa: E402
+
+#: The workload matches the committed baseline: the canonical study PoP
+#: (seed 7), 30-second ticks starting at the diurnal peak, controller on.
+PEAK_START = 64_800.0
+TICK_SECONDS = 30.0
+
+
+def run_bench(ticks: int) -> dict:
+    build_started = time.perf_counter()
+    deployment = PopDeployment.build(pop_name="pop-a", seed=7)
+    build_seconds = time.perf_counter() - build_started
+
+    recorder = PerfRecorder()
+    deployment.perf = recorder
+    now = PEAK_START
+    for _ in range(ticks):
+        deployment.step(now)
+        now += TICK_SECONDS
+
+    tick = recorder.tick_snapshot()
+    day_ticks = 86_400.0 / TICK_SECONDS
+    return recorder.to_dict(
+        extra={
+            "build_seconds": round(build_seconds, 3),
+            "ticks": ticks,
+            "day_seconds_est": round(
+                tick.mean_ms * day_ticks / 1000.0, 1
+            ),
+        }
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--ticks",
+        type=int,
+        default=60,
+        help="simulated 30s ticks to measure (default 60)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short run for CI (20 ticks)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=HERE / "BENCH_hotpath.json",
+        help="where to write results",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=HERE / "BENCH_hotpath_baseline.json",
+        help="pre-optimization baseline to compare against",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless mean-tick speedup over baseline meets this",
+    )
+    args = parser.parse_args(argv)
+
+    ticks = 20 if args.quick else args.ticks
+    results = run_bench(ticks)
+
+    speedup = None
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        baseline_mean = baseline.get("mean_ms")
+        current_mean = results["tick"]["mean_ms"]
+        if baseline_mean and current_mean:
+            speedup = baseline_mean / current_mean
+            results["baseline_mean_ms"] = baseline_mean
+            results["speedup_vs_baseline"] = round(speedup, 2)
+
+    args.output.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+
+    tick = results["tick"]
+    print(
+        f"{ticks} ticks: mean {tick['mean_ms']:.1f} ms, "
+        f"p50 {tick['p50_ms']:.1f}, p90 {tick['p90_ms']:.1f}, "
+        f"max {tick['max_ms']:.1f}"
+    )
+    print(f"simulated day estimate: {results['day_seconds_est']} s")
+    if speedup is not None:
+        print(f"speedup vs baseline: {speedup:.2f}x")
+    print(f"wrote {args.output}")
+
+    if args.min_speedup is not None:
+        if speedup is None:
+            print("no baseline available for --min-speedup check")
+            return 1
+        if speedup < args.min_speedup:
+            print(
+                f"FAIL: speedup {speedup:.2f}x < "
+                f"required {args.min_speedup:.2f}x"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ Run:  python examples/daily_cycle.py   (about a minute of wall clock)
 from repro.core import ControllerConfig, PopDeployment
 
 
-def main() -> None:
+def main(hours: int = 24) -> None:
     tick = 600.0  # 10 minutes
     deployment = PopDeployment.build(
         pop_name="pop-a",
@@ -24,13 +24,13 @@ def main() -> None:
         # sampling rate to keep the pipeline fast at day scale.
         sampling_rate=1_048_576,
     )
-    print("Simulating 24 hours at 10-minute ticks...\n")
+    print(f"Simulating {hours} hours at 10-minute ticks...\n")
     print(
         f"{'hour':>4}  {'offered':>14}  {'dropped':>12}  "
         f"{'detoured':>13}  {'overrides':>9}"
     )
     ticks_per_hour = int(3600 / tick)
-    for hour in range(24):
+    for hour in range(hours):
         for sub in range(ticks_per_hour):
             now = hour * 3600.0 + sub * tick
             deployment.step(now)
@@ -49,12 +49,12 @@ def main() -> None:
         r for r in deployment.controller.monitor.reports if not r.skipped
     ]
     total_dropped = deployment.record.total_dropped_bits(tick) / 1e9
+    peak_detours = max((r.detour_count for r in reports), default=0)
     print(
         f"\nDay summary: {len(durations)} detours "
         f"(longest {max(durations, default=0) / 3600:.1f} h), "
         f"{total_dropped:.1f} Gbit dropped across the day, "
-        f"peak {max(r.detour_count for r in reports)} simultaneous "
-        "overrides."
+        f"peak {peak_detours} simultaneous overrides."
     )
 
 

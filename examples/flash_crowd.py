@@ -14,7 +14,7 @@ from repro.core import PopDeployment
 from repro.traffic.demand import FlashEvent
 
 
-def main() -> None:
+def main(ticks: int = 40) -> None:
     # Build once without events to find a victim peer's prefixes.
     probe = PopDeployment.build(pop_name="pop-a", seed=31)
     victim_asn = probe.wired.private_peer_asns[0]
@@ -40,7 +40,7 @@ def main() -> None:
         f"\n{'t(s)':>6} {'offered':>14} {'dropped':>13} "
         f"{'overrides':>9}  {'flash?':>6}"
     )
-    for tick_index in range(40):
+    for tick_index in range(ticks):
         now = start + tick_index * deployment.tick_seconds
         deployment.step(now)
         tick = deployment.record.ticks[-1]

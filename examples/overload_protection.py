@@ -12,10 +12,12 @@ from repro.core import PopDeployment
 from repro.netbase.units import Rate
 
 
-def run_once(run_controller: bool, seed: int = 21) -> PopDeployment:
+def run_once(
+    run_controller: bool, seed: int = 21, duration: float = 3600.0
+) -> PopDeployment:
     deployment = PopDeployment.build(pop_name="pop-a", seed=seed)
-    start = deployment.demand.config.peak_time - 1800
-    deployment.run(start, 3600, run_controller=run_controller)
+    start = deployment.demand.config.peak_time - duration / 2
+    deployment.run(start, duration, run_controller=run_controller)
     return deployment
 
 
@@ -29,11 +31,11 @@ def loss_stats(deployment: PopDeployment) -> tuple[Rate, float]:
     )
 
 
-def main() -> None:
+def main(duration: float = 3600.0) -> None:
     print("Running one peak hour WITHOUT Edge Fabric...")
-    without = run_once(run_controller=False)
+    without = run_once(run_controller=False, duration=duration)
     print("Running the same hour WITH Edge Fabric...")
-    with_ef = run_once(run_controller=True)
+    with_ef = run_once(run_controller=True, duration=duration)
 
     print(f"\n{'':34}{'BGP only':>16}  {'Edge Fabric':>12}")
     drop_rate_a, loss_a = loss_stats(without)
@@ -68,10 +70,11 @@ def main() -> None:
         )
 
     reports = [r for r in with_ef.record.cycle_reports if not r.skipped]
-    peak_detour = max(r.detoured_fraction for r in reports)
+    peak_detour = max((r.detoured_fraction for r in reports), default=0.0)
+    peak_count = max((r.detour_count for r in reports), default=0)
     print(
         f"\nEdge Fabric needed at most "
-        f"{max(r.detour_count for r in reports)} simultaneous overrides "
+        f"{peak_count} simultaneous overrides "
         f"and detoured at most {peak_detour:.1%} of traffic to do this."
     )
 

@@ -15,7 +15,7 @@ Run:  python examples/performance_aware.py
 from repro.core import ControllerConfig, PopDeployment
 
 
-def main() -> None:
+def main(duration: float = 1800.0) -> None:
     config = ControllerConfig(
         cycle_seconds=30.0,
         performance_aware=True,
@@ -38,8 +38,11 @@ def main() -> None:
     )
 
     start = deployment.demand.config.peak_time - 3600  # shoulder hour
-    print("\nRunning 30 minutes with alternate-path measurement on...")
-    deployment.run(start, 1800)
+    print(
+        f"\nRunning {duration / 60:.0f} minutes with alternate-path "
+        "measurement on..."
+    )
+    deployment.run(start, duration)
 
     comparisons = deployment.altpath.comparisons()
     print(f"\nMeasured {len(comparisons)} (prefix, alternate) pairs.")

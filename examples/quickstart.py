@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 from repro.core import PopDeployment
 
 
-def main() -> None:
+def main(ticks: int = 30) -> None:
     print("Building pop-a (synthetic Internet, wired BGP sessions)...")
     deployment = PopDeployment.build(pop_name="pop-a", seed=7)
     pop = deployment.wired.pop
@@ -20,14 +20,17 @@ def main() -> None:
     print(f"  routes collected over BMP: {deployment.bmp.route_count()}")
 
     start = deployment.demand.config.peak_time  # the diurnal peak
-    print("\nRunning 15 minutes at peak, controller on (30s cycles):")
+    print(
+        f"\nRunning {ticks * deployment.tick_seconds / 60:.0f} minutes "
+        "at peak, controller on (30s cycles):"
+    )
     header = (
         f"{'t(s)':>7}  {'offered':>14}  {'dropped':>13}  "
         f"{'detoured':>14}  {'overrides':>9}"
     )
     print(header)
     print("-" * len(header))
-    for tick_index in range(30):
+    for tick_index in range(ticks):
         now = start + tick_index * deployment.tick_seconds
         deployment.step(now)
         tick = deployment.record.ticks[-1]
@@ -50,7 +53,9 @@ def main() -> None:
         f"{[f'{r}/{i}' for r, i in last.overloaded_interfaces]}"
     )
     print("\nShutting the controller down (withdraw all overrides)...")
-    flushed = deployment.controller.shutdown(start + 1800)
+    flushed = deployment.controller.shutdown(
+        start + ticks * deployment.tick_seconds
+    )
     print(f"  {flushed} overrides withdrawn; BGP routing restored.")
 
 

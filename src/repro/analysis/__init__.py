@@ -1,6 +1,15 @@
-"""Analysis helpers: CDFs and result rendering."""
+"""Analysis helpers: CDFs, result rendering, and perf instrumentation."""
 
 from .cdf import Cdf
+from .perf import PerfRecorder, PerfSnapshot
 from .report import Series, Table, format_value, render_all
 
-__all__ = ["Cdf", "Series", "Table", "format_value", "render_all"]
+__all__ = [
+    "Cdf",
+    "PerfRecorder",
+    "PerfSnapshot",
+    "Series",
+    "Table",
+    "format_value",
+    "render_all",
+]

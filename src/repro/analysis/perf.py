@@ -1,0 +1,109 @@
+"""Perf instrumentation for the tick engine.
+
+The paper's controller must finish well inside its 30-second cycle; the
+reproduction's analogue is wall-clock headroom — how fast a simulated
+tick (dataplane + sampling + controller) runs relative to the interval
+it simulates.  :class:`PerfRecorder` hangs off a
+:class:`~repro.core.pipeline.PopDeployment` (``deployment.perf = ...``)
+and collects two series:
+
+- **tick wall time**: full ``step()`` latency, dataplane through
+  bookkeeping, and
+- **cycle runtime**: the controller's own per-cycle compute time (the
+  ``runtime_seconds`` each :class:`CycleReport` already carries).
+
+Snapshots summarize each series as mean/percentile statistics, and
+``write_json`` persists them — the format ``benchmarks/
+bench_tick_hotpath.py`` records into ``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["PerfSnapshot", "PerfRecorder", "percentile"]
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return (
+        sorted_values[lower] * (1.0 - weight)
+        + sorted_values[upper] * weight
+    )
+
+
+@dataclass(frozen=True)
+class PerfSnapshot:
+    """Summary statistics for one timing series, in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def of(cls, seconds: List[float]) -> "PerfSnapshot":
+        if not seconds:
+            return cls(
+                count=0,
+                mean_ms=0.0,
+                p50_ms=0.0,
+                p90_ms=0.0,
+                p99_ms=0.0,
+                max_ms=0.0,
+            )
+        values = sorted(value * 1000.0 for value in seconds)
+        return cls(
+            count=len(values),
+            mean_ms=sum(values) / len(values),
+            p50_ms=percentile(values, 0.50),
+            p90_ms=percentile(values, 0.90),
+            p99_ms=percentile(values, 0.99),
+            max_ms=values[-1],
+        )
+
+
+class PerfRecorder:
+    """Accumulates per-tick and per-cycle timings for one run."""
+
+    def __init__(self) -> None:
+        self.tick_seconds: List[float] = []
+        self.cycle_seconds: List[float] = []
+
+    def record_tick(self, seconds: float) -> None:
+        self.tick_seconds.append(seconds)
+
+    def record_cycle(self, seconds: float) -> None:
+        self.cycle_seconds.append(seconds)
+
+    def tick_snapshot(self) -> PerfSnapshot:
+        return PerfSnapshot.of(self.tick_seconds)
+
+    def cycle_snapshot(self) -> PerfSnapshot:
+        return PerfSnapshot.of(self.cycle_seconds)
+
+    def to_dict(self, extra: Optional[Dict] = None) -> Dict:
+        payload: Dict = {
+            "tick": asdict(self.tick_snapshot()),
+            "cycle": asdict(self.cycle_snapshot()),
+        }
+        if extra:
+            payload.update(extra)
+        return payload
+
+    def write_json(self, path, extra: Optional[Dict] = None) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(extra), handle, indent=2, sort_keys=True)
+            handle.write("\n")

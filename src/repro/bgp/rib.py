@@ -97,10 +97,33 @@ class LocRib:
         self._config = config
         self._by_prefix: PrefixMap[Dict[PeerDescriptor, Route]] = PrefixMap()
         self._best_cache: Dict[Prefix, Route] = {}
+        # Monotonic mutation counter: bumped on every accepted update or
+        # effective withdraw.  Downstream caches (egress resolution,
+        # sFlow sample aggregation) key on it to stay exactly equivalent
+        # to uncached recomputation.
+        self._version = 0
+        # Live count of injected (Edge Fabric) routes currently held, so
+        # the dataplane can skip more-specific trie walks entirely in
+        # the common no-overrides case.
+        self._injected = 0
+        # Decision-ranked route lists per prefix, invalidated per-prefix
+        # on churn: the controller re-reads every prefix's ranking each
+        # cycle while the route set barely changes between cycles.
+        self._ranked_cache: Dict[Prefix, List[Route]] = {}
 
     @property
     def decision_config(self) -> DecisionConfig:
         return self._config
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of RIB mutations (cache invalidation key)."""
+        return self._version
+
+    @property
+    def injected_route_count(self) -> int:
+        """How many injected routes the RIB currently holds."""
+        return self._injected
 
     # -- mutation -----------------------------------------------------------
 
@@ -111,9 +134,16 @@ class LocRib:
         if holders is None:
             holders = {}
             self._by_prefix[route.prefix] = holders
+        previous = holders.get(route.source)
+        if previous is not None and previous.is_injected:
+            self._injected -= 1
+        if route.is_injected:
+            self._injected += 1
         holders[route.source] = route
         new_best = best_route(list(holders.values()), self._config)
         self._set_best(route.prefix, new_best)
+        self._version += 1
+        self._ranked_cache.pop(route.prefix, None)
         return RibChange(route.prefix, old_best, new_best)
 
     def withdraw(self, prefix: Prefix, source: PeerDescriptor) -> RibChange:
@@ -122,13 +152,17 @@ class LocRib:
         holders = self._by_prefix.get(prefix)
         if holders is None or source not in holders:
             return RibChange(prefix, old_best, old_best)
-        del holders[source]
+        removed = holders.pop(source)
+        if removed.is_injected:
+            self._injected -= 1
         if holders:
             new_best = best_route(list(holders.values()), self._config)
         else:
             self._by_prefix.pop(prefix, None)
             new_best = None
         self._set_best(prefix, new_best)
+        self._version += 1
+        self._ranked_cache.pop(prefix, None)
         return RibChange(prefix, old_best, new_best)
 
     def withdraw_peer(self, source: PeerDescriptor) -> List[RibChange]:
@@ -153,10 +187,20 @@ class LocRib:
 
     def routes_for(self, prefix: Prefix) -> List[Route]:
         """All routes for *prefix* in decision-process order."""
+        ranked = self._ranked_cache.get(prefix)
+        if ranked is None:
+            holders = self._by_prefix.get(prefix)
+            if not holders:
+                return []
+            ranked = rank_routes(list(holders.values()), self._config)
+            self._ranked_cache[prefix] = ranked
+        # Copy so callers can't mutate the cached ranking.
+        return list(ranked)
+
+    def routes_unranked(self, prefix: Prefix) -> List[Route]:
+        """All routes for *prefix* in arbitrary order (no decision pass)."""
         holders = self._by_prefix.get(prefix)
-        if not holders:
-            return []
-        return rank_routes(list(holders.values()), self._config)
+        return list(holders.values()) if holders else []
 
     def route_from(
         self, prefix: Prefix, source: PeerDescriptor

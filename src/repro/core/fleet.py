@@ -9,8 +9,9 @@ numbers).
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.report import Table
 from ..core.config import ControllerConfig
@@ -18,9 +19,45 @@ from ..netbase.units import Rate, gbps
 from ..topology.builder import build_pop, provision_against_demand
 from ..topology.scenarios import default_internet, fleet_specs
 from ..traffic.demand import DemandConfig, DemandModel
-from .pipeline import PopDeployment
+from .pipeline import PopDeployment, RunRecord
 
 __all__ = ["FleetDeployment"]
+
+
+@dataclass
+class _PopRunState:
+    """The picklable result of one PoP's run in a worker process.
+
+    Deployments themselves hold closures (clocks, resolvers) and cannot
+    cross a process boundary; everything aggregation reads can.
+    """
+
+    record: RunRecord
+    monitor: object
+    overrides: object
+    metrics: object
+    current_time: float
+
+
+# Fork-inherited arguments for _run_pop_worker.  Deployments are
+# unpicklable, so workers receive them by inheriting the parent's memory
+# image at fork time rather than through the Pool's argument pipe.
+_WORKER_FLEET: Optional["FleetDeployment"] = None
+_WORKER_RUN_ARGS: Optional[Tuple[float, float, bool]] = None
+
+
+def _run_pop_worker(name: str) -> Tuple[str, _PopRunState]:
+    assert _WORKER_FLEET is not None and _WORKER_RUN_ARGS is not None
+    deployment = _WORKER_FLEET.deployments[name]
+    start, duration, run_controller = _WORKER_RUN_ARGS
+    deployment.run(start, duration, run_controller=run_controller)
+    return name, _PopRunState(
+        record=deployment.record,
+        monitor=deployment.controller.monitor,
+        overrides=deployment.controller.overrides,
+        metrics=deployment.simulator.metrics,
+        current_time=deployment.current_time,
+    )
 
 
 @dataclass
@@ -88,21 +125,82 @@ class FleetDeployment:
             deployment.step(now, run_controller=run_controller)
 
     def run(
-        self, start: float, duration: float, run_controller: bool = True
+        self,
+        start: float,
+        duration: float,
+        run_controller: bool = True,
+        parallel: Optional[int] = None,
     ) -> None:
+        """Run every PoP from *start* for *duration* seconds.
+
+        With ``parallel=N`` (N > 1), PoPs are stepped in up to N worker
+        processes.  PoPs share no mutable state — the paper's controllers
+        don't coordinate — so each worker's run is identical to its slice
+        of the serial loop and the merged results (records, monitors,
+        override sets, metrics) match the serial run exactly.
+
+        Parallel runs are whole-run: the merged deployments carry
+        everything aggregation and reporting read, but their live
+        routing/dataplane state stays at pre-run values (it remains in
+        the exited workers), so don't interleave parallel runs with
+        further serial stepping of the same fleet.
+        """
+        if (
+            parallel is not None
+            and parallel > 1
+            and len(self.deployments) > 1
+            and self._run_parallel(start, duration, run_controller, parallel)
+        ):
+            return
         now = start
         while now < start + duration:
             self.step(now, run_controller=run_controller)
             now += self.tick_seconds
 
+    def _run_parallel(
+        self,
+        start: float,
+        duration: float,
+        run_controller: bool,
+        workers: int,
+    ) -> bool:
+        """Fork-based parallel run; False if fork is unavailable."""
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            return False
+        global _WORKER_FLEET, _WORKER_RUN_ARGS
+        _WORKER_FLEET = self
+        _WORKER_RUN_ARGS = (start, duration, run_controller)
+        try:
+            with context.Pool(
+                min(workers, len(self.deployments))
+            ) as pool:
+                results = pool.map(
+                    _run_pop_worker, list(self.deployments)
+                )
+        finally:
+            _WORKER_FLEET = None
+            _WORKER_RUN_ARGS = None
+        for name, state in results:
+            deployment = self.deployments[name]
+            deployment.record = state.record
+            deployment.controller.monitor = state.monitor
+            deployment.controller.overrides = state.overrides
+            deployment.simulator.metrics = state.metrics
+            deployment.current_time = state.current_time
+        return True
+
     # -- aggregation ----------------------------------------------------------------
 
     def total_offered(self) -> Rate:
-        total = Rate(0)
-        for deployment in self.deployments.values():
-            if deployment.record.ticks:
-                total = total + deployment.record.ticks[-1].offered
-        return total
+        return Rate(
+            sum(
+                deployment.record.ticks[-1].offered.bits_per_second
+                for deployment in self.deployments.values()
+                if deployment.record.ticks
+            )
+        )
 
     def total_active_overrides(self) -> int:
         return sum(

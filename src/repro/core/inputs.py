@@ -49,10 +49,9 @@ class ControllerInputs:
         ]
 
     def total_traffic(self) -> Rate:
-        total = Rate(0)
-        for rate in self.traffic.values():
-            total = total + rate
-        return total
+        return Rate(
+            sum(rate.bits_per_second for rate in self.traffic.values())
+        )
 
 
 class InputAssembler:
@@ -74,6 +73,20 @@ class InputAssembler:
             for interface in pop.interfaces()
         }
         self._last_traffic_at: Optional[float] = None
+
+    def set_capacity(self, key: InterfaceKey, capacity: Rate) -> None:
+        """Update the controller's capacity table for one interface.
+
+        The interface must already be known (capacity changes model
+        augments and failures, not new ports); unknown keys raise
+        ``KeyError`` rather than silently growing the table.
+        """
+        if key not in self._capacities:
+            raise KeyError(f"unknown interface {key}")
+        self._capacities[key] = capacity
+
+    def capacity_of(self, key: InterfaceKey) -> Rate:
+        return self._capacities[key]
 
     def snapshot(self, now: float) -> ControllerInputs:
         """Assemble inputs for a cycle starting at *now*."""

@@ -17,6 +17,7 @@ this object rather than re-wiring the parts.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -64,10 +65,32 @@ class RunRecord:
             t.dropped.bits_per_second * tick_seconds for t in self.ticks
         )
 
-    def peak_offered(self) -> Rate:
-        return max(
-            (t.offered for t in self.ticks), default=Rate(0)
+    def total_offered_bits(self, tick_seconds: float) -> float:
+        return sum(
+            t.offered.bits_per_second * tick_seconds for t in self.ticks
         )
+
+    def drop_fraction(self, tick_seconds: float) -> float:
+        """Dropped bits as a fraction of offered bits over the run."""
+        offered = self.total_offered_bits(tick_seconds)
+        if offered == 0.0:
+            return 0.0
+        return self.total_dropped_bits(tick_seconds) / offered
+
+    def peak_offered(self) -> Rate:
+        return Rate(
+            max(
+                (t.offered.bits_per_second for t in self.ticks),
+                default=0.0,
+            )
+        )
+
+    def peak_detoured_fraction(self) -> float:
+        fractions = (
+            (t.detoured / t.offered) if t.offered else 0.0
+            for t in self.ticks
+        )
+        return max(fractions, default=0.0)
 
     def detoured_fraction_series(self) -> List[tuple]:
         return [
@@ -168,6 +191,9 @@ class PopDeployment:
         )
 
         self.record = RunRecord()
+        #: Optional :class:`repro.analysis.perf.PerfRecorder`; when set,
+        #: every step's wall time and every cycle's runtime is recorded.
+        self.perf = None
         self._last_cycle_at: Optional[float] = None
         self._tick_index = 0
         self._resolve_cache: Dict = {}
@@ -264,12 +290,14 @@ class PopDeployment:
         router.interfaces[interface_name] = Interface(
             router=router_name, name=interface_name, capacity=capacity
         )
-        self.assembler._capacities[key] = capacity
+        self.assembler.set_capacity(key, capacity)
 
     # -- stepping -----------------------------------------------------------------
 
     def step(self, now: float, run_controller: bool = True) -> TickResult:
         """Advance the deployment one tick to time *now*."""
+        perf = self.perf
+        step_started = _time.perf_counter() if perf is not None else 0.0
         self.current_time = now
         self._tick_index += 1
         result = self.simulator.tick(now)
@@ -291,6 +319,8 @@ class PopDeployment:
             report = self.controller.run_cycle(now)
             self.record.cycle_reports.append(report)
             self._last_cycle_at = now
+            if perf is not None:
+                perf.record_cycle(report.runtime_seconds)
 
         detoured = self._currently_detoured_rate(result)
         self.record.ticks.append(
@@ -302,6 +332,8 @@ class PopDeployment:
                 active_overrides=len(self.controller.overrides),
             )
         )
+        if perf is not None:
+            perf.record_tick(_time.perf_counter() - step_started)
         return result
 
     def _cycle_due(self, now: float) -> bool:
@@ -319,19 +351,19 @@ class PopDeployment:
 
     def _currently_detoured_rate(self, result: TickResult) -> Rate:
         """Measured rate of traffic that actually followed injected routes."""
-        total = Rate(0)
+        total = 0.0
         for prefix in self.controller.overrides.active():
             route = result.assignments.get(prefix)
             if route is not None and route.is_injected:
-                total = total + self.sflow.prefix_rate(
+                total += self.sflow.prefix_rate(
                     prefix, self.current_time
-                )
+                ).bits_per_second
         # Traffic split off by injected more-specifics (the dataplane
         # tracks its exact diverted rate per tick).
         for diverted in result.splits.values():
             for _route, rate in diverted:
-                total = total + rate
-        return total
+                total += rate.bits_per_second
+        return Rate(total)
 
     # -- whole runs ------------------------------------------------------------------
 

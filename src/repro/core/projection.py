@@ -76,17 +76,28 @@ class Projection:
 
 
 def project(pop: PoP, inputs: ControllerInputs) -> Projection:
-    """Build the BGP-only projection for one cycle."""
+    """Build the BGP-only projection for one cycle.
+
+    Loads accumulate as plain bits/second floats (one :class:`Rate` per
+    interface at the end) — this runs over every measured prefix every
+    cycle.
+    """
     projection = Projection()
+    loads_bps: Dict[InterfaceKey, float] = {}
+    unplaceable_bps = 0.0
     for prefix, rate in inputs.traffic.items():
         routes = inputs.routes_of(prefix)
         if not routes:
-            projection.unplaceable = projection.unplaceable + rate
+            unplaceable_bps += rate.bits_per_second
             continue
         preferred: Optional[Route] = routes[0]
         key = egress_interface(pop, preferred)
-        projection.loads[key] = projection.load_on(key) + rate
+        loads_bps[key] = loads_bps.get(key, 0.0) + rate.bits_per_second
         projection.placements[prefix] = Placement(
             prefix=prefix, rate=rate, route=preferred, interface=key
         )
+    projection.loads = {
+        key: Rate(value) for key, value in loads_bps.items()
+    }
+    projection.unplaceable = Rate(unplaceable_bps)
     return projection

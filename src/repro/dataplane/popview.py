@@ -7,16 +7,24 @@ subscribes to every PR speaker's route events and maintains the merged
 RIB the mesh would converge to.  Injected (Edge Fabric) routes arrive
 through PR sessions like any other route and win on LOCAL_PREF, so the
 view's best path *is* the PoP's forwarding decision.
+
+The view also memoizes the dataplane's hottest query — prefix to
+(best route, egress interface) — keyed on the RIB's mutation counter, so
+the per-tick forwarding loop costs one dict probe per prefix between
+route changes and stays exactly equivalent to a fresh decision after
+any churn.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..bgp.rib import LocRib
 from ..bgp.route import Route
 from ..bgp.speaker import BgpSpeaker, RouteEvent
 from ..netbase.addr import Family, Prefix
+from ..topology.entities import InterfaceKey, PoP
+from .fib import egress_interface
 
 __all__ = ["PopView"]
 
@@ -27,6 +35,13 @@ class PopView:
     def __init__(self, speakers: Iterable[BgpSpeaker]) -> None:
         self.rib = LocRib()
         self._speakers = list(speakers)
+        # prefix -> (best route, egress interface) | None, valid only
+        # while the RIB version matches _egress_version.
+        self._egress_cache: Dict[
+            Prefix, Optional[Tuple[Route, InterfaceKey]]
+        ] = {}
+        self._route_egress: Dict[Route, InterfaceKey] = {}
+        self._egress_version = -1
         for speaker in self._speakers:
             self._sync_existing(speaker)
             speaker.subscribe(self._on_event)
@@ -44,6 +59,11 @@ class PopView:
 
     # -- queries ---------------------------------------------------------------
 
+    @property
+    def version(self) -> int:
+        """The underlying RIB's mutation counter."""
+        return self.rib.version
+
     def best(self, prefix: Prefix) -> Optional[Route]:
         return self.rib.best(prefix)
 
@@ -56,19 +76,66 @@ class PopView:
     def longest_match(self, target: Prefix) -> Optional[Route]:
         return self.rib.longest_match(target)
 
+    def has_injected_routes(self) -> bool:
+        """True if any injected (Edge Fabric) route is currently held."""
+        return self.rib.injected_route_count > 0
+
     def injected_specifics(self, covering: Prefix) -> List[Route]:
         """Injected more-specifics whose traffic splits off *covering*.
 
         When the controller announces a more-specific of a demanded
         prefix, longest-prefix match diverts that subnet's share of the
         traffic — the splitting mechanism the paper describes for
-        prefixes too large to move whole.
+        prefixes too large to move whole.  With zero injected routes in
+        the RIB (the common case) this returns immediately, without a
+        trie walk.
         """
+        if self.rib.injected_route_count == 0:
+            return []
         return [
             route
             for route in self.rib.more_specifics(covering)
             if route.is_injected
         ]
+
+    # -- cached egress resolution ---------------------------------------------
+
+    def _check_cache_version(self) -> None:
+        version = self.rib.version
+        if version != self._egress_version:
+            self._egress_cache.clear()
+            self._route_egress.clear()
+            self._egress_version = version
+
+    def resolve_egress(
+        self, prefix: Prefix, pop: PoP
+    ) -> Optional[Tuple[Route, InterfaceKey]]:
+        """Cached prefix -> (best route, egress interface) resolution.
+
+        Returns None for unrouted prefixes.  Invalidation is wholesale
+        on any RIB mutation: churn is rare relative to ticks, and a full
+        rebuild keeps the cache provably equal to a fresh decision.
+        """
+        self._check_cache_version()
+        try:
+            return self._egress_cache[prefix]
+        except KeyError:
+            pass
+        best = self.rib.best(prefix)
+        entry = (
+            None if best is None else (best, egress_interface(pop, best))
+        )
+        self._egress_cache[prefix] = entry
+        return entry
+
+    def egress_of(self, route: Route, pop: PoP) -> InterfaceKey:
+        """Cached per-route egress interface (injected splits use this)."""
+        self._check_cache_version()
+        key = self._route_egress.get(route)
+        if key is None:
+            key = egress_interface(pop, route)
+            self._route_egress[route] = key
+        return key
 
     def route_count(self) -> int:
         return self.rib.route_count()

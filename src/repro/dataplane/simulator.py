@@ -56,16 +56,14 @@ class TickResult:
     datagrams: Dict[str, List[bytes]] = field(default_factory=dict)
 
     def total_offered(self) -> Rate:
-        total = Rate(0)
-        for load in self.loads.values():
-            total = total + load
-        return total
+        return Rate(
+            sum(load.bits_per_second for load in self.loads.values())
+        )
 
     def total_dropped(self) -> Rate:
-        total = Rate(0)
-        for drop in self.drops.values():
-            total = total + drop
-        return total
+        return Rate(
+            sum(drop.bits_per_second for drop in self.drops.values())
+        )
 
     def overloaded_interfaces(self) -> List[InterfaceKey]:
         return [key for key, drop in self.drops.items() if drop]
@@ -113,47 +111,62 @@ class PopSimulator:
         }
 
     def tick(self, now: float) -> TickResult:
-        """Advance the dataplane to time *now* and forward one interval."""
-        rates = self.demand.rates(now)
-        loads: Dict[InterfaceKey, Rate] = {}
+        """Advance the dataplane to time *now* and forward one interval.
+
+        The per-prefix loop is the simulator's hottest code: egress
+        resolution is memoized in the :class:`PopView` (invalidated on
+        route churn), injected-specific lookups short-circuit when no
+        overrides exist, and all accumulation happens on plain
+        bits/second floats — :class:`Rate` objects are built once per
+        interface at the end, not once per addition.
+        """
+        view = self.view
+        pop = self.wired.pop
+        rates = self.demand.rates_bps(now)
+        loads_bps: Dict[InterfaceKey, float] = {}
         assignments: Dict[Prefix, Route] = {}
-        splits: Dict[Prefix, List[Tuple[Route, Rate]]] = {}
-        per_router_flows: Dict[str, List[Tuple[Prefix, Rate, str]]] = {
+        splits_bps: Dict[Prefix, List[Tuple[Route, float]]] = {}
+        per_router_flows: Dict[str, List[Tuple[Prefix, float, str]]] = {
             router: [] for router in self.agents
         }
-        unrouted = Rate(0)
+        unrouted_bps = 0.0
+        check_specifics = view.has_injected_routes()
         for prefix, rate in rates.items():
-            best = self.view.best(prefix)
-            if best is None:
-                unrouted = unrouted + rate
+            resolved = view.resolve_egress(prefix, pop)
+            if resolved is None:
+                unrouted_bps += rate
                 continue
+            best, key = resolved
             remaining = rate
-            specifics = self.view.injected_specifics(prefix)
-            if specifics:
-                # Injected more-specifics capture their LPM share of
-                # the prefix's (address-uniform) traffic.
-                shares, remainder = split_shares(prefix, specifics)
-                diverted: List[Tuple[Route, Rate]] = []
-                for route, fraction in shares:
-                    sub_rate = rate * fraction
-                    sub_key = egress_interface(self.wired.pop, route)
-                    loads[sub_key] = (
-                        loads.get(sub_key, Rate(0)) + sub_rate
-                    )
-                    per_router_flows[sub_key[0]].append(
-                        (prefix, sub_rate, sub_key[1])
-                    )
-                    diverted.append((route, sub_rate))
-                splits[prefix] = diverted
-                remaining = rate * remainder
-            key = egress_interface(self.wired.pop, best)
+            if check_specifics:
+                specifics = view.injected_specifics(prefix)
+                if specifics:
+                    # Injected more-specifics capture their LPM share of
+                    # the prefix's (address-uniform) traffic.
+                    shares, remainder = split_shares(prefix, specifics)
+                    diverted: List[Tuple[Route, float]] = []
+                    for route, fraction in shares:
+                        sub_rate = rate * fraction
+                        sub_key = view.egress_of(route, pop)
+                        loads_bps[sub_key] = (
+                            loads_bps.get(sub_key, 0.0) + sub_rate
+                        )
+                        per_router_flows[sub_key[0]].append(
+                            (prefix, sub_rate, sub_key[1])
+                        )
+                        diverted.append((route, sub_rate))
+                    splits_bps[prefix] = diverted
+                    remaining = rate * remainder
             assignments[prefix] = best
-            loads[key] = loads.get(key, Rate(0)) + remaining
+            loads_bps[key] = loads_bps.get(key, 0.0) + remaining
             per_router_flows[key[0]].append((prefix, remaining, key[1]))
 
+        loads: Dict[InterfaceKey, Rate] = {
+            key: Rate(value) for key, value in loads_bps.items()
+        }
         drops: Dict[InterfaceKey, Rate] = {}
         for key, offered in loads.items():
-            capacity = self.wired.pop.capacity_of(key)
+            capacity = pop.capacity_of(key)
             transmitted = offered if offered <= capacity else capacity
             dropped = offered - capacity
             drops[key] = dropped
@@ -170,17 +183,18 @@ class PopSimulator:
             )
         # Interfaces with zero offered load still get a sample, so
         # "fraction of time overloaded" denominators are honest.
-        for key in self.wired.pop.interface_keys():
+        zero = Rate(0)
+        for key in pop.interface_keys():
             if key not in loads:
-                capacity = self.wired.pop.capacity_of(key)
+                capacity = pop.capacity_of(key)
                 self.metrics.record(
                     key,
                     InterfaceSample(
                         time=now,
-                        offered=Rate(0),
+                        offered=zero,
                         capacity=capacity,
-                        transmitted=Rate(0),
-                        dropped=Rate(0),
+                        transmitted=zero,
+                        dropped=zero,
                     ),
                     tick_seconds=self.tick_seconds,
                 )
@@ -200,8 +214,11 @@ class PopSimulator:
             loads=loads,
             drops=drops,
             assignments=assignments,
-            splits=splits,
-            unrouted=unrouted,
+            splits={
+                prefix: [(route, Rate(value)) for route, value in diverted]
+                for prefix, diverted in splits_bps.items()
+            },
+            unrouted=Rate(unrouted_bps),
             datagrams=datagrams,
         )
 
@@ -218,7 +235,7 @@ class PopSimulator:
         """
         if rates is None:
             rates = self.demand.rates(now)
-        loads: Dict[InterfaceKey, Rate] = {}
+        loads_bps: Dict[InterfaceKey, float] = {}
         for prefix, rate in rates.items():
             routes = [
                 route
@@ -228,5 +245,7 @@ class PopSimulator:
             if not routes:
                 continue
             key = egress_interface(self.wired.pop, routes[0])
-            loads[key] = loads.get(key, Rate(0)) + rate
-        return loads
+            loads_bps[key] = (
+                loads_bps.get(key, 0.0) + rate.bits_per_second
+            )
+        return {key: Rate(value) for key, value in loads_bps.items()}

@@ -60,7 +60,7 @@ class Prefix:
     True
     """
 
-    __slots__ = ("_family", "_network", "_length")
+    __slots__ = ("_family", "_network", "_length", "_hash")
 
     def __init__(self, family: Family, network: int, length: int) -> None:
         if not isinstance(family, Family):
@@ -80,6 +80,10 @@ class Prefix:
         self._family = family
         self._network = network
         self._length = length
+        # Prefixes key every RIB, traffic counter and override table, so
+        # they are hashed millions of times per simulated day; the value
+        # is immutable, so compute it once.
+        self._hash = hash((family, network, length))
 
     # -- construction --------------------------------------------------------
 
@@ -189,7 +193,10 @@ class Prefix:
         )
 
     def __hash__(self) -> int:
-        return hash((self._family, self._network, self._length))
+        return self._hash
+
+    def __reduce__(self):
+        return (Prefix, (self._family, self._network, self._length))
 
     def __repr__(self) -> str:
         return f"Prefix({str(self)!r})"

@@ -116,6 +116,13 @@ class Rate:
     def __hash__(self) -> int:
         return hash(("Rate", self._bps))
 
+    def __reduce__(self):
+        # The immutability guard in __setattr__ breaks pickle's default
+        # slot restoration; rebuild through the constructor instead
+        # (needed when run records cross process boundaries in the
+        # parallel fleet runner).
+        return (Rate, (self._bps,))
+
     def __bool__(self) -> bool:
         return self._bps > 0.0
 

@@ -14,13 +14,13 @@ can assert nothing silently disappears.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..netbase.addr import Family, Prefix
-from ..netbase.errors import MalformedMessage, TrafficError
+from ..netbase.errors import TrafficError
 from ..netbase.units import Rate
 from .agent import InterfaceIndexMap
-from .datagram import SflowDatagram
+from .datagram import iter_sample_fields
 from .estimator import RateEstimator
 
 __all__ = ["SflowCollector"]
@@ -70,39 +70,59 @@ class SflowCollector:
 
     def feed(self, data: bytes, now: float) -> None:
         """Consume one encoded datagram."""
-        datagram = SflowDatagram.decode(data)
-        router = self._router_by_agent.get(datagram.agent_address)
-        if router is None:
-            raise TrafficError(
-                f"datagram from unregistered agent "
-                f"{datagram.agent_address:#x}"
-            )
-        index_map = self._interfaces_by_router[router]
-        self.datagrams += 1
-        for sample in datagram.samples:
-            self.samples += 1
-            estimated_bytes = float(
-                sample.record.frame_length * sample.sampling_rate
-            )
+        self.feed_many((data,), now)
+
+    def feed_many(self, datagrams: Iterable[bytes], now: float) -> None:
+        """Consume a batch of datagrams in one aggregation pass.
+
+        All samples of a flow share a destination and interface, so the
+        batch first sums estimated bytes per (router, ifIndex, dst) key,
+        then resolves each unique destination once and performs a single
+        estimator add per aggregate — identical rates to sample-by-sample
+        feeding (same bytes, same timestamps) at a fraction of the cost.
+        """
+        # (router, output ifIndex, AFI, dst address) -> estimated bytes
+        flow_bytes: Dict[Tuple[str, int, int, int], float] = {}
+        for data in datagrams:
+            agent_address, samples = iter_sample_fields(data)
+            router = self._router_by_agent.get(agent_address)
+            if router is None:
+                raise TrafficError(
+                    f"datagram from unregistered agent {agent_address:#x}"
+                )
+            self.datagrams += 1
+            for rate, out_if, afi, dst, frame_length in samples:
+                self.samples += 1
+                key = (router, out_if, afi, dst)
+                flow_bytes[key] = (
+                    flow_bytes.get(key, 0.0) + float(frame_length * rate)
+                )
+
+        interface_bytes: Dict[InterfaceKey, float] = {}
+        prefix_bytes: Dict[Prefix, float] = {}
+        pair_bytes: Dict[Tuple[Prefix, InterfaceKey], float] = {}
+        for (router, out_if, afi, dst), estimated in flow_bytes.items():
             interface_key = (
                 router,
-                index_map.name_of(sample.output_ifindex),
+                self._interfaces_by_router[router].name_of(out_if),
             )
-            self._interface_rates.add(interface_key, estimated_bytes, now)
-            prefix = self._resolver(
-                sample.record.family, sample.record.dst_address
+            interface_bytes[interface_key] = (
+                interface_bytes.get(interface_key, 0.0) + estimated
             )
+            prefix = self._resolver(Family(afi), dst)
             if prefix is None:
-                self.unroutable_bytes += estimated_bytes
+                self.unroutable_bytes += estimated
                 continue
-            self._prefix_rates.add(prefix, estimated_bytes, now)
-            self._prefix_interface_rates.add(
-                (prefix, interface_key), estimated_bytes, now
-            )
+            prefix_bytes[prefix] = prefix_bytes.get(prefix, 0.0) + estimated
+            pair = (prefix, interface_key)
+            pair_bytes[pair] = pair_bytes.get(pair, 0.0) + estimated
 
-    def feed_many(self, datagrams, now: float) -> None:
-        for data in datagrams:
-            self.feed(data, now)
+        for interface_key, estimated in interface_bytes.items():
+            self._interface_rates.add(interface_key, estimated, now)
+        for prefix, estimated in prefix_bytes.items():
+            self._prefix_rates.add(prefix, estimated, now)
+        for pair, estimated in pair_bytes.items():
+            self._prefix_interface_rates.add(pair, estimated, now)
 
     # -- queries -------------------------------------------------------------------
 

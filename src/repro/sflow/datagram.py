@@ -11,22 +11,152 @@ simulation's "packets" contain — family, source and destination address,
 frame length, DSCP — standing in for the raw Ethernet header a production
 agent would excerpt.  All scaling semantics (rate, pool, drops) are
 faithful, which is what matters to estimator accuracy.
+
+Encoding and decoding both run on precompiled :class:`struct.Struct`
+templates: the agents emit hundreds of thousands of samples per simulated
+day, so the codec offers flat pack/unpack fast paths
+(:func:`pack_flow_sample`, :func:`iter_sample_fields`) that skip the
+per-sample dataclass construction the object API performs.  The wire
+format is identical either way.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 from ..netbase.addr import Family
 from ..netbase.errors import MalformedMessage, TruncatedMessage
 
-__all__ = ["PacketRecord", "FlowSample", "SflowDatagram", "SFLOW_VERSION"]
+__all__ = [
+    "PacketRecord",
+    "FlowSample",
+    "SflowDatagram",
+    "SFLOW_VERSION",
+    "pack_flow_sample",
+    "pack_datagram",
+    "iter_sample_fields",
+]
 
 SFLOW_VERSION = 5
 
 _RECORD_LEN = 4 + 16 + 16 + 4 + 4  # family, src, dst, frame_len, dscp+pad
+
+#: Datagram header: version, agent address (16B), sub-agent id,
+#: sequence, uptime (ms), sample count.
+_HEADER = struct.Struct("!I16sIIII")
+#: One flat flow sample: sequence, sampling rate, sample pool, drops,
+#: input ifIndex, output ifIndex, AFI, src (16B), dst (16B), frame
+#: length, DSCP + 3 pad bytes.
+_SAMPLE = struct.Struct("!IIIIIII16s16sIB3x")
+_SAMPLE_LEN = _SAMPLE.size  # 68
+_SAMPLE_HEAD = struct.Struct("!IIIIII")
+_U32 = struct.Struct("!I")
+
+
+def pack_flow_sample(
+    sequence: int,
+    sampling_rate: int,
+    sample_pool: int,
+    drops: int,
+    input_ifindex: int,
+    output_ifindex: int,
+    family: int,
+    src_bytes: bytes,
+    dst_bytes: bytes,
+    frame_length: int,
+    dscp: int,
+) -> bytes:
+    """Flat fast-path encoder for one flow sample (no dataclasses)."""
+    return _SAMPLE.pack(
+        sequence,
+        sampling_rate,
+        sample_pool,
+        drops,
+        input_ifindex,
+        output_ifindex,
+        family,
+        src_bytes,
+        dst_bytes,
+        frame_length,
+        dscp,
+    )
+
+
+def pack_datagram(
+    agent_address_bytes: bytes,
+    sub_agent_id: int,
+    sequence: int,
+    uptime_ms: int,
+    encoded_samples: List[bytes],
+) -> bytes:
+    """Assemble a datagram from already-encoded samples in one pass."""
+    return _HEADER.pack(
+        SFLOW_VERSION,
+        agent_address_bytes,
+        sub_agent_id,
+        sequence,
+        uptime_ms,
+        len(encoded_samples),
+    ) + b"".join(encoded_samples)
+
+
+def iter_sample_fields(
+    data: bytes,
+) -> Tuple[int, Iterator[Tuple[int, int, int, int, int]]]:
+    """Fast-path decode: (agent address, iterator of sample tuples).
+
+    Each yielded tuple is (sampling rate, output ifIndex, AFI,
+    destination address, frame length) — exactly what the collector's
+    scaling and aggregation need, without building per-sample objects.
+    Validation (version, truncation, trailing bytes, zero sampling
+    rate, bad AFI) matches the object API.
+    """
+    if len(data) < _HEADER.size:
+        raise TruncatedMessage("sFlow datagram header truncated")
+    version, agent_bytes, _sub, _seq, _uptime, count = _HEADER.unpack_from(
+        data, 0
+    )
+    if version != SFLOW_VERSION:
+        raise MalformedMessage(f"unsupported sFlow version {version}")
+    if _HEADER.size + count * _SAMPLE_LEN != len(data):
+        if _HEADER.size + count * _SAMPLE_LEN > len(data):
+            raise TruncatedMessage("flow sample truncated")
+        raise MalformedMessage("trailing bytes in sFlow datagram")
+    agent_address = int.from_bytes(agent_bytes, "big")
+
+    def samples() -> Iterator[Tuple[int, int, int, int, int]]:
+        offset = _HEADER.size
+        unpack = _SAMPLE.unpack_from
+        for _ in range(count):
+            (
+                _sequence,
+                sampling_rate,
+                _pool,
+                _drops,
+                _in_if,
+                out_if,
+                afi,
+                _src,
+                dst_bytes,
+                frame_length,
+                _dscp,
+            ) = unpack(data, offset)
+            if sampling_rate == 0:
+                raise MalformedMessage("sampling rate of zero")
+            if afi not in (1, 2):
+                raise MalformedMessage(f"bad record AFI {afi}")
+            yield (
+                sampling_rate,
+                out_if,
+                afi,
+                int.from_bytes(dst_bytes, "big"),
+                frame_length,
+            )
+            offset += _SAMPLE_LEN
+
+    return agent_address, samples()
 
 
 @dataclass(frozen=True)
@@ -41,10 +171,10 @@ class PacketRecord:
 
     def encode(self) -> bytes:
         return (
-            struct.pack("!I", int(self.family))
+            _U32.pack(int(self.family))
             + self.src_address.to_bytes(16, "big")
             + self.dst_address.to_bytes(16, "big")
-            + struct.pack("!I", self.frame_length)
+            + _U32.pack(self.frame_length)
             + struct.pack("!B3x", self.dscp)
         )
 
@@ -52,14 +182,14 @@ class PacketRecord:
     def decode(cls, data: bytes, offset: int) -> Tuple["PacketRecord", int]:
         if offset + _RECORD_LEN > len(data):
             raise TruncatedMessage("packet record truncated")
-        afi = struct.unpack_from("!I", data, offset)[0]
+        afi = _U32.unpack_from(data, offset)[0]
         try:
             family = Family(afi)
         except ValueError as exc:
             raise MalformedMessage(f"bad record AFI {afi}") from exc
         src = int.from_bytes(data[offset + 4 : offset + 20], "big")
         dst = int.from_bytes(data[offset + 20 : offset + 36], "big")
-        frame_length = struct.unpack_from("!I", data, offset + 36)[0]
+        frame_length = _U32.unpack_from(data, offset + 36)[0]
         dscp = data[offset + 40]
         return (
             cls(
@@ -92,17 +222,19 @@ class FlowSample:
     record: PacketRecord
 
     def encode(self) -> bytes:
-        return (
-            struct.pack(
-                "!IIIIII",
-                self.sequence,
-                self.sampling_rate,
-                self.sample_pool,
-                self.drops,
-                self.input_ifindex,
-                self.output_ifindex,
-            )
-            + self.record.encode()
+        record = self.record
+        return pack_flow_sample(
+            self.sequence,
+            self.sampling_rate,
+            self.sample_pool,
+            self.drops,
+            self.input_ifindex,
+            self.output_ifindex,
+            int(record.family),
+            record.src_address.to_bytes(16, "big"),
+            record.dst_address.to_bytes(16, "big"),
+            record.frame_length,
+            record.dscp,
         )
 
     @classmethod
@@ -116,7 +248,7 @@ class FlowSample:
             drops,
             input_ifindex,
             output_ifindex,
-        ) = struct.unpack_from("!IIIIII", data, offset)
+        ) = _SAMPLE_HEAD.unpack_from(data, offset)
         if sampling_rate == 0:
             raise MalformedMessage("sampling rate of zero")
         record, end = PacketRecord.decode(data, offset + 24)
@@ -145,22 +277,19 @@ class SflowDatagram:
     sub_agent_id: int = 0
 
     def encode(self) -> bytes:
-        header = struct.pack("!I", SFLOW_VERSION)
-        header += self.agent_address.to_bytes(16, "big")
-        header += struct.pack(
-            "!III",
+        return pack_datagram(
+            self.agent_address.to_bytes(16, "big"),
             self.sub_agent_id,
             self.sequence,
             self.uptime_ms,
+            [sample.encode() for sample in self.samples],
         )
-        header += struct.pack("!I", len(self.samples))
-        return header + b"".join(sample.encode() for sample in self.samples)
 
     @classmethod
     def decode(cls, data: bytes) -> "SflowDatagram":
         if len(data) < 36:
             raise TruncatedMessage("sFlow datagram header truncated")
-        version = struct.unpack_from("!I", data, 0)[0]
+        version = _U32.unpack_from(data, 0)[0]
         if version != SFLOW_VERSION:
             raise MalformedMessage(f"unsupported sFlow version {version}")
         agent_address = int.from_bytes(data[4:20], "big")

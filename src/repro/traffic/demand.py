@@ -158,9 +158,18 @@ class DemandModel:
 
     def rates(self, now: float) -> Dict[Prefix, Rate]:
         """Per-prefix demand at time *now* (advances volatility state)."""
-        values = self.rate_array(now)
         return {
-            prefix: Rate(values[index])
+            prefix: Rate(value)
+            for prefix, value in self.rates_bps(now).items()
+        }
+
+    def rates_bps(self, now: float) -> Dict[Prefix, float]:
+        """Per-prefix demand in plain bits/second (the dataplane's hot
+        path accumulates floats and converts to :class:`Rate` only at
+        API boundaries)."""
+        values = self.rate_array(now).tolist()
+        return {
+            prefix: values[index]
             for index, prefix in enumerate(self.prefixes)
             if values[index] > 0.0
         }

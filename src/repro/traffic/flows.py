@@ -9,7 +9,7 @@ source is one of the PoP's server addresses.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Tuple, Union
 
 import numpy as np
 
@@ -32,7 +32,7 @@ class FlowSynthesizer:
 
     def flows(
         self,
-        assignments: Iterator[Tuple[Prefix, Rate, str]],
+        assignments: Iterator[Tuple[Prefix, Union[Rate, float], str]],
         interval_seconds: float,
         dscp: int = 0,
     ) -> Iterator[ObservedFlow]:
@@ -40,10 +40,15 @@ class FlowSynthesizer:
 
         *assignments* yields (prefix, rate, egress interface name) — the
         interface is the one on the router whose agent will sample this
-        flow, so the caller groups assignments per router.
+        flow, so the caller groups assignments per router.  The rate may
+        be a :class:`Rate` or plain bits/second (the simulator's float
+        hot path).
         """
         for prefix, rate, interface in assignments:
-            total_bytes = rate.bits_per_second * interval_seconds / 8.0
+            bps = (
+                rate.bits_per_second if isinstance(rate, Rate) else rate
+            )
+            total_bytes = bps * interval_seconds / 8.0
             if total_bytes <= 0:
                 continue
             packets = total_bytes / self.mean_packet_bytes

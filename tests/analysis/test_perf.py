@@ -1,0 +1,69 @@
+"""Tests for the perf recorder and its pipeline hook."""
+
+import json
+
+from repro.analysis.perf import PerfRecorder, PerfSnapshot, percentile
+
+
+class TestPercentile:
+    def test_empty_and_single(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_interpolation(self):
+        values = [0.0, 10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 1.0) == 40.0
+        assert percentile(values, 0.5) == 20.0
+        assert percentile(values, 0.25) == 10.0
+        assert percentile(values, 0.125) == 5.0
+
+
+class TestPerfRecorder:
+    def test_snapshot_statistics(self):
+        recorder = PerfRecorder()
+        for seconds in [0.010, 0.020, 0.030, 0.040]:
+            recorder.record_tick(seconds)
+        recorder.record_cycle(0.005)
+
+        tick = recorder.tick_snapshot()
+        assert tick.count == 4
+        assert abs(tick.mean_ms - 25.0) < 1e-9
+        assert abs(tick.p50_ms - 25.0) < 1e-9
+        assert abs(tick.max_ms - 40.0) < 1e-9
+        assert recorder.cycle_snapshot().count == 1
+
+    def test_empty_snapshot(self):
+        snapshot = PerfSnapshot.of([])
+        assert snapshot.count == 0
+        assert snapshot.mean_ms == 0.0
+
+    def test_write_json(self, tmp_path):
+        recorder = PerfRecorder()
+        recorder.record_tick(0.1)
+        path = tmp_path / "perf.json"
+        recorder.write_json(path, extra={"ticks": 1})
+        payload = json.loads(path.read_text())
+        assert payload["ticks"] == 1
+        assert payload["tick"]["count"] == 1
+        assert payload["cycle"]["count"] == 0
+
+
+class TestPipelineHook:
+    def test_deployment_records_ticks_and_cycles(self):
+        from repro.core.pipeline import PopDeployment
+
+        deployment = PopDeployment.build(pop_name="pop-a", seed=3)
+        recorder = PerfRecorder()
+        deployment.perf = recorder
+        now = deployment.demand.config.peak_time
+        for _ in range(3):
+            deployment.step(now)
+            now += deployment.tick_seconds
+        assert len(recorder.tick_seconds) == 3
+        # Cycle seconds mirror the reports' own runtimes.
+        assert recorder.cycle_seconds == [
+            report.runtime_seconds
+            for report in deployment.record.cycle_reports
+        ]
+        assert recorder.tick_snapshot().count == 3

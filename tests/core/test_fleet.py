@@ -47,3 +47,39 @@ class TestFleet:
             for deployment in fleet.deployments.values()
         ]
         assert len(set(peaks)) == len(peaks)
+
+
+class TestParallelFleet:
+    def test_parallel_run_matches_serial_exactly(self, fleet):
+        parallel = FleetDeployment.build(
+            pop_count=2, seed=17, tick_seconds=60.0
+        )
+        first = next(iter(parallel.deployments.values()))
+        start = first.demand.config.peak_time
+        parallel.run(start, 600.0, parallel=4)
+
+        assert (
+            parallel.summary_table().render()
+            == fleet.summary_table().render()
+        )
+        assert (
+            parallel.total_offered().bits_per_second
+            == fleet.total_offered().bits_per_second
+        )
+        assert (
+            parallel.fleet_detoured_fraction()
+            == fleet.fleet_detoured_fraction()
+        )
+        assert (
+            parallel.total_active_overrides()
+            == fleet.total_active_overrides()
+        )
+        for name, serial_pop in fleet.deployments.items():
+            parallel_pop = parallel.deployments[name]
+            assert (
+                parallel_pop.record.ticks == serial_pop.record.ticks
+            )
+            assert len(parallel_pop.record.cycle_reports) == len(
+                serial_pop.record.cycle_reports
+            )
+            assert parallel_pop.current_time == serial_pop.current_time

@@ -106,6 +106,40 @@ class TestControllerShutdown:
         assert not result.total_dropped().is_zero()
 
 
+class TestCapacityReconfiguration:
+    def test_set_interface_capacity_updates_both_views(self):
+        deployment = build_deployment(seed=8)
+        key = next(iter(deployment.wired.pop.interface_keys()))
+        new_capacity = gbps(1)
+        deployment.set_interface_capacity(key, new_capacity)
+        assert deployment.wired.pop.capacity_of(key) == new_capacity
+        assert deployment.assembler.capacity_of(key) == new_capacity
+
+    def test_set_capacity_rejects_unknown_interface(self):
+        deployment = build_deployment(seed=8)
+        with pytest.raises(KeyError):
+            deployment.set_interface_capacity(
+                ("no-such-router", "et99"), gbps(1)
+            )
+        with pytest.raises(KeyError):
+            deployment.assembler.set_capacity(
+                ("no-such-router", "et99"), gbps(1)
+            )
+
+    def test_record_aggregation_helpers(self):
+        deployment = build_deployment(seed=8)
+        start = deployment.demand.config.peak_time
+        deployment.run(start, 120.0)
+        record = deployment.record
+        offered_bits = record.total_offered_bits(30.0)
+        assert offered_bits > 0
+        assert 0.0 <= record.drop_fraction(30.0) <= 1.0
+        assert record.peak_offered().bits_per_second == max(
+            t.offered.bits_per_second for t in record.ticks
+        )
+        assert 0.0 <= record.peak_detoured_fraction() <= 1.0
+
+
 class TestStalenessInPipeline:
     def test_gap_in_feeds_skips_cycle(self):
         deployment = build_deployment(seed=7)

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script imports and runs at tiny scale.
+
+Each example's ``main()`` takes a size parameter so the full narrative
+path (build, run, report) executes in seconds instead of minutes.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_has_a_smoke_case():
+    names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {name for name, _ in CASES}
+    assert names == covered
+
+
+CASES = [
+    ("quickstart", {"ticks": 3}),
+    ("daily_cycle", {"hours": 1}),
+    ("flash_crowd", {"ticks": 3}),
+    ("overload_protection", {"duration": 120.0}),
+    ("performance_aware", {"duration": 120.0}),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", CASES)
+def test_example_runs(name, kwargs, capsys):
+    module = load_example(name)
+    module.main(**kwargs)
+    assert capsys.readouterr().out.strip()
