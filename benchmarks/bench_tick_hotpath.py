@@ -35,7 +35,7 @@ PEAK_START = 64_800.0
 TICK_SECONDS = 30.0
 
 
-def run_bench(ticks: int) -> dict:
+def run_bench(ticks: int, telemetry_output: Path | None = None) -> dict:
     build_started = time.perf_counter()
     deployment = PopDeployment.build(pop_name="pop-a", seed=7)
     build_seconds = time.perf_counter() - build_started
@@ -46,6 +46,9 @@ def run_bench(ticks: int) -> dict:
     for _ in range(ticks):
         deployment.step(now)
         now += TICK_SECONDS
+
+    if telemetry_output is not None:
+        deployment.telemetry.write_jsonl(telemetry_output)
 
     tick = recorder.tick_snapshot()
     day_ticks = 86_400.0 / TICK_SECONDS
@@ -91,10 +94,16 @@ def main(argv=None) -> int:
         default=None,
         help="fail unless mean-tick speedup over baseline meets this",
     )
+    parser.add_argument(
+        "--telemetry-output",
+        type=Path,
+        default=HERE / "BENCH_hotpath_telemetry.jsonl",
+        help="where to dump the run's telemetry (metrics/spans/audit)",
+    )
     args = parser.parse_args(argv)
 
     ticks = 20 if args.quick else args.ticks
-    results = run_bench(ticks)
+    results = run_bench(ticks, telemetry_output=args.telemetry_output)
 
     speedup = None
     if args.baseline.exists():
@@ -120,6 +129,7 @@ def main(argv=None) -> int:
     if speedup is not None:
         print(f"speedup vs baseline: {speedup:.2f}x")
     print(f"wrote {args.output}")
+    print(f"wrote {args.telemetry_output}")
 
     if args.min_speedup is not None:
         if speedup is None:

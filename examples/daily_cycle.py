@@ -11,6 +11,9 @@ Run:  python examples/daily_cycle.py   (about a minute of wall clock)
 """
 
 from repro.core import ControllerConfig, PopDeployment
+from repro.obs.logs import configure_logging, get_logger, log_event
+
+_log = get_logger("repro.examples.daily_cycle")
 
 
 def main(hours: int = 24) -> None:
@@ -24,7 +27,7 @@ def main(hours: int = 24) -> None:
         # sampling rate to keep the pipeline fast at day scale.
         sampling_rate=1_048_576,
     )
-    print(f"Simulating {hours} hours at 10-minute ticks...\n")
+    log_event(_log, "run.start", hours=hours, tick_seconds=tick)
     print(
         f"{'hour':>4}  {'offered':>14}  {'dropped':>12}  "
         f"{'detoured':>13}  {'overrides':>9}"
@@ -59,4 +62,5 @@ def main(hours: int = 24) -> None:
 
 
 if __name__ == "__main__":
+    configure_logging(verbose=True)
     main()

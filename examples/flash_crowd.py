@@ -11,7 +11,10 @@ Run:  python examples/flash_crowd.py
 """
 
 from repro.core import PopDeployment
+from repro.obs.logs import configure_logging, get_logger, log_event
 from repro.traffic.demand import FlashEvent
+
+_log = get_logger("repro.examples.flash_crowd")
 
 
 def main(ticks: int = 40) -> None:
@@ -27,6 +30,14 @@ def main(ticks: int = 40) -> None:
         start=start + 300,
         duration=600,
         multiplier=5.0,
+    )
+    log_event(
+        _log,
+        "flash.configured",
+        prefixes=len(victim_prefixes),
+        victim_asn=victim_asn,
+        multiplier=event.multiplier,
+        duration_s=event.duration,
     )
     print(
         f"Flash crowd: {len(victim_prefixes)} prefixes of AS{victim_asn} "
@@ -65,4 +76,5 @@ def main(ticks: int = 40) -> None:
 
 
 if __name__ == "__main__":
+    configure_logging(verbose=True)
     main()

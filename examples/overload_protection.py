@@ -10,6 +10,9 @@ Run:  python examples/overload_protection.py
 
 from repro.core import PopDeployment
 from repro.netbase.units import Rate
+from repro.obs.logs import configure_logging, get_logger, log_event
+
+_log = get_logger("repro.examples.overload_protection")
 
 
 def run_once(
@@ -32,9 +35,9 @@ def loss_stats(deployment: PopDeployment) -> tuple[Rate, float]:
 
 
 def main(duration: float = 3600.0) -> None:
-    print("Running one peak hour WITHOUT Edge Fabric...")
+    log_event(_log, "run.start", controller=False, duration_s=duration)
     without = run_once(run_controller=False, duration=duration)
-    print("Running the same hour WITH Edge Fabric...")
+    log_event(_log, "run.start", controller=True, duration_s=duration)
     with_ef = run_once(run_controller=True, duration=duration)
 
     print(f"\n{'':34}{'BGP only':>16}  {'Edge Fabric':>12}")
@@ -80,4 +83,5 @@ def main(duration: float = 3600.0) -> None:
 
 
 if __name__ == "__main__":
+    configure_logging(verbose=True)
     main()

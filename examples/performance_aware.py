@@ -13,6 +13,9 @@ Run:  python examples/performance_aware.py
 """
 
 from repro.core import ControllerConfig, PopDeployment
+from repro.obs.logs import configure_logging, get_logger, log_event
+
+_log = get_logger("repro.examples.performance_aware")
 
 
 def main(duration: float = 1800.0) -> None:
@@ -38,9 +41,11 @@ def main(duration: float = 1800.0) -> None:
     )
 
     start = deployment.demand.config.peak_time - 3600  # shoulder hour
-    print(
-        f"\nRunning {duration / 60:.0f} minutes with alternate-path "
-        "measurement on..."
+    log_event(
+        _log,
+        "run.start",
+        minutes=duration / 60,
+        performance_aware=True,
     )
     deployment.run(start, duration)
 
@@ -77,4 +82,5 @@ def main(duration: float = 1800.0) -> None:
 
 
 if __name__ == "__main__":
+    configure_logging(verbose=True)
     main()

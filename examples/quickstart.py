@@ -9,20 +9,29 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import PopDeployment
+from repro.obs.logs import configure_logging, get_logger, log_event
+
+_log = get_logger("repro.examples.quickstart")
 
 
 def main(ticks: int = 30) -> None:
-    print("Building pop-a (synthetic Internet, wired BGP sessions)...")
+    log_event(_log, "build.start", pop="pop-a", seed=7)
     deployment = PopDeployment.build(pop_name="pop-a", seed=7)
     pop = deployment.wired.pop
-    print(f"  {pop!r}")
-    print(f"  total egress capacity: {pop.total_egress_capacity()}")
-    print(f"  routes collected over BMP: {deployment.bmp.route_count()}")
+    log_event(
+        _log,
+        "build.done",
+        pop=repr(pop),
+        egress_capacity=str(pop.total_egress_capacity()),
+        bmp_routes=deployment.bmp.route_count(),
+    )
 
     start = deployment.demand.config.peak_time  # the diurnal peak
-    print(
-        f"\nRunning {ticks * deployment.tick_seconds / 60:.0f} minutes "
-        "at peak, controller on (30s cycles):"
+    log_event(
+        _log,
+        "run.start",
+        minutes=ticks * deployment.tick_seconds / 60,
+        cycle_seconds=deployment.controller.config.cycle_seconds,
     )
     header = (
         f"{'t(s)':>7}  {'offered':>14}  {'dropped':>13}  "
@@ -52,12 +61,16 @@ def main(ticks: int = 30) -> None:
         "Overloaded interfaces before allocation: "
         f"{[f'{r}/{i}' for r, i in last.overloaded_interfaces]}"
     )
-    print("\nShutting the controller down (withdraw all overrides)...")
+    log_event(_log, "shutdown.start")
     flushed = deployment.controller.shutdown(
         start + ticks * deployment.tick_seconds
     )
-    print(f"  {flushed} overrides withdrawn; BGP routing restored.")
+    print(
+        f"\n{flushed} overrides withdrawn at shutdown; "
+        "BGP routing restored."
+    )
 
 
 if __name__ == "__main__":
+    configure_logging(verbose=True)
     main()

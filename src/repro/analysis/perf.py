@@ -26,19 +26,26 @@ from typing import Dict, List, Optional
 __all__ = ["PerfSnapshot", "PerfRecorder", "percentile"]
 
 
-def percentile(sorted_values: List[float], fraction: float) -> float:
-    """Linear-interpolated percentile of an ascending-sorted list."""
-    if not sorted_values:
+def percentile(values: List[float], fraction: float) -> float:
+    """Linear-interpolated percentile of *values*.
+
+    Sorts defensively: callers used to be required to pass an
+    ascending-sorted list, and an unsorted one silently produced
+    garbage quantiles.  Pre-sorted input costs only the O(n) sortedness
+    scan ``sorted`` does anyway.
+    """
+    if not values:
         return 0.0
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    position = fraction * (len(sorted_values) - 1)
+    if len(values) == 1:
+        return values[0]
+    ordered = sorted(values)
+    position = fraction * (len(ordered) - 1)
     lower = int(position)
-    upper = min(lower + 1, len(sorted_values) - 1)
+    upper = min(lower + 1, len(ordered) - 1)
     weight = position - lower
     return (
-        sorted_values[lower] * (1.0 - weight)
-        + sorted_values[upper] * weight
+        ordered[lower] * (1.0 - weight)
+        + ordered[upper] * weight
     )
 
 

@@ -27,6 +27,7 @@ from ..bgp.rib import LocRib
 from ..bgp.route import Route
 from ..netbase.addr import Family, Prefix
 from ..netbase.errors import MalformedMessage
+from ..obs.telemetry import Telemetry
 from .messages import (
     BmpMessage,
     InitiationMessage,
@@ -90,6 +91,7 @@ class BmpCollector:
         registry: PeerRegistry,
         decision_config: DecisionConfig = DEFAULT_CONFIG,
         clock: Optional[callable] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._registry = registry
         self._rib = LocRib(decision_config)
@@ -98,6 +100,20 @@ class BmpCollector:
         self._last_update_at: Optional[float] = None
         self._clock = clock or _time.monotonic
         self.stats = CollectorStats()
+        self.telemetry = telemetry or Telemetry(name="bmp")
+        metrics = self.telemetry.registry
+        self._m_messages = metrics.counter(
+            "bmp_messages_total", "BMP messages consumed"
+        )
+        self._m_announcements = metrics.counter(
+            "bmp_announcements_total", "Route announcements applied"
+        )
+        self._m_withdrawals = metrics.counter(
+            "bmp_withdrawals_total", "Route withdrawals applied"
+        )
+        self._m_decode_errors = metrics.counter(
+            "bmp_decode_errors_total", "Undecodable PDUs dropped"
+        )
 
     # -- feed ingestion ------------------------------------------------------
 
@@ -111,6 +127,7 @@ class BmpCollector:
 
     def _handle(self, router: str, message: BmpMessage) -> None:
         self.stats.messages += 1
+        self._m_messages.inc()
         if isinstance(message, InitiationMessage):
             name = message.sys_name or router
             self._routers_seen[name] = self._clock()
@@ -153,11 +170,13 @@ class BmpCollector:
                 raise MalformedMessage("trailing bytes after UPDATE")
         except MalformedMessage:
             self.stats.decode_errors += 1
+            self._m_decode_errors.inc()
             return
         now = self._clock()
         for update in updates:
             if not isinstance(update, UpdateMessage):
                 self.stats.decode_errors += 1
+                self._m_decode_errors.inc()
                 continue
             self._apply_update(peer, update, now)
         self._routers_seen[router] = now
@@ -166,6 +185,8 @@ class BmpCollector:
     def _apply_update(
         self, peer: PeerDescriptor, update: UpdateMessage, now: float
     ) -> None:
+        if update.withdrawn:
+            self._m_withdrawals.inc(len(update.withdrawn))
         for prefix in update.withdrawn:
             self.stats.withdrawals += 1
             self._rib.withdraw(prefix, peer)
@@ -175,6 +196,7 @@ class BmpCollector:
                 # a BMP feed, the controller must not treat it as input.
                 self.stats.injected_dropped += len(update.announced)
                 return
+            self._m_announcements.inc(len(update.announced))
             for prefix in update.announced:
                 self.stats.announcements += 1
                 route = Route(

@@ -1,13 +1,23 @@
-"""Command-line interface: run demos and regenerate experiments.
+"""Command-line interface: run demos, experiments, and telemetry views.
 
 Usage::
 
     python -m repro quickstart [--pop pop-a] [--minutes 10] [--seed 7]
     python -m repro experiment fig4 [--hours 2.0]
     python -m repro list
+    python -m repro metrics [--format prometheus|json] [--minutes 5]
+    python -m repro trace [--span controller.cycle] [--limit 10]
+    python -m repro explain 11.1.209.0/24   (or --list to see candidates)
 
 ``experiment`` accepts the short names below and prints the same tables
-and series the benchmark harness does.
+and series the benchmark harness does.  The telemetry verbs (``metrics``,
+``trace``, ``explain``) run a deterministic peak-hour workload on the
+study PoP and report what the observability layer recorded — the same
+views a long-lived deployment would expose live.
+
+Progress chatter goes through the structured logger (stderr), quiet by
+default; pass ``-v`` for INFO-level run logs and ``--log-jsonl PATH`` to
+also capture them as JSON lines.  Results stay on stdout.
 """
 
 from __future__ import annotations
@@ -18,8 +28,11 @@ from typing import Callable, Dict
 
 from . import experiments
 from .core.pipeline import PopDeployment
+from .obs.logs import configure_logging, get_logger, log_event
 
 __all__ = ["main", "EXPERIMENTS"]
+
+_log = get_logger("repro.cli")
 
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": experiments.table1_pops.run,
@@ -46,13 +59,36 @@ _TAKES_HOURS = {
 }
 
 
+def _run_peak_deployment(
+    pop: str, minutes: float, seed: int
+) -> PopDeployment:
+    """The telemetry verbs' shared workload: *minutes* at the peak."""
+    deployment = PopDeployment.build(pop_name=pop, seed=seed)
+    start = deployment.demand.config.peak_time
+    ticks = int(minutes * 60 / deployment.tick_seconds)
+    log_event(
+        _log,
+        "cli.run",
+        pop=pop,
+        seed=seed,
+        minutes=minutes,
+        ticks=ticks,
+    )
+    for index in range(ticks):
+        deployment.step(start + index * deployment.tick_seconds)
+    return deployment
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     deployment = PopDeployment.build(pop_name=args.pop, seed=args.seed)
     start = deployment.demand.config.peak_time
     ticks = int(args.minutes * 60 / deployment.tick_seconds)
-    print(
-        f"Running {args.pop} for {args.minutes} simulated minutes "
-        f"at peak (seed {args.seed})..."
+    log_event(
+        _log,
+        "cli.quickstart",
+        pop=args.pop,
+        seed=args.seed,
+        minutes=args.minutes,
     )
     for index in range(ticks):
         deployment.step(start + index * deployment.tick_seconds)
@@ -77,6 +113,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.name in _TAKES_HOURS and args.hours is not None:
         kwargs["hours"] = args.hours
+    log_event(_log, "cli.experiment", name=args.name, **kwargs)
     result = runner(**kwargs)
     print(result.render())
     return 0
@@ -88,19 +125,95 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+# -- telemetry verbs ------------------------------------------------------------
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    deployment = _run_peak_deployment(args.pop, args.minutes, args.seed)
+    registry = deployment.telemetry.registry
+    if args.format == "json":
+        print(registry.to_json(indent=2))
+    else:
+        print(registry.to_prometheus(), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    deployment = _run_peak_deployment(args.pop, args.minutes, args.seed)
+    tracer = deployment.telemetry.tracer
+    names = sorted(tracer.counts())
+    print(
+        f"{'span':<20} {'count':>6} {'mean ms':>9} {'max ms':>9}"
+    )
+    for name in names:
+        durations = tracer.durations(name)
+        mean_ms = sum(durations) / len(durations) * 1000.0
+        max_ms = max(durations) * 1000.0
+        print(
+            f"{name:<20} {len(durations):>6} {mean_ms:>9.2f} "
+            f"{max_ms:>9.2f}"
+        )
+    spans = tracer.recent(limit=args.limit, name=args.span)
+    if spans:
+        print(f"\nmost recent {len(spans)} spans (newest last):")
+        for span in spans:
+            tags = " ".join(
+                f"{key}={value}" for key, value in span.tags
+            )
+            print(
+                f"  {span.name:<18} {span.duration_ms:>8.2f} ms  {tags}"
+            )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    deployment = _run_peak_deployment(args.pop, args.minutes, args.seed)
+    audit = deployment.telemetry.audit
+    if args.list or args.prefix is None:
+        detoured = audit.detoured_prefixes()
+        if not detoured:
+            print("no prefixes are currently detoured")
+        else:
+            print(
+                f"{len(detoured)} prefixes currently detoured "
+                "(pass one to `repro explain`):"
+            )
+            for prefix in detoured:
+                print(f"  {prefix}")
+        return 0
+    explanation = deployment.telemetry.explain(args.prefix)
+    print(explanation.render())
+    return 0 if explanation.events else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Edge Fabric reproduction: demos and experiments",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="INFO-level structured run logs on stderr",
+    )
+    parser.add_argument(
+        "--log-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also append structured logs as JSON lines to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_workload_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--pop", default="pop-a")
+        command.add_argument("--minutes", type=float, default=10.0)
+        command.add_argument("--seed", type=int, default=7)
 
     quickstart = sub.add_parser(
         "quickstart", help="run a PoP with the controller at peak"
     )
-    quickstart.add_argument("--pop", default="pop-a")
-    quickstart.add_argument("--minutes", type=float, default=10.0)
-    quickstart.add_argument("--seed", type=int, default=7)
+    _add_workload_args(quickstart)
     quickstart.set_defaults(func=_cmd_quickstart)
 
     experiment = sub.add_parser(
@@ -112,12 +225,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     lister = sub.add_parser("list", help="list experiment names")
     lister.set_defaults(func=_cmd_list)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a peak workload and dump the metrics registry",
+    )
+    _add_workload_args(metrics)
+    metrics.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a peak workload and summarize tick-path spans",
+    )
+    _add_workload_args(trace)
+    trace.add_argument(
+        "--span", default=None, help="filter recent spans by name"
+    )
+    trace.add_argument("--limit", type=int, default=10)
+    trace.set_defaults(func=_cmd_trace)
+
+    explain = sub.add_parser(
+        "explain",
+        help="reconstruct a prefix's override history "
+        "(why is it detoured?)",
+    )
+    explain.add_argument(
+        "prefix", nargs="?", help="e.g. 11.1.209.0/24"
+    )
+    explain.add_argument(
+        "--list",
+        action="store_true",
+        help="list currently-detoured prefixes instead",
+    )
+    _add_workload_args(explain)
+    explain.set_defaults(func=_cmd_explain)
     return parser
 
 
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        configure_logging(
+            verbose=args.verbose, jsonl_path=args.log_jsonl
+        )
+    except OSError as error:
+        print(
+            f"cannot open log file {args.log_jsonl}: {error}",
+            file=sys.stderr,
+        )
+        return 2
     return args.func(args)
 
 

@@ -25,6 +25,8 @@ from typing import Dict, Optional
 from ..measurement.altpath import AltPathMonitor
 from ..netbase.addr import Prefix
 from ..netbase.errors import StaleInputError
+from ..obs.logs import get_logger, log_event
+from ..obs.telemetry import Telemetry
 from .allocator import Allocator
 from .config import ControllerConfig
 from .injector import BgpInjector
@@ -36,6 +38,8 @@ from .projection import project
 
 __all__ = ["EdgeFabricController"]
 
+_log = get_logger("repro.core.controller")
+
 
 class EdgeFabricController:
     """One controller instance per PoP."""
@@ -46,6 +50,7 @@ class EdgeFabricController:
         injector: BgpInjector,
         config: ControllerConfig = ControllerConfig(),
         altpath: Optional[AltPathMonitor] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.assembler = assembler
         self.injector = injector
@@ -58,12 +63,47 @@ class EdgeFabricController:
             raise ValueError(
                 "performance_aware requires an AltPathMonitor"
             )
+        self.telemetry = telemetry or Telemetry(name=assembler.pop.name)
+        registry = self.telemetry.registry
+        cycles = registry.counter(
+            "controller_cycles_total",
+            "Controller cycles, by outcome",
+            ("status",),
+        )
+        self._m_cycles_run = cycles.labels(status="run")
+        self._m_cycles_skipped = cycles.labels(status="skipped")
+        self._m_announced = registry.counter(
+            "controller_announced_total", "Override routes announced"
+        )
+        self._m_withdrawn = registry.counter(
+            "controller_withdrawn_total", "Override routes withdrawn"
+        )
+        self._m_perf_moves = registry.counter(
+            "controller_perf_moves_total",
+            "Performance-aware pass moves",
+        )
+        self._m_active = registry.gauge(
+            "controller_active_overrides", "Currently injected overrides"
+        )
+        self._m_overloaded = registry.gauge(
+            "controller_overloaded_interfaces",
+            "Interfaces over threshold before allocation (last cycle)",
+        )
+        self._m_unresolved = registry.gauge(
+            "controller_unresolved_interfaces",
+            "Interfaces still over threshold after allocation "
+            "(last cycle)",
+        )
+        self._m_cycle_hist = registry.histogram(
+            "controller_cycle_seconds", "Controller cycle compute time"
+        )
 
     # -- the cycle ------------------------------------------------------------
 
     def run_cycle(self, now: float) -> CycleReport:
         """Run one full decision cycle at simulation time *now*."""
         started = _time.perf_counter()
+        tracer = self.telemetry.tracer
         try:
             inputs = self.assembler.snapshot(now)
         except StaleInputError as exc:
@@ -71,13 +111,37 @@ class EdgeFabricController:
                 time=now, skipped=True, skip_reason=str(exc)
             )
             self.monitor.record(report)
+            self._m_cycles_skipped.inc()
+            tracer.record(
+                "controller.cycle",
+                started,
+                _time.perf_counter() - started,
+                {"time": now, "skipped": True},
+            )
+            log_event(
+                _log,
+                "controller.cycle.skipped",
+                time=now,
+                reason=str(exc),
+            )
             return report
 
+        decision_started = _time.perf_counter()
         projection = project(self.assembler.pop, inputs)
         allocation = self.allocator.allocate(
             projection,
             inputs,
             previous_targets=self.overrides.active_targets(),
+        )
+        tracer.record(
+            "bgp.decision",
+            decision_started,
+            _time.perf_counter() - decision_started,
+            {
+                "time": now,
+                "prefixes": len(inputs.traffic),
+                "overloaded": len(allocation.overloaded_before),
+            },
         )
         perf_moves = 0
         if self.config.performance_aware and self.altpath is not None:
@@ -94,7 +158,9 @@ class EdgeFabricController:
 
         diff = self.overrides.reconcile(allocation.detours, now)
         self.injector.apply(diff)
+        self.telemetry.audit.record_cycle(now, diff, allocation.detours)
 
+        runtime = _time.perf_counter() - started
         report = CycleReport(
             time=now,
             total_traffic=inputs.total_traffic(),
@@ -107,9 +173,40 @@ class EdgeFabricController:
             kept=len(diff.keep),
             unresolved=tuple(allocation.unresolved),
             perf_moves=perf_moves,
-            runtime_seconds=_time.perf_counter() - started,
+            runtime_seconds=runtime,
         )
         self.monitor.record(report)
+        self._m_cycles_run.inc()
+        self._m_announced.inc(len(diff.announce))
+        self._m_withdrawn.inc(len(diff.withdraw))
+        if perf_moves:
+            self._m_perf_moves.inc(perf_moves)
+        self._m_active.set(len(self.overrides))
+        self._m_overloaded.set(len(allocation.overloaded_before))
+        self._m_unresolved.set(len(allocation.unresolved))
+        self._m_cycle_hist.observe(runtime)
+        tracer.record(
+            "controller.cycle",
+            started,
+            runtime,
+            {
+                "time": now,
+                "detours": len(allocation.detours),
+                "announced": len(diff.announce),
+                "withdrawn": len(diff.withdraw),
+            },
+        )
+        log_event(
+            _log,
+            "controller.cycle",
+            time=now,
+            detours=len(allocation.detours),
+            announced=len(diff.announce),
+            withdrawn=len(diff.withdraw),
+            overloaded=len(allocation.overloaded_before),
+            unresolved=len(allocation.unresolved),
+            runtime_ms=round(runtime * 1000.0, 3),
+        )
         return report
 
     # -- lifecycle ----------------------------------------------------------------
@@ -118,6 +215,10 @@ class EdgeFabricController:
         """Withdraw every override, restoring pure-BGP routing."""
         flushed = self.overrides.flush(now)
         self.injector.withdraw_all(flushed)
+        self._m_active.set(0)
+        log_event(
+            _log, "controller.shutdown", time=now, withdrawn=len(flushed)
+        )
         return len(flushed)
 
     def active_override_targets(self) -> Dict[Prefix, str]:

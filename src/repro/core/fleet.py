@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Tuple
 from ..analysis.report import Table
 from ..core.config import ControllerConfig
 from ..netbase.units import Rate, gbps
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import Telemetry, merge_registries
 from ..topology.builder import build_pop, provision_against_demand
 from ..topology.scenarios import default_internet, fleet_specs
 from ..traffic.demand import DemandConfig, DemandModel
@@ -36,6 +38,7 @@ class _PopRunState:
     monitor: object
     overrides: object
     metrics: object
+    telemetry: Telemetry
     current_time: float
 
 
@@ -56,6 +59,7 @@ def _run_pop_worker(name: str) -> Tuple[str, _PopRunState]:
         monitor=deployment.controller.monitor,
         overrides=deployment.controller.overrides,
         metrics=deployment.simulator.metrics,
+        telemetry=deployment.telemetry,
         current_time=deployment.current_time,
     )
 
@@ -188,10 +192,33 @@ class FleetDeployment:
             deployment.controller.monitor = state.monitor
             deployment.controller.overrides = state.overrides
             deployment.simulator.metrics = state.metrics
+            # The worker's telemetry (registry counts, spans, audit
+            # trail) replaces the parent's pre-run copy wholesale —
+            # same merge contract as the record and monitor above.
+            deployment.telemetry = state.telemetry
+            deployment.controller.telemetry = state.telemetry
             deployment.current_time = state.current_time
         return True
 
     # -- aggregation ----------------------------------------------------------------
+
+    def merged_registry(self) -> MetricsRegistry:
+        """One fleet-wide registry: every PoP's series, labelled by PoP.
+
+        Works identically after serial and parallel runs (workers carry
+        their telemetry back through the merge in ``_run_parallel``), so
+        fleet dashboards need no knowledge of how the run executed.
+        """
+        return merge_registries(
+            (name, self.deployments[name].telemetry.registry)
+            for name in sorted(self.deployments)
+        )
+
+    def telemetry_by_pop(self) -> Dict[str, Telemetry]:
+        return {
+            name: deployment.telemetry
+            for name, deployment in self.deployments.items()
+        }
 
     def total_offered(self) -> Rate:
         return Rate(

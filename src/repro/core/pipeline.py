@@ -29,6 +29,7 @@ from ..measurement.altpath import AltPathMonitor
 from ..measurement.pathmodel import PathModelConfig, PathPerformanceModel
 from ..netbase.addr import Family, Prefix
 from ..netbase.units import Rate, gbps
+from ..obs.telemetry import Telemetry
 from ..sflow.collector import SflowCollector
 from ..topology.builder import WiredPop
 from ..topology.scenarios import build_study_pop
@@ -59,6 +60,18 @@ class RunRecord:
 
     ticks: List[TickSummary] = field(default_factory=list)
     cycle_reports: List[CycleReport] = field(default_factory=list)
+    #: The run's :class:`~repro.obs.telemetry.Telemetry` (metrics,
+    #: spans, decision audit), attached by :class:`PopDeployment` so
+    #: experiments can persist telemetry alongside results.
+    telemetry: Optional[Telemetry] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def write_telemetry_jsonl(self, path) -> int:
+        """Persist attached telemetry as JSONL; returns lines written."""
+        if self.telemetry is None:
+            raise ValueError("no telemetry attached to this record")
+        return self.telemetry.write_jsonl(path)
 
     def total_dropped_bits(self, tick_seconds: float) -> float:
         return sum(
@@ -117,6 +130,7 @@ class PopDeployment:
         altpath_prefix_count: int = 200,
         path_model_seed: int = 0,
         seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.wired = wired
         self.demand = demand
@@ -124,9 +138,21 @@ class PopDeployment:
         self.tick_seconds = tick_seconds
         self.current_time = 0.0
 
+        # One telemetry handle shared by every layer of the stack, so
+        # the registry/tracer/audit views cover the whole tick path.
+        self.telemetry = telemetry or Telemetry(name=wired.pop.name)
+        self._m_ticks = self.telemetry.registry.counter(
+            "pipeline_ticks_total", "Deployment steps taken"
+        )
+        self._m_tick_wall = self.telemetry.registry.histogram(
+            "tick_wall_seconds", "Full step() wall time"
+        )
+
         # Routes: exporters -> BMP collector (sim-clocked).
         self.bmp = BmpCollector(
-            wired.registry, clock=lambda: self.current_time
+            wired.registry,
+            clock=lambda: self.current_time,
+            telemetry=self.telemetry,
         )
         self.exporters = [
             BmpExporter(speaker, self.bmp.feed)
@@ -143,7 +169,9 @@ class PopDeployment:
         # rate estimate by tick/window.
         effective_window = max(estimator_window, 2.0 * tick_seconds)
         self.sflow = SflowCollector(
-            self._resolve_prefix, window_seconds=effective_window
+            self._resolve_prefix,
+            window_seconds=effective_window,
+            telemetry=self.telemetry,
         )
         self.simulator = PopSimulator(
             wired,
@@ -151,6 +179,7 @@ class PopDeployment:
             tick_seconds=tick_seconds,
             sampling_rate=sampling_rate,
             seed=seed,
+            telemetry=self.telemetry,
         )
         for router, agent in self.simulator.agents.items():
             self.sflow.register_router(
@@ -188,9 +217,10 @@ class PopDeployment:
             self.injector,
             controller_config,
             altpath=self.altpath,
+            telemetry=self.telemetry,
         )
 
-        self.record = RunRecord()
+        self.record = RunRecord(telemetry=self.telemetry)
         #: Optional :class:`repro.analysis.perf.PerfRecorder`; when set,
         #: every step's wall time and every cycle's runtime is recorded.
         self.perf = None
@@ -297,7 +327,7 @@ class PopDeployment:
     def step(self, now: float, run_controller: bool = True) -> TickResult:
         """Advance the deployment one tick to time *now*."""
         perf = self.perf
-        step_started = _time.perf_counter() if perf is not None else 0.0
+        step_started = _time.perf_counter()
         self.current_time = now
         self._tick_index += 1
         result = self.simulator.tick(now)
@@ -332,8 +362,11 @@ class PopDeployment:
                 active_overrides=len(self.controller.overrides),
             )
         )
+        wall = _time.perf_counter() - step_started
+        self._m_ticks.inc()
+        self._m_tick_wall.observe(wall)
         if perf is not None:
-            perf.record_tick(_time.perf_counter() - step_started)
+            perf.record_tick(wall)
         return result
 
     def _cycle_due(self, now: float) -> bool:

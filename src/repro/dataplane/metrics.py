@@ -8,6 +8,7 @@ over this store.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -127,3 +128,65 @@ class MetricsStore:
             if sample.time <= time:
                 return sample.utilization
         return 0.0
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_jsonl(self, path) -> int:
+        """Write the store as JSON lines; returns lines written.
+
+        One header line carries the tick interval, then one line per
+        (interface, sample).  :meth:`from_jsonl` reloads the result into
+        an equivalent store, so a run's interface series can be archived
+        next to its telemetry and re-queried offline.
+        """
+        lines = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"kind": "meta", "tick_seconds": self._tick_seconds}
+            handle.write(json.dumps(header) + "\n")
+            lines += 1
+            for (router, interface), samples in self._series.items():
+                for sample in samples:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "kind": "sample",
+                                "router": router,
+                                "interface": interface,
+                                "time": sample.time,
+                                "offered_bps": sample.offered.bits_per_second,
+                                "capacity_bps": sample.capacity.bits_per_second,
+                                "transmitted_bps": (
+                                    sample.transmitted.bits_per_second
+                                ),
+                                "dropped_bps": sample.dropped.bits_per_second,
+                            }
+                        )
+                        + "\n"
+                    )
+                    lines += 1
+        return lines
+
+    @classmethod
+    def from_jsonl(cls, path) -> "MetricsStore":
+        """Reload a store written by :meth:`to_jsonl`."""
+        store = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                if payload.get("kind") == "meta":
+                    store._tick_seconds = payload.get("tick_seconds")
+                    continue
+                store.record(
+                    (payload["router"], payload["interface"]),
+                    InterfaceSample(
+                        time=payload["time"],
+                        offered=Rate(payload["offered_bps"]),
+                        capacity=Rate(payload["capacity_bps"]),
+                        transmitted=Rate(payload["transmitted_bps"]),
+                        dropped=Rate(payload["dropped_bps"]),
+                    ),
+                )
+        return store

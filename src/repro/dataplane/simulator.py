@@ -21,9 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import time as _time
+
 from ..bgp.route import Route
 from ..netbase.addr import Prefix
 from ..netbase.units import Rate
+from ..obs.telemetry import Telemetry
 from ..sflow.agent import InterfaceIndexMap, SflowAgent
 from ..topology.builder import WiredPop
 from ..topology.entities import InterfaceKey
@@ -79,12 +82,28 @@ class PopSimulator:
         tick_seconds: float = 30.0,
         sampling_rate: int = 65536,
         seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.wired = wired
         self.demand = demand
         self.tick_seconds = tick_seconds
         self.view = PopView(wired.speakers.values())
         self.metrics = MetricsStore()
+        self.telemetry = telemetry or Telemetry(name=wired.pop.name)
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        self._m_ticks = registry.counter(
+            "dataplane_ticks_total", "Simulator ticks run"
+        )
+        self._m_offered = registry.gauge(
+            "dataplane_offered_bps", "Offered load, last tick"
+        )
+        self._m_dropped = registry.gauge(
+            "dataplane_dropped_bps", "Dropped rate, last tick"
+        )
+        self._m_unrouted = registry.gauge(
+            "dataplane_unrouted_bps", "Demand with no route, last tick"
+        )
         self.synthesizer = FlowSynthesizer(
             mean_packet_bytes=demand.config.mean_packet_bytes, seed=seed
         )
@@ -120,6 +139,7 @@ class PopSimulator:
         bits/second floats — :class:`Rate` objects are built once per
         interface at the end, not once per addition.
         """
+        span_started = _time.perf_counter()
         view = self.view
         pop = self.wired.pop
         rates = self.demand.rates_bps(now)
@@ -165,10 +185,12 @@ class PopSimulator:
             key: Rate(value) for key, value in loads_bps.items()
         }
         drops: Dict[InterfaceKey, Rate] = {}
+        dropped_bps = 0.0
         for key, offered in loads.items():
             capacity = pop.capacity_of(key)
             transmitted = offered if offered <= capacity else capacity
             dropped = offered - capacity
+            dropped_bps += dropped.bits_per_second
             drops[key] = dropped
             self.metrics.record(
                 key,
@@ -209,6 +231,16 @@ class PopSimulator:
             )
             datagrams[router] = self.agents[router].observe(flows, now)
 
+        self._m_ticks.inc()
+        self._m_offered.set(sum(loads_bps.values()))
+        self._m_dropped.set(dropped_bps)
+        self._m_unrouted.set(unrouted_bps)
+        self._tracer.record(
+            "dataplane.tick",
+            span_started,
+            _time.perf_counter() - span_started,
+            {"time": now, "prefixes": len(rates)},
+        )
         return TickResult(
             time=now,
             loads=loads,

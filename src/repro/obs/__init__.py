@@ -1,0 +1,45 @@
+"""repro.obs — the observability subsystem for the tick pipeline.
+
+Four pieces, one facade:
+
+- :mod:`repro.obs.metrics` — typed metrics registry (counters, gauges,
+  histograms with label sets) with Prometheus-text and JSON exporters,
+- :mod:`repro.obs.tracing` — ring-buffered spans over the tick hot path,
+- :mod:`repro.obs.audit` — the per-prefix decision audit trail behind
+  ``explain(prefix)``,
+- :mod:`repro.obs.logs` — structured run logs with a JSONL emitter.
+
+:class:`repro.obs.Telemetry` bundles the first three per deployment and
+is what the controller, pipeline, simulator and collectors are
+instrumented against.
+"""
+
+from .audit import (
+    DecisionAudit,
+    OverrideEvent,
+    PrefixExplanation,
+    decisive_step,
+)
+from .logs import JsonlHandler, configure_logging, get_logger, log_event
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import Telemetry, merge_registries
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "DecisionAudit",
+    "OverrideEvent",
+    "PrefixExplanation",
+    "decisive_step",
+    "JsonlHandler",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "Telemetry",
+    "merge_registries",
+]

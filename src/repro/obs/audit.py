@@ -1,0 +1,260 @@
+"""The decision audit trail: why is this prefix on that interface?
+
+Production Edge Fabric logs every override with enough context that an
+operator can answer "why is this prefix on transit right now?" — the
+cycle that installed it, the interface it was fleeing, the alternate it
+was sent to, and what BGP would have done absent the controller.  This
+module is that trail: the controller hands :class:`DecisionAudit` every
+cycle's override diff, and :meth:`explain` reconstructs a prefix's full
+override history after the fact.
+
+Memory is bounded twice over: per-prefix histories are ring buffers, and
+the number of tracked prefixes is capped with least-recently-touched
+eviction, so the trail survives arbitrarily long runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..bgp.decision import DEFAULT_CONFIG, DecisionConfig
+from ..bgp.route import Route
+
+__all__ = [
+    "decisive_step",
+    "OverrideEvent",
+    "PrefixExplanation",
+    "DecisionAudit",
+]
+
+
+def decisive_step(
+    preferred: Route,
+    other: Route,
+    config: DecisionConfig = DEFAULT_CONFIG,
+) -> str:
+    """Name the decision-process step at which *preferred* beats *other*.
+
+    This is what "the BGP decision-step that would have won without the
+    override" means for a detour: the preferred route would have carried
+    the traffic, and this is the tiebreak that made it preferred over
+    the alternate the controller chose instead.
+    """
+    if preferred.local_pref != other.local_pref:
+        return "local_pref"
+    if preferred.as_path_length != other.as_path_length:
+        return "as_path_length"
+    if preferred.attributes.origin != other.attributes.origin:
+        return "origin"
+    if config.always_compare_med or (
+        preferred.next_hop_asn is not None
+        and preferred.next_hop_asn == other.next_hop_asn
+    ):
+        if (preferred.attributes.med or 0) != (
+            other.attributes.med or 0
+        ):
+            return "med"
+    if preferred.is_ebgp != other.is_ebgp:
+        return "ebgp_over_ibgp"
+    if preferred.igp_cost != other.igp_cost:
+        return "igp_cost"
+    if config.prefer_oldest and (
+        preferred.learned_at != other.learned_at
+    ):
+        return "oldest_route"
+    return "peer_id_tiebreak"
+
+
+def _interface_str(key: Optional[Tuple[str, str]]) -> str:
+    return "/".join(key) if key else ""
+
+
+@dataclass(frozen=True)
+class OverrideEvent:
+    """One audit-trail entry for one prefix in one controller cycle."""
+
+    cycle_time: float
+    #: "announce" (override installed), "keep" (still wanted, unchanged),
+    #: "withdraw" (override removed; default routing restored).
+    action: str
+    prefix: str
+    rate_bps: float = 0.0
+    #: The overloaded interface the prefix was moved *off* (its
+    #: BGP-preferred placement — the cause of the detour).
+    from_interface: str = ""
+    #: The alternate interface the prefix was moved *onto*.
+    to_interface: str = ""
+    target_session: str = ""
+    preferred_session: str = ""
+    #: The decision step at which the preferred route would have won.
+    decisive_step: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cycle_time": self.cycle_time,
+            "action": self.action,
+            "prefix": self.prefix,
+            "rate_bps": self.rate_bps,
+            "from_interface": self.from_interface,
+            "to_interface": self.to_interface,
+            "target_session": self.target_session,
+            "preferred_session": self.preferred_session,
+            "decisive_step": self.decisive_step,
+        }
+
+
+@dataclass(frozen=True)
+class PrefixExplanation:
+    """The answer to ``explain(prefix)``."""
+
+    prefix: str
+    events: Tuple[OverrideEvent, ...]
+    #: True when the last event leaves an override installed.
+    active: bool
+
+    def render(self) -> str:
+        """Operator-facing, one line per event."""
+        if not self.events:
+            return f"{self.prefix}: no override history"
+        lines = [
+            f"{self.prefix}: "
+            f"{'override ACTIVE' if self.active else 'no active override'}"
+            f" ({len(self.events)} recorded events)"
+        ]
+        for event in self.events:
+            if event.action == "withdraw":
+                lines.append(
+                    f"  t={event.cycle_time:>9.1f}  withdraw  "
+                    f"back to BGP-preferred via "
+                    f"{event.preferred_session or 'n/a'}"
+                )
+            else:
+                lines.append(
+                    f"  t={event.cycle_time:>9.1f}  {event.action:<8}  "
+                    f"{event.from_interface} -> {event.to_interface} "
+                    f"(session {event.target_session}, "
+                    f"{event.rate_bps / 1e6:.1f} Mbps); BGP preferred "
+                    f"{event.preferred_session} by {event.decisive_step}"
+                )
+        return "\n".join(lines)
+
+
+class DecisionAudit:
+    """Bounded per-prefix override history across controller cycles."""
+
+    def __init__(
+        self,
+        per_prefix_capacity: int = 256,
+        max_prefixes: int = 4096,
+        decision_config: DecisionConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.per_prefix_capacity = per_prefix_capacity
+        self.max_prefixes = max_prefixes
+        self.decision_config = decision_config
+        self._events: "OrderedDict[str, Deque[OverrideEvent]]" = (
+            OrderedDict()
+        )
+        self.recorded = 0
+        self.evicted_prefixes = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def _append(self, event: OverrideEvent) -> None:
+        history = self._events.get(event.prefix)
+        if history is None:
+            if len(self._events) >= self.max_prefixes:
+                self._events.popitem(last=False)
+                self.evicted_prefixes += 1
+            history = deque(maxlen=self.per_prefix_capacity)
+            self._events[event.prefix] = history
+        else:
+            self._events.move_to_end(event.prefix)
+        history.append(event)
+        self.recorded += 1
+
+    def record_cycle(self, now: float, diff, detours: Dict) -> None:
+        """Record one cycle's override diff.
+
+        *diff* is the :class:`~repro.core.overrides.OverrideDiff` the
+        controller committed; *detours* the allocator's prefix →
+        :class:`~repro.core.allocator.Detour` map (which still knows the
+        preferred route and the overloaded interface each move fled).
+        Withdraw events precede announces so a replaced override reads
+        as withdraw-then-announce in its history.
+        """
+        for override in diff.withdraw:
+            self._append(
+                OverrideEvent(
+                    cycle_time=now,
+                    action="withdraw",
+                    prefix=str(override.prefix),
+                    rate_bps=override.rate_at_decision.bits_per_second,
+                    target_session=override.target_session,
+                )
+            )
+        for action, overrides in (
+            ("announce", diff.announce),
+            ("keep", diff.keep),
+        ):
+            for override in overrides:
+                detour = detours.get(override.prefix)
+                if detour is None:
+                    continue
+                self._append(
+                    OverrideEvent(
+                        cycle_time=now,
+                        action=action,
+                        prefix=str(override.prefix),
+                        rate_bps=detour.rate.bits_per_second,
+                        from_interface=_interface_str(
+                            detour.from_interface
+                        ),
+                        to_interface=_interface_str(
+                            detour.to_interface
+                        ),
+                        target_session=detour.target.source.name,
+                        preferred_session=detour.preferred.source.name,
+                        decisive_step=decisive_step(
+                            detour.preferred,
+                            detour.target,
+                            self.decision_config,
+                        ),
+                    )
+                )
+
+    # -- queries -------------------------------------------------------------------
+
+    def explain(self, prefix: object) -> PrefixExplanation:
+        """Full recorded override history for *prefix* (str or Prefix)."""
+        key = str(prefix)
+        events = tuple(self._events.get(key, ()))
+        active = bool(events) and events[-1].action in (
+            "announce",
+            "keep",
+        )
+        return PrefixExplanation(
+            prefix=key, events=events, active=active
+        )
+
+    def detoured_prefixes(self) -> List[str]:
+        """Prefixes whose history ends with an installed override."""
+        return [
+            prefix
+            for prefix, events in self._events.items()
+            if events and events[-1].action in ("announce", "keep")
+        ]
+
+    def prefixes(self) -> List[str]:
+        return list(self._events)
+
+    def events(self) -> List[OverrideEvent]:
+        """Every buffered event, oldest-touched prefix first."""
+        out: List[OverrideEvent] = []
+        for history in self._events.values():
+            out.extend(history)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(history) for history in self._events.values())

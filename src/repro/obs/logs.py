@@ -1,0 +1,147 @@
+"""Structured run logs on top of :mod:`logging`, with a JSONL emitter.
+
+Everything under the ``repro`` logger namespace follows one convention:
+the log *message* is a short event name (``controller.cycle``,
+``example.progress``) and machine-readable context rides in the record's
+``fields`` dict (attached via :func:`log_event`).  The console handler
+renders ``event k=v k=v`` for humans; :class:`JsonlHandler` writes one
+JSON object per line for offline analysis — the paper's "every decision
+logged" in file form.
+
+Quiet by default: :func:`configure_logging` leaves the namespace at
+WARNING unless ``verbose`` is set (the CLI's ``-v``), so examples and
+experiments do not spray progress chatter over their actual output.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = [
+    "get_logger",
+    "log_event",
+    "configure_logging",
+    "JsonlHandler",
+]
+
+ROOT_NAME = "repro"
+
+#: Marker attribute so configure_logging() can replace only the handlers
+#: it installed, staying idempotent across calls (and across tests).
+_MANAGED = "_repro_obs_managed"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (accepts module names)."""
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name == ROOT_NAME or name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields: object,
+) -> None:
+    """Emit a structured event: message is the event name, fields ride along."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})
+
+
+class _ConsoleFormatter(logging.Formatter):
+    """``LEVEL logger: event k=v k=v`` — terse, grep-friendly."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{record.levelname.lower():<7} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        fields = getattr(record, "fields", None)
+        if fields:
+            rendered = " ".join(
+                f"{key}={value}" for key, value in fields.items()
+            )
+            return f"{base} {rendered}"
+        return base
+
+
+class JsonlHandler(logging.Handler):
+    """Appends one JSON object per record to a file."""
+
+    def __init__(self, path, level: int = logging.INFO) -> None:
+        # Open before Handler.__init__ registers us with the logging
+        # machinery: a bad path must not leave a half-constructed
+        # handler behind for logging.shutdown() to trip over.
+        stream: IO[str] = open(str(path), "a", encoding="utf-8")
+        super().__init__(level)
+        self.path = str(path)
+        self._stream: Optional[IO[str]] = stream
+
+    def emit(self, record: logging.LogRecord) -> None:
+        if self._stream is None:
+            return
+        payload = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload["fields"] = {
+                key: _jsonable(value) for key, value in fields.items()
+            }
+        try:
+            self._stream.write(
+                json.dumps(payload, sort_keys=True) + "\n"
+            )
+            self._stream.flush()
+        except Exception:
+            self.handleError(record)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+        super().close()
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def configure_logging(
+    verbose: bool = False,
+    jsonl_path=None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Set up the ``repro`` logger namespace; safe to call repeatedly.
+
+    Console output goes to *stream* (default stderr, keeping stdout for
+    program results); ``jsonl_path`` additionally appends every record
+    as a JSON line.  Returns the namespace root logger.
+    """
+    root = logging.getLogger(ROOT_NAME)
+    root.setLevel(logging.INFO if verbose else logging.WARNING)
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, _MANAGED, False):
+            root.removeHandler(handler)
+            handler.close()
+    console = logging.StreamHandler(stream or sys.stderr)
+    console.setFormatter(_ConsoleFormatter())
+    setattr(console, _MANAGED, True)
+    root.addHandler(console)
+    if jsonl_path is not None:
+        jsonl = JsonlHandler(jsonl_path)
+        setattr(jsonl, _MANAGED, True)
+        root.addHandler(jsonl)
+    return root

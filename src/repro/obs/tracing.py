@@ -1,0 +1,128 @@
+"""Span-based tracing of the tick hot path, ring-buffered.
+
+A :class:`Tracer` records named spans — ``dataplane.tick``,
+``sflow.collect``, ``controller.cycle``, ``bgp.decision`` — each with its
+wall-clock duration and a small tag payload.  Memory is bounded: spans
+live in a ring buffer (``deque(maxlen=capacity)``); once full, the oldest
+span falls off and ``dropped`` counts what was lost, so a week-long run
+cannot OOM the process while the most recent history stays queryable.
+
+The recording cost is two ``perf_counter()`` calls and one deque append
+per span; spans are per-tick / per-cycle granularity (a handful per
+tick), never per-prefix, which keeps the tick-time overhead far inside
+the <5% budget the benchmark gate enforces.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span: a named, tagged, timed section."""
+
+    name: str
+    started: float  # perf_counter timestamp, comparable within-process
+    duration: float  # seconds
+    tags: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration * 1000.0
+
+    def tag_dict(self) -> Dict[str, object]:
+        return dict(self.tags)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "started": self.started,
+            "duration_s": self.duration,
+            "tags": self.tag_dict(),
+        }
+
+
+class Tracer:
+    """Bounded-memory span recorder."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self.recorded = 0  # total spans ever finished
+        self.dropped = 0  # spans evicted by the ring buffer
+
+    # -- recording ------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **tags: object) -> Iterator[None]:
+        """Time a section: ``with tracer.span("controller.cycle"): ...``"""
+        started = _time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(
+                name, started, _time.perf_counter() - started, tags
+            )
+
+    def record(
+        self,
+        name: str,
+        started: float,
+        duration: float,
+        tags: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Append one pre-timed span (the non-context-manager path)."""
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self.recorded += 1
+        self._spans.append(
+            Span(
+                name=name,
+                started=started,
+                duration=duration,
+                tags=tuple(sorted(tags.items())) if tags else (),
+            )
+        )
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def recent(
+        self, limit: Optional[int] = None, name: Optional[str] = None
+    ) -> List[Span]:
+        """Most recent spans, newest last, optionally filtered by name."""
+        spans: List[Span] = [
+            span
+            for span in self._spans
+            if name is None or span.name == name
+        ]
+        if limit is not None:
+            spans = spans[-limit:]
+        return spans
+
+    def durations(self, name: str) -> List[float]:
+        return [s.duration for s in self._spans if s.name == name]
+
+    def counts(self) -> Dict[str, int]:
+        """Buffered span count per name (post-eviction view)."""
+        out: Dict[str, int] = {}
+        for span in self._spans:
+            out[span.name] = out.get(span.name, 0) + 1
+        return out
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [span.to_dict() for span in self._spans]
+
+    def clear(self) -> None:
+        self._spans.clear()

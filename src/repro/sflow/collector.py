@@ -14,11 +14,13 @@ can assert nothing silently disappears.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..netbase.addr import Family, Prefix
 from ..netbase.errors import TrafficError
 from ..netbase.units import Rate
+from ..obs.telemetry import Telemetry
 from .agent import InterfaceIndexMap
 from .datagram import iter_sample_fields
 from .estimator import RateEstimator
@@ -39,8 +41,22 @@ class SflowCollector:
         self,
         resolver: PrefixResolver,
         window_seconds: float = 60.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._resolver = resolver
+        self.telemetry = telemetry or Telemetry(name="sflow")
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        self._m_datagrams = registry.counter(
+            "sflow_datagrams_total", "sFlow datagrams consumed"
+        )
+        self._m_samples = registry.counter(
+            "sflow_samples_total", "sFlow flow samples consumed"
+        )
+        self._m_unroutable = registry.counter(
+            "sflow_unroutable_bytes_total",
+            "Estimated bytes whose destination matched no routed prefix",
+        )
         self._interfaces_by_router: Dict[str, InterfaceIndexMap] = {}
         self._router_by_agent: Dict[int, str] = {}
         self._prefix_rates: RateEstimator[Prefix] = RateEstimator(
@@ -81,6 +97,9 @@ class SflowCollector:
         estimator add per aggregate — identical rates to sample-by-sample
         feeding (same bytes, same timestamps) at a fraction of the cost.
         """
+        span_started = _time.perf_counter()
+        datagram_count = sample_count = 0
+        unroutable_before = self.unroutable_bytes
         # (router, output ifIndex, AFI, dst address) -> estimated bytes
         flow_bytes: Dict[Tuple[str, int, int, int], float] = {}
         for data in datagrams:
@@ -91,8 +110,10 @@ class SflowCollector:
                     f"datagram from unregistered agent {agent_address:#x}"
                 )
             self.datagrams += 1
+            datagram_count += 1
             for rate, out_if, afi, dst, frame_length in samples:
                 self.samples += 1
+                sample_count += 1
                 key = (router, out_if, afi, dst)
                 flow_bytes[key] = (
                     flow_bytes.get(key, 0.0) + float(frame_length * rate)
@@ -123,6 +144,23 @@ class SflowCollector:
             self._prefix_rates.add(prefix, estimated, now)
         for pair, estimated in pair_bytes.items():
             self._prefix_interface_rates.add(pair, estimated, now)
+
+        if datagram_count:
+            self._m_datagrams.inc(datagram_count)
+            self._m_samples.inc(sample_count)
+            unroutable_delta = (
+                self.unroutable_bytes - unroutable_before
+            )
+            if unroutable_delta:
+                self._m_unroutable.inc(unroutable_delta)
+            # Empty batches (a router with no flows this tick) skip the
+            # span so the ring buffer holds signal, not padding.
+            self._tracer.record(
+                "sflow.collect",
+                span_started,
+                _time.perf_counter() - span_started,
+                {"datagrams": datagram_count, "samples": sample_count},
+            )
 
     # -- queries -------------------------------------------------------------------
 

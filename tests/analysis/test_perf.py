@@ -18,6 +18,16 @@ class TestPercentile:
         assert percentile(values, 0.25) == 10.0
         assert percentile(values, 0.125) == 5.0
 
+    def test_unsorted_input(self):
+        # Regression: unsorted input used to silently return garbage
+        # (whatever happened to sit at the interpolated positions).
+        shuffled = [30.0, 0.0, 40.0, 10.0, 20.0]
+        assert percentile(shuffled, 0.5) == 20.0
+        assert percentile(shuffled, 1.0) == 40.0
+        assert percentile(shuffled, 0.25) == 10.0
+        # The input list itself is left untouched.
+        assert shuffled == [30.0, 0.0, 40.0, 10.0, 20.0]
+
 
 class TestPerfRecorder:
     def test_snapshot_statistics(self):

@@ -49,15 +49,41 @@ class TestFleet:
         assert len(set(peaks)) == len(peaks)
 
 
-class TestParallelFleet:
-    def test_parallel_run_matches_serial_exactly(self, fleet):
-        parallel = FleetDeployment.build(
-            pop_count=2, seed=17, tick_seconds=60.0
-        )
-        first = next(iter(parallel.deployments.values()))
-        start = first.demand.config.peak_time
-        parallel.run(start, 600.0, parallel=4)
+@pytest.fixture(scope="module")
+def parallel_fleet():
+    parallel = FleetDeployment.build(
+        pop_count=2, seed=17, tick_seconds=60.0
+    )
+    first = next(iter(parallel.deployments.values()))
+    start = first.demand.config.peak_time
+    parallel.run(start, 600.0, parallel=2)
+    return parallel
 
+
+def _deterministic_view(registry):
+    """Counters and gauges in full; histograms by count only.
+
+    Wall-time histograms (tick/cycle latency) measure the host, not the
+    simulation, so their sums and bucket spreads legitimately differ
+    between serial and parallel executions of the same workload.
+    """
+    snapshot = registry.snapshot()
+    return {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histogram_counts": {
+            name: {
+                labels: series["count"]
+                for labels, series in by_label.items()
+            }
+            for name, by_label in snapshot["histograms"].items()
+        },
+    }
+
+
+class TestParallelFleet:
+    def test_parallel_run_matches_serial_exactly(self, fleet, parallel_fleet):
+        parallel = parallel_fleet
         assert (
             parallel.summary_table().render()
             == fleet.summary_table().render()
@@ -83,3 +109,43 @@ class TestParallelFleet:
                 serial_pop.record.cycle_reports
             )
             assert parallel_pop.current_time == serial_pop.current_time
+
+    def test_parallel_telemetry_matches_serial(
+        self, fleet, parallel_fleet
+    ):
+        for name, serial_pop in fleet.deployments.items():
+            parallel_pop = parallel_fleet.deployments[name]
+            # Workers hand their telemetry back through the merge, and
+            # the record keeps pointing at the same object.
+            assert (
+                parallel_pop.record.telemetry
+                is parallel_pop.telemetry
+            )
+            assert _deterministic_view(
+                parallel_pop.telemetry.registry
+            ) == _deterministic_view(serial_pop.telemetry.registry)
+            assert (
+                parallel_pop.telemetry.tracer.counts()
+                == serial_pop.telemetry.tracer.counts()
+            )
+            assert [
+                event.to_dict()
+                for event in parallel_pop.telemetry.audit.events()
+            ] == [
+                event.to_dict()
+                for event in serial_pop.telemetry.audit.events()
+            ]
+
+    def test_merged_registry_matches_serial(
+        self, fleet, parallel_fleet
+    ):
+        assert _deterministic_view(
+            parallel_fleet.merged_registry()
+        ) == _deterministic_view(fleet.merged_registry())
+        # The merged view carries one pop label value per deployment.
+        merged = fleet.merged_registry()
+        ticks = merged.counter(
+            "pipeline_ticks_total", labelnames=("pop",)
+        )
+        for name in fleet.deployments:
+            assert ticks.value(pop=name) == 10.0

@@ -1,0 +1,11 @@
+"""Shared fixtures: keep logging-global mutations from leaking."""
+
+import pytest
+
+from repro.obs.logs import configure_logging
+
+
+@pytest.fixture(autouse=True)
+def _quiet_logging_after_test():
+    yield
+    configure_logging()

@@ -1,0 +1,203 @@
+"""Tests for the decision audit trail and decisive-step naming."""
+
+from repro.bgp.attributes import Origin
+from repro.bgp.decision import DecisionConfig
+from repro.bgp.peering import PeerType
+from repro.core.allocator import Detour
+from repro.core.overrides import Override, OverrideDiff
+from repro.netbase.addr import Prefix
+from repro.netbase.units import mbps
+from repro.obs.audit import DecisionAudit, OverrideEvent, decisive_step
+
+from ..bgp.helpers import make_peer, make_route
+
+PREFIX = Prefix.parse("203.0.113.0/24")
+
+
+class TestDecisiveStep:
+    def test_local_pref(self):
+        preferred = make_route(local_pref=200)
+        other = make_route(local_pref=100)
+        assert decisive_step(preferred, other) == "local_pref"
+
+    def test_as_path_length(self):
+        preferred = make_route(as_path=(65001,))
+        other = make_route(as_path=(65001, 64999, 64998))
+        assert decisive_step(preferred, other) == "as_path_length"
+
+    def test_origin(self):
+        preferred = make_route(origin=Origin.IGP)
+        other = make_route(origin=Origin.INCOMPLETE)
+        assert decisive_step(preferred, other) == "origin"
+
+    def test_med_same_neighbor_only(self):
+        peer_a = make_peer(asn=65001, interface="eth0")
+        peer_b = make_peer(asn=65001, interface="eth1", address=0x0A000002)
+        preferred = make_route(peer=peer_a, med=5)
+        other = make_route(peer=peer_b, med=50)
+        assert decisive_step(preferred, other) == "med"
+        # Different neighbor AS: MED is skipped, falls through.
+        stranger = make_route(
+            peer=make_peer(asn=65002, address=0x0A000003),
+            as_path=(65002, 64999),
+            med=50,
+        )
+        assert decisive_step(preferred, stranger) != "med"
+
+    def test_always_compare_med(self):
+        preferred = make_route(peer=make_peer(asn=65001), med=5)
+        other = make_route(
+            peer=make_peer(asn=65002, address=0x0A000003), med=50
+        )
+        config = DecisionConfig(always_compare_med=True)
+        assert decisive_step(preferred, other, config) == "med"
+
+    def test_igp_cost_and_tiebreak(self):
+        preferred = make_route(igp_cost=1)
+        other = make_route(igp_cost=5)
+        assert decisive_step(preferred, other) == "igp_cost"
+        same = make_route()
+        assert decisive_step(same, make_route()) == "peer_id_tiebreak"
+
+    def test_oldest_route(self):
+        preferred = make_route(learned_at=1.0)
+        other = make_route(learned_at=9.0)
+        config = DecisionConfig(prefer_oldest=True)
+        assert decisive_step(preferred, other, config) == "oldest_route"
+
+
+def _detour(prefix=PREFIX):
+    preferred = make_route(
+        prefix=prefix,
+        peer=make_peer(
+            asn=65010, peer_type=PeerType.PRIVATE, interface="pni0"
+        ),
+        local_pref=300,
+    )
+    target = make_route(
+        prefix=prefix,
+        peer=make_peer(
+            asn=65020, interface="tr0", address=0x0A000009
+        ),
+        local_pref=100,
+    )
+    return Detour(
+        prefix=prefix,
+        rate=mbps(200),
+        preferred=preferred,
+        target=target,
+        from_interface=("pr0", "pni0"),
+        to_interface=("pr0", "tr0"),
+    )
+
+
+def _override(detour, created_at=0.0):
+    return Override(
+        prefix=detour.prefix,
+        target=detour.target,
+        rate_at_decision=detour.rate,
+        created_at=created_at,
+    )
+
+
+class TestDecisionAudit:
+    def test_record_and_explain_full_lifecycle(self):
+        audit = DecisionAudit()
+        detour = _detour()
+        override = _override(detour)
+        audit.record_cycle(
+            30.0,
+            OverrideDiff(announce=(override,), withdraw=(), keep=()),
+            {detour.prefix: detour},
+        )
+        audit.record_cycle(
+            60.0,
+            OverrideDiff(announce=(), withdraw=(), keep=(override,)),
+            {detour.prefix: detour},
+        )
+        audit.record_cycle(
+            90.0,
+            OverrideDiff(announce=(), withdraw=(override,), keep=()),
+            {},
+        )
+
+        explanation = audit.explain(PREFIX)
+        assert [e.action for e in explanation.events] == [
+            "announce",
+            "keep",
+            "withdraw",
+        ]
+        assert not explanation.active
+        first = explanation.events[0]
+        assert first.cycle_time == 30.0
+        assert first.from_interface == "pr0/pni0"
+        assert first.to_interface == "pr0/tr0"
+        assert first.target_session == "pr0/tr0/AS65020/transit"
+        assert first.preferred_session == "pr0/pni0/AS65010/private"
+        assert first.decisive_step == "local_pref"
+
+        rendered = explanation.render()
+        assert "pr0/pni0 -> pr0/tr0" in rendered
+        assert "local_pref" in rendered
+        assert "withdraw" in rendered
+
+    def test_active_and_detoured_prefixes(self):
+        audit = DecisionAudit()
+        detour = _detour()
+        audit.record_cycle(
+            30.0,
+            OverrideDiff(
+                announce=(_override(detour),), withdraw=(), keep=()
+            ),
+            {detour.prefix: detour},
+        )
+        assert audit.explain(PREFIX).active
+        assert audit.detoured_prefixes() == [str(PREFIX)]
+
+    def test_unknown_prefix(self):
+        explanation = DecisionAudit().explain("198.51.100.0/24")
+        assert explanation.events == ()
+        assert "no override history" in explanation.render()
+
+    def test_per_prefix_ring_buffer(self):
+        audit = DecisionAudit(per_prefix_capacity=2)
+        detour = _detour()
+        override = _override(detour)
+        for cycle in range(4):
+            audit.record_cycle(
+                float(cycle),
+                OverrideDiff(
+                    announce=(), withdraw=(), keep=(override,)
+                ),
+                {detour.prefix: detour},
+            )
+        events = audit.explain(PREFIX).events
+        assert len(events) == 2
+        assert [e.cycle_time for e in events] == [2.0, 3.0]
+        assert audit.recorded == 4
+
+    def test_prefix_lru_eviction(self):
+        audit = DecisionAudit(max_prefixes=2)
+        for index in range(3):
+            prefix = Prefix.parse(f"10.{index}.0.0/16")
+            detour = _detour(prefix=prefix)
+            audit.record_cycle(
+                0.0,
+                OverrideDiff(
+                    announce=(_override(detour),),
+                    withdraw=(),
+                    keep=(),
+                ),
+                {prefix: detour},
+            )
+        assert audit.evicted_prefixes == 1
+        assert len(audit.prefixes()) == 2
+        assert not audit.explain("10.0.0.0/16").events
+
+    def test_event_to_dict(self):
+        event = OverrideEvent(
+            cycle_time=1.0, action="announce", prefix="p"
+        )
+        payload = event.to_dict()
+        assert payload["action"] == "announce"
+        assert payload["prefix"] == "p"

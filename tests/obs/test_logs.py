@@ -1,0 +1,91 @@
+"""Tests for the structured logging layer."""
+
+import io
+import json
+import logging
+
+from repro.obs.logs import (
+    configure_logging,
+    get_logger,
+    log_event,
+)
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro").name == "repro"
+        assert get_logger("repro.core").name == "repro.core"
+        assert get_logger("core").name == "repro.core"
+
+
+class TestConfigureLogging:
+    def test_quiet_by_default(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        log_event(get_logger("test"), "hidden", detail=1)
+        assert stream.getvalue() == ""
+
+    def test_verbose_renders_fields(self):
+        stream = io.StringIO()
+        configure_logging(verbose=True, stream=stream)
+        log_event(get_logger("test"), "cycle.done", detours=5, pop="a")
+        line = stream.getvalue().strip()
+        assert "repro.test" in line
+        assert "cycle.done" in line
+        assert "detours=5" in line
+        assert "pop=a" in line
+
+    def test_warnings_always_pass(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        log_event(
+            get_logger("test"), "bad", level=logging.WARNING, code=7
+        )
+        assert "bad" in stream.getvalue()
+
+    def test_idempotent(self):
+        stream = io.StringIO()
+        configure_logging(verbose=True, stream=stream)
+        configure_logging(verbose=True, stream=stream)
+        root = logging.getLogger("repro")
+        managed = [
+            handler
+            for handler in root.handlers
+            if getattr(handler, "_repro_obs_managed", False)
+        ]
+        assert len(managed) == 1
+        log_event(get_logger("test"), "once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_jsonl_output(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        configure_logging(verbose=True, jsonl_path=path)
+        log_event(
+            get_logger("test"),
+            "tick.done",
+            offered=1.5,
+            rate=object(),
+        )
+        configure_logging()  # closes the managed jsonl handler
+        (line,) = path.read_text().strip().splitlines()
+        payload = json.loads(line)
+        assert payload["event"] == "tick.done"
+        assert payload["logger"] == "repro.test"
+        assert payload["level"] == "INFO"
+        assert payload["fields"]["offered"] == 1.5
+        # Non-JSON values are coerced to strings, never crash the run.
+        assert isinstance(payload["fields"]["rate"], str)
+
+    def test_bad_jsonl_path_leaves_no_half_handler(self, tmp_path):
+        # Regression: an unopenable path used to register a
+        # half-constructed handler (no _stream attribute) that blew
+        # up logging.shutdown() at interpreter exit.
+        import pytest
+
+        from repro.obs.logs import JsonlHandler
+
+        registered_before = len(logging._handlerList)
+        with pytest.raises(OSError):
+            JsonlHandler(tmp_path / "missing-dir" / "x.jsonl")
+        assert len(logging._handlerList) == registered_before

@@ -1,0 +1,68 @@
+"""Tests for the ring-buffered span tracer."""
+
+import pytest
+
+from repro.obs.tracing import Tracer
+
+
+class TestTracer:
+    def test_span_context_manager(self):
+        tracer = Tracer()
+        with tracer.span("work", prefixes=5):
+            pass
+        (span,) = tracer.recent()
+        assert span.name == "work"
+        assert span.duration >= 0.0
+        assert span.tag_dict() == {"prefixes": 5}
+
+    def test_explicit_record(self):
+        tracer = Tracer()
+        tracer.record("tick", 100.0, 0.25, {"n": 1})
+        (span,) = tracer.recent()
+        assert span.duration_ms == 250.0
+        assert span.to_dict() == {
+            "name": "tick",
+            "started": 100.0,
+            "duration_s": 0.25,
+            "tags": {"n": 1},
+        }
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            tracer.record("tick", float(index), 0.0)
+        assert len(tracer) == 3
+        assert tracer.recorded == 5
+        assert tracer.dropped == 2
+        # Oldest spans fell off; the newest three remain, newest last.
+        assert [span.started for span in tracer.recent()] == [
+            2.0,
+            3.0,
+            4.0,
+        ]
+
+    def test_recent_filters_and_limits(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 0.0)
+        tracer.record("b", 1.0, 0.0)
+        tracer.record("a", 2.0, 0.0)
+        assert [s.started for s in tracer.recent(name="a")] == [0.0, 2.0]
+        assert [s.started for s in tracer.recent(limit=1)] == [2.0]
+
+    def test_durations_and_counts(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 0.1)
+        tracer.record("a", 1.0, 0.3)
+        tracer.record("b", 2.0, 0.2)
+        assert tracer.durations("a") == [0.1, 0.3]
+        assert tracer.counts() == {"a": 2, "b": 1}
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 0.0)
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
