@@ -12,7 +12,9 @@ Run directly (not a pytest benchmark)::
 Writes ``BENCH_hotpath.json`` next to this file: tick/cycle percentile
 snapshots plus the speedup over the baseline's mean tick time.  Pass
 ``--min-speedup 3`` to make the run fail (exit 1) when the speedup falls
-short — the acceptance gate for the fast-path work.
+short — the acceptance gate for the fast-path work.  Pass
+``--max-regression 0.25`` to fail when the mean tick time exceeds the
+baseline mean by more than that fraction — the CI regression gate.
 """
 
 from __future__ import annotations
@@ -95,6 +97,13 @@ def main(argv=None) -> int:
         help="fail unless mean-tick speedup over baseline meets this",
     )
     parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        help="fail if mean tick time exceeds the baseline mean by "
+        "more than this fraction (e.g. 0.25 allows +25%%)",
+    )
+    parser.add_argument(
         "--telemetry-output",
         type=Path,
         default=HERE / "BENCH_hotpath_telemetry.jsonl",
@@ -141,6 +150,25 @@ def main(argv=None) -> int:
                 f"required {args.min_speedup:.2f}x"
             )
             return 1
+    if args.max_regression is not None:
+        if speedup is None:
+            print("no baseline available for --max-regression check")
+            return 1
+        baseline_mean = results["baseline_mean_ms"]
+        limit = baseline_mean * (1.0 + args.max_regression)
+        current_mean = results["tick"]["mean_ms"]
+        if current_mean > limit:
+            print(
+                f"FAIL: mean tick {current_mean:.1f} ms regressed past "
+                f"{limit:.1f} ms "
+                f"(baseline {baseline_mean:.1f} ms "
+                f"+{args.max_regression:.0%})"
+            )
+            return 1
+        print(
+            f"regression gate OK: mean tick {current_mean:.1f} ms "
+            f"<= {limit:.1f} ms"
+        )
     return 0
 
 

@@ -9,7 +9,7 @@ x) and ``percentile(p)`` (the x value at y=p).
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ like the paper's evaluation section.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = ["Table", "Series", "format_value"]
 

@@ -14,7 +14,7 @@ the dataplane FIB) via :meth:`subscribe`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..netbase.addr import Family, Prefix
 from ..netbase.errors import SessionError

@@ -16,7 +16,7 @@ the join a production deployment does against its router configs.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..bgp.communities import INJECTED
@@ -94,11 +94,16 @@ class BmpCollector:
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._registry = registry
+        self._decision_config = decision_config
         self._rib = LocRib(decision_config)
         self._buffers: Dict[str, bytes] = {}
         self._routers_seen: Dict[str, float] = {}
         self._last_update_at: Optional[float] = None
         self._clock = clock or _time.monotonic
+        #: Set by :meth:`reset`; cleared once a full-RIB re-export has
+        #: repopulated the collector (the resubscription loop's job).
+        self.needs_resync = False
+        self.resets = 0
         self.stats = CollectorStats()
         self.telemetry = telemetry or Telemetry(name="bmp")
         metrics = self.telemetry.registry
@@ -244,3 +249,23 @@ class BmpCollector:
         if self._last_update_at is None:
             return float("inf")
         return max(0.0, self._clock() - self._last_update_at)
+
+    def reset(self) -> None:
+        """Lose all collector state, as a crash-and-restart would.
+
+        The RIB, partial stream buffers and liveness clocks are gone;
+        :attr:`needs_resync` stays raised until the resubscription loop
+        drives a full-RIB re-export and calls :meth:`mark_resynced`.
+        Counters in :attr:`stats` survive — they describe the process,
+        not the RIB.
+        """
+        self._rib = LocRib(self._decision_config)
+        self._buffers.clear()
+        self._routers_seen.clear()
+        self._last_update_at = None
+        self.needs_resync = True
+        self.resets += 1
+
+    def mark_resynced(self) -> None:
+        """Acknowledge that a full-RIB re-export has been replayed."""
+        self.needs_resync = False

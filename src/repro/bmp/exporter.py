@@ -13,7 +13,7 @@ LOCAL_PREF tiers and ingress communities applied.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable
 
 from ..bgp.messages import UpdateMessage, encode_message
 from ..bgp.peering import PeerDescriptor, PeerType

@@ -19,7 +19,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..netbase.addr import Family
 from ..netbase.errors import MalformedMessage, TruncatedMessage

@@ -8,6 +8,7 @@ Usage::
     python -m repro metrics [--format prometheus|json] [--minutes 5]
     python -m repro trace [--span controller.cycle] [--limit 10]
     python -m repro explain 11.1.209.0/24   (or --list to see candidates)
+    python -m repro chaos [--seed 7] [--plan examples/plans/chaos_basic.json]
 
 ``experiment`` accepts the short names below and prints the same tables
 and series the benchmark harness does.  The telemetry verbs (``metrics``,
@@ -186,6 +187,51 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0 if explanation.events else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import (
+        FaultInjector,
+        FaultPlan,
+        build_chaos_deployment,
+        build_chaos_report,
+    )
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = FaultPlan.random(args.seed, duration=args.minutes * 60.0)
+    injector = FaultInjector(plan)
+    if args.pop == "chaos-mini":
+        deployment = build_chaos_deployment(
+            seed=args.seed, faults=injector, safety_checks=True
+        )
+    else:
+        deployment = PopDeployment.build(
+            pop_name=args.pop,
+            seed=args.seed,
+            faults=injector,
+            safety_checks=True,
+        )
+    start = deployment.demand.config.peak_time
+    ticks = max(1, int(args.minutes * 60 / deployment.tick_seconds))
+    log_event(
+        _log,
+        "cli.chaos",
+        pop=args.pop,
+        seed=args.seed,
+        events=len(plan),
+        ticks=ticks,
+    )
+    for index in range(ticks):
+        deployment.step(start + index * deployment.tick_seconds)
+    report = build_chaos_report(deployment)
+    print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"\nreport written to {args.report}")
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -264,6 +310,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_args(explain)
     explain.set_defaults(func=_cmd_explain)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a fault plan and print the violation/degradation "
+        "report",
+    )
+    chaos.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="JSON fault plan to replay (default: a seeded random plan)",
+    )
+    chaos.add_argument(
+        "--pop",
+        default="chaos-mini",
+        help="'chaos-mini' (fast, default) or a study PoP name",
+    )
+    chaos.add_argument("--minutes", type=float, default=30.0)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the report as JSON to PATH",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -49,6 +49,16 @@ class ControllerConfig:
     #: more-specific halves and detour them independently (the
     #: finer-granularity mechanism the paper discusses).
     allow_prefix_splitting: bool = False
+    #: Fail static: after this many consecutive skipped (stale-input)
+    #: cycles, withdraw every override and fall back to vanilla BGP.
+    fail_static_after_cycles: int = 3
+    #: Collector resubscription: first retry after this many seconds of
+    #: a stale route feed, then exponential backoff.
+    resubscribe_initial_seconds: float = 30.0
+    resubscribe_backoff_multiplier: float = 2.0
+    #: Give up resubscribing (and raise an operator-facing gauge) after
+    #: this many failed attempts; reset once the feed is healthy again.
+    resubscribe_max_attempts: int = 6
 
     def __post_init__(self) -> None:
         if self.cycle_seconds <= 0:
@@ -62,4 +72,20 @@ class ControllerConfig:
         if self.injected_local_pref <= 1000:
             raise ControllerError(
                 "injected_local_pref must clear every import tier"
+            )
+        if self.fail_static_after_cycles < 1:
+            raise ControllerError(
+                "fail_static_after_cycles must be at least 1"
+            )
+        if self.resubscribe_initial_seconds <= 0:
+            raise ControllerError(
+                "resubscribe_initial_seconds must be positive"
+            )
+        if self.resubscribe_backoff_multiplier < 1.0:
+            raise ControllerError(
+                "resubscribe_backoff_multiplier must be >= 1"
+            )
+        if self.resubscribe_max_attempts < 1:
+            raise ControllerError(
+                "resubscribe_max_attempts must be at least 1"
             )

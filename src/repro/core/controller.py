@@ -30,9 +30,9 @@ from ..obs.telemetry import Telemetry
 from .allocator import Allocator
 from .config import ControllerConfig
 from .injector import BgpInjector
-from .inputs import ControllerInputs, InputAssembler
+from .inputs import InputAssembler
 from .monitoring import ControllerMonitor, CycleReport
-from .overrides import OverrideSet
+from .overrides import OverrideDiff, OverrideSet
 from .perfaware import PerformanceAwarePass
 from .projection import project
 
@@ -59,6 +59,13 @@ class EdgeFabricController:
         self.overrides = OverrideSet()
         self.monitor = ControllerMonitor()
         self.altpath = altpath
+        #: Consecutive cycles skipped on stale inputs; drives fail-static.
+        self._stale_cycles = 0
+        #: Projected per-interface loads after the last completed
+        #: allocation — what the controller *believed* each interface
+        #: would carry.  The safety checker compares this against
+        #: thresholds; empty until a cycle has run.
+        self.last_final_loads: Dict = {}
         if config.performance_aware and altpath is None:
             raise ValueError(
                 "performance_aware requires an AltPathMonitor"
@@ -97,6 +104,10 @@ class EdgeFabricController:
         self._m_cycle_hist = registry.histogram(
             "controller_cycle_seconds", "Controller cycle compute time"
         )
+        self._m_fail_static = registry.counter(
+            "controller_fail_static_total",
+            "Overrides withdrawn because inputs stayed stale",
+        )
 
     # -- the cycle ------------------------------------------------------------
 
@@ -107,8 +118,18 @@ class EdgeFabricController:
         try:
             inputs = self.assembler.snapshot(now)
         except StaleInputError as exc:
+            self._stale_cycles += 1
+            withdrawn = 0
+            if (
+                self._stale_cycles >= self.config.fail_static_after_cycles
+                and len(self.overrides)
+            ):
+                withdrawn = self._fail_static(now)
             report = CycleReport(
-                time=now, skipped=True, skip_reason=str(exc)
+                time=now,
+                skipped=True,
+                skip_reason=str(exc),
+                withdrawn=withdrawn,
             )
             self.monitor.record(report)
             self._m_cycles_skipped.inc()
@@ -123,8 +144,11 @@ class EdgeFabricController:
                 "controller.cycle.skipped",
                 time=now,
                 reason=str(exc),
+                stale_cycles=self._stale_cycles,
+                withdrawn=withdrawn,
             )
             return report
+        self._stale_cycles = 0
 
         decision_started = _time.perf_counter()
         projection = project(self.assembler.pop, inputs)
@@ -159,6 +183,7 @@ class EdgeFabricController:
         diff = self.overrides.reconcile(allocation.detours, now)
         self.injector.apply(diff)
         self.telemetry.audit.record_cycle(now, diff, allocation.detours)
+        self.last_final_loads = dict(allocation.final_loads)
 
         runtime = _time.perf_counter() - started
         report = CycleReport(
@@ -209,7 +234,60 @@ class EdgeFabricController:
         )
         return report
 
+    # -- fail static ---------------------------------------------------------------
+
+    @property
+    def stale_cycles(self) -> int:
+        """Consecutive cycles skipped on stale inputs, so far."""
+        return self._stale_cycles
+
+    def _fail_static(self, now: float) -> int:
+        """Withdraw every override: inputs have been stale too long.
+
+        The paper's safety posture — a controller that cannot see the
+        network must stop steering it.  Withdrawing the injected routes
+        returns every detoured prefix to vanilla BGP placement.
+        """
+        flushed = self.overrides.flush(now)
+        self.injector.withdraw_all(flushed)
+        self.telemetry.audit.record_cycle(
+            now, OverrideDiff((), tuple(flushed), ()), {}
+        )
+        self._m_fail_static.inc(len(flushed))
+        self._m_withdrawn.inc(len(flushed))
+        self._m_active.set(0)
+        self.last_final_loads = {}
+        log_event(
+            _log,
+            "controller.fail_static",
+            time=now,
+            withdrawn=len(flushed),
+            stale_cycles=self._stale_cycles,
+        )
+        return len(flushed)
+
     # -- lifecycle ----------------------------------------------------------------
+
+    def crash(self, now: float) -> int:
+        """Model a process crash: all in-memory state is lost.
+
+        Unlike :meth:`shutdown`, nothing is *sent* — the injector's
+        sessions are torn down separately and the routers withdraw the
+        injected routes themselves.  The override table is flushed (a
+        restarted controller starts empty and re-derives its decisions
+        within one cycle, per the stateless-cycle design).
+        """
+        flushed = self.overrides.flush(now)
+        self.telemetry.audit.record_cycle(
+            now, OverrideDiff((), tuple(flushed), ()), {}
+        )
+        self._stale_cycles = 0
+        self.last_final_loads = {}
+        self._m_active.set(0)
+        log_event(
+            _log, "controller.crash", time=now, lost=len(flushed)
+        )
+        return len(flushed)
 
     def shutdown(self, now: float) -> int:
         """Withdraw every override, restoring pure-BGP routing."""

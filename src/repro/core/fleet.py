@@ -40,6 +40,11 @@ class _PopRunState:
     metrics: object
     telemetry: Telemetry
     current_time: float
+    #: Safety-checker findings (plain frozen dataclasses) and the fault
+    #: injector's applied-action log — both picklable, both merged back
+    #: so chaos fleets aggregate identically to serial runs.
+    safety_violations: List = field(default_factory=list)
+    fault_actions: List = field(default_factory=list)
 
 
 # Fork-inherited arguments for _run_pop_worker.  Deployments are
@@ -61,6 +66,16 @@ def _run_pop_worker(name: str) -> Tuple[str, _PopRunState]:
         metrics=deployment.simulator.metrics,
         telemetry=deployment.telemetry,
         current_time=deployment.current_time,
+        safety_violations=(
+            list(deployment.safety.violations)
+            if deployment.safety is not None
+            else []
+        ),
+        fault_actions=(
+            list(deployment.faults.log)
+            if deployment.faults is not None
+            else []
+        ),
     )
 
 
@@ -79,11 +94,19 @@ class FleetDeployment:
         tick_seconds: float = 60.0,
         controller_config: Optional[ControllerConfig] = None,
         sampling_rate: int = 131_072,
+        fault_plans: Optional[Dict[str, object]] = None,
+        safety_checks: bool = False,
     ) -> "FleetDeployment":
         """Build *pop_count* PoPs over one shared synthetic Internet.
 
         Each PoP gets its own demand (different seeds: PoPs serve
         different regions with offset peaks) and its own controller.
+
+        *fault_plans* maps PoP name (``pop-00`` ...) to a
+        :class:`~repro.faults.FaultPlan`; listed PoPs get their own
+        :class:`~repro.faults.FaultInjector` while the rest run clean —
+        chaos at one PoP must never disturb another (the paper's
+        controllers share nothing).
         """
         internet = default_internet(seed)
         config = controller_config or ControllerConfig(
@@ -112,6 +135,11 @@ class FleetDeployment:
                 tight_peer_count=spec.tight_peer_count,
                 seed=seed + 200 + index,
             )
+            faults = None
+            if fault_plans and spec.name in fault_plans:
+                from ..faults.harness import FaultInjector
+
+                faults = FaultInjector(fault_plans[spec.name])
             deployments[spec.name] = PopDeployment(
                 wired,
                 demand,
@@ -119,6 +147,8 @@ class FleetDeployment:
                 tick_seconds=tick_seconds,
                 sampling_rate=sampling_rate,
                 seed=seed + 300 + index,
+                faults=faults,
+                safety_checks=safety_checks,
             )
         return cls(deployments=deployments, tick_seconds=tick_seconds)
 
@@ -198,6 +228,10 @@ class FleetDeployment:
             deployment.telemetry = state.telemetry
             deployment.controller.telemetry = state.telemetry
             deployment.current_time = state.current_time
+            if deployment.safety is not None:
+                deployment.safety.violations = state.safety_violations
+            if deployment.faults is not None:
+                deployment.faults.log = state.fault_actions
         return True
 
     # -- aggregation ----------------------------------------------------------------
@@ -228,6 +262,14 @@ class FleetDeployment:
                 if deployment.record.ticks
             )
         )
+
+    def safety_violations(self) -> Dict[str, List]:
+        """Per-PoP safety-checker findings (only checked PoPs appear)."""
+        return {
+            name: list(deployment.safety.violations)
+            for name, deployment in sorted(self.deployments.items())
+            if deployment.safety is not None
+        }
 
     def total_active_overrides(self) -> int:
         return sum(

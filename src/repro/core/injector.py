@@ -134,6 +134,30 @@ class BgpInjector:
         for override in overrides:
             self._send_withdraw(override)
 
+    # -- session lifecycle (controller crash / restart) ---------------------------
+
+    def teardown_sessions(self) -> int:
+        """Drop every iBGP session, as a controller crash would.
+
+        This sends nothing: each router notices the session loss and
+        flushes the injector's Adj-RIB-In itself — BGP's own fail-static
+        property, and the reason a dead controller cannot leave stale
+        overrides behind.
+        """
+        for router_name, session in self._sessions.items():
+            self._speakers[router_name].stop_session(session.name)
+        return len(self._sessions)
+
+    def reestablish_sessions(self) -> int:
+        """Re-establish every iBGP session after a restart.
+
+        The sessions come back empty; the restarted controller re-derives
+        and re-announces whatever overrides the next cycle wants.
+        """
+        for router_name, session in self._sessions.items():
+            self._speakers[router_name].establish_directly(session.name)
+        return len(self._sessions)
+
     # -- introspection ----------------------------------------------------------------
 
     def injected_prefixes(self) -> List:

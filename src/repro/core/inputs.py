@@ -6,7 +6,12 @@ overload.  :class:`InputAssembler` gathers one consistent snapshot per
 cycle — the multi-route RIB from the BMP collector and per-prefix rates
 from the sFlow collector — and refuses (raises
 :class:`~repro.netbase.errors.StaleInputError`) when either source is too
-old, which the controller turns into a skipped cycle.
+old, which the controller turns into a skipped cycle and, after enough
+consecutive skips, a fail-static withdrawal of every override.
+
+:meth:`InputAssembler.freshness` exposes the same judgement without the
+exception, so health checks and the chaos report can ask "how stale are
+we?" outside a cycle.
 """
 
 from __future__ import annotations
@@ -23,7 +28,46 @@ from ..sflow.collector import SflowCollector
 from ..topology.entities import InterfaceKey, PoP
 from .config import ControllerConfig
 
-__all__ = ["ControllerInputs", "InputAssembler"]
+__all__ = ["ControllerInputs", "FreshnessReport", "InputAssembler"]
+
+
+@dataclass(frozen=True)
+class FreshnessReport:
+    """How old each input source is, against the staleness bound."""
+
+    taken_at: float
+    route_age: float
+    traffic_age: float
+    max_age: float
+    #: Extra apparent age applied to both sources (clock-skew faults).
+    age_penalty: float = 0.0
+
+    @property
+    def routes_stale(self) -> bool:
+        return self.route_age > self.max_age
+
+    @property
+    def traffic_stale(self) -> bool:
+        return self.traffic_age > self.max_age
+
+    @property
+    def stale(self) -> bool:
+        return self.routes_stale or self.traffic_stale
+
+    @property
+    def reason(self) -> str:
+        """Operator-facing description of what is stale (or '')."""
+        parts = []
+        if self.routes_stale:
+            parts.append(
+                f"route feed is {self.route_age:.0f}s old "
+                f"(limit {self.max_age:.0f}s)"
+            )
+        if self.traffic_stale:
+            parts.append(
+                "no traffic measurements within the staleness bound"
+            )
+        return "; ".join(parts)
 
 
 @dataclass
@@ -34,6 +78,9 @@ class ControllerInputs:
     traffic: Dict[Prefix, Rate]
     capacities: Dict[InterfaceKey, Rate]
     _collector: BmpCollector = field(repr=False, default=None)
+    freshness: Optional[FreshnessReport] = field(
+        repr=False, compare=False, default=None
+    )
 
     def routes_of(self, prefix: Prefix) -> List[Route]:
         """Available eBGP routes for *prefix*, decision-ranked.
@@ -72,7 +119,10 @@ class InputAssembler:
             interface.key: interface.capacity
             for interface in pop.interfaces()
         }
-        self._last_traffic_at: Optional[float] = None
+        #: Extra seconds added to both input ages before the staleness
+        #: comparison.  Models a skewed/stuck snapshot clock (fault
+        #: injection) or a known pipeline delay; 0.0 in normal operation.
+        self.input_age_penalty: float = 0.0
 
     def set_capacity(self, key: InterfaceKey, capacity: Rate) -> None:
         """Update the controller's capacity table for one interface.
@@ -88,28 +138,27 @@ class InputAssembler:
     def capacity_of(self, key: InterfaceKey) -> Rate:
         return self._capacities[key]
 
+    def freshness(self, now: float) -> FreshnessReport:
+        """Judge input freshness at *now* without raising."""
+        penalty = self.input_age_penalty
+        return FreshnessReport(
+            taken_at=now,
+            route_age=self.bmp.age() + penalty,
+            traffic_age=self.sflow.age(now) + penalty,
+            max_age=self.config.max_input_age_seconds,
+            age_penalty=penalty,
+        )
+
     def snapshot(self, now: float) -> ControllerInputs:
         """Assemble inputs for a cycle starting at *now*."""
-        route_age = self.bmp.age()
-        if route_age > self.config.max_input_age_seconds:
-            raise StaleInputError(
-                f"route feed is {route_age:.0f}s old "
-                f"(limit {self.config.max_input_age_seconds:.0f}s)"
-            )
+        freshness = self.freshness(now)
+        if freshness.stale:
+            raise StaleInputError(freshness.reason)
         traffic = self.sflow.prefix_rates(now)
-        if traffic:
-            self._last_traffic_at = now
-        elif (
-            self._last_traffic_at is None
-            or now - self._last_traffic_at
-            > self.config.max_input_age_seconds
-        ):
-            raise StaleInputError(
-                "no traffic measurements within the staleness bound"
-            )
         return ControllerInputs(
             taken_at=now,
             traffic=traffic,
             capacities=dict(self._capacities),
             _collector=self.bmp,
+            freshness=freshness,
         )

@@ -9,11 +9,9 @@ durations, override churn, unresolved overloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
-from ..netbase.addr import Prefix
 from ..netbase.units import Rate
-from ..topology.entities import InterfaceKey
 
 __all__ = ["CycleReport", "ControllerMonitor"]
 

@@ -8,7 +8,7 @@ timing (which feeds the detour-duration evaluation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..bgp.route import Route

@@ -11,7 +11,7 @@ cannot flip half the PoP's routing at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..dataplane.fib import egress_interface
 from ..measurement.altpath import AltPathMonitor

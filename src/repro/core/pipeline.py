@@ -33,14 +33,92 @@ from ..obs.telemetry import Telemetry
 from ..sflow.collector import SflowCollector
 from ..topology.builder import WiredPop
 from ..topology.scenarios import build_study_pop
-from ..traffic.demand import DemandConfig, DemandModel, FlashEvent
+from ..traffic.demand import DemandConfig, DemandModel
 from .config import ControllerConfig
 from .controller import EdgeFabricController
 from .injector import BgpInjector
 from .inputs import InputAssembler
 from .monitoring import CycleReport
 
-__all__ = ["TickSummary", "RunRecord", "PopDeployment"]
+__all__ = [
+    "TickSummary",
+    "RunRecord",
+    "CollectorResubscriber",
+    "PopDeployment",
+]
+
+
+class CollectorResubscriber:
+    """Bounded retry-with-backoff repair for a stale BMP feed.
+
+    Polled once per tick.  While the route feed is healthy this is one
+    ``needs_resync`` check and one age comparison.  When the feed goes
+    stale (or a collector reset demands a resync), it drives full-RIB
+    re-exports — the BMP equivalent of reconnecting and receiving the
+    initial dump — first immediately, then with exponential backoff.
+    After ``resubscribe_max_attempts`` failures it raises an
+    operator-facing gauge and keeps retrying at the capped interval, so
+    a long outage is noisy but recovery is never abandoned.
+    """
+
+    def __init__(self, bmp, exporters, config, telemetry) -> None:
+        self.bmp = bmp
+        self.exporters = exporters
+        self.config = config
+        #: Attempts within the current outage (0 when healthy).
+        self.attempts = 0
+        self.total_attempts = 0
+        self._next_attempt_at: Optional[float] = None
+        self._resync_seen = False
+        registry = telemetry.registry
+        self._m_attempts = registry.counter(
+            "bmp_resubscribe_attempts_total",
+            "Full-RIB re-export attempts on a stale route feed",
+        )
+        self._m_exhausted = registry.gauge(
+            "bmp_resubscribe_exhausted",
+            "1 while retries have exceeded the attempt bound",
+        )
+
+    def poll(self, now: float) -> bool:
+        """Check feed health; attempt repair if due.  True if attempted."""
+        bmp = self.bmp
+        stale = bmp.needs_resync or (
+            bmp.age() > self.config.max_input_age_seconds
+        )
+        if not stale:
+            if self.attempts:
+                self.attempts = 0
+                self._next_attempt_at = None
+                self._m_exhausted.set(0)
+            self._resync_seen = False
+            return False
+        if bmp.needs_resync and not self._resync_seen:
+            # A *new* resync request means the feed's transport is back
+            # (flap over, or a fresh collector) — attempt immediately
+            # instead of waiting out backoff from the dead window.
+            self._resync_seen = True
+            self._next_attempt_at = None
+        if self._next_attempt_at is not None and now < self._next_attempt_at:
+            return False
+        self.attempts += 1
+        self.total_attempts += 1
+        self._m_attempts.inc()
+        if self.attempts > self.config.resubscribe_max_attempts:
+            self._m_exhausted.set(1)
+        needed_resync = bmp.needs_resync
+        for exporter in self.exporters:
+            exporter.export_full_rib()
+        if needed_resync and bmp.age() <= self.config.max_input_age_seconds:
+            bmp.mark_resynced()
+        exponent = min(
+            self.attempts - 1, self.config.resubscribe_max_attempts - 1
+        )
+        self._next_attempt_at = now + (
+            self.config.resubscribe_initial_seconds
+            * self.config.resubscribe_backoff_multiplier ** exponent
+        )
+        return True
 
 
 @dataclass(frozen=True)
@@ -131,12 +209,17 @@ class PopDeployment:
         path_model_seed: int = 0,
         seed: int = 0,
         telemetry: Optional[Telemetry] = None,
+        faults=None,
+        safety_checks: bool = False,
     ) -> None:
         self.wired = wired
         self.demand = demand
         self.config = controller_config
         self.tick_seconds = tick_seconds
         self.current_time = 0.0
+        #: Optional :class:`repro.faults.FaultInjector`.  ``None`` (the
+        #: default) keeps every fault hook off the hot path.
+        self.faults = faults
 
         # One telemetry handle shared by every layer of the stack, so
         # the registry/tracer/audit views cover the whole tick path.
@@ -148,14 +231,18 @@ class PopDeployment:
             "tick_wall_seconds", "Full step() wall time"
         )
 
-        # Routes: exporters -> BMP collector (sim-clocked).
+        # Routes: exporters -> BMP collector (sim-clocked).  With a
+        # fault injector attached, the sink detours through the flap
+        # filter; without one, the collector's bound method feeds
+        # directly — zero added indirection on the healthy path.
         self.bmp = BmpCollector(
             wired.registry,
             clock=lambda: self.current_time,
             telemetry=self.telemetry,
         )
+        sink = self.bmp.feed if faults is None else self._bmp_feed_faulted
         self.exporters = [
-            BmpExporter(speaker, self.bmp.feed)
+            BmpExporter(speaker, sink)
             for speaker in wired.speakers.values()
         ]
         for exporter in self.exporters:
@@ -181,6 +268,8 @@ class PopDeployment:
             seed=seed,
             telemetry=self.telemetry,
         )
+        if faults is not None:
+            self.simulator.datagram_filter = faults.filter_datagrams
         for router, agent in self.simulator.agents.items():
             self.sflow.register_router(
                 router, agent.agent_address, agent.interfaces
@@ -219,6 +308,14 @@ class PopDeployment:
             altpath=self.altpath,
             telemetry=self.telemetry,
         )
+        self.resubscriber = CollectorResubscriber(
+            self.bmp, self.exporters, controller_config, self.telemetry
+        )
+        self.safety = None
+        if safety_checks:
+            from .safety import SafetyChecker
+
+            self.safety = SafetyChecker(self.controller, self.bmp)
 
         self.record = RunRecord(telemetry=self.telemetry)
         #: Optional :class:`repro.analysis.perf.PerfRecorder`; when set,
@@ -272,6 +369,13 @@ class PopDeployment:
 
     # -- plumbing ----------------------------------------------------------------
 
+    def _bmp_feed_faulted(self, router: str, data: bytes) -> None:
+        """BMP sink with the fault injector's flap filter in front."""
+        if self.faults.drops_bmp(router):
+            self.faults.note_bmp_dropped(router, len(data))
+            return
+        self.bmp.feed(router, data)
+
     def _resolve_prefix(
         self, family: Family, address: int
     ) -> Optional[Prefix]:
@@ -284,7 +388,10 @@ class PopDeployment:
         keeping the shortcut exactly equivalent to a fresh LPM.
         """
         version = (
-            self.bmp.stats.announcements + self.bmp.stats.withdrawals
+            self.bmp.stats.announcements
+            + self.bmp.stats.withdrawals
+            + self.bmp.stats.peer_downs
+            + self.bmp.resets
         )
         if version != self._resolve_cache_version:
             self._resolve_cache.clear()
@@ -304,12 +411,17 @@ class PopDeployment:
 
     # -- live reconfiguration -----------------------------------------------------
 
-    def set_interface_capacity(self, key, capacity: Rate) -> None:
+    def set_interface_capacity(
+        self, key, capacity: Rate, notify_controller: bool = True
+    ) -> None:
         """Change an egress interface's capacity mid-experiment.
 
         Models capacity augments and failures (e.g. an IXP port brought
         down to half rate).  Updates both the dataplane's view and the
         controller's capacity table, as a production config push would.
+        With ``notify_controller=False`` only the dataplane changes — a
+        *silent* degradation nobody told the control plane about, which
+        is exactly the blind spot fault injection needs to model.
         """
         from ..topology.entities import Interface
 
@@ -320,7 +432,32 @@ class PopDeployment:
         router.interfaces[interface_name] = Interface(
             router=router_name, name=interface_name, capacity=capacity
         )
-        self.assembler.set_capacity(key, capacity)
+        if notify_controller:
+            self.assembler.set_capacity(key, capacity)
+
+    # -- controller lifecycle (crash / restart) -----------------------------------
+
+    def crash_controller(self, now: float) -> None:
+        """Kill the controller mid-run.
+
+        Its iBGP sessions drop, so every router flushes the injected
+        routes on its own — traffic reverts to vanilla BGP without the
+        controller sending a single withdrawal.  The controller object's
+        in-memory state is flushed too; until
+        :meth:`restart_controller`, no cycles run.
+        """
+        self.injector.teardown_sessions()
+        self.controller.crash(now)
+
+    def restart_controller(self, now: float) -> None:
+        """Bring a crashed controller back.
+
+        Sessions re-establish empty; the stateless-cycle design means
+        the next cycle re-derives whatever overrides current inputs
+        justify, converging within one cycle.
+        """
+        self.injector.reestablish_sessions()
+        self._last_cycle_at = None
 
     # -- stepping -----------------------------------------------------------------
 
@@ -329,12 +466,16 @@ class PopDeployment:
         perf = self.perf
         step_started = _time.perf_counter()
         self.current_time = now
+        faults = self.faults
+        if faults is not None:
+            faults.on_tick(self, now)
         self._tick_index += 1
         result = self.simulator.tick(now)
         for datagrams in result.datagrams.values():
             self.sflow.feed_many(datagrams, now)
         for exporter in self.exporters:
             exporter.heartbeat()
+        self.resubscriber.poll(now)
 
         if (
             self.altpath_every_ticks
@@ -345,12 +486,18 @@ class PopDeployment:
                 targets, utilization_of=self._current_utilization
             )
 
-        if run_controller and self._cycle_due(now):
+        if (
+            run_controller
+            and (faults is None or not faults.controller_down)
+            and self._cycle_due(now)
+        ):
             report = self.controller.run_cycle(now)
             self.record.cycle_reports.append(report)
             self._last_cycle_at = now
             if perf is not None:
                 perf.record_cycle(report.runtime_seconds)
+            if self.safety is not None:
+                self.safety.check(now, report)
 
         detoured = self._currently_detoured_rate(result)
         self.record.ticks.append(

@@ -107,6 +107,11 @@ class PopSimulator:
         self.synthesizer = FlowSynthesizer(
             mean_packet_bytes=demand.config.mean_packet_bytes, seed=seed
         )
+        #: Optional ``(router, datagrams) -> datagrams`` hook applied to
+        #: each router's emitted batch — the fault injector's tap for
+        #: sFlow loss/duplication.  ``None`` (the default) is bypassed
+        #: with a single branch per router per tick.
+        self.datagram_filter = None
         self.interface_maps: Dict[str, InterfaceIndexMap] = {}
         self.agents: Dict[str, SflowAgent] = {}
         for index, (router_name, router) in enumerate(
@@ -222,6 +227,7 @@ class PopSimulator:
                 )
 
         datagrams: Dict[str, List[bytes]] = {}
+        datagram_filter = self.datagram_filter
         for router, flow_specs in per_router_flows.items():
             if not flow_specs:
                 datagrams[router] = []
@@ -229,7 +235,10 @@ class PopSimulator:
             flows = self.synthesizer.flows(
                 iter(flow_specs), self.tick_seconds
             )
-            datagrams[router] = self.agents[router].observe(flows, now)
+            emitted = self.agents[router].observe(flows, now)
+            if datagram_filter is not None:
+                emitted = datagram_filter(router, emitted)
+            datagrams[router] = emitted
 
         self._m_ticks.inc()
         self._m_offered.set(sum(loads_bps.values()))

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from ..analysis.report import Table
 from ..core.config import ControllerConfig
-from ..netbase.units import gbps
 from .common import STUDY_SEED, ExperimentResult, build_deployment, run_window
 
 __all__ = ["run"]

@@ -13,12 +13,11 @@ over prefixes.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from ..analysis.cdf import Cdf
 from ..analysis.report import Series, Table
 from ..dataplane.popview import PopView
-from ..netbase.units import gbps
 from ..topology.scenarios import (
     STUDY_POP_NAMES,
     build_study_pop,

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the Edge Fabric pipeline.
+
+Edge Fabric's central safety claim is that the controller *fails
+static*: when inputs go stale or the controller dies, injected
+overrides are withdrawn and routing falls back to vanilla BGP.  This
+package makes that claim testable.  A seeded :class:`FaultPlan`
+describes *what* breaks and *when* (BMP feed flaps and resets, sFlow
+datagram loss and sampling skew, link capacity flaps, controller
+crash/restart, clock-skewed input snapshots); a :class:`FaultInjector`
+threads the plan through a :class:`~repro.core.pipeline.PopDeployment`
+tick by tick, wrapping the BMP sink, the sFlow datagram path, the
+dataplane capacities and the controller loop — with zero cost on the
+hot path when no injector is attached.
+
+The graceful-degradation counterpart (freshness guards, fail-static
+withdrawal, bounded resubscription backoff, the
+:class:`~repro.core.safety.SafetyChecker`) lives in :mod:`repro.core`;
+this package only breaks things, deterministically.
+"""
+
+from .harness import FaultAction, FaultInjector
+from .plan import FaultEvent, FaultPlan
+from .report import ChaosReport, build_chaos_report
+from .scenario import build_chaos_deployment
+
+__all__ = [
+    "FaultAction",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "ChaosReport",
+    "build_chaos_report",
+    "build_chaos_deployment",
+]

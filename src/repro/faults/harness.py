@@ -1,0 +1,295 @@
+"""The fault injector: executes a plan against a live deployment.
+
+One :class:`FaultInjector` wraps one
+:class:`~repro.core.pipeline.PopDeployment`.  The pipeline calls
+:meth:`on_tick` at the top of every ``step()``; the injector crosses
+event boundaries (begin/end) exactly once each and keeps cheap active
+state the wrapped paths consult:
+
+- the BMP sink asks :meth:`drops_bmp` before feeding bytes,
+- the dataplane simulator routes datagrams through
+  :meth:`filter_datagrams` (loss + sampling skew),
+- the pipeline skips controller cycles while :attr:`controller_down`,
+- link flaps go through the deployment's capacity plumbing, and clock
+  skew through the input assembler's age penalty.
+
+Everything probabilistic draws from one ``random.Random(plan.seed)``,
+consumed in tick order — the same (plan, deployment, workload) triple
+always replays byte-identically.  Every action taken is appended to
+:attr:`log` as a picklable :class:`FaultAction` so chaos reports can
+print the applied timeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..netbase.units import Rate
+from ..obs.logs import get_logger, log_event
+from .plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.pipeline import PopDeployment
+
+__all__ = ["FaultAction", "FaultInjector"]
+
+_log = get_logger("repro.faults.harness")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One thing the injector actually did, at simulation time *time*."""
+
+    time: float
+    kind: str
+    phase: str  # "begin" | "end" | "pulse"
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "phase": self.phase,
+            "detail": self.detail,
+        }
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one deployment, tick by tick."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._events = plan.sorted_events()
+        self._begun = [False] * len(self._events)
+        self._ended = [False] * len(self._events)
+        self.started_at: Optional[float] = None
+        #: Simulation time of the most recent tick.
+        self.now: float = 0.0
+
+        # Active-fault state, consulted from the wrapped paths.
+        self.controller_down = False
+        self._bmp_flap_all = 0
+        self._bmp_flap_routers: Dict[str, int] = {}
+        self._loss_fractions: List[float] = []
+        self._skew_factors: List[float] = []
+        self._saved_capacity: Dict[int, Tuple[Tuple[str, str], Rate, bool]] = {}
+
+        # Accounting for the chaos report.
+        self.log: List[FaultAction] = []
+        self.dropped_bmp_bytes = 0
+        self.dropped_datagrams = 0
+        self.duplicated_datagrams = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_tick(self, deployment: "PopDeployment", now: float) -> None:
+        """Cross any event boundaries reached by simulation time *now*."""
+        if self.started_at is None:
+            self.started_at = now
+        self.now = now
+        rel = now - self.started_at
+        for index, event in enumerate(self._events):
+            if not self._begun[index] and rel >= event.at:
+                self._begun[index] = True
+                self._begin(index, event, deployment, now)
+            if (
+                self._begun[index]
+                and not self._ended[index]
+                and event.duration > 0.0
+                and rel >= event.end
+            ):
+                self._ended[index] = True
+                self._end(index, event, deployment, now)
+
+    def finished(self, now: float) -> bool:
+        """True once every scheduled event has begun and ended."""
+        if self.started_at is None:
+            return not self._events
+        rel = now - self.started_at
+        return all(
+            self._begun[i]
+            and (self._events[i].duration == 0.0 or self._ended[i])
+            for i in range(len(self._events))
+        ) and rel >= self.plan.last_fault_end()
+
+    # -- event transitions ----------------------------------------------------
+
+    def _note(self, now: float, event: FaultEvent, phase: str, detail: str) -> None:
+        self.log.append(
+            FaultAction(
+                time=now, kind=event.kind, phase=phase, detail=detail
+            )
+        )
+        log_event(
+            _log,
+            "fault." + event.kind,
+            time=now,
+            phase=phase,
+            detail=detail,
+        )
+
+    def _begin(
+        self,
+        index: int,
+        event: FaultEvent,
+        deployment: "PopDeployment",
+        now: float,
+    ) -> None:
+        kind = event.kind
+        if kind == "bmp_flap":
+            if event.target:
+                count = self._bmp_flap_routers.get(event.target, 0)
+                self._bmp_flap_routers[event.target] = count + 1
+            else:
+                self._bmp_flap_all += 1
+            self._note(now, event, "begin", event.target or "all routers")
+        elif kind == "bmp_reset":
+            deployment.bmp.reset()
+            self._note(now, event, "pulse", "collector state lost")
+        elif kind == "sflow_loss":
+            self._loss_fractions.append(event.magnitude)
+            self._note(now, event, "begin", f"loss={event.magnitude:g}")
+        elif kind == "sflow_skew":
+            self._skew_factors.append(event.magnitude)
+            self._note(now, event, "begin", f"skew={event.magnitude:g}")
+        elif kind == "link_flap":
+            key = self._link_target(event, deployment)
+            original = deployment.wired.pop.capacity_of(key)
+            degraded = Rate(
+                original.bits_per_second * event.magnitude
+            )
+            self._saved_capacity[index] = (key, original, event.silent)
+            deployment.set_interface_capacity(
+                key, degraded, notify_controller=not event.silent
+            )
+            self._note(
+                now,
+                event,
+                "begin",
+                f"{key[0]}/{key[1]} -> {degraded}"
+                + (" (silent)" if event.silent else ""),
+            )
+        elif kind == "controller_crash":
+            deployment.crash_controller(now)
+            self.controller_down = True
+            self._note(now, event, "begin", "controller down")
+        elif kind == "stale_clock":
+            deployment.assembler.input_age_penalty += event.magnitude
+            self._note(
+                now, event, "begin", f"skew={event.magnitude:g}s"
+            )
+
+    def _end(
+        self,
+        index: int,
+        event: FaultEvent,
+        deployment: "PopDeployment",
+        now: float,
+    ) -> None:
+        kind = event.kind
+        if kind == "bmp_flap":
+            if event.target:
+                self._bmp_flap_routers[event.target] -= 1
+            else:
+                self._bmp_flap_all -= 1
+            # A re-established BMP session re-sends the initial RIB
+            # dump; raising needs_resync asks the resubscription loop
+            # to replay it, repairing any updates lost mid-flap.
+            deployment.bmp.needs_resync = True
+            self._note(now, event, "end", event.target or "all routers")
+        elif kind == "sflow_loss":
+            self._loss_fractions.remove(event.magnitude)
+            self._note(now, event, "end", "")
+        elif kind == "sflow_skew":
+            self._skew_factors.remove(event.magnitude)
+            self._note(now, event, "end", "")
+        elif kind == "link_flap":
+            key, original, silent = self._saved_capacity.pop(index)
+            deployment.set_interface_capacity(
+                key, original, notify_controller=not silent
+            )
+            self._note(
+                now, event, "end", f"{key[0]}/{key[1]} restored"
+            )
+        elif kind == "controller_crash":
+            deployment.restart_controller(now)
+            self.controller_down = False
+            self._note(now, event, "end", "controller restarted")
+        elif kind == "stale_clock":
+            deployment.assembler.input_age_penalty -= event.magnitude
+            self._note(now, event, "end", "")
+
+    @staticmethod
+    def _link_target(
+        event: FaultEvent, deployment: "PopDeployment"
+    ) -> Tuple[str, str]:
+        if event.target:
+            router, _, interface = event.target.partition("/")
+            return (router, interface)
+        # Deterministic default: the tightest (smallest) egress link —
+        # the one most likely to matter.
+        return min(
+            deployment.wired.pop.interface_keys(),
+            key=lambda key: (
+                deployment.wired.pop.capacity_of(key).bits_per_second,
+                key,
+            ),
+        )
+
+    # -- wrapped-path queries -------------------------------------------------
+
+    def drops_bmp(self, router: str) -> bool:
+        """Is *router*'s BMP feed currently flapped?"""
+        if self._bmp_flap_all:
+            return True
+        return self._bmp_flap_routers.get(router, 0) > 0
+
+    def note_bmp_dropped(self, router: str, size: int) -> None:
+        self.dropped_bmp_bytes += size
+
+    def filter_datagrams(
+        self, router: str, datagrams: List[bytes]
+    ) -> List[bytes]:
+        """Apply active sFlow loss and sampling skew to one batch."""
+        if not datagrams or (
+            not self._loss_fractions and not self._skew_factors
+        ):
+            return datagrams
+        rng = self._rng
+        out: List[bytes] = []
+        for datagram in datagrams:
+            dropped = False
+            for fraction in self._loss_fractions:
+                if rng.random() < fraction:
+                    dropped = True
+            if dropped:
+                self.dropped_datagrams += 1
+                continue
+            copies = 1
+            for factor in self._skew_factors:
+                whole = int(factor)
+                extra = 1 if rng.random() < factor - whole else 0
+                copies *= whole + extra
+            if copies == 0:
+                self.dropped_datagrams += 1
+                continue
+            out.append(datagram)
+            if copies > 1:
+                self.duplicated_datagrams += copies - 1
+                out.extend(datagram for _ in range(copies - 1))
+        return out
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "plan_seed": self.plan.seed,
+            "events": len(self._events),
+            "actions": [action.to_dict() for action in self.log],
+            "dropped_bmp_bytes": self.dropped_bmp_bytes,
+            "dropped_datagrams": self.dropped_datagrams,
+            "duplicated_datagrams": self.duplicated_datagrams,
+        }

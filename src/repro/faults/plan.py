@@ -1,0 +1,343 @@
+"""The fault-plan DSL: a seeded, serializable schedule of failures.
+
+A :class:`FaultPlan` is an ordered set of :class:`FaultEvent` entries,
+each naming a fault kind, when it starts (seconds after the run
+begins), how long it lasts, what it targets and how hard it hits.  The
+plan is pure data: building one touches no live objects, so plans can
+be written by hand, stored as JSON next to an experiment, or generated
+from a seed (:meth:`FaultPlan.random`) for chaos gauntlets.  The
+:class:`~repro.faults.harness.FaultInjector` interprets the plan
+against a live deployment.
+
+Times are relative to the start of the run (the injector binds the
+absolute start time on its first tick), so one plan replays against
+any workload window.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..netbase.errors import ReproError
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan", "FaultPlanError"]
+
+
+class FaultPlanError(ReproError):
+    """A fault plan was malformed or internally inconsistent."""
+
+
+#: Every fault kind the injector understands.
+FaultKind = str
+
+FAULT_KINDS: Tuple[str, ...] = (
+    "bmp_flap",
+    "bmp_reset",
+    "sflow_loss",
+    "sflow_skew",
+    "link_flap",
+    "controller_crash",
+    "stale_clock",
+)
+
+#: Kinds that are instantaneous (duration is ignored / must be 0).
+_POINT_KINDS = frozenset({"bmp_reset"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at`` and ``duration`` are seconds relative to run start.
+    ``target`` selects what breaks — a router name for BMP faults, a
+    ``"router/interface"`` key for link flaps — and the empty string
+    means "let the injector pick deterministically" (all routers for
+    feed faults, the smallest-capacity egress for link flaps).
+    ``magnitude`` is kind-specific: loss fraction for ``sflow_loss``,
+    sampling-skew factor for ``sflow_skew``, capacity factor for
+    ``link_flap`` (0.0 = link down), and skew seconds for
+    ``stale_clock``.
+    """
+
+    kind: FaultKind
+    at: float
+    duration: float = 0.0
+    target: str = ""
+    magnitude: float = 0.0
+    #: Link flaps only: when True the dataplane capacity changes but
+    #: the controller's capacity table is *not* updated — modeling a
+    #: degradation nobody told the control plane about.
+    silent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.at < 0.0:
+            raise FaultPlanError(f"{self.kind}: start time must be >= 0")
+        if self.duration < 0.0:
+            raise FaultPlanError(f"{self.kind}: duration must be >= 0")
+        if self.kind in _POINT_KINDS and self.duration != 0.0:
+            raise FaultPlanError(f"{self.kind} is instantaneous")
+        if self.kind == "sflow_loss" and not 0.0 <= self.magnitude <= 1.0:
+            raise FaultPlanError("sflow_loss fraction must be in [0, 1]")
+        if self.kind == "sflow_skew" and self.magnitude <= 0.0:
+            raise FaultPlanError("sflow_skew factor must be positive")
+        if self.kind == "link_flap" and self.magnitude < 0.0:
+            raise FaultPlanError("link_flap capacity factor must be >= 0")
+        if self.kind == "stale_clock" and self.magnitude <= 0.0:
+            raise FaultPlanError("stale_clock skew must be positive")
+        if self.kind == "controller_crash" and self.duration <= 0.0:
+            raise FaultPlanError(
+                "controller_crash needs a positive restart delay"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "duration": self.duration,
+            "target": self.target,
+            "magnitude": self.magnitude,
+            "silent": self.silent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        try:
+            kind = str(data["kind"])
+            at = float(data["at"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultPlanError(f"bad fault event {data!r}") from exc
+        return cls(
+            kind=kind,
+            at=at,
+            duration=float(data.get("duration", 0.0)),
+            target=str(data.get("target", "")),
+            magnitude=float(data.get("magnitude", 0.0)),
+            silent=bool(data.get("silent", False)),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A seeded schedule of faults, with a builder-style DSL.
+
+    The seed drives every probabilistic choice the injector makes while
+    executing the plan (which datagrams drop, which samples duplicate),
+    so one (plan, deployment) pair always replays identically.
+    """
+
+    seed: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # -- builder DSL ---------------------------------------------------------
+
+    def _add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def bmp_flap(
+        self, at: float, duration: float, router: str = ""
+    ) -> "FaultPlan":
+        """Silence a router's BMP feed for a window (bytes dropped)."""
+        return self._add(
+            FaultEvent("bmp_flap", at, duration, target=router)
+        )
+
+    def bmp_reset(self, at: float) -> "FaultPlan":
+        """Reset the BMP collector: RIB and liveness state lost."""
+        return self._add(FaultEvent("bmp_reset", at))
+
+    def sflow_loss(
+        self, at: float, duration: float, fraction: float
+    ) -> "FaultPlan":
+        """Drop each sFlow datagram with probability *fraction*."""
+        return self._add(
+            FaultEvent("sflow_loss", at, duration, magnitude=fraction)
+        )
+
+    def sflow_skew(
+        self, at: float, duration: float, factor: float
+    ) -> "FaultPlan":
+        """Skew sampling by *factor* (0.5 halves, 2.0 doubles counts)."""
+        return self._add(
+            FaultEvent("sflow_skew", at, duration, magnitude=factor)
+        )
+
+    def link_flap(
+        self,
+        at: float,
+        duration: float,
+        interface: str = "",
+        capacity_factor: float = 0.0,
+        silent: bool = False,
+    ) -> "FaultPlan":
+        """Scale an egress interface's capacity for a window.
+
+        *interface* is ``"router/name"``; empty picks the
+        smallest-capacity egress deterministically.
+        """
+        return self._add(
+            FaultEvent(
+                "link_flap",
+                at,
+                duration,
+                target=interface,
+                magnitude=capacity_factor,
+                silent=silent,
+            )
+        )
+
+    def controller_crash(
+        self, at: float, restart_after: float
+    ) -> "FaultPlan":
+        """Kill the controller (sessions drop, memory lost); restart later."""
+        return self._add(
+            FaultEvent("controller_crash", at, duration=restart_after)
+        )
+
+    def stale_clock(
+        self, at: float, duration: float, skew_seconds: float
+    ) -> "FaultPlan":
+        """Make input snapshots look *skew_seconds* older than they are."""
+        return self._add(
+            FaultEvent(
+                "stale_clock", at, duration, magnitude=skew_seconds
+            )
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def sorted_events(self) -> List[FaultEvent]:
+        return sorted(
+            self.events, key=lambda e: (e.at, e.kind, e.target)
+        )
+
+    def last_fault_end(self) -> float:
+        """When the last scheduled disturbance is over."""
+        return max((event.end for event in self.events), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def shifted(self, offset: float) -> "FaultPlan":
+        """A copy with every event moved *offset* seconds later."""
+        return FaultPlan(
+            seed=self.seed,
+            events=[
+                replace(event, at=event.at + offset)
+                for event in self.events
+            ],
+        )
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "events": [
+                event.to_dict() for event in self.sorted_events()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        events_raw = data.get("events", [])
+        if not isinstance(events_raw, list):
+            raise FaultPlanError("plan 'events' must be a list")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            events=[
+                FaultEvent.from_dict(entry) for entry in events_raw
+            ],
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"plan is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise FaultPlanError("plan JSON must be an object")
+        return cls.from_dict(data)
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- seeded generation ---------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        duration: float,
+        kinds: Optional[Iterable[str]] = None,
+        min_events: int = 3,
+        max_events: int = 6,
+        recovery_fraction: float = 0.35,
+    ) -> "FaultPlan":
+        """A seeded random plan over a run of *duration* seconds.
+
+        Every fault starts and ends inside the first
+        ``1 - recovery_fraction`` of the run, so the tail is a clean
+        recovery window the chaos gauntlet can assert convergence over.
+        """
+        if duration <= 0.0:
+            raise FaultPlanError("duration must be positive")
+        rng = random.Random(seed)
+        usable = duration * (1.0 - recovery_fraction)
+        pool = tuple(kinds) if kinds is not None else FAULT_KINDS
+        for kind in pool:
+            if kind not in FAULT_KINDS:
+                raise FaultPlanError(f"unknown fault kind {kind!r}")
+        plan = cls(seed=seed)
+        count = rng.randint(min_events, max_events)
+        for _ in range(count):
+            kind = rng.choice(pool)
+            at = rng.uniform(0.05 * usable, 0.6 * usable)
+            window = rng.uniform(0.1 * usable, usable - at)
+            if kind == "bmp_flap":
+                plan.bmp_flap(at, window)
+            elif kind == "bmp_reset":
+                plan.bmp_reset(at)
+            elif kind == "sflow_loss":
+                plan.sflow_loss(at, window, rng.uniform(0.3, 1.0))
+            elif kind == "sflow_skew":
+                plan.sflow_skew(
+                    at, window, rng.choice((0.25, 0.5, 2.0, 4.0))
+                )
+            elif kind == "link_flap":
+                plan.link_flap(
+                    at,
+                    window,
+                    capacity_factor=rng.choice((0.0, 0.25, 0.5)),
+                )
+            elif kind == "controller_crash":
+                plan.controller_crash(
+                    at, restart_after=max(60.0, 0.3 * window)
+                )
+            elif kind == "stale_clock":
+                plan.stale_clock(
+                    at, window, skew_seconds=rng.uniform(100.0, 600.0)
+                )
+        return plan

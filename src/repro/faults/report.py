@@ -1,0 +1,181 @@
+"""The chaos report: what broke, how the controller degraded, what held.
+
+Built from a finished deployment after a fault plan ran through it.
+Every field is simulation-derived — no wall-clock times, no object ids —
+so the same (seed, plan, scenario) triple produces a byte-identical
+JSON report, which is exactly the determinism contract ``repro chaos``
+and the CI gauntlet assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["ChaosReport", "build_chaos_report"]
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """One chaos run, summarized for operators and for CI artifacts."""
+
+    seed: int
+    plan: Dict[str, Any]
+    #: The injector's applied-action timeline and loss counters.
+    faults: Dict[str, Any]
+    #: How the controller degraded: cycle outcomes and repair activity.
+    degradation: Dict[str, Any]
+    #: Safety-invariant outcome: checks run and every violation found.
+    safety: Dict[str, Any]
+    #: End-of-run routing state (the recovery digest).
+    final_state: Dict[str, Any]
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "plan": self.plan,
+            "faults": self.faults,
+            "degradation": self.degradation,
+            "safety": self.safety,
+            "final_state": self.final_state,
+            "violations": self.violations,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Operator-facing text summary."""
+        lines: List[str] = []
+        degradation = self.degradation
+        lines.append(
+            f"chaos run (seed {self.seed}): "
+            f"{len(self.plan.get('events', []))} scheduled faults, "
+            f"{'CLEAN' if self.clean else f'{len(self.violations)} VIOLATIONS'}"
+        )
+        lines.append("fault timeline:")
+        actions = self.faults.get("actions", [])
+        if not actions:
+            lines.append("  (no fault actions applied)")
+        for action in actions:
+            lines.append(
+                f"  t={action['time']:>9.1f}  "
+                f"{action['kind']:<17} {action['phase']:<6} "
+                f"{action['detail']}"
+            )
+        lines.append(
+            "degradation: "
+            f"{degradation['cycles_run']} cycles run, "
+            f"{degradation['cycles_skipped']} skipped on stale inputs, "
+            f"{degradation['fail_static_withdrawals']} overrides "
+            "withdrawn fail-static"
+        )
+        lines.append(
+            "             "
+            f"{degradation['resubscribe_attempts']} resubscribe "
+            f"attempts, {degradation['collector_resets']} collector "
+            f"resets, {self.faults['dropped_datagrams']} sFlow "
+            f"datagrams dropped, {self.faults['dropped_bmp_bytes']} "
+            "BMP bytes dropped"
+        )
+        lines.append(
+            "final state: "
+            f"{len(self.final_state['active_overrides'])} active "
+            f"overrides, {len(self.final_state['injected_prefixes'])} "
+            "injected prefixes, offered "
+            f"{self.final_state['offered_bps'] / 1e9:.2f} Gbps, "
+            f"dropped {self.final_state['dropped_bps'] / 1e9:.3f} Gbps"
+        )
+        if self.violations:
+            lines.append("violations:")
+            for violation in self.violations:
+                lines.append(
+                    f"  t={violation['time']:>9.1f}  "
+                    f"{violation['invariant']:<24} "
+                    f"{violation['subject']}: {violation['message']}"
+                )
+        else:
+            lines.append(
+                "safety: all "
+                f"{self.safety['checks_run']} post-cycle checks passed"
+            )
+        return "\n".join(lines)
+
+
+def build_chaos_report(deployment, injector=None) -> ChaosReport:
+    """Summarize a finished run of *deployment* under *injector*'s plan.
+
+    *injector* defaults to the deployment's attached fault injector; a
+    fault-free deployment yields a report with an empty timeline (useful
+    as the recovery-comparison baseline).
+    """
+    faults = injector if injector is not None else deployment.faults
+    if faults is not None:
+        plan_dict = faults.plan.to_dict()
+        fault_summary = faults.summary()
+        seed = faults.plan.seed
+    else:
+        plan_dict = {"seed": 0, "events": []}
+        fault_summary = {
+            "plan_seed": 0,
+            "events": 0,
+            "actions": [],
+            "dropped_bmp_bytes": 0,
+            "dropped_datagrams": 0,
+            "duplicated_datagrams": 0,
+        }
+        seed = 0
+
+    reports = deployment.record.cycle_reports
+    skipped = [r for r in reports if r.skipped]
+    degradation = {
+        "cycles_run": len(reports) - len(skipped),
+        "cycles_skipped": len(skipped),
+        "fail_static_withdrawals": sum(r.withdrawn for r in skipped),
+        "resubscribe_attempts": deployment.resubscriber.total_attempts,
+        "collector_resets": deployment.bmp.resets,
+        "final_stale_cycles": deployment.controller.stale_cycles,
+    }
+
+    safety: Dict[str, Any]
+    violations: List[Dict[str, Any]] = []
+    if deployment.safety is not None:
+        safety = deployment.safety.summary()
+        violations = list(safety["violations"])
+    else:
+        safety = {"checks_run": 0, "violations": []}
+
+    last_tick = (
+        deployment.record.ticks[-1] if deployment.record.ticks else None
+    )
+    final_state = {
+        "active_overrides": sorted(
+            str(p) for p in deployment.controller.overrides.active()
+        ),
+        "injected_prefixes": [
+            str(p) for p in deployment.injector.injected_prefixes()
+        ],
+        "offered_bps": (
+            last_tick.offered.bits_per_second if last_tick else 0.0
+        ),
+        "dropped_bps": (
+            last_tick.dropped.bits_per_second if last_tick else 0.0
+        ),
+        "time": last_tick.time if last_tick else 0.0,
+    }
+
+    return ChaosReport(
+        seed=seed,
+        plan=plan_dict,
+        faults=fault_summary,
+        degradation=degradation,
+        safety=safety,
+        final_state=final_state,
+        violations=violations,
+    )

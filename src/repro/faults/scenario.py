@@ -1,0 +1,95 @@
+"""A small, fast deployment purpose-built for chaos runs.
+
+The chaos gauntlet runs whole fault plans end to end across dozens of
+seeds, so scenario size is the budget: the canonical study PoPs take
+seconds to build and step, this one builds in ~0.3s and ticks in
+milliseconds while keeping everything the fault paths exercise — one
+router with transit, private, and IXP egress; a tight peer that actually
+overloads at peak (so overrides exist for faults to threaten); real BMP,
+sFlow, injector and controller wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import ControllerConfig
+from ..core.pipeline import PopDeployment
+from ..netbase.units import gbps
+from ..topology.builder import PopSpec, build_pop, provision_against_demand
+from ..topology.internet import InternetConfig, InternetTopology
+from ..traffic.demand import DemandConfig, DemandModel
+
+__all__ = ["CHAOS_TICK_SECONDS", "build_chaos_deployment"]
+
+#: Tick/cycle period for chaos runs — the paper's 30-second loop.
+CHAOS_TICK_SECONDS = 30.0
+
+
+def build_chaos_deployment(
+    seed: int = 0,
+    faults=None,
+    safety_checks: bool = True,
+    controller_config: Optional[ControllerConfig] = None,
+    tick_seconds: float = CHAOS_TICK_SECONDS,
+) -> PopDeployment:
+    """One small PoP with the full stack, ready for fault plans.
+
+    Deterministic per *seed*: topology, demand and sampling all derive
+    from it, so two builds with the same seed step identically.
+    """
+    internet = InternetTopology(
+        InternetConfig(
+            seed=seed, tier1_count=2, tier2_count=6, stub_count=48
+        )
+    )
+    spec = PopSpec(
+        name="chaos-mini",
+        seed=seed,
+        router_count=1,
+        transit_count=1,
+        private_peer_count=3,
+        public_peer_count=4,
+        route_server_member_count=6,
+        expected_peak=gbps(40),
+        tight_peer_count=1,
+    )
+    wired = build_pop(spec, internet)
+    demand = DemandModel(
+        internet.all_prefixes(),
+        DemandConfig(
+            seed=seed + 1,
+            peak_total=gbps(40),
+            tick_seconds=tick_seconds,
+        ),
+        popular=wired.popular_prefixes(),
+    )
+    provision_against_demand(
+        wired,
+        demand.weight_of,
+        expected_peak=gbps(40),
+        headroom=spec.private_headroom,
+        tight_headroom=spec.tight_headroom,
+        tight_peer_count=spec.tight_peer_count,
+        seed=seed + 2,
+    )
+    config = controller_config or ControllerConfig(
+        cycle_seconds=tick_seconds,
+        # Tight degradation timings so short chaos runs cross every
+        # threshold: inputs go stale after two quiet cycles, fail-static
+        # fires one cycle later, resubscription retries each cycle.
+        max_input_age_seconds=2.0 * tick_seconds,
+        fail_static_after_cycles=2,
+        resubscribe_initial_seconds=tick_seconds,
+        resubscribe_max_attempts=4,
+    )
+    return PopDeployment(
+        wired,
+        demand,
+        controller_config=config,
+        tick_seconds=tick_seconds,
+        sampling_rate=4096,
+        seed=seed,
+        faults=faults,
+        safety_checks=safety_checks,
+    )

@@ -16,7 +16,7 @@ eviction, so the trail survives arbitrarily long runs.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..bgp.decision import DEFAULT_CONFIG, DecisionConfig
@@ -77,7 +77,9 @@ class OverrideEvent:
 
     cycle_time: float
     #: "announce" (override installed), "keep" (still wanted, unchanged),
-    #: "withdraw" (override removed; default routing restored).
+    #: "withdraw" (override removed; default routing restored), or
+    #: "violation" (a safety invariant broke while this prefix — or
+    #: ``*`` for PoP-wide breaches — was involved).
     action: str
     prefix: str
     rate_bps: float = 0.0
@@ -90,6 +92,8 @@ class OverrideEvent:
     preferred_session: str = ""
     #: The decision step at which the preferred route would have won.
     decisive_step: str = ""
+    #: Free-form context: the invariant and message for violations.
+    note: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -102,6 +106,7 @@ class OverrideEvent:
             "target_session": self.target_session,
             "preferred_session": self.preferred_session,
             "decisive_step": self.decisive_step,
+            "note": self.note,
         }
 
 
@@ -127,8 +132,12 @@ class PrefixExplanation:
             if event.action == "withdraw":
                 lines.append(
                     f"  t={event.cycle_time:>9.1f}  withdraw  "
-                    f"back to BGP-preferred via "
+                    "back to BGP-preferred via "
                     f"{event.preferred_session or 'n/a'}"
+                )
+            elif event.action == "violation":
+                lines.append(
+                    f"  t={event.cycle_time:>9.1f}  VIOLATION {event.note}"
                 )
             else:
                 lines.append(
@@ -224,13 +233,40 @@ class DecisionAudit:
                     )
                 )
 
+    def record_violation(
+        self, now: float, subject: str, invariant: str, message: str
+    ) -> None:
+        """Append a safety-invariant breach to the trail.
+
+        *subject* is the prefix involved when there is one, or a
+        descriptive string for PoP-wide breaches (kept under ``*`` so it
+        doesn't pollute per-prefix histories).
+        """
+        prefix = subject if "/" in subject else "*"
+        self._append(
+            OverrideEvent(
+                cycle_time=now,
+                action="violation",
+                prefix=prefix,
+                note=f"{invariant}: {message}",
+            )
+        )
+
     # -- queries -------------------------------------------------------------------
+
+    @staticmethod
+    def _last_override_action(events) -> str:
+        """Most recent announce/keep/withdraw, skipping violations."""
+        for event in reversed(events):
+            if event.action in ("announce", "keep", "withdraw"):
+                return event.action
+        return ""
 
     def explain(self, prefix: object) -> PrefixExplanation:
         """Full recorded override history for *prefix* (str or Prefix)."""
         key = str(prefix)
         events = tuple(self._events.get(key, ()))
-        active = bool(events) and events[-1].action in (
+        active = self._last_override_action(events) in (
             "announce",
             "keep",
         )
@@ -243,7 +279,15 @@ class DecisionAudit:
         return [
             prefix
             for prefix, events in self._events.items()
-            if events and events[-1].action in ("announce", "keep")
+            if self._last_override_action(events) in ("announce", "keep")
+        ]
+
+    def violations(self) -> List[OverrideEvent]:
+        """Every recorded violation event, in insertion order per prefix."""
+        return [
+            event
+            for event in self.events()
+            if event.action == "violation"
         ]
 
     def prefixes(self) -> List[str]:

@@ -15,7 +15,7 @@ uploads and :meth:`snapshot` mirrors in-memory.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 from .audit import DecisionAudit, PrefixExplanation
 from .metrics import MetricsRegistry

@@ -183,3 +183,18 @@ class SflowCollector:
         self, now: float
     ) -> Dict[Tuple[Prefix, InterfaceKey], Rate]:
         return self._prefix_interface_rates.rates(now)
+
+    def prefix_window_stats(self, prefix: Prefix, now: float):
+        """Window diagnostics for one prefix (safe on empty windows)."""
+        return self._prefix_rates.window_stats(prefix, now)
+
+    # -- health -------------------------------------------------------------------
+
+    def age(self, now: float) -> float:
+        """Seconds since any traffic measurement arrived.
+
+        ``inf`` before the first sample — a collector that has never
+        heard traffic is maximally stale, the same convention as
+        :meth:`repro.bmp.collector.BmpCollector.age`.
+        """
+        return self._prefix_rates.age(now)

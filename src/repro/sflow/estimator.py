@@ -4,18 +4,56 @@ The collector turns samples into byte estimates; this module turns byte
 estimates into *rates* over a sliding window (the paper's controller uses
 an average over roughly the last minute of traffic, long enough to smooth
 sampling noise, short enough to track demand shifts).
+
+Every derived statistic is defensive about empty or single-sample
+windows, in the same spirit as :func:`repro.analysis.perf.percentile`: a
+fault that starves the collector for an interval (datagram loss, an
+agent flap) must read as "rate 0, no samples", never as a
+``ZeroDivisionError`` inside the controller's input path.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Deque, Dict, Generic, Hashable, Iterator, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import (
+    Deque,
+    Dict,
+    Generic,
+    Hashable,
+    Iterator,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from ..netbase.units import Rate
 
-__all__ = ["RateEstimator"]
+__all__ = ["RateEstimator", "WindowStats"]
 
 K = TypeVar("K", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Diagnostics for one key's current estimation window.
+
+    All fields degrade to zero rather than raising: an empty window has
+    no samples, no bytes, zero rate, zero span and zero gap; a
+    single-sample window has a defined rate but no gap to average.
+    """
+
+    samples: int
+    total_bytes: float
+    window_rate: Rate
+    #: Seconds between the oldest and newest in-window sample.
+    observed_span: float
+    #: Mean seconds between consecutive samples (0.0 below 2 samples).
+    mean_sample_gap: float
+
+    @property
+    def empty(self) -> bool:
+        return self.samples == 0
 
 
 class RateEstimator(Generic[K]):
@@ -31,6 +69,8 @@ class RateEstimator(Generic[K]):
         self.window_seconds = window_seconds
         self._events: Dict[K, Deque[Tuple[float, float]]] = defaultdict(deque)
         self._totals: Dict[K, float] = defaultdict(float)
+        #: When the most recent sample (for any key) was recorded.
+        self.last_add_at: Optional[float] = None
 
     def add(self, key: K, byte_count: float, now: float) -> None:
         if byte_count < 0:
@@ -38,6 +78,8 @@ class RateEstimator(Generic[K]):
         self._expire(key, now)
         self._events[key].append((now, byte_count))
         self._totals[key] += byte_count
+        if self.last_add_at is None or now > self.last_add_at:
+            self.last_add_at = now
 
     def _expire(self, key: K, now: float) -> None:
         horizon = now - self.window_seconds
@@ -58,6 +100,39 @@ class RateEstimator(Generic[K]):
         total_bytes = self._totals.get(key, 0.0)
         return Rate(total_bytes * 8.0 / self.window_seconds)
 
+    def window_stats(self, key: K, now: float) -> WindowStats:
+        """Diagnostics for *key*'s window; safe on empty windows."""
+        if key in self._events:
+            self._expire(key, now)
+        events = self._events.get(key)
+        if not events:
+            return WindowStats(
+                samples=0,
+                total_bytes=0.0,
+                window_rate=Rate(0),
+                observed_span=0.0,
+                mean_sample_gap=0.0,
+            )
+        count = len(events)
+        span = events[-1][0] - events[0][0]
+        # One sample spans no time; a mean gap over zero intervals is
+        # undefined, so both degrade to 0.0 rather than dividing.
+        gap = span / (count - 1) if count > 1 else 0.0
+        total = self._totals.get(key, 0.0)
+        return WindowStats(
+            samples=count,
+            total_bytes=total,
+            window_rate=Rate(total * 8.0 / self.window_seconds),
+            observed_span=span,
+            mean_sample_gap=gap,
+        )
+
+    def age(self, now: float) -> float:
+        """Seconds since *any* sample arrived (inf before the first)."""
+        if self.last_add_at is None:
+            return float("inf")
+        return max(0.0, now - self.last_add_at)
+
     def keys(self) -> Iterator[K]:
         return iter(list(self._events.keys()))
 
@@ -73,3 +148,4 @@ class RateEstimator(Generic[K]):
     def clear(self) -> None:
         self._events.clear()
         self._totals.clear()
+        self.last_add_at = None

@@ -12,7 +12,6 @@ from repro.bgp.attributes import (
     community,
     format_community,
 )
-from repro.netbase.addr import Family
 from repro.netbase.errors import MalformedMessage
 
 

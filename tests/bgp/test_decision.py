@@ -1,6 +1,5 @@
 """Tests for the BGP decision process, including total-order properties."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,8 +7,7 @@ live interop test this repository has.
 import pytest
 
 from repro.bgp.attributes import AsPath, PathAttributes
-from repro.bgp.fsm import SessionState
-from repro.bgp.messages import UpdateMessage, encode_message
+from repro.bgp.messages import UpdateMessage
 from repro.bgp.peering import PeerDescriptor, PeerType
 from repro.bgp.speaker import BgpSpeaker
 from repro.netbase.addr import Family, Prefix

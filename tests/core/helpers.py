@@ -12,12 +12,11 @@ peer type and the capacity-sharing corner (two sessions on ixp0).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.bgp.attributes import AsPath, PathAttributes
 from repro.bgp.peering import PeerDescriptor, PeerType
 from repro.bgp.policy import standard_import_policy
-from repro.bgp.route import Route
 from repro.bgp.speaker import BgpSpeaker
 from repro.bmp.collector import BmpCollector, PeerRegistry
 from repro.core.config import ControllerConfig

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.allocator import Allocator
 from repro.core.projection import project
-from repro.netbase.units import Rate, gbps, mbps
+from repro.netbase.units import gbps, mbps
 
 from .helpers import (
     MiniPop,
@@ -103,7 +103,6 @@ class TestConstraints:
         config = default_config(min_detour_rate=gbps(1))
         # Many small prefixes sum to overload but none is big enough to
         # detour: the overload goes unresolved.
-        import itertools
 
         from repro.netbase.addr import Prefix
 

@@ -4,19 +4,14 @@ Edge Fabric's operational story rests on graceful degradation — these
 tests exercise the paths the happy-path integration tests do not.
 """
 
-import pytest
 
 from repro.bgp.attributes import AsPath, PathAttributes
 from repro.bgp.peering import PeerType
-from repro.core.config import ControllerConfig
 from repro.core.controller import EdgeFabricController
-from repro.core.injector import BgpInjector
-from repro.core.inputs import InputAssembler
 from repro.netbase.addr import Family, Prefix
 from repro.netbase.units import gbps
-from repro.sflow.collector import SflowCollector
 
-from .helpers import MiniPop, P_CONE, default_config
+from .helpers import MiniPop, P_CONE
 from .test_controller import Harness
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.bgp.communities import INJECTED
 from repro.core.allocator import Detour
-from repro.core.config import ControllerConfig
 from repro.core.injector import BgpInjector
 from repro.core.overrides import Override, OverrideDiff, OverrideSet
 from repro.netbase.units import gbps

@@ -6,7 +6,7 @@ from repro.core.allocator import Detour
 from repro.core.perfaware import PerformanceAwarePass
 from repro.measurement.altpath import AltPathMonitor
 from repro.measurement.pathmodel import PathModelConfig, PathPerformanceModel
-from repro.netbase.units import Rate, gbps, mbps
+from repro.netbase.units import Rate, gbps
 
 from .helpers import MiniPop, P_CONE, P_CONE2, default_config
 

@@ -7,9 +7,8 @@ cycles; without it, the same workload drops traffic continuously.
 
 import pytest
 
-from repro.core.config import ControllerConfig
 from repro.core.pipeline import PopDeployment
-from repro.netbase.units import Rate, gbps
+from repro.netbase.units import gbps
 
 
 def build_deployment(**kwargs):

@@ -80,7 +80,6 @@ class TestProjection:
         from repro.core.config import ControllerConfig
         from repro.core.injector import BgpInjector
         from repro.core.overrides import Override
-        from repro.bgp.route import Route
 
         injector = BgpInjector(
             mini.pop, {"mini-pr0": mini.speaker}, ControllerConfig()

@@ -12,7 +12,7 @@ from repro.dataplane.popview import PopView
 from repro.dataplane.simulator import PopSimulator
 from repro.netbase.addr import Family, Prefix
 from repro.netbase.errors import DataplaneError
-from repro.netbase.units import Rate, gbps
+from repro.netbase.units import gbps
 from repro.topology.builder import PopSpec, build_pop
 from repro.topology.internet import InternetConfig, InternetTopology
 from repro.traffic.demand import DemandConfig, DemandModel

@@ -1,0 +1,35 @@
+"""Shared helpers for the chaos suite: build-and-run in one call.
+
+Every test here drives the same small deployment
+(:func:`repro.faults.build_chaos_deployment`), always from the demand
+peak — the window where overrides actually exist for faults to
+threaten.  Runs are deterministic per (scenario seed, plan), so tests
+can assert exact recovery states.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults import FaultInjector, FaultPlan, build_chaos_deployment
+
+
+def run_chaos(
+    plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+    ticks: int = 40,
+    safety: bool = True,
+    config=None,
+):
+    """Build the chaos deployment and step it *ticks* times from peak."""
+    injector = FaultInjector(plan) if plan is not None else None
+    deployment = build_chaos_deployment(
+        seed=seed,
+        faults=injector,
+        safety_checks=safety,
+        controller_config=config,
+    )
+    start = deployment.demand.config.peak_time
+    for index in range(ticks):
+        deployment.step(start + index * deployment.tick_seconds)
+    return deployment

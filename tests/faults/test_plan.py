@@ -1,0 +1,179 @@
+"""Tests for the fault-plan DSL: validation, serialization, generation."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlanError
+
+
+class TestEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultEvent("power_outage", at=0.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultPlanError, match="start time"):
+            FaultEvent("bmp_flap", at=-1.0, duration=10.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(FaultPlanError, match="duration"):
+            FaultEvent("bmp_flap", at=0.0, duration=-5.0)
+
+    def test_bmp_reset_is_instantaneous(self):
+        with pytest.raises(FaultPlanError, match="instantaneous"):
+            FaultEvent("bmp_reset", at=0.0, duration=10.0)
+        assert FaultEvent("bmp_reset", at=5.0).end == 5.0
+
+    def test_sflow_loss_fraction_bounds(self):
+        with pytest.raises(FaultPlanError, match="fraction"):
+            FaultEvent("sflow_loss", at=0.0, duration=1.0, magnitude=1.5)
+        FaultEvent("sflow_loss", at=0.0, duration=1.0, magnitude=1.0)
+
+    def test_sflow_skew_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="positive"):
+            FaultEvent("sflow_skew", at=0.0, duration=1.0, magnitude=0.0)
+
+    def test_link_flap_factor_nonnegative(self):
+        with pytest.raises(FaultPlanError, match=">= 0"):
+            FaultEvent("link_flap", at=0.0, duration=1.0, magnitude=-0.1)
+        # 0.0 means "link down" and is legal.
+        FaultEvent("link_flap", at=0.0, duration=1.0, magnitude=0.0)
+
+    def test_controller_crash_needs_restart_delay(self):
+        with pytest.raises(FaultPlanError, match="restart"):
+            FaultEvent("controller_crash", at=0.0, duration=0.0)
+
+    def test_stale_clock_needs_positive_skew(self):
+        with pytest.raises(FaultPlanError, match="positive"):
+            FaultEvent("stale_clock", at=0.0, duration=1.0, magnitude=0.0)
+
+    def test_end_property(self):
+        assert FaultEvent("bmp_flap", at=10.0, duration=20.0).end == 30.0
+
+
+class TestBuilderDsl:
+    def test_builder_chains_and_appends(self):
+        plan = (
+            FaultPlan(seed=3)
+            .bmp_flap(10.0, 20.0, router="pr0")
+            .sflow_loss(5.0, 10.0, 0.5)
+            .controller_crash(40.0, restart_after=60.0)
+        )
+        assert len(plan) == 3
+        kinds = [event.kind for event in plan.events]
+        assert kinds == ["bmp_flap", "sflow_loss", "controller_crash"]
+
+    def test_sorted_events_orders_by_time(self):
+        plan = FaultPlan().bmp_reset(50.0).sflow_skew(5.0, 10.0, 2.0)
+        assert [e.at for e in plan.sorted_events()] == [5.0, 50.0]
+        # The underlying list keeps insertion order.
+        assert [e.at for e in plan.events] == [50.0, 5.0]
+
+    def test_last_fault_end(self):
+        plan = FaultPlan().bmp_flap(10.0, 100.0).bmp_reset(300.0)
+        assert plan.last_fault_end() == 300.0
+        assert FaultPlan().last_fault_end() == 0.0
+
+    def test_shifted_moves_every_event(self):
+        plan = FaultPlan(seed=9).bmp_flap(10.0, 5.0).bmp_reset(70.0)
+        moved = plan.shifted(30.0)
+        assert [e.at for e in moved.sorted_events()] == [40.0, 100.0]
+        assert moved.seed == 9
+        # The original is untouched.
+        assert [e.at for e in plan.sorted_events()] == [10.0, 70.0]
+
+
+class TestSerialization:
+    def _rich_plan(self):
+        return (
+            FaultPlan(seed=11)
+            .bmp_flap(10.0, 20.0, router="pr0")
+            .bmp_reset(35.0)
+            .sflow_loss(5.0, 10.0, 0.5)
+            .sflow_skew(6.0, 12.0, 2.0)
+            .link_flap(
+                40.0, 8.0, interface="pr0/x0",
+                capacity_factor=0.25, silent=True,
+            )
+            .controller_crash(60.0, restart_after=90.0)
+            .stale_clock(70.0, 30.0, skew_seconds=120.0)
+        )
+
+    def test_json_round_trip(self):
+        plan = self._rich_plan()
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.seed == plan.seed
+        assert restored.sorted_events() == plan.sorted_events()
+        # Serialization is canonical: round-tripping is a fixpoint.
+        assert restored.to_json() == plan.to_json()
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = self._rich_plan()
+        plan.save(path)
+        assert FaultPlan.load(path).sorted_events() == plan.sorted_events()
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(FaultPlanError, match="must be an object"):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(FaultPlanError, match="must be a list"):
+            FaultPlan.from_json('{"seed": 0, "events": 7}')
+        with pytest.raises(FaultPlanError, match="bad fault event"):
+            FaultPlan.from_json('{"seed": 0, "events": [{"kind": "x"}]}')
+
+    def test_event_dict_defaults(self):
+        event = FaultEvent.from_dict({"kind": "bmp_flap", "at": 3.0})
+        assert event.duration == 0.0
+        assert event.target == ""
+        assert event.silent is False
+
+
+class TestRandomPlans:
+    def test_deterministic_per_seed(self):
+        one = FaultPlan.random(21, duration=1800.0)
+        two = FaultPlan.random(21, duration=1800.0)
+        assert one.to_dict() == two.to_dict()
+
+    def test_different_seeds_differ(self):
+        dicts = {
+            FaultPlan.random(seed, duration=1800.0).to_json()
+            for seed in range(8)
+        }
+        assert len(dicts) > 1
+
+    def test_event_count_bounds(self):
+        for seed in range(20):
+            plan = FaultPlan.random(
+                seed, duration=1800.0, min_events=3, max_events=6
+            )
+            assert 3 <= len(plan) <= 6
+
+    def test_recovery_window_left_clean(self):
+        # Every fault ends before the run does, leaving a recovery tail
+        # the gauntlet can assert convergence over.
+        for seed in range(20):
+            plan = FaultPlan.random(seed, duration=1800.0)
+            assert plan.last_fault_end() < 1800.0
+
+    def test_kind_restriction(self):
+        plan = FaultPlan.random(
+            0, duration=1800.0, kinds=("sflow_loss",), max_events=4
+        )
+        assert {event.kind for event in plan.events} == {"sflow_loss"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.random(0, duration=100.0, kinds=("quake",))
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="positive"):
+            FaultPlan.random(0, duration=0.0)
+
+    def test_all_kinds_reachable(self):
+        seen = set()
+        for seed in range(40):
+            plan = FaultPlan.random(seed, duration=1800.0)
+            seen.update(event.kind for event in plan.events)
+        assert seen == set(FAULT_KINDS)

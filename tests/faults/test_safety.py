@@ -1,0 +1,142 @@
+"""The safety checker: silent on clean runs, loud on each broken invariant."""
+
+import pytest
+
+from repro.dataplane.fib import egress_interface
+from repro.netbase.units import Rate
+
+from .helpers import run_chaos
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return run_chaos(plan=None, seed=0, ticks=12)
+
+
+class TestCleanRun:
+    def test_no_violations_on_healthy_cycles(self, clean_run):
+        assert clean_run.safety.violations == []
+        assert clean_run.safety.checks_run == len(
+            clean_run.record.cycle_reports
+        )
+
+    def test_summary_shape(self, clean_run):
+        summary = clean_run.safety.summary()
+        assert summary["violations"] == []
+        assert summary["checks_run"] == clean_run.safety.checks_run
+
+    def test_overrides_exist_to_protect(self, clean_run):
+        # The scenario must actually overload, or the other tests here
+        # would pass vacuously.
+        assert len(clean_run.controller.overrides) > 0
+
+
+def _fresh_run():
+    return run_chaos(plan=None, seed=0, ticks=12)
+
+
+class _EmptyRib:
+    @staticmethod
+    def routes_for(prefix):
+        return []
+
+
+class TestInvariants:
+    def test_fail_static_fires_when_blind_but_installed(self):
+        deployment = _fresh_run()
+        controller = deployment.controller
+        assert len(controller.overrides) > 0
+        controller._stale_cycles = (
+            controller.config.fail_static_after_cycles
+        )
+        found = deployment.safety.check(deployment.current_time)
+        assert [v.invariant for v in found] == ["fail_static"]
+        assert "overrides remain installed" in found[0].message
+
+    def test_live_alternate_fires_when_target_route_gone(self):
+        deployment = _fresh_run()
+        checker = deployment.safety
+        checker.bmp = _EmptyRib()
+        found = checker.check(deployment.current_time)
+        live = [v for v in found if v.invariant == "live_alternate"]
+        assert len(live) == len(deployment.controller.overrides)
+        for violation in live:
+            assert "no live route" in violation.message
+
+    def test_injector_consistency_fires_on_lost_withdraw(self):
+        deployment = _fresh_run()
+        # Tear the injector's sessions down without telling the
+        # override table: routers flush the injected routes, the table
+        # still believes they are installed.
+        deployment.injector.teardown_sessions()
+        found = deployment.safety.check(deployment.current_time)
+        drift = [
+            v for v in found if v.invariant == "injector_consistency"
+        ]
+        assert len(drift) == 1
+        assert "tracked-but-not-injected" in drift[0].message
+
+    def test_target_over_threshold_fires_on_overloaded_target(self):
+        deployment = _fresh_run()
+        controller = deployment.controller
+        report = next(
+            r
+            for r in reversed(deployment.record.cycle_reports)
+            if not r.skipped
+        )
+        override = next(
+            iter(controller.overrides.active().values())
+        )
+        key = egress_interface(
+            controller.assembler.pop, override.target
+        )
+        capacity = controller.assembler.capacity_of(key)
+        controller.last_final_loads = {
+            key: Rate(capacity.bits_per_second * 2.0)
+        }
+        found = deployment.safety.check(
+            deployment.current_time, report
+        )
+        hot = [
+            v for v in found if v.invariant == "target_over_threshold"
+        ]
+        assert len(hot) == 1
+        assert hot[0].subject == "/".join(key)
+
+    def test_threshold_check_skipped_on_skipped_cycles(self):
+        deployment = _fresh_run()
+        controller = deployment.controller
+        override = next(
+            iter(controller.overrides.active().values())
+        )
+        key = egress_interface(
+            controller.assembler.pop, override.target
+        )
+        capacity = controller.assembler.capacity_of(key)
+        controller.last_final_loads = {
+            key: Rate(capacity.bits_per_second * 2.0)
+        }
+        # Without a run report (or with a skipped one) the projection
+        # is not this cycle's work — no threshold check.
+        found = deployment.safety.check(deployment.current_time)
+        assert not [
+            v for v in found if v.invariant == "target_over_threshold"
+        ]
+
+
+class TestReporting:
+    def test_violations_reach_metrics_and_audit(self):
+        deployment = _fresh_run()
+        controller = deployment.controller
+        controller._stale_cycles = (
+            controller.config.fail_static_after_cycles
+        )
+        deployment.safety.check(deployment.current_time)
+        counter = deployment.telemetry.registry.counter(
+            "safety_violations_total", labelnames=("invariant",)
+        )
+        assert counter.value(invariant="fail_static") == 1.0
+        recorded = deployment.telemetry.audit.violations()
+        assert any(
+            "fail_static" in event.note for event in recorded
+        )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netbase.addr import Family, Prefix
+from repro.netbase.addr import Prefix
 from repro.netbase.errors import TrafficError
 from repro.netbase.units import gbps, mbps
 from repro.sflow.agent import InterfaceIndexMap, ObservedFlow, SflowAgent

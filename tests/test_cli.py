@@ -21,6 +21,13 @@ class TestParser:
         )
         assert args.name == "fig4" and args.hours == 1.0
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.pop == "chaos-mini"
+        assert args.minutes == 30.0
+        assert args.seed == 7
+        assert args.plan is None and args.report is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -124,3 +131,42 @@ class TestTelemetryCommands:
             ["--log-jsonl", str(path), "quickstart", "--minutes", "1"]
         ) == 2
         assert "cannot open log file" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_random_plan_runs_clean(self, capsys):
+        assert main(["chaos", "--minutes", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos run (seed 3)" in out
+        assert "CLEAN" in out
+        assert "fault timeline:" in out
+        assert "degradation:" in out
+
+    def test_saved_plan_report_is_reproducible(self, tmp_path, capsys):
+        from repro.faults import FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(seed=4).bmp_flap(60.0, 90.0).sflow_loss(
+            30.0, 120.0, 0.5
+        ).save(plan_path)
+        reports = []
+        for name in ("one.json", "two.json"):
+            report_path = tmp_path / name
+            assert main(
+                [
+                    "chaos",
+                    "--minutes",
+                    "5",
+                    "--seed",
+                    "4",
+                    "--plan",
+                    str(plan_path),
+                    "--report",
+                    str(report_path),
+                ]
+            ) == 0
+            assert "report written to" in capsys.readouterr().out
+            reports.append(report_path.read_text())
+        # The contract the CI gauntlet relies on: same plan, same seed,
+        # byte-identical report.
+        assert reports[0] == reports[1]
