@@ -1,0 +1,236 @@
+"""Scale/churn perf harness: proves cycles cost O(churn), not O(table).
+
+Runs the synthetic scale scenario (:mod:`repro.core.scale`) twice from
+one seeded config — once with the incremental cycle engine, once with
+``incremental_engine=False`` (the ``--full-recompute`` path) — and
+
+- asserts the two runs made **identical decisions** (override tables
+  exact, projected loads to a tiny relative tolerance),
+- asserts **zero safety violations** in either run,
+- reports the steady-state speedup (cycles after the first; the first
+  cycle is a cold full build in both modes).
+
+Run directly (not a pytest benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_scale_churn.py [--quick]
+
+The acceptance workload is the default: 50k prefixes at 2% churn per
+cycle.  ``--quick`` shrinks it for CI (5k prefixes, 10 cycles), which is
+also the workload of the committed ``BENCH_scale_churn_baseline.json``;
+``--max-regression 0.25`` gates the incremental engine's steady-state
+mean cycle time against that baseline, and ``--min-speedup`` gates the
+incremental-vs-full ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "src"))
+
+from repro.core.scale import (  # noqa: E402
+    ScaleConfig,
+    ScaleScenario,
+    compare_runs,
+)
+
+
+def _workload_key(config: ScaleConfig) -> str:
+    return (
+        f"prefixes={config.prefix_count},churn={config.churn_fraction},"
+        f"cycles={config.cycles},seed={config.seed}"
+    )
+
+
+def _run(config: ScaleConfig, incremental: bool) -> tuple:
+    started = time.perf_counter()
+    result = ScaleScenario(config, incremental=incremental).run()
+    return result, time.perf_counter() - started
+
+
+def run_bench(config: ScaleConfig) -> dict:
+    incremental, inc_wall = _run(config, incremental=True)
+    full, full_wall = _run(config, incremental=False)
+
+    problems = compare_runs(incremental, full)
+    steady_cycles = max(1, config.cycles - 1)
+    inc_steady_ms = incremental.steady_wall() * 1000.0
+    full_steady_ms = full.steady_wall() * 1000.0
+    speedup = (
+        full_steady_ms / inc_steady_ms if inc_steady_ms > 0 else None
+    )
+    return {
+        "workload": _workload_key(config),
+        "prefixes": config.prefix_count,
+        "churn_fraction": config.churn_fraction,
+        "cycles": config.cycles,
+        "seed": config.seed,
+        "equivalent": not problems,
+        "equivalence_problems": problems[:10],
+        "violations": {
+            "incremental": incremental.violations,
+            "full": full.violations,
+        },
+        "paths": {
+            "incremental": incremental.path_counts(),
+            "full": full.path_counts(),
+        },
+        "overrides_final": len(incremental.cycles[-1].overrides),
+        "incremental": {
+            "steady_mean_ms": round(inc_steady_ms / steady_cycles, 3),
+            "steady_total_ms": round(inc_steady_ms, 1),
+            "total_ms": round(incremental.total_wall() * 1000.0, 1),
+            "wall_seconds": round(inc_wall, 2),
+        },
+        "full_recompute": {
+            "steady_mean_ms": round(full_steady_ms / steady_cycles, 3),
+            "steady_total_ms": round(full_steady_ms, 1),
+            "total_ms": round(full.total_wall() * 1000.0, 1),
+            "wall_seconds": round(full_wall, 2),
+        },
+        "steady_speedup": round(speedup, 2) if speedup else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--prefixes",
+        type=int,
+        default=50_000,
+        help="prefix table size (default 50000, the acceptance bar)",
+    )
+    parser.add_argument(
+        "--churn",
+        type=float,
+        default=0.02,
+        help="fraction of prefixes churned per cycle (default 0.02)",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=20,
+        help="controller cycles to run (default 20)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short run for CI (5k prefixes, 10 cycles)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=HERE / "BENCH_scale_churn.json",
+        help="where to write results",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=HERE / "BENCH_scale_churn_baseline.json",
+        help="committed baseline to compare against",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the steady-state incremental-vs-full speedup "
+        "meets this",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        help="fail if the incremental steady-state mean cycle time "
+        "exceeds the baseline mean by more than this fraction",
+    )
+    args = parser.parse_args(argv)
+
+    config = ScaleConfig(
+        prefix_count=5_000 if args.quick else args.prefixes,
+        churn_fraction=args.churn,
+        cycles=10 if args.quick else args.cycles,
+        seed=args.seed,
+    )
+    results = run_bench(config)
+
+    baseline_mean = None
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        if baseline.get("workload") == results["workload"]:
+            baseline_mean = baseline.get("inc_steady_mean_ms")
+            results["baseline_mean_ms"] = baseline_mean
+        else:
+            print(
+                f"baseline workload {baseline.get('workload')!r} does "
+                f"not match this run ({results['workload']}); skipping "
+                "regression comparison"
+            )
+
+    args.output.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+
+    inc = results["incremental"]
+    full = results["full_recompute"]
+    print(
+        f"{config.prefix_count} prefixes, "
+        f"{config.churn_fraction:.0%} churn, {config.cycles} cycles"
+    )
+    print(
+        f"incremental:    steady mean {inc['steady_mean_ms']:.1f} ms "
+        f"(paths {results['paths']['incremental']})"
+    )
+    print(
+        f"full recompute: steady mean {full['steady_mean_ms']:.1f} ms"
+    )
+    print(f"steady-state speedup: {results['steady_speedup']}x")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if not results["equivalent"]:
+        print("FAIL: incremental and full runs made different decisions:")
+        for problem in results["equivalence_problems"]:
+            print(f"  - {problem}")
+        failed = True
+    for mode, count in results["violations"].items():
+        if count:
+            print(f"FAIL: {count} safety violations in the {mode} run")
+            failed = True
+    if args.min_speedup is not None:
+        speedup = results["steady_speedup"]
+        if speedup is None or speedup < args.min_speedup:
+            print(
+                f"FAIL: speedup {speedup}x < "
+                f"required {args.min_speedup:.2f}x"
+            )
+            failed = True
+    if args.max_regression is not None:
+        if baseline_mean is None:
+            print("no matching baseline for --max-regression check")
+            failed = True
+        else:
+            limit = baseline_mean * (1.0 + args.max_regression)
+            current = inc["steady_mean_ms"]
+            if current > limit:
+                print(
+                    f"FAIL: steady mean {current:.1f} ms regressed "
+                    f"past {limit:.1f} ms (baseline "
+                    f"{baseline_mean:.1f} ms +{args.max_regression:.0%})"
+                )
+                failed = True
+            else:
+                print(
+                    f"regression gate OK: steady mean {current:.1f} ms "
+                    f"<= {limit:.1f} ms"
+                )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

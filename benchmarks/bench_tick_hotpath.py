@@ -2,8 +2,9 @@
 
 Measures the wall-clock cost of the full per-tick pipeline (dataplane
 tick, sFlow encode/decode, estimator feeds, controller cycles) on the
-canonical study PoP, and compares against the committed pre-optimization
-baseline in ``BENCH_hotpath_baseline.json``.
+canonical study PoP, and compares against the committed baseline in
+``BENCH_hotpath_baseline.json`` (refreshed whenever an optimization
+lands, so the regression gate tracks the current engine).
 
 Run directly (not a pytest benchmark)::
 
@@ -117,7 +118,12 @@ def main(argv=None) -> int:
     speedup = None
     if args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())
-        baseline_mean = baseline.get("mean_ms")
+        # A --quick run covers only the 20 peak ticks, which are
+        # costlier than the 60-tick mean; compare like with like when
+        # the baseline records a quick mean.
+        baseline_mean = (
+            baseline.get("quick_mean_ms") if args.quick else None
+        ) or baseline.get("mean_ms")
         current_mean = results["tick"]["mean_ms"]
         if baseline_mean and current_mean:
             speedup = baseline_mean / current_mean

@@ -10,8 +10,10 @@ onto.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from itertools import islice
+from typing import Deque, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..netbase.addr import Family, Prefix
 from ..netbase.errors import RibError
@@ -21,6 +23,13 @@ from .peering import PeerDescriptor
 from .route import Route
 
 __all__ = ["AdjRibIn", "RibChange", "LocRib"]
+
+#: Mutations the delta journal retains.  The controller reads the journal
+#: once per ~30 s cycle, so the cap only matters when a single cycle sees
+#: more churn than this — at which point an incremental reader is no
+#: cheaper than a full pass anyway and :meth:`LocRib.changed_since`
+#: signals "resynchronize" by returning ``None``.
+DEFAULT_JOURNAL_LIMIT = 262_144
 
 
 class AdjRibIn:
@@ -93,7 +102,11 @@ class LocRib:
     (implicit withdraw).
     """
 
-    def __init__(self, config: DecisionConfig = DEFAULT_CONFIG) -> None:
+    def __init__(
+        self,
+        config: DecisionConfig = DEFAULT_CONFIG,
+        journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+    ) -> None:
         self._config = config
         self._by_prefix: PrefixMap[Dict[PeerDescriptor, Route]] = PrefixMap()
         self._best_cache: Dict[Prefix, Route] = {}
@@ -102,6 +115,12 @@ class LocRib:
         # sFlow sample aggregation) key on it to stay exactly equivalent
         # to uncached recomputation.
         self._version = 0
+        # The delta journal: one entry per version bump, newest last, so
+        # "which prefixes changed since version V" is the last
+        # ``version - V`` entries.  The deque's maxlen bounds memory; a
+        # reader that falls further behind than the cap gets ``None``
+        # from :meth:`changed_since` and must do a full pass.
+        self._journal: Deque[Prefix] = deque(maxlen=journal_limit)
         # Live count of injected (Edge Fabric) routes currently held, so
         # the dataplane can skip more-specific trie walks entirely in
         # the common no-overrides case.
@@ -143,6 +162,7 @@ class LocRib:
         new_best = best_route(list(holders.values()), self._config)
         self._set_best(route.prefix, new_best)
         self._version += 1
+        self._journal.append(route.prefix)
         self._ranked_cache.pop(route.prefix, None)
         return RibChange(route.prefix, old_best, new_best)
 
@@ -162,6 +182,7 @@ class LocRib:
             new_best = None
         self._set_best(prefix, new_best)
         self._version += 1
+        self._journal.append(prefix)
         self._ranked_cache.pop(prefix, None)
         return RibChange(prefix, old_best, new_best)
 
@@ -179,6 +200,30 @@ class LocRib:
             self._best_cache.pop(prefix, None)
         else:
             self._best_cache[prefix] = best
+
+    # -- the delta journal ---------------------------------------------------
+
+    def changed_since(self, version: int) -> Optional[Set[Prefix]]:
+        """Prefixes whose route set mutated after *version*.
+
+        The set is conservative: any accepted update or effective
+        withdraw marks its prefix changed, even if the ranking came out
+        the same.  Returns an empty set when nothing changed, and
+        ``None`` when *version* is older than the journal reaches — the
+        caller must then fall back to a full pass (exactly what a BMP
+        resync or a fresh reader would do anyway).
+        """
+        if version > self._version:
+            raise RibError(
+                f"reader version {version} is ahead of the RIB "
+                f"({self._version})"
+            )
+        count = self._version - version
+        if count == 0:
+            return set()
+        if count > len(self._journal):
+            return None
+        return set(islice(self._journal, len(self._journal) - count, None))
 
     # -- queries -----------------------------------------------------------
 

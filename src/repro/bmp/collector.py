@@ -64,6 +64,12 @@ class PeerRegistry:
             (router, header.peer_address, header.peer_asn)
         )
 
+    def is_registered(self, peer: PeerDescriptor) -> bool:
+        return (
+            self._sessions.get((peer.router, peer.address, peer.peer_asn))
+            == peer
+        )
+
     def __len__(self) -> int:
         return len(self._sessions)
 
@@ -211,6 +217,41 @@ class BmpCollector:
                     learned_at=now,
                 )
                 self._rib.update(route)
+
+    # -- synthetic ingestion -----------------------------------------------------
+
+    def ingest_route(self, route: Route, now: Optional[float] = None) -> None:
+        """Install one route directly, bypassing the BMP wire path.
+
+        Synthetic-scale harnesses use this to populate the same RIB the
+        decoded path populates — identical versioning, journal and
+        best-path behaviour — without encoding/decoding fifty thousand
+        UPDATE PDUs.  Liveness and counters advance exactly as a decoded
+        announcement would advance them.
+        """
+        if not self._registry.is_registered(route.source):
+            self.stats.unknown_peers += 1
+            return
+        when = self._clock() if now is None else now
+        self.stats.announcements += 1
+        self._m_announcements.inc()
+        self._rib.update(route)
+        self._routers_seen[route.source.router] = when
+        self._last_update_at = when
+
+    def ingest_withdrawal(
+        self,
+        prefix: Prefix,
+        source: PeerDescriptor,
+        now: Optional[float] = None,
+    ) -> None:
+        """Withdraw one route directly, bypassing the BMP wire path."""
+        when = self._clock() if now is None else now
+        self.stats.withdrawals += 1
+        self._m_withdrawals.inc()
+        self._rib.withdraw(prefix, source)
+        self._routers_seen[source.router] = when
+        self._last_update_at = when
 
     # -- controller-facing queries ----------------------------------------------
 

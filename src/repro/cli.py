@@ -28,6 +28,7 @@ import sys
 from typing import Callable, Dict
 
 from . import experiments
+from .core.config import ControllerConfig
 from .core.pipeline import PopDeployment
 from .obs.logs import configure_logging, get_logger, log_event
 
@@ -60,11 +61,23 @@ _TAKES_HOURS = {
 }
 
 
+def _controller_config(args: argparse.Namespace) -> ControllerConfig:
+    """Build the controller config a workload verb asked for."""
+    if getattr(args, "full_recompute", False):
+        return ControllerConfig(incremental_engine=False)
+    return ControllerConfig()
+
+
 def _run_peak_deployment(
-    pop: str, minutes: float, seed: int
+    pop: str,
+    minutes: float,
+    seed: int,
+    controller_config: ControllerConfig = ControllerConfig(),
 ) -> PopDeployment:
     """The telemetry verbs' shared workload: *minutes* at the peak."""
-    deployment = PopDeployment.build(pop_name=pop, seed=seed)
+    deployment = PopDeployment.build(
+        pop_name=pop, seed=seed, controller_config=controller_config
+    )
     start = deployment.demand.config.peak_time
     ticks = int(minutes * 60 / deployment.tick_seconds)
     log_event(
@@ -81,7 +94,11 @@ def _run_peak_deployment(
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
-    deployment = PopDeployment.build(pop_name=args.pop, seed=args.seed)
+    deployment = PopDeployment.build(
+        pop_name=args.pop,
+        seed=args.seed,
+        controller_config=_controller_config(args),
+    )
     start = deployment.demand.config.peak_time
     ticks = int(args.minutes * 60 / deployment.tick_seconds)
     log_event(
@@ -130,7 +147,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    deployment = _run_peak_deployment(args.pop, args.minutes, args.seed)
+    deployment = _run_peak_deployment(
+        args.pop, args.minutes, args.seed, _controller_config(args)
+    )
     registry = deployment.telemetry.registry
     if args.format == "json":
         print(registry.to_json(indent=2))
@@ -140,7 +159,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    deployment = _run_peak_deployment(args.pop, args.minutes, args.seed)
+    deployment = _run_peak_deployment(
+        args.pop, args.minutes, args.seed, _controller_config(args)
+    )
     tracer = deployment.telemetry.tracer
     names = sorted(tracer.counts())
     print(
@@ -168,7 +189,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    deployment = _run_peak_deployment(args.pop, args.minutes, args.seed)
+    deployment = _run_peak_deployment(
+        args.pop, args.minutes, args.seed, _controller_config(args)
+    )
     audit = deployment.telemetry.audit
     if args.list or args.prefix is None:
         detoured = audit.detoured_prefixes()
@@ -255,6 +278,15 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--pop", default="pop-a")
         command.add_argument("--minutes", type=float, default=10.0)
         command.add_argument("--seed", type=int, default=7)
+        command.add_argument(
+            "--full-recompute",
+            action="store_true",
+            help=(
+                "disable the incremental cycle engine: re-derive the "
+                "full projection and allocation every cycle (the "
+                "escape hatch while debugging delta-path suspicions)"
+            ),
+        )
 
     quickstart = sub.add_parser(
         "quickstart", help="run a PoP with the controller at peak"

@@ -91,12 +91,23 @@ class Allocator:
         *previous_targets* maps prefixes detoured last cycle to the
         session name they were detoured to (for the stability
         preference).
+
+        *projection* may be the classic :class:`Projection` or an
+        :class:`~.projection.IncrementalProjection` — anything exposing
+        ``loads``/``prefixes_on``/``overloaded``.  The allocator itself
+        only does work proportional to the overloaded interfaces'
+        candidate lists: with nothing over threshold it returns
+        immediately, which is the steady-state fast path of the
+        incremental engine.
         """
         previous_targets = previous_targets or {}
-        loads: Dict[InterfaceKey, Rate] = dict(projection.loads)
         result = AllocationResult()
         threshold = self.config.utilization_threshold
         overloaded = projection.overloaded(inputs.capacities, threshold)
+        loads: Dict[InterfaceKey, Rate] = dict(projection.loads)
+        if not overloaded:
+            result.final_loads = loads
+            return result
         result.overloaded_before = list(overloaded)
         new_detour_budget = self.config.max_new_detours_per_cycle
 

@@ -52,6 +52,24 @@ class ControllerConfig:
     #: Fail static: after this many consecutive skipped (stale-input)
     #: cycles, withdraw every override and fall back to vanilla BGP.
     fail_static_after_cycles: int = 3
+    #: Incremental cycle engine: when on, snapshots/projection/allocation
+    #: apply route+rate deltas instead of re-deriving the full table
+    #: every cycle.  Decisions are identical either way; turn it off
+    #: (``--full-recompute``) to rule the fast path out while debugging.
+    incremental_engine: bool = True
+    #: Drift guard: every Nth cycle runs a full recompute regardless,
+    #: rebuilding the projection from scratch and reconciling the
+    #: incrementally-maintained loads against it.
+    full_recompute_every: int = 16
+    #: Hysteresis on per-interface projected load: a rate delta smaller
+    #: than this fraction of the interface's *threshold band* does not
+    #: mark the interface dirty for reallocation (tiny sampling jitter
+    #: must not re-run the allocator).  0 disables hysteresis.
+    projection_hysteresis_fraction: float = 0.0
+    #: Relative load disagreement between the incremental projection and
+    #: a full rebuild that counts as drift (ulp-scale float accumulation
+    #: differences sit far below this).
+    drift_tolerance: float = 1e-6
     #: Collector resubscription: first retry after this many seconds of
     #: a stale route feed, then exponential backoff.
     resubscribe_initial_seconds: float = 30.0
@@ -77,6 +95,16 @@ class ControllerConfig:
             raise ControllerError(
                 "fail_static_after_cycles must be at least 1"
             )
+        if self.full_recompute_every < 1:
+            raise ControllerError(
+                "full_recompute_every must be at least 1"
+            )
+        if not 0.0 <= self.projection_hysteresis_fraction < 1.0:
+            raise ControllerError(
+                "projection_hysteresis_fraction must be in [0, 1)"
+            )
+        if self.drift_tolerance < 0.0:
+            raise ControllerError("drift_tolerance cannot be negative")
         if self.resubscribe_initial_seconds <= 0:
             raise ControllerError(
                 "resubscribe_initial_seconds must be positive"

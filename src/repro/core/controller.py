@@ -34,7 +34,7 @@ from .inputs import InputAssembler
 from .monitoring import ControllerMonitor, CycleReport
 from .overrides import OverrideDiff, OverrideSet
 from .perfaware import PerformanceAwarePass
-from .projection import project
+from .projection import IncrementalProjection, project
 
 __all__ = ["EdgeFabricController"]
 
@@ -66,6 +66,19 @@ class EdgeFabricController:
         #: would carry.  The safety checker compares this against
         #: thresholds; empty until a cycle has run.
         self.last_final_loads: Dict = {}
+        # Incremental-engine state: the maintained projection, the last
+        # allocation (reusable while the projection certifies nothing
+        # allocation-relevant moved), the override targets it was
+        # computed against, and how many delta cycles have run since the
+        # last full reconciliation.
+        self._incremental: Optional[IncrementalProjection] = None
+        self._cached_allocation = None
+        self._cached_targets: Optional[Dict[Prefix, str]] = None
+        self._cycles_since_full = 0
+        #: Interfaces whose incrementally-maintained load disagreed with
+        #: the last full reconciliation beyond ``config.drift_tolerance``
+        #: (relative), for the safety checker.  Cleared every cycle.
+        self.last_drift: Dict = {}
         if config.performance_aware and altpath is None:
             raise ValueError(
                 "performance_aware requires an AltPathMonitor"
@@ -107,6 +120,23 @@ class EdgeFabricController:
         self._m_fail_static = registry.counter(
             "controller_fail_static_total",
             "Overrides withdrawn because inputs stayed stale",
+        )
+        self._m_cycle_path = registry.counter(
+            "controller_cycle_path_total",
+            "Cycles by decision path: full (engine off), rebuild "
+            "(reconciliation / fallback), delta (incremental "
+            "projection + fresh allocation), reuse (cached allocation)",
+            ("path",),
+        )
+        self._m_drift_max = registry.gauge(
+            "controller_projection_drift_max",
+            "Largest relative projection drift found by the last "
+            "full reconciliation",
+        )
+        self._m_drift = registry.counter(
+            "controller_projection_drift_total",
+            "Interfaces whose incremental load drifted beyond "
+            "tolerance at a reconciliation cycle",
         )
 
     # -- the cycle ------------------------------------------------------------
@@ -151,12 +181,7 @@ class EdgeFabricController:
         self._stale_cycles = 0
 
         decision_started = _time.perf_counter()
-        projection = project(self.assembler.pop, inputs)
-        allocation = self.allocator.allocate(
-            projection,
-            inputs,
-            previous_targets=self.overrides.active_targets(),
-        )
+        allocation, path = self._decide(inputs)
         tracer.record(
             "bgp.decision",
             decision_started,
@@ -165,6 +190,7 @@ class EdgeFabricController:
                 "time": now,
                 "prefixes": len(inputs.traffic),
                 "overloaded": len(allocation.overloaded_before),
+                "path": path,
             },
         )
         perf_moves = 0
@@ -199,6 +225,7 @@ class EdgeFabricController:
             unresolved=tuple(allocation.unresolved),
             perf_moves=perf_moves,
             runtime_seconds=runtime,
+            decision_path=path,
         )
         self.monitor.record(report)
         self._m_cycles_run.inc()
@@ -233,6 +260,103 @@ class EdgeFabricController:
             runtime_ms=round(runtime * 1000.0, 3),
         )
         return report
+
+    # -- the decision paths --------------------------------------------------------
+
+    def _decide(self, inputs):
+        """Project and allocate, taking the cheapest path that is safe.
+
+        Paths, in decreasing cost:
+
+        - ``full``: the incremental engine is off — rebuild a fresh
+          :class:`~.projection.Projection` and allocate from scratch
+          (the reference semantics, and the ``--full-recompute``
+          escape hatch).
+        - ``rebuild``: incremental mode, but either the snapshot carried
+          no delta (first cycle, BMP reset, journal overflow, capacity
+          edit) or this is the periodic reconciliation cycle.  The
+          maintained projection is replayed from the full table; on
+          reconciliation cycles the replay is compared against the
+          incrementally-maintained loads and any disagreement beyond
+          ``config.drift_tolerance`` lands in :attr:`last_drift` for
+          the safety checker.
+        - ``delta``: only dirty prefixes are re-placed, then the
+          allocator runs against the maintained projection (cost
+          proportional to overloaded-interface work, not table size).
+        - ``reuse``: the projection certifies nothing the allocator
+          could act on moved since the cached allocation — no
+          structural placement change, no threshold crossing, load
+          jitter within the hysteresis band — so last cycle's result
+          is returned as-is.  With hysteresis 0 this requires
+          bit-identical loads, making reuse exact.
+        """
+        previous_targets = self.overrides.active_targets()
+        self.last_drift = {}
+        if not self.config.incremental_engine:
+            projection = project(self.assembler.pop, inputs)
+            allocation = self.allocator.allocate(
+                projection, inputs, previous_targets=previous_targets
+            )
+            self._m_cycle_path.labels(path="full").inc()
+            return allocation, "full"
+
+        incremental = self._incremental
+        fresh = incremental is None
+        if incremental is None:
+            incremental = IncrementalProjection(self.assembler.pop)
+            self._incremental = incremental
+
+        if fresh or inputs.dirty_prefixes is None:
+            # A fresh projection (first cycle, post-crash) must be built
+            # from the full table even when the snapshot carries a delta
+            # — the assembler's state can outlive the controller's.
+            # Discontinuous: the pre-rebuild state describes a different
+            # world (or no world), so this is not a drift measurement.
+            incremental.rebuild(inputs)
+            self._cycles_since_full = 0
+            path = "rebuild"
+        else:
+            incremental.apply(inputs)
+            self._cycles_since_full += 1
+            if self._cycles_since_full >= self.config.full_recompute_every:
+                drift = incremental.rebuild(inputs)
+                self._cycles_since_full = 0
+                path = "rebuild"
+                worst = max(drift.values(), default=0.0)
+                self._m_drift_max.set(worst)
+                exceeded = {
+                    key: value
+                    for key, value in drift.items()
+                    if value > self.config.drift_tolerance
+                }
+                if exceeded:
+                    self.last_drift = exceeded
+                    self._m_drift.inc(len(exceeded))
+            else:
+                path = "delta"
+
+        if (
+            path == "delta"
+            and self._cached_allocation is not None
+            and self._cached_targets == previous_targets
+            and not self.config.performance_aware
+            and incremental.allocation_still_valid(
+                inputs.capacities,
+                self.config.utilization_threshold,
+                self.config.projection_hysteresis_fraction,
+            )
+        ):
+            self._m_cycle_path.labels(path="reuse").inc()
+            return self._cached_allocation, "reuse"
+
+        allocation = self.allocator.allocate(
+            incremental, inputs, previous_targets=previous_targets
+        )
+        incremental.mark_allocated()
+        self._cached_allocation = allocation
+        self._cached_targets = dict(previous_targets)
+        self._m_cycle_path.labels(path=path).inc()
+        return allocation, path
 
     # -- fail static ---------------------------------------------------------------
 
@@ -283,6 +407,11 @@ class EdgeFabricController:
         )
         self._stale_cycles = 0
         self.last_final_loads = {}
+        self._incremental = None
+        self._cached_allocation = None
+        self._cached_targets = None
+        self._cycles_since_full = 0
+        self.last_drift = {}
         self._m_active.set(0)
         log_event(
             _log, "controller.crash", time=now, lost=len(flushed)

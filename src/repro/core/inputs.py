@@ -17,7 +17,7 @@ we?" outside a cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..bgp.route import Route
 from ..bmp.collector import BmpCollector
@@ -81,6 +81,31 @@ class ControllerInputs:
     freshness: Optional[FreshnessReport] = field(
         repr=False, compare=False, default=None
     )
+    #: Prefixes whose routes or rate may differ from the previous
+    #: snapshot.  ``None`` means "unknown — treat everything as dirty"
+    #: (a full snapshot); an incremental snapshot guarantees every
+    #: prefix *not* listed has identical routes and an identical rate.
+    dirty_prefixes: Optional[Set[Prefix]] = field(
+        repr=False, compare=False, default=None
+    )
+    #: The subset of :attr:`dirty_prefixes` dirtied by *route* churn
+    #: (RIB journal), as opposed to rate movement.  A placed prefix in
+    #: here may have gained or lost alternates even if its preferred
+    #: route is unchanged.  ``None`` whenever ``dirty_prefixes`` is.
+    route_dirty_prefixes: Optional[Set[Prefix]] = field(
+        repr=False, compare=False, default=None
+    )
+    #: Pre-accumulated total of :attr:`traffic` in bits/second,
+    #: maintained by the assembler so reporting needn't re-sum the full
+    #: table every cycle.  ``None`` falls back to summing.
+    _total_bps: Optional[float] = field(
+        repr=False, compare=False, default=None
+    )
+
+    @property
+    def is_full(self) -> bool:
+        """True when this snapshot carries no delta information."""
+        return self.dirty_prefixes is None
 
     def routes_of(self, prefix: Prefix) -> List[Route]:
         """Available eBGP routes for *prefix*, decision-ranked.
@@ -96,6 +121,8 @@ class ControllerInputs:
         ]
 
     def total_traffic(self) -> Rate:
+        if self._total_bps is not None:
+            return Rate(self._total_bps)
         return Rate(
             sum(rate.bits_per_second for rate in self.traffic.values())
         )
@@ -123,6 +150,21 @@ class InputAssembler:
         #: comparison.  Models a skewed/stuck snapshot clock (fault
         #: injection) or a known pipeline delay; 0.0 in normal operation.
         self.input_age_penalty: float = 0.0
+        # Incremental-snapshot state: the maintained traffic table, when
+        # it was last brought current, which RIB (by identity — a BMP
+        # reset swaps the object) and RIB version it reflects, and a
+        # running bits/second total.  ``_force_full`` poisons the next
+        # snapshot after anything the delta path can't express (capacity
+        # edits, external resets).
+        self._traffic: Dict[Prefix, Rate] = {}
+        self._total_bps: float = 0.0
+        self._last_snapshot_at: Optional[float] = None
+        self._last_rib_version: int = 0
+        self._rib_seen: Optional[int] = None
+        self._force_full: bool = True
+        #: Diagnostics: how many snapshots took each path.
+        self.full_snapshots = 0
+        self.incremental_snapshots = 0
 
     def set_capacity(self, key: InterfaceKey, capacity: Rate) -> None:
         """Update the controller's capacity table for one interface.
@@ -134,6 +176,13 @@ class InputAssembler:
         if key not in self._capacities:
             raise KeyError(f"unknown interface {key}")
         self._capacities[key] = capacity
+        # A capacity change moves threshold bands out from under the
+        # incremental projection; make the next cycle start clean.
+        self._force_full = True
+
+    def force_full_snapshot(self) -> None:
+        """Make the next :meth:`snapshot` take the full path."""
+        self._force_full = True
 
     def capacity_of(self, key: InterfaceKey) -> Rate:
         return self._capacities[key]
@@ -150,15 +199,90 @@ class InputAssembler:
         )
 
     def snapshot(self, now: float) -> ControllerInputs:
-        """Assemble inputs for a cycle starting at *now*."""
+        """Assemble inputs for a cycle starting at *now*.
+
+        With :attr:`ControllerConfig.incremental_engine` on, successive
+        snapshots reuse the maintained traffic table and carry a
+        ``dirty_prefixes`` delta; anything the delta path cannot express
+        (first cycle, BMP reset, journal overflow, capacity edits,
+        ``--full-recompute``) falls back to a from-scratch snapshot with
+        ``dirty_prefixes=None``.  Either way the traffic dict's contents
+        are identical to a full ``sflow.prefix_rates(now)`` pass.
+
+        The returned ``traffic`` mapping is the assembler's live table:
+        it is valid until the next ``snapshot`` call and must not be
+        mutated by the caller.
+        """
         freshness = self.freshness(now)
         if freshness.stale:
             raise StaleInputError(freshness.reason)
-        traffic = self.sflow.prefix_rates(now)
+        dirty, route_dirty = self._refresh_traffic(now)
+        if dirty is None:
+            self.full_snapshots += 1
+        else:
+            self.incremental_snapshots += 1
+        self._last_snapshot_at = now
+        self._last_rib_version = self.bmp.rib.version
+        self._rib_seen = id(self.bmp.rib)
+        self._force_full = False
         return ControllerInputs(
             taken_at=now,
-            traffic=traffic,
+            traffic=self._traffic,
             capacities=dict(self._capacities),
             _collector=self.bmp,
             freshness=freshness,
+            dirty_prefixes=dirty,
+            route_dirty_prefixes=route_dirty,
+            _total_bps=self._total_bps,
         )
+
+    def _refresh_traffic(
+        self, now: float
+    ) -> "Tuple[Optional[Set[Prefix]], Optional[Set[Prefix]]]":
+        """Bring the maintained traffic table current.
+
+        Returns ``(dirty, route_dirty)``; both ``None`` when only a
+        full rebuild was possible.
+        """
+        rib = self.bmp.rib
+        if (
+            not self.config.incremental_engine
+            or self._force_full
+            or self._last_snapshot_at is None
+            or self._rib_seen != id(rib)
+        ):
+            return self._rebuild_traffic(now)
+        changed_rates = self.sflow.changed_prefixes(
+            self._last_snapshot_at, now
+        )
+        if changed_rates is None:
+            return self._rebuild_traffic(now)
+        changed_routes = rib.changed_since(self._last_rib_version)
+        if changed_routes is None:
+            return self._rebuild_traffic(now)
+        traffic = self._traffic
+        total = self._total_bps
+        for prefix in changed_rates:
+            rate = self.sflow.prefix_rate(prefix, now)
+            previous = traffic.get(prefix)
+            if previous is not None:
+                total -= previous.bits_per_second
+            if rate.is_zero():
+                if previous is not None:
+                    del traffic[prefix]
+            else:
+                traffic[prefix] = rate
+                total += rate.bits_per_second
+        self._total_bps = total
+        if changed_routes:
+            return changed_rates | changed_routes, changed_routes
+        return changed_rates, set()
+
+    def _rebuild_traffic(
+        self, now: float
+    ) -> "Tuple[Optional[Set[Prefix]], Optional[Set[Prefix]]]":
+        self._traffic = self.sflow.prefix_rates(now)
+        self._total_bps = sum(
+            rate.bits_per_second for rate in self._traffic.values()
+        )
+        return None, None

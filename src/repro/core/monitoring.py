@@ -34,6 +34,11 @@ class CycleReport:
     unresolved: tuple = ()
     perf_moves: int = 0
     runtime_seconds: float = 0.0
+    #: Which decision path produced this cycle: "full" (incremental
+    #: engine off), "rebuild" (reconciliation or delta fallback),
+    #: "delta" (incremental projection + fresh allocation), or "reuse"
+    #: (cached allocation revalidated).  "" on skipped cycles.
+    decision_path: str = ""
 
     @property
     def churn(self) -> int:

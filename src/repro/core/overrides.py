@@ -54,16 +54,25 @@ class OverrideSet:
         self._active: Dict[Prefix, Override] = {}
         #: (prefix, session, started, ended) for every finished override.
         self.completed: List[Tuple[Prefix, str, float, float]] = []
+        # active_targets() is read twice per cycle (stability input and
+        # the reuse check) but only changes on reconcile/flush; cache
+        # the derived dict between mutations.
+        self._targets_cache: Dict[Prefix, str] | None = None
 
     def active(self) -> Dict[Prefix, Override]:
         return dict(self._active)
 
     def active_targets(self) -> Dict[Prefix, str]:
-        """prefix → target session name (the allocator's stability input)."""
-        return {
-            prefix: override.target_session
-            for prefix, override in self._active.items()
-        }
+        """prefix → target session name (the allocator's stability input).
+
+        The returned dict is a cached snapshot — treat it as read-only.
+        """
+        if self._targets_cache is None:
+            self._targets_cache = {
+                prefix: override.target_session
+                for prefix, override in self._active.items()
+            }
+        return self._targets_cache
 
     def __len__(self) -> int:
         return len(self._active)
@@ -83,6 +92,7 @@ class OverrideSet:
         announce: List[Override] = []
         withdraw: List[Override] = []
         keep: List[Override] = []
+        self._targets_cache = None
 
         for prefix, current in list(self._active.items()):
             wanted = desired.get(prefix)
@@ -128,6 +138,7 @@ class OverrideSet:
     def flush(self, now: float) -> List[Override]:
         """Withdraw everything (controller shutdown / failover drill)."""
         flushed = list(self._active.values())
+        self._targets_cache = None
         for override in flushed:
             self.completed.append(
                 (

@@ -448,6 +448,10 @@ class PopDeployment:
         """
         self.injector.teardown_sessions()
         self.controller.crash(now)
+        # The assembler's maintained traffic table dies with the
+        # process too; the restarted controller's first snapshot must
+        # rebuild from the collectors, not resume a ghost delta chain.
+        self.assembler.force_full_snapshot()
 
     def restart_controller(self, now: float) -> None:
         """Bring a crashed controller back.

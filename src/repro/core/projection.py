@@ -6,12 +6,23 @@ use, yielding projected per-interface load *absent any intervention*.
 This is deliberately independent of any overrides currently in effect —
 the controller is stateless across cycles and re-derives the full
 override set from this clean projection every time.
+
+Two implementations produce that picture:
+
+- :func:`project` builds it from scratch, touching every measured prefix
+  (the reference semantics, and the per-cycle cost ceiling).
+- :class:`IncrementalProjection` keeps the picture alive between cycles
+  and applies only the snapshot's *dirty* prefixes, so steady-state
+  cycle cost tracks churn instead of table size.  Placement decisions
+  are identical to :func:`project`; only the per-interface load floats
+  may differ at accumulation-order (ulp) scale, which the controller's
+  periodic full-reconciliation cycle measures and bounds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..bgp.route import Route
 from ..dataplane.fib import egress_interface
@@ -20,7 +31,7 @@ from ..netbase.units import Rate
 from ..topology.entities import InterfaceKey, PoP
 from .inputs import ControllerInputs
 
-__all__ = ["Placement", "Projection", "project"]
+__all__ = ["Placement", "Projection", "IncrementalProjection", "project"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +84,287 @@ class Projection:
                 excesses.append((excess, key))
         excesses.sort(key=lambda pair: (-pair[0], pair[1]))
         return [key for _excess, key in excesses]
+
+
+class IncrementalProjection:
+    """A :class:`Projection` maintained across cycles by applying deltas.
+
+    Exposes the same query surface the allocator consumes (``loads``,
+    ``placements``, ``unplaceable``, :meth:`load_on`, :meth:`prefixes_on`,
+    :meth:`overloaded`) plus the mutation half: :meth:`rebuild` replays
+    the full table with arithmetic identical to :func:`project`, and
+    :meth:`apply` re-places only a snapshot's dirty prefixes.
+
+    Beyond the projection itself it tracks what the *allocator* would
+    care about: whether any placement changed structurally (appeared,
+    vanished, moved interface, changed route, or saw route churn that
+    could change its alternates) since :meth:`mark_allocated`, and how
+    much absolute load each interface accumulated since then.  The
+    controller uses those to decide whether last cycle's allocation is
+    still exactly (or, with hysteresis, acceptably) valid.
+    """
+
+    def __init__(self, pop: PoP) -> None:
+        self.pop = pop
+        self.placements: Dict[Prefix, Placement] = {}
+        self._loads_bps: Dict[InterfaceKey, float] = {}
+        self._by_interface: Dict[InterfaceKey, Dict[Prefix, Placement]] = {}
+        self._sorted_cache: Dict[InterfaceKey, List[Placement]] = {}
+        self._unplaceable_bps: Dict[Prefix, float] = {}
+        self._unplaceable_total = 0.0
+        # Reuse-band state, reset by mark_allocated():
+        self._structural_change = True
+        self._abs_delta_bps: Dict[InterfaceKey, float] = {}
+        self._band_loads_bps: Dict[InterfaceKey, float] = {}
+
+    # -- projection queries (the allocator's view) ---------------------------
+
+    @property
+    def loads(self) -> Dict[InterfaceKey, Rate]:
+        return {key: Rate(bps) for key, bps in self._loads_bps.items()}
+
+    @property
+    def unplaceable(self) -> Rate:
+        return Rate(self._unplaceable_total)
+
+    def load_on(self, key: InterfaceKey) -> Rate:
+        return Rate(self._loads_bps.get(key, 0.0))
+
+    def prefixes_on(self, key: InterfaceKey) -> List[Placement]:
+        """Placements assigned to one interface, heaviest first.
+
+        Sorted once per (interface, churn) rather than scanning the full
+        placement table the way :meth:`Projection.prefixes_on` does; the
+        resulting list is identical.
+        """
+        cached = self._sorted_cache.get(key)
+        if cached is None:
+            holders = self._by_interface.get(key)
+            cached = list(holders.values()) if holders else []
+            cached.sort(key=lambda p: (-p.rate.bits_per_second, p.prefix))
+            self._sorted_cache[key] = cached
+        return list(cached)
+
+    def overloaded(
+        self,
+        capacities: Dict[InterfaceKey, Rate],
+        threshold: float,
+    ) -> List[InterfaceKey]:
+        """Same contract as :meth:`Projection.overloaded`."""
+        excesses = []
+        for key, load_bps in self._loads_bps.items():
+            capacity = capacities.get(key)
+            if capacity is None or capacity.is_zero():
+                continue
+            excess = load_bps - capacity.bits_per_second * threshold
+            if excess > 0:
+                excesses.append((excess, key))
+        excesses.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [key for _excess, key in excesses]
+
+    # -- mutation -------------------------------------------------------------
+
+    def rebuild(self, inputs: ControllerInputs) -> Dict[InterfaceKey, float]:
+        """Replay the full table; returns relative drift per interface.
+
+        The replay iterates ``inputs.traffic`` in table order with the
+        exact accumulation :func:`project` performs, so the rebuilt
+        floats equal a from-scratch projection bit for bit.  The return
+        value compares the incrementally-maintained loads this object
+        held *before* the rebuild against the replayed truth: relative
+        disagreement per interface, for the controller's drift guard
+        (empty on the first build).
+        """
+        before = self._loads_bps
+        had_state = bool(before) or bool(self.placements)
+        self.placements = {}
+        self._loads_bps = {}
+        self._by_interface = {}
+        self._sorted_cache = {}
+        self._unplaceable_bps = {}
+        loads_bps: Dict[InterfaceKey, float] = {}
+        unplaceable_total = 0.0
+        for prefix, rate in inputs.traffic.items():
+            routes = inputs.routes_of(prefix)
+            if not routes:
+                bps = rate.bits_per_second
+                self._unplaceable_bps[prefix] = bps
+                unplaceable_total += bps
+                continue
+            preferred = routes[0]
+            key = egress_interface(self.pop, preferred)
+            loads_bps[key] = loads_bps.get(key, 0.0) + rate.bits_per_second
+            placement = Placement(
+                prefix=prefix, rate=rate, route=preferred, interface=key
+            )
+            self.placements[prefix] = placement
+            holders = self._by_interface.get(key)
+            if holders is None:
+                holders = {}
+                self._by_interface[key] = holders
+            holders[prefix] = placement
+        self._loads_bps = loads_bps
+        self._unplaceable_total = unplaceable_total
+        self._structural_change = True
+        drift: Dict[InterfaceKey, float] = {}
+        if had_state:
+            for key in set(before) | set(loads_bps):
+                truth = loads_bps.get(key, 0.0)
+                held = before.get(key, 0.0)
+                scale = max(abs(truth), abs(held), 1.0)
+                relative = abs(truth - held) / scale
+                if relative > 0.0:
+                    drift[key] = relative
+        return drift
+
+    def apply(self, inputs: ControllerInputs) -> None:
+        """Re-place only the snapshot's dirty prefixes.
+
+        Dirty prefixes are processed in sorted order so the float
+        adjustments accumulate identically run to run regardless of set
+        iteration order.
+        """
+        dirty = inputs.dirty_prefixes
+        if dirty is None:
+            raise ValueError("apply() needs an incremental snapshot")
+        route_dirty = inputs.route_dirty_prefixes or frozenset()
+        traffic = inputs.traffic
+        loads = self._loads_bps
+        for prefix in sorted(dirty):
+            old = self.placements.pop(prefix, None)
+            if old is not None:
+                old_key = old.interface
+                loads[old_key] -= old.rate.bits_per_second
+                holders = self._by_interface[old_key]
+                del holders[prefix]
+                self._sorted_cache.pop(old_key, None)
+                if not holders:
+                    # Drop the empty interface entirely so a rebuilt
+                    # projection (which would never create the key)
+                    # agrees on which interfaces carry load, instead of
+                    # leaving an ulp-scale float residue behind.
+                    del self._by_interface[old_key]
+                    del loads[old_key]
+            else:
+                stale = self._unplaceable_bps.pop(prefix, None)
+                if stale is not None:
+                    self._unplaceable_total -= stale
+            rate = traffic.get(prefix)
+            new: Optional[Placement] = None
+            if rate is not None:
+                routes = inputs.routes_of(prefix)
+                if not routes:
+                    bps = rate.bits_per_second
+                    self._unplaceable_bps[prefix] = bps
+                    self._unplaceable_total += bps
+                else:
+                    preferred = routes[0]
+                    key = egress_interface(self.pop, preferred)
+                    loads[key] = (
+                        loads.get(key, 0.0) + rate.bits_per_second
+                    )
+                    new = Placement(
+                        prefix=prefix,
+                        rate=rate,
+                        route=preferred,
+                        interface=key,
+                    )
+                    self.placements[prefix] = new
+                    holders = self._by_interface.get(key)
+                    if holders is None:
+                        holders = {}
+                        self._by_interface[key] = holders
+                    holders[prefix] = new
+                    self._sorted_cache.pop(key, None)
+            self._note_change(prefix, old, new, prefix in route_dirty)
+
+    def _note_change(
+        self,
+        prefix: Prefix,
+        old: Optional[Placement],
+        new: Optional[Placement],
+        route_dirty: bool,
+    ) -> None:
+        """Classify one re-placement for the allocation-reuse band.
+
+        Anything that could change the *decisions* a fresh allocator
+        pass would make is structural: placements appearing/vanishing,
+        moving interface, switching preferred route, or route churn on
+        a placed prefix (its alternate list feeds detour selection).
+        A pure rate change on an unchanged placement only widens the
+        interface's accumulated jitter.
+        """
+        if old is None and new is None:
+            # Untrafficked prefix (route churn with no measured rate, or
+            # rate expiring to zero with nothing placed): invisible to
+            # the allocator.
+            return
+        if (
+            old is None
+            or new is None
+            or old.interface != new.interface
+            or old.route != new.route
+            or route_dirty
+        ):
+            self._structural_change = True
+            for placement in (old, new):
+                if placement is not None:
+                    delta = self._abs_delta_bps
+                    delta[placement.interface] = (
+                        delta.get(placement.interface, 0.0)
+                        + placement.rate.bits_per_second
+                    )
+            return
+        jitter = abs(
+            new.rate.bits_per_second - old.rate.bits_per_second
+        )
+        if jitter > 0.0:
+            delta = self._abs_delta_bps
+            delta[new.interface] = (
+                delta.get(new.interface, 0.0) + jitter
+            )
+
+    # -- allocation-reuse band -------------------------------------------------
+
+    def mark_allocated(self) -> None:
+        """Record that the allocator just ran against this projection."""
+        self._structural_change = False
+        self._abs_delta_bps = {}
+        self._band_loads_bps = dict(self._loads_bps)
+
+    def allocation_still_valid(
+        self,
+        capacities: Dict[InterfaceKey, Rate],
+        threshold: float,
+        hysteresis_fraction: float,
+    ) -> bool:
+        """Would a fresh allocator pass necessarily decide the same?
+
+        True only when, since :meth:`mark_allocated`, no structural
+        placement change happened, no interface crossed the detour
+        threshold in either direction, and every interface's accumulated
+        absolute load movement stays within ``hysteresis_fraction`` of
+        its threshold limit.  With hysteresis 0 that means the load
+        floats are untouched, so reusing the cached allocation is *exact*;
+        with hysteresis > 0 it tolerates bounded sampling jitter at the
+        cost of equally bounded staleness in the reused decisions.
+        """
+        if self._structural_change:
+            return False
+        loads = self._loads_bps
+        band = self._band_loads_bps
+        for key in self._abs_delta_bps:
+            capacity = capacities.get(key)
+            if capacity is None or capacity.is_zero():
+                continue
+            limit = capacity.bits_per_second * threshold
+            now_bps = loads.get(key, 0.0)
+            then_bps = band.get(key, 0.0)
+            if (now_bps > limit) != (then_bps > limit):
+                return False
+            if self._abs_delta_bps[key] > hysteresis_fraction * limit:
+                return False
+        return True
 
 
 def project(pop: PoP, inputs: ControllerInputs) -> Projection:

@@ -15,6 +15,11 @@ cycle, including (especially) cycles degraded by faults:
 - ``injector_consistency`` — the override table and the routers' own
   view of injected routes agree exactly; disagreement means a withdraw
   was lost or a route leaked.
+- ``projection_drift`` — the incremental engine's maintained
+  per-interface loads agree with a full replay at every reconciliation
+  cycle, within the configured tolerance; sustained disagreement means
+  the delta path is mis-accounting traffic and the controller is
+  steering on a fictional picture.
 
 The checker runs after every controller cycle (run or skipped), costs a
 few dict scans, and reports through the ordinary observability channels:
@@ -92,6 +97,7 @@ class SafetyChecker:
         self._check_live_alternate(now, found)
         if report is not None and not report.skipped:
             self._check_target_threshold(now, found)
+            self._check_projection_drift(now, found)
         self._check_fail_static(now, found)
         self._check_injector_consistency(now, found)
         for violation in found:
@@ -181,6 +187,30 @@ class SafetyChecker:
                         ),
                     )
                 )
+
+    def _check_projection_drift(
+        self, now: float, found: List[Violation]
+    ) -> None:
+        # The controller populates last_drift only on reconciliation
+        # cycles, with the interfaces whose incrementally-maintained
+        # load disagreed with the full replay beyond the configured
+        # tolerance; any entry at all is an invariant breach.
+        drift: Dict[object, float] = self.controller.last_drift
+        tolerance = self.controller.config.drift_tolerance
+        for key, relative in drift.items():
+            found.append(
+                Violation(
+                    time=now,
+                    invariant="projection_drift",
+                    subject="/".join(key) if isinstance(key, tuple)
+                    else str(key),
+                    message=(
+                        f"incremental load drifted {relative:.3e} "
+                        f"(relative) from full replay, tolerance "
+                        f"{tolerance:.1e}"
+                    ),
+                )
+            )
 
     def _check_fail_static(
         self, now: float, found: List[Violation]

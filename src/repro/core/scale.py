@@ -1,0 +1,430 @@
+"""The scale scenario: tens of thousands of prefixes, seeded churn.
+
+This is the harness behind ``benchmarks/bench_scale_churn.py`` and the
+incremental-vs-full equivalence tests.  It drives the *real* control
+stack — :class:`BmpCollector`, :class:`SflowCollector`,
+:class:`InputAssembler`, :class:`EdgeFabricController`,
+:class:`BgpInjector`, :class:`SafetyChecker` — but constructs its inputs
+synthetically:
+
+- routes go straight into the collector via
+  :meth:`BmpCollector.ingest_route` (identical RIB versioning/journal
+  behaviour, no BMP wire codec), carrying the LOCAL_PREF the standard
+  import policy would have assigned;
+- rate estimates go straight into :meth:`SflowCollector.add_estimate`
+  (identical estimator arithmetic, no sFlow datagrams), with the
+  estimator window spanning the whole run so a prefix fed once holds a
+  constant rate until churn touches it.
+
+Each prefix prefers a PNI route with a transit alternate.  A configured
+slice of prefixes lands on deliberately under-provisioned PNIs, so the
+allocator always has real detour work; the rest sit on roomy PNIs.  Per
+cycle, a seeded fraction of prefixes churns — rate bumps and route flaps
+— which is exactly the workload whose cost the incremental engine makes
+proportional to churn rather than to table size.
+
+Two scenarios built from the same :class:`ScaleConfig` produce identical
+event sequences, so a run with ``incremental=True`` and one with
+``incremental=False`` must produce identical decisions; see
+:func:`compare_runs`.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bgp.attributes import AsPath, PathAttributes
+from ..bgp.peering import PeerDescriptor
+from ..bgp.policy import LOCAL_PREF_BY_PEER_TYPE
+from ..bgp.route import Route
+from ..bmp.collector import BmpCollector
+from ..netbase.addr import Family, Prefix
+from ..netbase.units import Rate
+from ..obs.telemetry import Telemetry
+from ..sflow.collector import SflowCollector
+from ..topology.entities import InterfaceKey
+from ..topology.scenarios import ScalePop, build_scale_pop
+from .config import ControllerConfig
+from .controller import EdgeFabricController
+from .injector import BgpInjector
+from .inputs import InputAssembler
+from .monitoring import CycleReport
+from .safety import SafetyChecker
+
+__all__ = [
+    "ScaleConfig",
+    "CycleCapture",
+    "ScaleRunResult",
+    "ScaleScenario",
+    "compare_runs",
+]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs for one scale run; two runs from one config are twins."""
+
+    #: Size of the prefix table (the paper's PoPs serve tens of
+    #: thousands of routable prefixes; the acceptance bar is 50k).
+    prefix_count: int = 50_000
+    #: Fraction of the table churned per cycle (rates and routes).
+    churn_fraction: float = 0.02
+    #: Of the churned prefixes, the share whose churn is a route flap
+    #: (withdraw / re-announce of the preferred PNI route) rather than a
+    #: rate movement.
+    route_flap_fraction: float = 0.25
+    cycles: int = 20
+    seed: int = 7
+    #: PNI ports carrying the long tail, provisioned with headroom.
+    pni_count: int = 8
+    #: Extra deliberately-tight PNI ports (kept persistently overloaded
+    #: so every cycle has allocator work).
+    tight_pni_count: int = 2
+    #: Share of prefixes homed on the tight PNIs.
+    tight_prefix_share: float = 0.03
+    #: Tight-PNI load as a multiple of the detour threshold limit.
+    overload_factor: float = 1.1
+    cycle_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.prefix_count < 1:
+            raise ValueError("prefix_count must be positive")
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise ValueError("churn_fraction must be in [0, 1]")
+        if not 0.0 <= self.route_flap_fraction <= 1.0:
+            raise ValueError("route_flap_fraction must be in [0, 1]")
+        if self.cycles < 1:
+            raise ValueError("cycles must be positive")
+        if self.pni_count < 1 or self.tight_pni_count < 0:
+            raise ValueError("need at least one roomy PNI")
+
+    @property
+    def window_seconds(self) -> float:
+        """Estimator window covering the whole run (nothing expires)."""
+        return (self.cycles + 2) * self.cycle_seconds
+
+    def controller_config(
+        self, incremental: bool = True, **overrides: object
+    ) -> ControllerConfig:
+        """The run's controller config; only the engine flag differs
+        between the incremental and full-recompute twins."""
+        base: Dict[str, object] = dict(
+            cycle_seconds=self.cycle_seconds,
+            max_input_age_seconds=self.window_seconds,
+            incremental_engine=incremental,
+        )
+        base.update(overrides)
+        return ControllerConfig(**base)  # type: ignore[arg-type]
+
+
+@dataclass
+class CycleCapture:
+    """One cycle's decisions, for cross-run comparison."""
+
+    time: float
+    wall_seconds: float
+    decision_path: str
+    #: prefix -> detour target session name (exact-comparable).
+    overrides: Dict[Prefix, str]
+    #: interface -> projected post-detour load, bits/second.
+    final_loads: Dict[InterfaceKey, float]
+    report: CycleReport = field(repr=False, compare=False, default=None)
+
+
+@dataclass
+class ScaleRunResult:
+    """Everything one scale run produced."""
+
+    config: ScaleConfig
+    incremental: bool
+    cycles: List[CycleCapture]
+    violations: int
+    full_snapshots: int
+    incremental_snapshots: int
+
+    def total_wall(self) -> float:
+        return sum(capture.wall_seconds for capture in self.cycles)
+
+    def steady_wall(self) -> float:
+        """Wall time excluding the first cycle (cold build in both
+        modes), the honest O(churn)-vs-O(table) comparison."""
+        return sum(capture.wall_seconds for capture in self.cycles[1:])
+
+    def path_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for capture in self.cycles:
+            counts[capture.decision_path] = (
+                counts.get(capture.decision_path, 0) + 1
+            )
+        return counts
+
+
+class ScaleScenario:
+    """One seeded scale run against the real control stack."""
+
+    def __init__(
+        self,
+        config: ScaleConfig = ScaleConfig(),
+        incremental: bool = True,
+        controller_config: Optional[ControllerConfig] = None,
+    ) -> None:
+        self.config = config
+        self.incremental = incremental
+        cc = controller_config or config.controller_config(incremental)
+        self.controller_config = cc
+        self.now = 0.0
+
+        # Deterministic demand: per-prefix base rates first, so PNI
+        # capacities can be sized against the load they will carry.
+        build_rng = random.Random(config.seed)
+        count = config.prefix_count
+        self._prefixes = [_nth_prefix(index) for index in range(count)]
+        self._rate_bps = [
+            build_rng.uniform(2e6, 5e7) for _ in range(count)
+        ]
+
+        # Home each prefix on a PNI: a small slice round-robins over the
+        # tight ports, the rest over the roomy ones.
+        tight_total = config.tight_pni_count
+        tight_prefixes = (
+            int(count * config.tight_prefix_share) if tight_total else 0
+        )
+        self._home: List[int] = []
+        for index in range(count):
+            if index < tight_prefixes:
+                self._home.append(index % tight_total)
+            else:
+                self._home.append(
+                    tight_total + index % config.pni_count
+                )
+
+        pni_total = tight_total + config.pni_count
+        pni_loads = [0.0] * pni_total
+        for index in range(count):
+            pni_loads[self._home[index]] += self._rate_bps[index]
+        threshold = cc.utilization_threshold
+        capacities = []
+        for pni, load in enumerate(pni_loads):
+            if pni < tight_total:
+                # Load sits overload_factor above the threshold limit.
+                capacities.append(
+                    Rate(load / threshold / config.overload_factor)
+                )
+            else:
+                capacities.append(Rate(load / threshold * 4.0))
+        total_bps = sum(pni_loads)
+        self.scale_pop: ScalePop = build_scale_pop(
+            pni_capacities=capacities,
+            transit_capacity=Rate(max(total_bps * 10.0, 1e9)),
+        )
+
+        self.telemetry = Telemetry(name="scale")
+        self.bmp = BmpCollector(
+            self.scale_pop.registry,
+            clock=lambda: self.now,
+            telemetry=self.telemetry,
+        )
+        self.sflow = SflowCollector(
+            lambda _family, _address: None,
+            window_seconds=config.window_seconds,
+            telemetry=self.telemetry,
+        )
+        self.injector = BgpInjector(
+            self.scale_pop.pop, self.scale_pop.speakers, cc
+        )
+        self.assembler = InputAssembler(
+            self.scale_pop.pop, self.bmp, self.sflow, cc
+        )
+        self.controller = EdgeFabricController(
+            self.assembler, self.injector, cc, telemetry=self.telemetry
+        )
+        self.safety = SafetyChecker(self.controller, self.bmp)
+
+        self._seed_routes()
+        self._seed_rates()
+        self._withdrawn: Set[int] = set()
+        # Churn draws come after construction draws, so the incremental
+        # and full twins consume identical random sequences.
+        self._churn_rng = random.Random(config.seed + 1)
+
+    # -- synthetic inputs -----------------------------------------------------
+
+    def _pni_session(self, index: int) -> PeerDescriptor:
+        return self.scale_pop.pnis[self._home[index]]
+
+    def _pni_route(self, index: int, now: float) -> Route:
+        session = self._pni_session(index)
+        return Route(
+            prefix=self._prefixes[index],
+            attributes=PathAttributes(
+                as_path=AsPath.sequence(session.peer_asn),
+                next_hop=(Family.IPV4, session.address),
+                local_pref=LOCAL_PREF_BY_PEER_TYPE[session.peer_type],
+            ),
+            source=session,
+            learned_at=now,
+        )
+
+    def _transit_route(self, index: int) -> Route:
+        session = self.scale_pop.transit
+        return Route(
+            prefix=self._prefixes[index],
+            attributes=PathAttributes(
+                as_path=AsPath.sequence(session.peer_asn, 64900),
+                next_hop=(Family.IPV4, session.address),
+                local_pref=LOCAL_PREF_BY_PEER_TYPE[session.peer_type],
+            ),
+            source=session,
+            learned_at=0.0,
+        )
+
+    def _seed_routes(self) -> None:
+        bmp = self.bmp
+        for index in range(self.config.prefix_count):
+            bmp.ingest_route(self._transit_route(index))
+            bmp.ingest_route(self._pni_route(index, 0.0))
+
+    def _seed_rates(self) -> None:
+        # bytes = bps * window / 8 makes the estimator report exactly
+        # the drawn rate for the rest of the run (nothing expires).
+        window = self.config.window_seconds
+        sflow = self.sflow
+        for index in range(self.config.prefix_count):
+            session = self._pni_session(index)
+            sflow.add_estimate(
+                self._prefixes[index],
+                (session.router, session.interface),
+                self._rate_bps[index] * window / 8.0,
+                0.0,
+            )
+
+    def _churn(self, now: float) -> None:
+        config = self.config
+        churned = int(config.prefix_count * config.churn_fraction)
+        if churned == 0:
+            return
+        rng = self._churn_rng
+        window = config.window_seconds
+        for index in rng.sample(range(config.prefix_count), churned):
+            if rng.random() < config.route_flap_fraction:
+                if index in self._withdrawn:
+                    self._withdrawn.discard(index)
+                    self.bmp.ingest_route(self._pni_route(index, now))
+                else:
+                    self._withdrawn.add(index)
+                    self.bmp.ingest_withdrawal(
+                        self._prefixes[index], self._pni_session(index)
+                    )
+            else:
+                bump = self._rate_bps[index] * rng.uniform(0.02, 0.10)
+                session = self._pni_session(index)
+                self.sflow.add_estimate(
+                    self._prefixes[index],
+                    (session.router, session.interface),
+                    bump * window / 8.0,
+                    now,
+                )
+
+    # -- driving --------------------------------------------------------------
+
+    def run_one_cycle(self, cycle_index: int) -> CycleCapture:
+        now = cycle_index * self.config.cycle_seconds
+        self.now = now
+        if cycle_index:
+            self._churn(now)
+        started = _time.perf_counter()
+        report = self.controller.run_cycle(now)
+        wall = _time.perf_counter() - started
+        self.safety.check(now, report)
+        return CycleCapture(
+            time=now,
+            wall_seconds=wall,
+            decision_path=report.decision_path,
+            overrides=dict(self.controller.overrides.active_targets()),
+            final_loads={
+                key: rate.bits_per_second
+                for key, rate in self.controller.last_final_loads.items()
+            },
+            report=report,
+        )
+
+    def run(self) -> ScaleRunResult:
+        captures = [
+            self.run_one_cycle(index)
+            for index in range(self.config.cycles)
+        ]
+        return ScaleRunResult(
+            config=self.config,
+            incremental=self.incremental,
+            cycles=captures,
+            violations=len(self.safety.violations),
+            full_snapshots=self.assembler.full_snapshots,
+            incremental_snapshots=self.assembler.incremental_snapshots,
+        )
+
+
+def compare_runs(
+    left: ScaleRunResult,
+    right: ScaleRunResult,
+    load_rel_tol: float = 1e-9,
+) -> List[str]:
+    """Decision differences between two runs (empty = equivalent).
+
+    Override tables must match *exactly*; projected loads are floats
+    accumulated in different orders by the two engines, so they are
+    compared to a relative tolerance far below anything the allocator's
+    threshold comparisons could notice.
+    """
+    problems: List[str] = []
+    if len(left.cycles) != len(right.cycles):
+        return [
+            f"cycle counts differ: {len(left.cycles)} vs "
+            f"{len(right.cycles)}"
+        ]
+    for index, (a, b) in enumerate(zip(left.cycles, right.cycles)):
+        if a.overrides != b.overrides:
+            only_a = {
+                k: v for k, v in a.overrides.items()
+                if b.overrides.get(k) != v
+            }
+            only_b = {
+                k: v for k, v in b.overrides.items()
+                if a.overrides.get(k) != v
+            }
+            problems.append(
+                f"cycle {index}: override tables differ "
+                f"(left-only/changed: {_preview(only_a)}, "
+                f"right-only/changed: {_preview(only_b)})"
+            )
+        if set(a.final_loads) != set(b.final_loads):
+            problems.append(
+                f"cycle {index}: load key sets differ: "
+                f"{sorted(set(a.final_loads) ^ set(b.final_loads))}"
+            )
+            continue
+        for key, value in a.final_loads.items():
+            other = b.final_loads[key]
+            scale = max(abs(value), abs(other), 1.0)
+            if abs(value - other) / scale > load_rel_tol:
+                problems.append(
+                    f"cycle {index}: load on {'/'.join(key)} differs: "
+                    f"{value!r} vs {other!r}"
+                )
+    return problems
+
+
+def _preview(table: Dict[Prefix, str], limit: int = 3) -> str:
+    items = sorted(table.items())[:limit]
+    body = ", ".join(f"{prefix}->{target}" for prefix, target in items)
+    more = len(table) - len(items)
+    return f"{{{body}}}" + (f" (+{more} more)" if more > 0 else "")
+
+
+def _nth_prefix(index: int) -> Prefix:
+    """The index-th /24 of a flat synthetic address plan (11.0.0.0/8
+    upward, 65536 per /8)."""
+    address = ((11 + index // 65536) << 24) | ((index % 65536) << 8)
+    return Prefix.from_address(Family.IPV4, address, 24)

@@ -23,6 +23,7 @@ from typing import (
     Hashable,
     Iterator,
     Optional,
+    Set,
     Tuple,
     TypeVar,
 )
@@ -32,6 +33,15 @@ from ..netbase.units import Rate
 __all__ = ["RateEstimator", "WindowStats"]
 
 K = TypeVar("K", bound=Hashable)
+
+#: Sentinel for "no changed_keys() call has happened yet".
+_NEVER = float("-inf")
+
+#: Cap on the change log.  Without a consumer (nobody calls
+#: :meth:`RateEstimator.changed_keys`) the log would grow with every
+#: add; overflowing clears it and parks ``changed_keys`` on "unknown"
+#: until the dropped history has aged out of every possible window.
+DEFAULT_CHANGE_LOG_LIMIT = 262_144
 
 
 @dataclass(frozen=True)
@@ -63,14 +73,31 @@ class RateEstimator(Generic[K]):
     returns bytes-in-window / window as a :class:`Rate` (bits/second).
     """
 
-    def __init__(self, window_seconds: float = 60.0) -> None:
+    def __init__(
+        self,
+        window_seconds: float = 60.0,
+        change_log_limit: int = DEFAULT_CHANGE_LOG_LIMIT,
+    ) -> None:
         if window_seconds <= 0:
             raise ValueError("window must be positive")
         self.window_seconds = window_seconds
+        self._log_limit = change_log_limit
         self._events: Dict[K, Deque[Tuple[float, float]]] = defaultdict(deque)
         self._totals: Dict[K, float] = defaultdict(float)
         #: When the most recent sample (for any key) was recorded.
         self.last_add_at: Optional[float] = None
+        # Change-detection state: every add appends (ts, key) to a
+        # global log, so "which keys' rates may differ between two
+        # instants" is answerable without touching unchanged keys — a
+        # key changes either by gaining a sample (log tail) or by a
+        # sample sliding out of the window (log head).  The log is only
+        # sound while adds arrive in non-decreasing time order; an
+        # out-of-order add flips ``_log_ordered`` and changed_keys()
+        # reports "unknown" until clear().
+        self._add_log: Deque[Tuple[float, K]] = deque()
+        self._changed_watermark: float = _NEVER
+        self._log_ordered: bool = True
+        self._log_dropped_until: float = _NEVER
 
     def add(self, key: K, byte_count: float, now: float) -> None:
         if byte_count < 0:
@@ -78,8 +105,24 @@ class RateEstimator(Generic[K]):
         self._expire(key, now)
         self._events[key].append((now, byte_count))
         self._totals[key] += byte_count
-        if self.last_add_at is None or now > self.last_add_at:
+        if self.last_add_at is None or now >= self.last_add_at:
             self.last_add_at = now
+        else:
+            self._log_ordered = False
+        log = self._add_log
+        log.append((now, key))
+        # Trim what no reader can need: the single consumer only ever
+        # asks about instants at or after its watermark, so entries
+        # expired out of every window ending there are dead weight.
+        floor = self._changed_watermark - self.window_seconds
+        while log and log[0][0] <= floor:
+            log.popleft()
+        if len(log) > self._log_limit:
+            # No consumer is draining the log; stop carrying history
+            # and park changed_keys() on "unknown" until the dropped
+            # span has aged out of every possible window.
+            self._log_dropped_until = log[-1][0]
+            log.clear()
 
     def _expire(self, key: K, now: float) -> None:
         horizon = now - self.window_seconds
@@ -134,18 +177,100 @@ class RateEstimator(Generic[K]):
         return max(0.0, now - self.last_add_at)
 
     def keys(self) -> Iterator[K]:
-        return iter(list(self._events.keys()))
+        """Live iterator over keys with in-window samples (no copy).
+
+        The view is backed by the estimator's own dict: don't call
+        ``add``/``rate``/``rates`` while consuming it.  Callers that need
+        a stable snapshot should materialize it themselves.
+        """
+        return iter(self._events.keys())
+
+    def __len__(self) -> int:
+        """Number of keys currently holding in-window samples."""
+        return len(self._events)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._events
 
     def rates(self, now: float) -> Dict[K, Rate]:
         """Snapshot of every key's current rate (zero-rate keys dropped)."""
+        # Expiry is inlined (rather than per-key rate() calls) so the
+        # snapshot never copies the key list: emptied keys are collected
+        # and deleted after the pass, because deleting during iteration
+        # would invalidate the dict view.  The arithmetic mirrors
+        # _expire() exactly — same pops, same single clamp — so the
+        # floats are bit-identical to the per-key path.
+        horizon = now - self.window_seconds
+        window = self.window_seconds
         out: Dict[K, Rate] = {}
-        for key in list(self._events.keys()):
-            value = self.rate(key, now)
+        dead = []
+        for key, events in self._events.items():
+            total = self._totals[key]
+            if events[0][0] <= horizon:
+                while events and events[0][0] <= horizon:
+                    _ts, stale = events.popleft()
+                    total -= stale
+                total = max(0.0, total)
+                if not events:
+                    dead.append(key)
+                    continue
+                self._totals[key] = total
+            value = Rate(total * 8.0 / window)
             if not value.is_zero():
                 out[key] = value
+        for key in dead:
+            del self._events[key]
+            del self._totals[key]
         return out
+
+    def changed_keys(self, since: float, now: float) -> Optional[Set[K]]:
+        """Keys whose rate at *now* may differ from their rate at *since*.
+
+        A key is reported when it gained a sample in ``(since, now]`` or
+        lost one to window expiry — a sample with timestamp in
+        ``(since - window, now - window]`` (matching :meth:`_expire`'s
+        ``<= horizon`` boundary exactly).  The set is conservative: a
+        reported key's rate may happen to be unchanged, but an
+        unreported key's rate is guaranteed identical.
+
+        Returns ``None`` when the answer can't be computed without a
+        full pass: the log is consumed destructively at its head, so
+        only a single reader advancing monotonically is supported
+        (*since* must be ≥ the previous call's *now*), and adds must
+        have arrived in time order.
+        """
+        if now < since:
+            raise ValueError("change window runs backwards")
+        if (
+            not self._log_ordered
+            or since < self._changed_watermark
+            or since - self.window_seconds <= self._log_dropped_until
+        ):
+            return None
+        changed: Set[K] = set()
+        log = self._add_log
+        horizon = now - self.window_seconds
+        since_horizon = since - self.window_seconds
+        # Head: samples expired out of every possible window ending at
+        # or before *now*; those still in the window at *since* changed
+        # their key's rate by leaving.
+        while log and log[0][0] <= horizon:
+            ts, key = log.popleft()
+            if ts > since_horizon:
+                changed.add(key)
+        # Tail: samples added after *since*.
+        for ts, key in reversed(log):
+            if ts <= since:
+                break
+            changed.add(key)
+        self._changed_watermark = now
+        return changed
 
     def clear(self) -> None:
         self._events.clear()
         self._totals.clear()
         self.last_add_at = None
+        self._add_log.clear()
+        self._changed_watermark = _NEVER
+        self._log_ordered = True
+        self._log_dropped_until = _NEVER

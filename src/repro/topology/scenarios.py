@@ -9,11 +9,16 @@ results are reproducible run to run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
+from ..bgp.peering import PeerDescriptor, PeerType
+from ..bgp.speaker import BgpSpeaker
+from ..bmp.collector import PeerRegistry
 from ..netbase.errors import TopologyError
-from ..netbase.units import gbps
+from ..netbase.units import Rate, gbps
 from .builder import PopSpec, WiredPop, build_pop
+from .entities import PoP
 from .internet import InternetConfig, InternetTopology
 
 __all__ = [
@@ -23,6 +28,8 @@ __all__ = [
     "build_study_pop",
     "fleet_specs",
     "build_fleet",
+    "ScalePop",
+    "build_scale_pop",
 ]
 
 STUDY_POP_NAMES = ("pop-a", "pop-b", "pop-c", "pop-d")
@@ -151,3 +158,90 @@ def build_fleet(
         spec.name: build_pop(spec, internet)
         for spec in fleet_specs(count, seed)
     }
+
+
+# -- the scale scenario's PoP -------------------------------------------------
+
+_SCALE_LOCAL_ASN = 64700
+_SCALE_TRANSIT_ASN = 65010
+_SCALE_PNI_ASN_BASE = 65100
+
+
+@dataclass
+class ScalePop:
+    """A minimal PoP sized for synthetic-scale runs.
+
+    One router, one big transit port, and a row of PNI ports.  Unlike
+    :class:`~.builder.WiredPop` there is no synthetic Internet behind it:
+    the scale harness (:mod:`repro.core.scale`) ingests routes and rate
+    estimates directly into the collectors, so only the PoP structure,
+    the peer registry, and a speaker for the injector's iBGP session are
+    wired here.
+    """
+
+    pop: PoP
+    speakers: Dict[str, BgpSpeaker]
+    registry: PeerRegistry
+    transit: PeerDescriptor
+    pnis: List[PeerDescriptor]
+
+
+def build_scale_pop(
+    pni_capacities: Sequence[Rate],
+    transit_capacity: Rate,
+    name: str = "scale",
+) -> ScalePop:
+    """Build the scale PoP: ``len(pni_capacities)`` PNIs plus transit.
+
+    Sessions are registered with the PoP and the BMP peer registry but
+    *not* fed through a speaker's import pipeline — the scale harness
+    constructs routes with their post-import LOCAL_PREF already applied
+    and hands them straight to :meth:`BmpCollector.ingest_route`.  The
+    speaker exists solely so the :class:`~repro.core.injector.BgpInjector`
+    has a router to hold its iBGP session with.
+    """
+    if not pni_capacities:
+        raise TopologyError("a scale PoP needs at least one PNI")
+    router_name = f"{name}-pr0"
+    pop = PoP(name, local_asn=_SCALE_LOCAL_ASN)
+    router = pop.add_router(router_name, router_id=1)
+    registry = PeerRegistry()
+    speaker = BgpSpeaker(
+        name=router_name, asn=_SCALE_LOCAL_ASN, router_id=1
+    )
+
+    def _session(
+        asn: int, peer_type: PeerType, interface: str, address: int
+    ) -> PeerDescriptor:
+        session = PeerDescriptor(
+            router=router_name,
+            peer_asn=asn,
+            peer_type=peer_type,
+            interface=interface,
+            address=address,
+        )
+        pop.add_session(session)
+        registry.register(session)
+        return session
+
+    router.add_interface("tr0", transit_capacity)
+    transit = _session(_SCALE_TRANSIT_ASN, PeerType.TRANSIT, "tr0", 1)
+    pnis: List[PeerDescriptor] = []
+    for index, capacity in enumerate(pni_capacities):
+        interface = f"pni{index}"
+        router.add_interface(interface, capacity)
+        pnis.append(
+            _session(
+                _SCALE_PNI_ASN_BASE + index,
+                PeerType.PRIVATE,
+                interface,
+                2 + index,
+            )
+        )
+    return ScalePop(
+        pop=pop,
+        speakers={router_name: speaker},
+        registry=registry,
+        transit=transit,
+        pnis=pnis,
+    )

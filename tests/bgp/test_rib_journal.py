@@ -1,0 +1,77 @@
+"""Tests for the Loc-RIB delta journal (``changed_since``)."""
+
+import pytest
+
+from repro.bgp.rib import LocRib
+from repro.netbase.addr import Prefix
+from repro.netbase.errors import RibError
+
+from .helpers import make_peer, make_route
+
+P1 = Prefix.parse("203.0.113.0/24")
+P2 = Prefix.parse("198.51.100.0/24")
+P3 = Prefix.parse("192.0.2.0/24")
+
+
+class TestChangedSince:
+    def test_no_changes_is_empty_set(self):
+        rib = LocRib()
+        rib.update(make_route(prefix=P1))
+        version = rib.version
+        assert rib.changed_since(version) == set()
+
+    def test_updates_and_withdrawals_are_journaled(self):
+        rib = LocRib()
+        peer = make_peer()
+        rib.update(make_route(prefix=P1, peer=peer))
+        version = rib.version
+        rib.update(make_route(prefix=P2, peer=peer))
+        rib.withdraw(P1, peer)
+        assert rib.changed_since(version) == {P1, P2}
+
+    def test_noop_withdraw_not_journaled(self):
+        rib = LocRib()
+        version = rib.version
+        rib.withdraw(P1, make_peer())  # nothing to remove
+        assert rib.version == version
+        assert rib.changed_since(version) == set()
+
+    def test_duplicate_churn_deduplicates(self):
+        rib = LocRib()
+        version = rib.version
+        for local_pref in (100, 200, 300):
+            rib.update(make_route(prefix=P1, local_pref=local_pref))
+        assert rib.changed_since(version) == {P1}
+
+    def test_reader_ahead_raises(self):
+        rib = LocRib()
+        with pytest.raises(RibError):
+            rib.changed_since(rib.version + 1)
+
+    def test_overflow_returns_none(self):
+        rib = LocRib(journal_limit=2)
+        version = rib.version
+        for prefix in (P1, P2, P3):
+            rib.update(make_route(prefix=prefix))
+        assert rib.changed_since(version) is None
+
+    def test_within_limit_after_overflow_still_works(self):
+        rib = LocRib(journal_limit=2)
+        rib.update(make_route(prefix=P1))
+        rib.update(make_route(prefix=P2))
+        version = rib.version
+        rib.update(make_route(prefix=P3))
+        # Only one change since *version*: within the journal's reach
+        # even though older entries have been evicted.
+        assert rib.changed_since(version) == {P3}
+
+    def test_withdraw_peer_journals_every_affected_prefix(self):
+        rib = LocRib()
+        peer = make_peer()
+        other = make_peer(asn=65002, address=0x0A000002)
+        rib.update(make_route(prefix=P1, peer=peer))
+        rib.update(make_route(prefix=P2, peer=peer))
+        rib.update(make_route(prefix=P3, peer=other))
+        version = rib.version
+        rib.withdraw_peer(peer)
+        assert rib.changed_since(version) == {P1, P2}

@@ -1,0 +1,60 @@
+"""Property test: the incremental engine is observationally identical
+to full recomputation.
+
+Twin :class:`~repro.core.scale.ScaleScenario` runs share one config and
+therefore one deterministic churn stream; the only difference is the
+``incremental_engine`` flag.  For every randomized combination of
+prefix population, churn mix, and reconciliation period, the override
+tables must match exactly and the final interface loads must match to
+float-accumulation tolerance — and neither run may trip a safety
+invariant.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scale import ScaleConfig, ScaleScenario, compare_runs
+
+
+def _run(config, incremental, full_recompute_every):
+    scenario = ScaleScenario(
+        config,
+        incremental=incremental,
+        controller_config=config.controller_config(
+            incremental, full_recompute_every=full_recompute_every
+        ),
+    )
+    return scenario.run()
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    prefix_count=st.integers(min_value=50, max_value=300),
+    churn=st.floats(min_value=0.0, max_value=0.3),
+    flap_fraction=st.floats(min_value=0.0, max_value=1.0),
+    cycles=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=999),
+    full_recompute_every=st.integers(min_value=1, max_value=6),
+)
+def test_incremental_matches_full_recompute(
+    prefix_count, churn, flap_fraction, cycles, seed, full_recompute_every
+):
+    config = ScaleConfig(
+        prefix_count=prefix_count,
+        churn_fraction=churn,
+        route_flap_fraction=flap_fraction,
+        cycles=cycles,
+        seed=seed,
+        pni_count=3,
+        tight_pni_count=1,
+        tight_prefix_share=0.1,
+    )
+    incremental = _run(config, True, full_recompute_every)
+    full = _run(config, False, full_recompute_every)
+    assert compare_runs(incremental, full) == []
+    assert incremental.violations == 0
+    assert full.violations == 0
+    # The full twin never takes a fast path; the incremental twin never
+    # falls back to the engine-off path.
+    assert set(full.path_counts()) == {"full"}
+    assert "full" not in incremental.path_counts()

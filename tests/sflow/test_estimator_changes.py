@@ -1,0 +1,141 @@
+"""Tests for the estimator's change log (``changed_keys``) and the
+no-copy key/rates views."""
+
+import pytest
+
+from repro.sflow.estimator import RateEstimator
+
+
+class TestKeysView:
+    def test_keys_is_a_live_iterator(self):
+        estimator = RateEstimator(window_seconds=60.0)
+        estimator.add("a", 100.0, 0.0)
+        estimator.add("b", 100.0, 0.0)
+        view = estimator.keys()
+        assert not isinstance(view, (list, tuple, set))
+        assert sorted(view) == ["a", "b"]
+
+    def test_len_and_contains(self):
+        estimator = RateEstimator(window_seconds=60.0)
+        estimator.add("a", 100.0, 0.0)
+        assert len(estimator) == 1
+        assert "a" in estimator
+        assert "b" not in estimator
+
+    def test_rates_matches_per_key_rate_bit_for_bit(self):
+        estimator = RateEstimator(window_seconds=7.0)
+        for when, count in [(0.0, 13.0), (3.0, 977.5), (6.9, 41.25)]:
+            estimator.add("a", count, when)
+            estimator.add("b", count * 3.7, when + 0.05)
+        snapshot = estimator.rates(9.0)
+        for key in ("a", "b"):
+            assert snapshot[key].bits_per_second == (
+                estimator.rate(key, 9.0).bits_per_second
+            )
+
+    def test_rates_drops_expired_and_zero_keys(self):
+        estimator = RateEstimator(window_seconds=10.0)
+        estimator.add("old", 100.0, 0.0)
+        estimator.add("live", 100.0, 50.0)
+        snapshot = estimator.rates(55.0)
+        assert set(snapshot) == {"live"}
+        assert "old" not in estimator  # fully expired key is dropped
+
+
+class TestChangedKeys:
+    def test_adds_after_since_are_reported(self):
+        estimator = RateEstimator(window_seconds=60.0)
+        estimator.add("a", 1.0, 10.0)
+        assert estimator.changed_keys(0.0, 20.0) == {"a"}
+        estimator.add("b", 1.0, 25.0)
+        assert estimator.changed_keys(20.0, 30.0) == {"b"}
+
+    def test_add_at_exactly_since_not_reported(self):
+        # A sample at ts == since was visible to the snapshot taken at
+        # *since*; only strictly-later adds can change the rate.
+        estimator = RateEstimator(window_seconds=60.0)
+        estimator.add("a", 1.0, 10.0)
+        assert estimator.changed_keys(10.0, 20.0) == set()
+
+    def test_expiry_reported_once(self):
+        estimator = RateEstimator(window_seconds=10.0)
+        estimator.add("a", 1.0, 0.0)
+        assert estimator.changed_keys(0.0, 5.0) == set()
+        # The sample at t=0 leaves the window at t>10.
+        assert estimator.changed_keys(5.0, 15.0) == {"a"}
+        assert estimator.changed_keys(15.0, 25.0) == set()
+
+    def test_expiry_at_exact_boundary_matches_expire(self):
+        # _expire() evicts samples with ts <= now - window, so at
+        # now == ts + window the sample is ALREADY out: the rate at
+        # that instant differs from a moment before.  changed_keys must
+        # use the same closed boundary.
+        window = 10.0
+        estimator = RateEstimator(window_seconds=window)
+        estimator.add("a", 80.0, 5.0)
+        assert estimator.rate("a", 15.0).is_zero()
+        changed = estimator.changed_keys(14.9, 15.0)
+        assert changed == {"a"}
+
+    def test_expired_before_since_not_reported(self):
+        # A sample already outside the window at *since* contributed to
+        # neither endpoint; its eviction is not a change.
+        window = 10.0
+        estimator = RateEstimator(window_seconds=window)
+        estimator.add("a", 80.0, 0.0)
+        assert estimator.changed_keys(0.0, 11.0) == {"a"}
+        assert estimator.changed_keys(11.0, 50.0) == set()
+
+    def test_backwards_window_raises(self):
+        estimator = RateEstimator(window_seconds=10.0)
+        with pytest.raises(ValueError):
+            estimator.changed_keys(5.0, 4.0)
+
+    def test_watermark_regression_returns_none(self):
+        # The log is consumed destructively; a second reader asking
+        # about an older instant cannot be answered.
+        estimator = RateEstimator(window_seconds=10.0)
+        estimator.add("a", 1.0, 0.0)
+        assert estimator.changed_keys(0.0, 20.0) == {"a"}
+        assert estimator.changed_keys(5.0, 25.0) is None
+
+    def test_out_of_order_add_returns_none(self):
+        estimator = RateEstimator(window_seconds=10.0)
+        estimator.add("a", 1.0, 5.0)
+        estimator.add("b", 1.0, 3.0)  # goes backwards
+        assert estimator.changed_keys(0.0, 6.0) is None
+
+    def test_clear_recovers_from_out_of_order(self):
+        estimator = RateEstimator(window_seconds=10.0)
+        estimator.add("a", 1.0, 5.0)
+        estimator.add("b", 1.0, 3.0)
+        estimator.clear()
+        estimator.add("c", 1.0, 7.0)
+        assert estimator.changed_keys(6.0, 8.0) == {"c"}
+
+    def test_log_overflow_parks_on_none_until_history_ages_out(self):
+        window = 10.0
+        estimator = RateEstimator(
+            window_seconds=window, change_log_limit=4
+        )
+        for index in range(6):
+            estimator.add(f"k{index}", 1.0, float(index))
+        # Log overflowed (dropped through t=5); any window that could
+        # still include the dropped span is unanswerable...
+        assert estimator.changed_keys(10.0, 12.0) is None
+        # ...but once `since - window` clears the dropped span, the
+        # (now short) log is authoritative again.
+        estimator.add("fresh", 1.0, 20.0)
+        assert estimator.changed_keys(15.5, 21.0) == {"fresh"}
+
+    def test_unreported_key_rate_is_identical(self):
+        # The conservative contract, spot-checked: keys not reported
+        # between two instants have bit-identical rates at both.
+        estimator = RateEstimator(window_seconds=100.0)
+        estimator.add("steady", 123.456, 0.0)
+        estimator.add("mover", 10.0, 0.0)
+        before = estimator.rate("steady", 10.0)
+        estimator.add("mover", 10.0, 15.0)
+        changed = estimator.changed_keys(10.0, 20.0)
+        assert changed == {"mover"}
+        assert estimator.rate("steady", 20.0) == before
