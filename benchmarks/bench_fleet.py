@@ -1,29 +1,340 @@
-"""Deployment-wide: independent controllers across PoPs (paper §6 scope).
+"""Fleet-scale bench: one machine steering a 20-PoP deployment.
 
-Not one of the numbered figures — the paper's fleet-wide statements
-(every PoP protected, no cross-PoP coordination needed) demonstrated on
-a small fleet.
+The paper runs one controller per PoP with no cross-PoP coordination;
+this bench proves the repo can carry a realistic fleet of them on a
+single machine, three ways over the same seeded workload:
+
+- **serial** — every PoP stepped in-process; the ground truth.
+- **pool** — the persistent worker pool: workers forked once, stepped
+  through every segment with their live state intact, state pickled
+  back through one final ``collect()``.  Must be **byte-identical** to
+  serial (records, per-PoP telemetry, merged registry).
+- **fork-per-run** — the legacy parallel path (``pool=False``).  Its
+  workers restart from the parent's frozen image on every call, so the
+  only correct way it can produce the fleet's state after each segment
+  (what the segmented workload observes) is to replay the run from the
+  start: segment *k* costs *k* segments of compute plus a fresh fleet
+  fork and a full state pickle-back.  That quadratic replay is exactly
+  what the persistent pool's live workers eliminate.
+
+The ``--min-speedup`` gate (acceptance bar: 3x) compares pool vs
+fork-per-run wall clock over the segmented run; ``--max-regression``
+gates the pool wall clock against the committed
+``BENCH_fleet_baseline.json``.  Single-core machines understate the
+pool further (its workers also timeslice one core, where serial pays no
+scheduling cost at all), so the speedup gate measures pool vs
+fork-per-run, not pool vs serial.
+
+Run directly (not a pytest benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--quick]
 """
 
-from repro.core.fleet import FleetDeployment
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "src"))
+
+from repro.core.fleet import FleetDeployment  # noqa: E402
 
 
-def test_fleet_independent_controllers(benchmark):
-    def run():
-        fleet = FleetDeployment.build(
-            pop_count=2, seed=23, tick_seconds=90.0
+def _deterministic_view(registry) -> dict:
+    """Counters and gauges in full; histograms by count only (wall-time
+    histograms measure the host, not the simulation)."""
+    snapshot = registry.snapshot()
+    return {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histogram_counts": {
+            name: {
+                labels: series["count"]
+                for labels, series in by_label.items()
+            }
+            for name, by_label in snapshot["histograms"].items()
+        },
+    }
+
+
+def _build(pops: int, seed: int, tick: float) -> FleetDeployment:
+    return FleetDeployment.build(
+        pop_count=pops, seed=seed, tick_seconds=tick
+    )
+
+
+def _segment_bounds(start: float, segments: int, seg_seconds: float):
+    return [
+        (start + index * seg_seconds, seg_seconds)
+        for index in range(segments)
+    ]
+
+
+def run_bench(
+    pops: int,
+    segments: int,
+    ticks_per_segment: int,
+    workers: int,
+    seed: int,
+    tick_seconds: float,
+) -> dict:
+    seg_seconds = ticks_per_segment * tick_seconds
+    build_started = time.perf_counter()
+    serial = _build(pops, seed, tick_seconds)
+    pooled = _build(pops, seed, tick_seconds)
+    forked = _build(pops, seed, tick_seconds)
+    build_wall = time.perf_counter() - build_started
+    start = next(
+        iter(serial.deployments.values())
+    ).demand.config.peak_time
+    bounds = _segment_bounds(start, segments, seg_seconds)
+
+    started = time.perf_counter()
+    for seg_start, seg_len in bounds:
+        serial.run(seg_start, seg_len)
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for seg_start, seg_len in bounds:
+        pooled.run(seg_start, seg_len, parallel=workers, sync=False)
+    pooled.collect()
+    pool_wall = time.perf_counter() - started
+    pooled.close_pool()
+
+    # Fork-per-run can only produce correct state at a segment
+    # boundary by replaying from the start (workers restart from the
+    # parent's frozen image, so stepping it segment-by-segment would
+    # yield garbage): checkpoint k costs k segments of compute, a
+    # fleet fork and a full state pickle-back.
+    started = time.perf_counter()
+    for index in range(segments):
+        forked.run(
+            start,
+            (index + 1) * seg_seconds,
+            parallel=workers,
+            pool=False,
         )
-        first = next(iter(fleet.deployments.values()))
-        start = first.demand.config.peak_time - 900
-        fleet.run(start, 1800.0)
-        return fleet
+    fork_per_run_wall = time.perf_counter() - started
 
-    fleet = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(fleet.summary_table().render())
-    # Every PoP's controller resolved every overload it saw.
-    for deployment in fleet.deployments.values():
-        monitor = deployment.controller.monitor
-        assert monitor.unresolved_overload_cycles() == 0
-        assert monitor.cycles() > 0
-    assert 0.0 <= fleet.fleet_detoured_fraction() < 0.5
+    mismatches = []
+    if (
+        pooled.summary_table().render()
+        != serial.summary_table().render()
+    ):
+        mismatches.append("summary tables differ")
+    if _deterministic_view(pooled.merged_registry()) != (
+        _deterministic_view(serial.merged_registry())
+    ):
+        mismatches.append("merged registries differ")
+    for name, serial_pop in serial.deployments.items():
+        pooled_pop = pooled.deployments[name]
+        if pooled_pop.record.ticks != serial_pop.record.ticks:
+            mismatches.append(f"{name}: tick records differ")
+        if pooled_pop.current_time != serial_pop.current_time:
+            mismatches.append(f"{name}: clocks differ")
+        if _deterministic_view(pooled_pop.telemetry.registry) != (
+            _deterministic_view(serial_pop.telemetry.registry)
+        ):
+            mismatches.append(f"{name}: telemetry differs")
+        if [
+            event.to_dict()
+            for event in pooled_pop.telemetry.audit.events()
+        ] != [
+            event.to_dict()
+            for event in serial_pop.telemetry.audit.events()
+        ]:
+            mismatches.append(f"{name}: audit trails differ")
+
+    fallbacks = sum(
+        fleet.telemetry.registry.counter(
+            "fleet_parallel_fallback_total"
+        ).value()
+        for fleet in (pooled, forked)
+    )
+    speedup = (
+        fork_per_run_wall / pool_wall if pool_wall > 0 else None
+    )
+    return {
+        "workload": (
+            f"pops={pops},segments={segments},"
+            f"ticks_per_segment={ticks_per_segment},"
+            f"workers={workers},seed={seed}"
+        ),
+        "pops": pops,
+        "segments": segments,
+        "ticks_per_segment": ticks_per_segment,
+        "workers": workers,
+        "seed": seed,
+        "byte_identical": not mismatches,
+        "mismatches": mismatches[:10],
+        "parallel_fallbacks": fallbacks,
+        "build_wall_seconds": round(build_wall, 2),
+        "serial_wall_seconds": round(serial_wall, 2),
+        "pool_wall_seconds": round(pool_wall, 2),
+        "fork_per_run_wall_seconds": round(fork_per_run_wall, 2),
+        "pool_vs_fork_per_run_speedup": (
+            round(speedup, 2) if speedup else None
+        ),
+        "total_offered_bps": serial.total_offered().bits_per_second,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pops",
+        type=int,
+        default=20,
+        help="fleet size (default 20, the acceptance bar)",
+    )
+    parser.add_argument(
+        "--segments",
+        type=int,
+        default=12,
+        help="run() calls issued per mode (default 12)",
+    )
+    parser.add_argument(
+        "--ticks-per-segment",
+        type=int,
+        default=1,
+        help="simulation ticks per segment (default 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="parallel worker processes (default 2 — conservative "
+        "enough for single-core machines; raise it on real hardware)",
+    )
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument(
+        "--tick-seconds", type=float, default=60.0
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short run for CI (6 PoPs, 8 segments)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=HERE / "BENCH_fleet.json",
+        help="where to write results",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=HERE / "BENCH_fleet_baseline.json",
+        help="committed baseline to compare against",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the pool beats fork-per-run by this factor "
+        "(the acceptance bar is 3)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        help="fail if the pool wall clock exceeds the baseline by "
+        "more than this fraction",
+    )
+    args = parser.parse_args(argv)
+
+    pops = 6 if args.quick else args.pops
+    segments = 8 if args.quick else args.segments
+    results = run_bench(
+        pops=pops,
+        segments=segments,
+        ticks_per_segment=args.ticks_per_segment,
+        workers=args.workers,
+        seed=args.seed,
+        tick_seconds=args.tick_seconds,
+    )
+
+    baseline_wall = None
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        if baseline.get("workload") == results["workload"]:
+            baseline_wall = baseline.get("pool_wall_seconds")
+            results["baseline_pool_wall_seconds"] = baseline_wall
+        else:
+            print(
+                f"baseline workload {baseline.get('workload')!r} does "
+                f"not match this run ({results['workload']}); "
+                "skipping regression comparison"
+            )
+
+    args.output.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+
+    print(
+        f"{pops} PoPs, {segments} segments x "
+        f"{args.ticks_per_segment} tick(s), {args.workers} workers"
+    )
+    print(f"serial:        {results['serial_wall_seconds']:.2f} s")
+    print(
+        f"pool:          {results['pool_wall_seconds']:.2f} s "
+        "(1 fork, 1 collect)"
+    )
+    print(
+        f"fork-per-run:  {results['fork_per_run_wall_seconds']:.2f} s "
+        f"({segments} forks, cumulative replay per checkpoint)"
+    )
+    print(
+        "pool vs fork-per-run: "
+        f"{results['pool_vs_fork_per_run_speedup']}x"
+    )
+    print(f"wrote {args.output}")
+
+    failed = False
+    if not results["byte_identical"]:
+        print("FAIL: pool run diverged from serial:")
+        for mismatch in results["mismatches"]:
+            print(f"  - {mismatch}")
+        failed = True
+    if results["parallel_fallbacks"]:
+        print(
+            "FAIL: parallel runs fell back to serial "
+            f"({results['parallel_fallbacks']:.0f} times)"
+        )
+        failed = True
+    if args.min_speedup is not None:
+        speedup = results["pool_vs_fork_per_run_speedup"]
+        if speedup is None or speedup < args.min_speedup:
+            print(
+                f"FAIL: pool speedup {speedup}x < required "
+                f"{args.min_speedup:.2f}x"
+            )
+            failed = True
+    if args.max_regression is not None:
+        if baseline_wall is None:
+            print("no matching baseline for --max-regression check")
+            failed = True
+        else:
+            limit = baseline_wall * (1.0 + args.max_regression)
+            current = results["pool_wall_seconds"]
+            if current > limit:
+                print(
+                    f"FAIL: pool wall {current:.2f} s regressed past "
+                    f"{limit:.2f} s (baseline {baseline_wall:.2f} s "
+                    f"+{args.max_regression:.0%})"
+                )
+                failed = True
+            else:
+                print(
+                    f"regression gate OK: pool wall {current:.2f} s "
+                    f"<= {limit:.2f} s"
+                )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,16 @@ also the workload of the committed ``BENCH_scale_churn_baseline.json``;
 ``--max-regression 0.25`` gates the incremental engine's steady-state
 mean cycle time against that baseline, and ``--min-speedup`` gates the
 incremental-vs-full ratio.
+
+``--full-table`` switches to the :meth:`ScaleConfig.full_table` preset —
+700k prefixes (today's global IPv4 table) with hard-overloaded tight
+PNIs and aggregated override injection.  On top of the equivalence and
+zero-violation gates it checks ``--max-steady-ms`` (the steady-state
+mean cycle budget; the acceptance bar is one second) and
+``--min-install-ratio`` (desired overrides per injector-held route; the
+acceptance bar is 10x).  ``--full-table --quick`` is the CI variant
+(20k prefixes, 6 cycles) gated against
+``BENCH_fulltable_baseline.json``.
 """
 
 from __future__ import annotations
@@ -41,10 +51,13 @@ from repro.core.scale import (  # noqa: E402
 
 
 def _workload_key(config: ScaleConfig) -> str:
-    return (
+    key = (
         f"prefixes={config.prefix_count},churn={config.churn_fraction},"
         f"cycles={config.cycles},seed={config.seed}"
     )
+    if config.aggregate_overrides:
+        key += ",aggregated"
+    return key
 
 
 def _run(config: ScaleConfig, incremental: bool) -> tuple:
@@ -81,6 +94,8 @@ def run_bench(config: ScaleConfig) -> dict:
             "full": full.path_counts(),
         },
         "overrides_final": len(incremental.cycles[-1].overrides),
+        "installed_final": len(incremental.cycles[-1].installed),
+        "install_ratio": round(incremental.mean_install_ratio(), 1),
         "incremental": {
             "steady_mean_ms": round(inc_steady_ms / steady_cycles, 3),
             "steady_total_ms": round(inc_steady_ms, 1),
@@ -102,38 +117,51 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--prefixes",
         type=int,
-        default=50_000,
-        help="prefix table size (default 50000, the acceptance bar)",
+        default=None,
+        help="prefix table size (default 50000 — the acceptance bar — "
+        "or 700000 with --full-table)",
     )
     parser.add_argument(
         "--churn",
         type=float,
-        default=0.02,
-        help="fraction of prefixes churned per cycle (default 0.02)",
+        default=None,
+        help="fraction of prefixes churned per cycle (default 0.02, "
+        "or 0.005 with --full-table)",
     )
     parser.add_argument(
         "--cycles",
         type=int,
-        default=20,
-        help="controller cycles to run (default 20)",
+        default=None,
+        help="controller cycles to run (default 20, or 12 with "
+        "--full-table)",
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="short run for CI (5k prefixes, 10 cycles)",
+        help="short run for CI (5k prefixes, 10 cycles; 20k prefixes, "
+        "6 cycles with --full-table)",
+    )
+    parser.add_argument(
+        "--full-table",
+        action="store_true",
+        help="run the 700k-prefix full-table preset (hard-overloaded "
+        "tight PNIs, aggregated override injection)",
     )
     parser.add_argument(
         "--output",
         type=Path,
-        default=HERE / "BENCH_scale_churn.json",
-        help="where to write results",
+        default=None,
+        help="where to write results (default BENCH_scale_churn.json, "
+        "or BENCH_fulltable.json with --full-table)",
     )
     parser.add_argument(
         "--baseline",
         type=Path,
-        default=HERE / "BENCH_scale_churn_baseline.json",
-        help="committed baseline to compare against",
+        default=None,
+        help="committed baseline to compare against (default "
+        "BENCH_scale_churn_baseline.json, or "
+        "BENCH_fulltable_baseline.json with --full-table)",
     )
     parser.add_argument(
         "--min-speedup",
@@ -149,19 +177,52 @@ def main(argv=None) -> int:
         help="fail if the incremental steady-state mean cycle time "
         "exceeds the baseline mean by more than this fraction",
     )
+    parser.add_argument(
+        "--min-install-ratio",
+        type=float,
+        default=None,
+        help="fail unless desired-overrides per injector-held route "
+        "meets this (the aggregation win; the full-table bar is 10)",
+    )
+    parser.add_argument(
+        "--max-steady-ms",
+        type=float,
+        default=None,
+        help="fail if the incremental steady-state mean cycle time "
+        "exceeds this many milliseconds (the full-table bar is 1000)",
+    )
     args = parser.parse_args(argv)
 
-    config = ScaleConfig(
-        prefix_count=5_000 if args.quick else args.prefixes,
-        churn_fraction=args.churn,
-        cycles=10 if args.quick else args.cycles,
-        seed=args.seed,
-    )
+    if args.full_table:
+        config = ScaleConfig.full_table(
+            prefix_count=(
+                20_000 if args.quick else (args.prefixes or 700_000)
+            ),
+            cycles=6 if args.quick else (args.cycles or 12),
+            seed=args.seed,
+            **(
+                {"churn_fraction": args.churn}
+                if args.churn is not None
+                else {}
+            ),
+        )
+    else:
+        config = ScaleConfig(
+            prefix_count=(
+                5_000 if args.quick else (args.prefixes or 50_000)
+            ),
+            churn_fraction=0.02 if args.churn is None else args.churn,
+            cycles=10 if args.quick else (args.cycles or 20),
+            seed=args.seed,
+        )
+    stem = "BENCH_fulltable" if args.full_table else "BENCH_scale_churn"
+    output = args.output or HERE / f"{stem}.json"
+    baseline_path = args.baseline or HERE / f"{stem}_baseline.json"
     results = run_bench(config)
 
     baseline_mean = None
-    if args.baseline.exists():
-        baseline = json.loads(args.baseline.read_text())
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
         if baseline.get("workload") == results["workload"]:
             baseline_mean = baseline.get("inc_steady_mean_ms")
             results["baseline_mean_ms"] = baseline_mean
@@ -172,7 +233,7 @@ def main(argv=None) -> int:
                 "regression comparison"
             )
 
-    args.output.write_text(
+    output.write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n"
     )
 
@@ -180,7 +241,8 @@ def main(argv=None) -> int:
     full = results["full_recompute"]
     print(
         f"{config.prefix_count} prefixes, "
-        f"{config.churn_fraction:.0%} churn, {config.cycles} cycles"
+        f"{config.churn_fraction:.1%} churn, {config.cycles} cycles"
+        + (" [full-table preset]" if args.full_table else "")
     )
     print(
         f"incremental:    steady mean {inc['steady_mean_ms']:.1f} ms "
@@ -190,7 +252,13 @@ def main(argv=None) -> int:
         f"full recompute: steady mean {full['steady_mean_ms']:.1f} ms"
     )
     print(f"steady-state speedup: {results['steady_speedup']}x")
-    print(f"wrote {args.output}")
+    if config.aggregate_overrides:
+        print(
+            f"aggregated injection: {results['overrides_final']} "
+            f"desired overrides held as {results['installed_final']} "
+            f"installed routes ({results['install_ratio']}x)"
+        )
+    print(f"wrote {output}")
 
     failed = False
     if not results["equivalent"]:
@@ -210,6 +278,27 @@ def main(argv=None) -> int:
                 f"required {args.min_speedup:.2f}x"
             )
             failed = True
+    if args.min_install_ratio is not None:
+        ratio = results["install_ratio"]
+        if ratio < args.min_install_ratio:
+            print(
+                f"FAIL: install ratio {ratio}x < required "
+                f"{args.min_install_ratio:.1f}x"
+            )
+            failed = True
+    if args.max_steady_ms is not None:
+        current = inc["steady_mean_ms"]
+        if current > args.max_steady_ms:
+            print(
+                f"FAIL: steady mean {current:.1f} ms over the "
+                f"{args.max_steady_ms:.0f} ms budget"
+            )
+            failed = True
+        else:
+            print(
+                f"budget OK: steady mean {current:.1f} ms <= "
+                f"{args.max_steady_ms:.0f} ms"
+            )
     if args.max_regression is not None:
         if baseline_mean is None:
             print("no matching baseline for --max-regression check")

@@ -185,6 +185,8 @@ def rank_routes(
     is the allocator's detour-candidate order.  The result depends only on
     the *set* of routes, never on input order.
     """
+    if len(routes) <= 1:
+        return list(routes)
     ranks = _med_ranks(routes, config)
     indexed = sorted(
         range(len(routes)),
@@ -199,4 +201,18 @@ def best_route(
     """The route the decision process selects, or None if empty."""
     if not routes:
         return None
+    if len(routes) == 1:
+        return routes[0]
+    if len(routes) == 2:
+        # Pairwise comparison equals the deterministic-MED ranking for
+        # two routes: with one pair there is either one MED group
+        # (identical comparison) or two singleton groups (step 4 is a
+        # tie both ways).  This is the RIB's per-update hot path.
+        verdict = compare_routes(routes[0], routes[1], config)
+        if verdict < 0:
+            return routes[0]
+        if verdict > 0:
+            return routes[1]
+        # Session-identity tie (never happens for routes keyed by
+        # source in a RIB): fall through to the total order.
     return rank_routes(routes, config)[0]

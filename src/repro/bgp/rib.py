@@ -125,6 +125,10 @@ class LocRib:
         # the dataplane can skip more-specific trie walks entirely in
         # the common no-overrides case.
         self._injected = 0
+        # Per-prefix count of injected holder routes, kept in a trie so
+        # "which injected prefix covers this target" is one LPM walk
+        # instead of a scan.  Aggregated override resolution keys on it.
+        self._injected_map: PrefixMap[int] = PrefixMap()
         # Decision-ranked route lists per prefix, invalidated per-prefix
         # on churn: the controller re-reads every prefix's ranking each
         # cycle while the route set barely changes between cycles.
@@ -155,9 +159,9 @@ class LocRib:
             self._by_prefix[route.prefix] = holders
         previous = holders.get(route.source)
         if previous is not None and previous.is_injected:
-            self._injected -= 1
+            self._note_injected(route.prefix, -1)
         if route.is_injected:
-            self._injected += 1
+            self._note_injected(route.prefix, +1)
         holders[route.source] = route
         new_best = best_route(list(holders.values()), self._config)
         self._set_best(route.prefix, new_best)
@@ -174,7 +178,7 @@ class LocRib:
             return RibChange(prefix, old_best, old_best)
         removed = holders.pop(source)
         if removed.is_injected:
-            self._injected -= 1
+            self._note_injected(prefix, -1)
         if holders:
             new_best = best_route(list(holders.values()), self._config)
         else:
@@ -195,11 +199,52 @@ class LocRib:
         ]
         return [self.withdraw(prefix, source) for prefix in affected]
 
+    def load_routes(self, routes: List[Route]) -> None:
+        """Bulk-install many routes with one decision pass per prefix.
+
+        Observationally identical to calling :meth:`update` per route —
+        the version advances once per route, the journal records every
+        prefix in input order, injected accounting matches — but the
+        best-path recomputation runs once per *prefix group* instead of
+        once per route.  Intermediate bests are unobservable to any
+        reader (no query can interleave with the loop), so skipping them
+        is sound.  Scale harnesses use this to seed full tables.
+        """
+        touched: Dict[Prefix, Dict[PeerDescriptor, Route]] = {}
+        for route in routes:
+            holders = self._by_prefix.get(route.prefix)
+            if holders is None:
+                holders = {}
+                self._by_prefix[route.prefix] = holders
+            previous = holders.get(route.source)
+            if previous is not None and previous.is_injected:
+                self._note_injected(route.prefix, -1)
+            if route.is_injected:
+                self._note_injected(route.prefix, +1)
+            holders[route.source] = route
+            self._version += 1
+            self._journal.append(route.prefix)
+            touched[route.prefix] = holders
+        for prefix, holders in touched.items():
+            self._set_best(
+                prefix, best_route(list(holders.values()), self._config)
+            )
+            self._ranked_cache.pop(prefix, None)
+
     def _set_best(self, prefix: Prefix, best: Optional[Route]) -> None:
         if best is None:
             self._best_cache.pop(prefix, None)
         else:
             self._best_cache[prefix] = best
+
+    def _note_injected(self, prefix: Prefix, delta: int) -> None:
+        """Adjust the injected-route count for *prefix* by ±1."""
+        self._injected += delta
+        count = (self._injected_map.get(prefix) or 0) + delta
+        if count > 0:
+            self._injected_map[prefix] = count
+        else:
+            self._injected_map.pop(prefix, None)
 
     # -- the delta journal ---------------------------------------------------
 
@@ -286,6 +331,71 @@ class LocRib:
             if best is not None:
                 out.append(best)
         return out
+
+    def routed_under(self, covering: Prefix) -> Iterator[Prefix]:
+        """Organically-routed prefixes at or under *covering*.
+
+        Deterministic pre-order (lexicographic); prefixes present only
+        because of an injected route are skipped — they create no
+        forwarding granularity of their own.  The override aggregator
+        walks this to validate a candidate covering prefix.
+        """
+        if not self._injected:
+            for prefix, _holders in self._by_prefix.subtree(covering):
+                yield prefix
+            return
+        for prefix, holders in self._by_prefix.subtree(covering):
+            for route in holders.values():
+                if not route.is_injected:
+                    yield prefix
+                    break
+
+    def injected_covering(self, target: Prefix) -> Optional[Route]:
+        """The injected route of the most specific injected prefix
+        covering *target* (inclusive), or None.
+
+        Aggregated override resolution: a detour installed at a covering
+        prefix applies to every routed prefix beneath it, so the
+        dataplane asks "is there an injected route above this routed
+        prefix" with one LPM walk over the injected-prefix trie.
+        """
+        if not self._injected:
+            return None
+        found = self._injected_map.longest_match(target)
+        if found is None:
+            return None
+        best = self._best_cache.get(found[0])
+        if best is not None and best.is_injected:
+            return best
+        return None
+
+    def effective_lookup(self, target: Prefix) -> Optional[Route]:
+        """The route a packet addressed within *target* resolves to.
+
+        Models the controller's override semantics end to end: the
+        *routed prefix* is the longest organic match (prefixes that
+        exist only because of injection do not create new forwarding
+        granularity), and an injected route at the routed prefix or any
+        covering prefix overrides its organic best.  Per-/24 flat
+        installs and covering-aggregate installs are observationally
+        identical under this lookup — the property the aggregation
+        layer's validity rule guarantees.
+        """
+        routed: Optional[Prefix] = None
+        for prefix, holders in self._by_prefix.matches(target):
+            for route in holders.values():
+                if not route.is_injected:
+                    routed = prefix
+                    break
+        if routed is None:
+            return None
+        injected = self.injected_covering(routed)
+        if injected is not None:
+            return injected
+        # No injected route covers the routed prefix, so its best is the
+        # organic best (an injected holder at the routed prefix would
+        # have been returned by injected_covering above).
+        return self._best_cache.get(routed)
 
     def route_count(self) -> int:
         """Total routes across all prefixes (not just best paths)."""

@@ -239,6 +239,31 @@ class BmpCollector:
         self._routers_seen[route.source.router] = when
         self._last_update_at = when
 
+    def ingest_routes(
+        self, routes: List[Route], now: Optional[float] = None
+    ) -> None:
+        """Bulk :meth:`ingest_route`: one decision pass per prefix.
+
+        Counters, liveness, versioning and journal entries advance
+        exactly as the per-route path advances them; only the redundant
+        intermediate best-path recomputations (unobservable between the
+        calls of a bulk load) are skipped.  Full-table seeding uses this.
+        """
+        when = self._clock() if now is None else now
+        accepted: List[Route] = []
+        for route in routes:
+            if not self._registry.is_registered(route.source):
+                self.stats.unknown_peers += 1
+                continue
+            accepted.append(route)
+            self._routers_seen[route.source.router] = when
+        if not accepted:
+            return
+        self.stats.announcements += len(accepted)
+        self._m_announcements.inc(len(accepted))
+        self._rib.load_routes(accepted)
+        self._last_update_at = when
+
     def ingest_withdrawal(
         self,
         prefix: Prefix,

@@ -1,5 +1,6 @@
 """Edge Fabric: the egress traffic-engineering controller."""
 
+from .aggregate import InstallIntent, OverrideAggregator
 from .allocator import AllocationResult, Allocator, Detour
 from .config import ControllerConfig
 from .controller import EdgeFabricController
@@ -13,6 +14,8 @@ from .pipeline import PopDeployment, RunRecord, TickSummary
 from .projection import Placement, Projection, project
 
 __all__ = [
+    "InstallIntent",
+    "OverrideAggregator",
     "AllocationResult",
     "Allocator",
     "Detour",

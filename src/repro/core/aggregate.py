@@ -1,0 +1,306 @@
+"""Aggregated override installation: fewer routes, identical forwarding.
+
+At full-table scale the allocator routinely detours tens of thousands of
+/24s off one congested interface, and nearly all of them are contiguous
+runs headed to the same alternate.  Injecting one BGP route per /24
+mirrors the per-prefix decision granularity but multiplies BGP update
+volume by orders of magnitude — exactly the operational cost the paper
+is careful about.  This module separates the two concerns:
+
+- the **desired** override set stays per-prefix (allocator stability
+  preference, per-prefix durations and audit attribution are untouched);
+- the **installed** table is re-derived from it by merging same-target
+  runs into covering aggregates wherever that is provably equivalent.
+
+Equivalence invariant
+---------------------
+
+Write ``flat(R)`` for the session a routed prefix *R* resolves to under
+the per-prefix install (the target of the most specific desired override
+covering *R*, else *R*'s organic best), and ``agg(R)`` for the same
+under the aggregated install.  The planner guarantees ``flat(R) ==
+agg(R)`` for every routed *R* by only growing an aggregate ``C ->
+target T`` while every routed prefix under the newly-absorbed half
+satisfies one of:
+
+(i)   it is a desired override targeting ``T`` (a *member*);
+(ii)  it sits under a member or a desired ancestor targeting ``T``
+      (its flat resolution is already ``T``);
+(iii) it has no desired cover at all and its organic best already exits
+      via ``T`` — a *neutral* prefix: overriding it forwards
+      identically to not overriding it.  Neutrality is what lets a run
+      survive flap holes (a withdrawn PNI route whose traffic already
+      fell back to the aggregate's target).
+
+A desired override with a *different* target under the candidate stops
+growth cold, as does a non-member whose flat resolution is not ``T``.
+Growth validates only the sibling half at each step (the current half
+was validated on the way up), so a full plan costs one pass over the
+routed prefixes under the final aggregates, not one pass per level.
+
+Under the dataplane's override resolution (organic LPM picks the routed
+prefix, then the most specific injected covering prefix overrides it —
+:meth:`repro.bgp.rib.LocRib.effective_lookup`), this invariant makes the
+aggregated install observationally identical, per packet, to the flat
+per-prefix install; the property suite drives random tables through both
+forms and compares every routed prefix's resolution.
+
+The plan is a pure function of (desired set, organic RIB); it is
+recomputed whenever either input may have moved — the desired
+prefix -> target map changed, or the RIB's mutation counter advanced —
+and reused otherwise, so an installed aggregate can be stale for at most
+one cycle, the same staleness class as every other override decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bgp.rib import LocRib
+from ..bgp.route import Route
+from ..netbase.addr import Prefix
+from ..netbase.units import Rate
+from .allocator import Detour
+from .overrides import OverrideDiff, OverrideSet
+
+__all__ = ["InstallIntent", "OverrideAggregator"]
+
+
+def _parent(prefix: Prefix) -> Prefix:
+    """The covering prefix one bit shorter."""
+    length = prefix.length - 1
+    shift = prefix.family.max_length - length
+    return Prefix(prefix.family, (prefix.network >> shift) << shift, length)
+
+
+def _sibling(prefix: Prefix) -> Prefix:
+    """The other half of this prefix's parent."""
+    bit = 1 << (prefix.family.max_length - prefix.length)
+    return Prefix(prefix.family, prefix.network ^ bit, prefix.length)
+
+
+@dataclass(frozen=True)
+class InstallIntent:
+    """One route the injector should hold: an aggregate or a lone prefix.
+
+    Duck-types the ``target``/``rate`` fields
+    :meth:`~repro.core.overrides.OverrideSet.reconcile` reads from a
+    :class:`~repro.core.allocator.Detour`, so the installed table reuses
+    the ordinary override lifecycle (diffing, durations, flush).
+    """
+
+    prefix: Prefix
+    #: The alternate route whose attributes the injected route carries
+    #: (the first member's — any member's would forward identically,
+    #: since they share the target session and hence the egress).
+    target: Route
+    #: Combined decision-time rate of the member prefixes.
+    rate: Rate
+    #: How many desired per-prefix overrides this intent stands in for.
+    members: int
+
+
+class OverrideAggregator:
+    """Plans and tracks the installed (aggregated) override table."""
+
+    def __init__(self, min_length: int = 8) -> None:
+        self.min_length = min_length
+        #: The installed table, with the same lifecycle bookkeeping the
+        #: desired set gets (diffing, created_at, durations).
+        self.installed = OverrideSet()
+        #: Desired prefix -> covering aggregate it is installed under.
+        self.covering_of: Dict[Prefix, Prefix] = {}
+        self._intents: Dict[Prefix, InstallIntent] = {}
+        self._last_targets: Optional[Dict[Prefix, str]] = None
+        self._last_rib_version: Optional[int] = None
+        #: Diagnostics: how many cycles replanned vs reused the plan.
+        self.plans = 0
+        self.plan_reuses = 0
+
+    # -- planning -----------------------------------------------------------
+
+    @staticmethod
+    def _nearest_desired_above(
+        prefix: Prefix, targets: Dict[Prefix, str]
+    ) -> Optional[str]:
+        """Target of the most specific desired override strictly
+        covering *prefix*, or None."""
+        max_length = prefix.family.max_length
+        network = prefix.network
+        for length in range(prefix.length - 1, -1, -1):
+            shift = max_length - length
+            ancestor = Prefix(prefix.family, (network >> shift) << shift, length)
+            found = targets.get(ancestor)
+            if found is not None:
+                return found
+        return None
+
+    def _scan(
+        self,
+        covering: Prefix,
+        target: str,
+        targets: Dict[Prefix, str],
+        rib: LocRib,
+        fallback: Optional[str],
+    ) -> Optional[List[Prefix]]:
+        """Validate one subtree half; members found, or None if invalid.
+
+        Walks the routed prefixes at or under *covering* in
+        deterministic pre-order, tracking the stack of desired ancestors
+        *within* the walk so each prefix's flat resolution is known in
+        O(1): itself if desired, else the innermost desired ancestor on
+        the stack, else *fallback* (the nearest desired ancestor above
+        *covering*), else its organic best.
+        """
+        members: List[Prefix] = []
+        stack: List[Prefix] = []
+        for prefix in rib.routed_under(covering):
+            while stack and not stack[-1].covers(prefix):
+                stack.pop()
+            want = targets.get(prefix)
+            if want is not None:
+                if want != target:
+                    return None
+                members.append(prefix)
+                stack.append(prefix)
+                continue
+            if stack:
+                # Flat resolution is the covering member's target == T.
+                continue
+            if fallback is not None:
+                if fallback != target:
+                    return None
+                continue
+            best = rib.best(prefix)
+            if best is None or best.source.name != target:
+                return None
+        return members
+
+    def plan(
+        self,
+        desired: Dict[Prefix, Detour],
+        targets: Dict[Prefix, str],
+        rib: LocRib,
+    ) -> Dict[Prefix, InstallIntent]:
+        """Compute the installed table for one cycle's desired set.
+
+        Deterministic: desired prefixes are grown in sorted order, each
+        climbing to the widest covering prefix that still satisfies the
+        equivalence invariant (never past ``min_length``), and members
+        already absorbed by an earlier aggregate are skipped.
+        """
+        intents: Dict[Prefix, InstallIntent] = {}
+        covering_of: Dict[Prefix, Prefix] = {}
+        covered: Set[Prefix] = set()
+        for seed in sorted(desired):
+            if seed in covered:
+                continue
+            detour = desired[seed]
+            target = detour.target.source.name
+            node = seed
+            node_members = self._scan(
+                seed,
+                target,
+                targets,
+                rib,
+                self._nearest_desired_above(seed, targets),
+            )
+            if node_members is None:
+                # The seed's own subtree holds a conflicting desired
+                # override (it will get its own, more specific install):
+                # install the seed as-is, exactly as the flat form does.
+                node_members = [seed]
+            else:
+                while node.length > self.min_length:
+                    parent = _parent(node)
+                    fallback = self._nearest_desired_above(parent, targets)
+                    parent_want = targets.get(parent)
+                    if parent_want is not None:
+                        if parent_want != target:
+                            break
+                    else:
+                        best = rib.best(parent)
+                        if best is not None:
+                            if fallback is not None:
+                                if fallback != target:
+                                    break
+                            elif best.source.name != target:
+                                break
+                    sibling_members = self._scan(
+                        _sibling(node),
+                        target,
+                        targets,
+                        rib,
+                        target if parent_want == target else fallback,
+                    )
+                    if sibling_members is None:
+                        break
+                    node_members.extend(sibling_members)
+                    if parent_want == target:
+                        node_members.append(parent)
+                    node = parent
+            rate_bps = 0.0
+            count = 0
+            for member in sorted(set(node_members)):
+                wanted = desired.get(member)
+                if wanted is None or member in covered:
+                    continue
+                rate_bps += wanted.rate.bits_per_second
+                count += 1
+                covered.add(member)
+                covering_of[member] = node
+            intents[node] = InstallIntent(
+                prefix=node,
+                target=detour.target,
+                rate=Rate(rate_bps),
+                members=count,
+            )
+        self.covering_of = covering_of
+        return intents
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reconcile(
+        self,
+        desired: Dict[Prefix, Detour],
+        targets: Dict[Prefix, str],
+        rib: LocRib,
+        now: float,
+    ) -> OverrideDiff:
+        """Bring the installed table in line with this cycle's desires.
+
+        Replans when either plan input may have moved: the desired
+        prefix -> target mapping, or the organic RIB (any mutation —
+        neutrality of a non-member can silently flip with a route's
+        return, so route churn anywhere forces re-validation).  Both
+        triggers are deterministic functions of the run's input
+        sequence, so serial/parallel and incremental/full twins replan
+        on the same cycles and hold identical installed tables.
+        """
+        version = rib.version
+        if (
+            self._last_targets is None
+            or version != self._last_rib_version
+            or targets != self._last_targets
+        ):
+            self._intents = self.plan(desired, targets, rib)
+            self._last_targets = dict(targets)
+            self._last_rib_version = version
+            self.plans += 1
+        else:
+            self.plan_reuses += 1
+        return self.installed.reconcile(self._intents, now)
+
+    def flush(self, now: float) -> List:
+        """Withdraw-everything bookkeeping (fail-static / shutdown)."""
+        self._intents = {}
+        self._last_targets = None
+        self._last_rib_version = None
+        self.covering_of = {}
+        return self.installed.flush(now)
+
+    def install_ratio(self) -> Tuple[int, int]:
+        """(desired member count, installed route count) of the plan."""
+        desired = sum(intent.members for intent in self._intents.values())
+        return desired, len(self._intents)

@@ -52,6 +52,23 @@ class ControllerConfig:
     #: Fail static: after this many consecutive skipped (stale-input)
     #: cycles, withdraw every override and fall back to vanilla BGP.
     fail_static_after_cycles: int = 3
+    #: Aggregated injection: install one covering prefix per run of
+    #: same-target detours instead of one route per prefix (the paper's
+    #: BGP-update-volume concern at full-table scale).  Decisions stay
+    #: per-prefix; only the *installed* table is aggregated, and only
+    #: where every routed prefix under the aggregate provably resolves
+    #: to the same egress either way.
+    aggregate_overrides: bool = False
+    #: Never aggregate beyond this prefix length (a too-broad covering
+    #: route is operationally radioactive even when momentarily valid).
+    aggregate_min_length: int = 8
+    #: Record a "keep" audit event for every standing override every
+    #: cycle.  Full continuity for small tables; at full-table scale
+    #: (tens of thousands of standing detours) this is O(standing) work
+    #: per cycle whose entries the bounded trail immediately evicts, so
+    #: large deployments turn it off and keep announce/withdraw/violation
+    #: auditing only.
+    audit_keep_events: bool = True
     #: Incremental cycle engine: when on, snapshots/projection/allocation
     #: apply route+rate deltas instead of re-deriving the full table
     #: every cycle.  Decisions are identical either way; turn it off
@@ -116,4 +133,8 @@ class ControllerConfig:
         if self.resubscribe_max_attempts < 1:
             raise ControllerError(
                 "resubscribe_max_attempts must be at least 1"
+            )
+        if self.aggregate_min_length < 0:
+            raise ControllerError(
+                "aggregate_min_length cannot be negative"
             )

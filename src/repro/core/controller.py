@@ -27,6 +27,7 @@ from ..netbase.addr import Prefix
 from ..netbase.errors import StaleInputError
 from ..obs.logs import get_logger, log_event
 from ..obs.telemetry import Telemetry
+from .aggregate import OverrideAggregator
 from .allocator import Allocator
 from .config import ControllerConfig
 from .injector import BgpInjector
@@ -57,6 +58,14 @@ class EdgeFabricController:
         self.config = config
         self.allocator = Allocator(assembler.pop, config)
         self.overrides = OverrideSet()
+        #: When aggregation is on, the *installed* table diverges from
+        #: the desired per-prefix set: runs of same-target detours are
+        #: injected as one covering prefix.  None = install 1:1.
+        self.aggregator: Optional[OverrideAggregator] = (
+            OverrideAggregator(config.aggregate_min_length)
+            if config.aggregate_overrides
+            else None
+        )
         self.monitor = ControllerMonitor()
         self.altpath = altpath
         #: Consecutive cycles skipped on stale inputs; drives fail-static.
@@ -207,8 +216,28 @@ class EdgeFabricController:
             )
 
         diff = self.overrides.reconcile(allocation.detours, now)
-        self.injector.apply(diff)
-        self.telemetry.audit.record_cycle(now, diff, allocation.detours)
+        if self.aggregator is not None:
+            # Desired decisions stay per-prefix; what reaches the
+            # injector is the aggregated install table.
+            install_diff = self.aggregator.reconcile(
+                allocation.detours,
+                self.overrides.active_targets(),
+                self.assembler.bmp.rib,
+                now,
+            )
+        else:
+            install_diff = diff
+        self.injector.apply(install_diff)
+        self.telemetry.audit.record_cycle(
+            now,
+            diff,
+            allocation.detours,
+            record_keeps=self.config.audit_keep_events,
+        )
+        if self.aggregator is not None:
+            self.telemetry.audit.set_installed_aggregates(
+                self.aggregator.covering_of
+            )
         self.last_final_loads = dict(allocation.final_loads)
 
         runtime = _time.perf_counter() - started
@@ -226,6 +255,11 @@ class EdgeFabricController:
             perf_moves=perf_moves,
             runtime_seconds=runtime,
             decision_path=path,
+            installed_overrides=(
+                len(self.aggregator.installed)
+                if self.aggregator is not None
+                else len(self.overrides)
+            ),
         )
         self.monitor.record(report)
         self._m_cycles_run.inc()
@@ -373,7 +407,7 @@ class EdgeFabricController:
         returns every detoured prefix to vanilla BGP placement.
         """
         flushed = self.overrides.flush(now)
-        self.injector.withdraw_all(flushed)
+        self.injector.withdraw_all(self._flush_installed(now, flushed))
         self.telemetry.audit.record_cycle(
             now, OverrideDiff((), tuple(flushed), ()), {}
         )
@@ -402,6 +436,8 @@ class EdgeFabricController:
         within one cycle, per the stateless-cycle design).
         """
         flushed = self.overrides.flush(now)
+        if self.aggregator is not None:
+            self.aggregator.flush(now)
         self.telemetry.audit.record_cycle(
             now, OverrideDiff((), tuple(flushed), ()), {}
         )
@@ -421,12 +457,29 @@ class EdgeFabricController:
     def shutdown(self, now: float) -> int:
         """Withdraw every override, restoring pure-BGP routing."""
         flushed = self.overrides.flush(now)
-        self.injector.withdraw_all(flushed)
+        self.injector.withdraw_all(self._flush_installed(now, flushed))
         self._m_active.set(0)
         log_event(
             _log, "controller.shutdown", time=now, withdrawn=len(flushed)
         )
         return len(flushed)
 
+    def _flush_installed(self, now: float, flushed):
+        """The overrides actually on the wire, flushing both layers.
+
+        Without aggregation the installed table *is* the desired one;
+        with it, the injector holds the aggregator's covering prefixes
+        and those are what a withdraw-everything must name.
+        """
+        if self.aggregator is None:
+            return flushed
+        return self.aggregator.flush(now)
+
     def active_override_targets(self) -> Dict[Prefix, str]:
         return self.overrides.active_targets()
+
+    def installed_prefixes(self):
+        """Prefixes the injector should currently hold, sorted."""
+        if self.aggregator is not None:
+            return sorted(self.aggregator.installed.active())
+        return sorted(self.overrides.active())

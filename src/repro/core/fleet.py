@@ -10,12 +10,14 @@ numbers).
 from __future__ import annotations
 
 import multiprocessing
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.report import Table
 from ..core.config import ControllerConfig
 from ..netbase.units import Rate, gbps
+from ..obs.logs import get_logger, log_event
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import Telemetry, merge_registries
 from ..topology.builder import build_pop, provision_against_demand
@@ -24,6 +26,8 @@ from ..traffic.demand import DemandConfig, DemandModel
 from .pipeline import PopDeployment, RunRecord
 
 __all__ = ["FleetDeployment"]
+
+_log = get_logger("repro.core.fleet")
 
 
 @dataclass
@@ -45,21 +49,14 @@ class _PopRunState:
     #: so chaos fleets aggregate identically to serial runs.
     safety_violations: List = field(default_factory=list)
     fault_actions: List = field(default_factory=list)
+    #: The override aggregator (installed table + plan), when the
+    #: controller runs with aggregated injection; None otherwise.
+    aggregator: object = None
 
 
-# Fork-inherited arguments for _run_pop_worker.  Deployments are
-# unpicklable, so workers receive them by inheriting the parent's memory
-# image at fork time rather than through the Pool's argument pipe.
-_WORKER_FLEET: Optional["FleetDeployment"] = None
-_WORKER_RUN_ARGS: Optional[Tuple[float, float, bool]] = None
-
-
-def _run_pop_worker(name: str) -> Tuple[str, _PopRunState]:
-    assert _WORKER_FLEET is not None and _WORKER_RUN_ARGS is not None
-    deployment = _WORKER_FLEET.deployments[name]
-    start, duration, run_controller = _WORKER_RUN_ARGS
-    deployment.run(start, duration, run_controller=run_controller)
-    return name, _PopRunState(
+def _capture_state(deployment: PopDeployment) -> _PopRunState:
+    """Everything aggregation/reporting reads, in picklable form."""
+    return _PopRunState(
         record=deployment.record,
         monitor=deployment.controller.monitor,
         overrides=deployment.controller.overrides,
@@ -76,7 +73,125 @@ def _run_pop_worker(name: str) -> Tuple[str, _PopRunState]:
             if deployment.faults is not None
             else []
         ),
+        aggregator=deployment.controller.aggregator,
     )
+
+
+# Fork-inherited arguments for _run_pop_worker.  Deployments are
+# unpicklable, so workers receive them by inheriting the parent's memory
+# image at fork time rather than through the Pool's argument pipe.
+_WORKER_FLEET: Optional["FleetDeployment"] = None
+_WORKER_RUN_ARGS: Optional[Tuple[float, float, bool]] = None
+
+
+def _run_pop_worker(name: str) -> Tuple[str, _PopRunState]:
+    assert _WORKER_FLEET is not None and _WORKER_RUN_ARGS is not None
+    deployment = _WORKER_FLEET.deployments[name]
+    start, duration, run_controller = _WORKER_RUN_ARGS
+    deployment.run(start, duration, run_controller=run_controller)
+    return name, _capture_state(deployment)
+
+
+def _pool_worker(connection, fleet: "FleetDeployment", names) -> None:
+    """One persistent worker: owns *names*' deployments for its lifetime.
+
+    The worker inherits its deployments (with all their live
+    routing/dataplane state) at fork time and keeps them across
+    commands, so successive ``run`` commands continue the simulation
+    exactly as serial stepping would — unlike fork-per-run, where each
+    run restarted from the parent's frozen pre-run image.
+    """
+    while True:
+        command = connection.recv()
+        op = command[0]
+        if op == "run":
+            start, duration, run_controller = command[1:]
+            for name in names:
+                fleet.deployments[name].run(
+                    start, duration, run_controller=run_controller
+                )
+            connection.send(("ran", len(names)))
+        elif op == "collect":
+            connection.send(
+                (
+                    "state",
+                    [
+                        (name, _capture_state(fleet.deployments[name]))
+                        for name in names
+                    ],
+                )
+            )
+        elif op == "stop":
+            connection.send(("stopped", None))
+            connection.close()
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise RuntimeError(f"unknown pool command {op!r}")
+
+
+def _shutdown_pool(processes, connections) -> None:
+    """Best-effort worker teardown (close_pool and GC finalizer)."""
+    for connection in connections:
+        try:
+            connection.send(("stop",))
+        except (OSError, ValueError):
+            pass
+    for process in processes:
+        process.join(timeout=2.0)
+        if process.is_alive():
+            process.terminate()
+    for connection in connections:
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+
+class _WorkerPool:
+    """Long-lived fork workers, each owning a partition of the PoPs."""
+
+    def __init__(self, fleet: "FleetDeployment", workers: int, context):
+        names = sorted(fleet.deployments)
+        partitions = [
+            names[index::workers] for index in range(workers)
+        ]
+        self.partitions = [p for p in partitions if p]
+        self.connections = []
+        self.processes = []
+        for partition in self.partitions:
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_pool_worker,
+                args=(child_end, fleet, partition),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self.connections.append(parent_end)
+            self.processes.append(process)
+        # The fleet must never keep its workers alive past its own
+        # lifetime; the finalizer must not capture the pool (or fleet).
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self.processes, self.connections
+        )
+
+    def command(self, command: Tuple) -> List:
+        """Broadcast one command, returning every worker's payload."""
+        for connection in self.connections:
+            connection.send(command)
+        replies = []
+        for process, connection in zip(self.processes, self.connections):
+            try:
+                replies.append(connection.recv())
+            except EOFError:
+                raise RuntimeError(
+                    f"fleet pool worker pid={process.pid} died "
+                    f"mid-command {command[0]!r}"
+                ) from None
+        return [payload for _status, payload in replies]
+
+    def stop(self) -> None:
+        self._finalizer()
 
 
 @dataclass
@@ -85,6 +200,23 @@ class FleetDeployment:
 
     deployments: Dict[str, PopDeployment]
     tick_seconds: float
+    #: Fleet-level telemetry (orchestration concerns only — per-PoP
+    #: registries stay untouched so serial/parallel byte-equality of
+    #: per-PoP telemetry is preserved).
+    telemetry: Telemetry = field(
+        default_factory=lambda: Telemetry(name="fleet"),
+        repr=False,
+        compare=False,
+    )
+    _pool: Optional[_WorkerPool] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._m_parallel_fallback = self.telemetry.registry.counter(
+            "fleet_parallel_fallback_total",
+            "Parallel fleet runs degraded to serial (fork unavailable)",
+        )
 
     @classmethod
     def build(
@@ -155,6 +287,12 @@ class FleetDeployment:
     # -- stepping ---------------------------------------------------------------
 
     def step(self, now: float, run_controller: bool = True) -> None:
+        if self._pool is not None:
+            raise RuntimeError(
+                "fleet has a live worker pool — its PoPs' state lives "
+                "in the workers; use run(parallel=...) / collect(), or "
+                "close_pool() before stepping serially"
+            )
         for deployment in self.deployments.values():
             deployment.step(now, run_controller=run_controller)
 
@@ -164,32 +302,118 @@ class FleetDeployment:
         duration: float,
         run_controller: bool = True,
         parallel: Optional[int] = None,
+        pool: bool = True,
+        sync: bool = True,
     ) -> None:
         """Run every PoP from *start* for *duration* seconds.
 
         With ``parallel=N`` (N > 1), PoPs are stepped in up to N worker
-        processes.  PoPs share no mutable state — the paper's controllers
-        don't coordinate — so each worker's run is identical to its slice
-        of the serial loop and the merged results (records, monitors,
-        override sets, metrics) match the serial run exactly.
+        processes.  PoPs share no mutable state — the paper's
+        controllers don't coordinate — so each worker's run is identical
+        to its slice of the serial loop and the merged results (records,
+        monitors, override sets, metrics, telemetry) match the serial
+        run exactly.
 
-        Parallel runs are whole-run: the merged deployments carry
-        everything aggregation and reporting read, but their live
-        routing/dataplane state stays at pre-run values (it remains in
-        the exited workers), so don't interleave parallel runs with
-        further serial stepping of the same fleet.
+        By default parallel runs use a *persistent* pool: workers are
+        forked once, keep their deployments' live routing/dataplane
+        state across calls, and successive ``run`` calls continue the
+        simulation exactly as serial stepping would.  ``sync=False``
+        defers the state pickle-back until :meth:`collect` — the cheap
+        mode for many-segment benchmark runs.  ``pool=False`` falls back
+        to the legacy fork-per-run path (whole-run semantics only: live
+        state stays at pre-run values, so never run it twice).
+
+        If process forking is unavailable, the run degrades to the
+        serial loop — loudly: a structured ``fleet.parallel_fallback``
+        log line plus the ``fleet_parallel_fallback_total`` counter on
+        the fleet's own telemetry, never silently.
         """
         if (
             parallel is not None
             and parallel > 1
             and len(self.deployments) > 1
-            and self._run_parallel(start, duration, run_controller, parallel)
         ):
-            return
+            if pool:
+                worker_pool = self._ensure_pool(parallel)
+                if worker_pool is not None:
+                    worker_pool.command(
+                        ("run", start, duration, run_controller)
+                    )
+                    if sync:
+                        self.collect()
+                    return
+            elif self._run_parallel(
+                start, duration, run_controller, parallel
+            ):
+                return
+            self._note_parallel_fallback(parallel)
         now = start
         while now < start + duration:
             self.step(now, run_controller=run_controller)
             now += self.tick_seconds
+
+    # -- the persistent pool -----------------------------------------------------
+
+    def _ensure_pool(self, workers: int) -> Optional[_WorkerPool]:
+        """The live worker pool, forked on first use (None: no fork)."""
+        if self._pool is not None:
+            return self._pool
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+        self._pool = _WorkerPool(
+            self, min(workers, len(self.deployments)), context
+        )
+        return self._pool
+
+    def collect(self) -> None:
+        """Pull worker state into the parent deployments (pool only).
+
+        Safe to call repeatedly; after it, every record/monitor/
+        telemetry/override accessor reflects the workers' progress.
+        """
+        if self._pool is None:
+            return
+        for states in self._pool.command(("collect",)):
+            for name, state in states:
+                self._merge_state(name, state)
+
+    def close_pool(self) -> None:
+        """Stop the pool's workers (final state is collected first)."""
+        if self._pool is None:
+            return
+        self.collect()
+        pool, self._pool = self._pool, None
+        pool.stop()
+
+    def _note_parallel_fallback(self, requested: int) -> None:
+        self._m_parallel_fallback.inc()
+        log_event(
+            _log,
+            "fleet.parallel_fallback",
+            requested_workers=requested,
+            pops=len(self.deployments),
+            reason="fork start method unavailable",
+        )
+
+    def _merge_state(self, name: str, state: _PopRunState) -> None:
+        deployment = self.deployments[name]
+        deployment.record = state.record
+        deployment.controller.monitor = state.monitor
+        deployment.controller.overrides = state.overrides
+        deployment.controller.aggregator = state.aggregator
+        deployment.simulator.metrics = state.metrics
+        # The worker's telemetry (registry counts, spans, audit
+        # trail) replaces the parent's pre-run copy wholesale —
+        # same merge contract as the record and monitor above.
+        deployment.telemetry = state.telemetry
+        deployment.controller.telemetry = state.telemetry
+        deployment.current_time = state.current_time
+        if deployment.safety is not None:
+            deployment.safety.violations = state.safety_violations
+        if deployment.faults is not None:
+            deployment.faults.log = state.fault_actions
 
     def _run_parallel(
         self,
@@ -198,7 +422,7 @@ class FleetDeployment:
         run_controller: bool,
         workers: int,
     ) -> bool:
-        """Fork-based parallel run; False if fork is unavailable."""
+        """Fork-per-run parallel run; False if fork is unavailable."""
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
@@ -217,21 +441,7 @@ class FleetDeployment:
             _WORKER_FLEET = None
             _WORKER_RUN_ARGS = None
         for name, state in results:
-            deployment = self.deployments[name]
-            deployment.record = state.record
-            deployment.controller.monitor = state.monitor
-            deployment.controller.overrides = state.overrides
-            deployment.simulator.metrics = state.metrics
-            # The worker's telemetry (registry counts, spans, audit
-            # trail) replaces the parent's pre-run copy wholesale —
-            # same merge contract as the record and monitor above.
-            deployment.telemetry = state.telemetry
-            deployment.controller.telemetry = state.telemetry
-            deployment.current_time = state.current_time
-            if deployment.safety is not None:
-                deployment.safety.violations = state.safety_violations
-            if deployment.faults is not None:
-                deployment.faults.log = state.fault_actions
+            self._merge_state(name, state)
         return True
 
     # -- aggregation ----------------------------------------------------------------

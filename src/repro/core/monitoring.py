@@ -39,6 +39,10 @@ class CycleReport:
     #: "delta" (incremental projection + fresh allocation), or "reuse"
     #: (cached allocation revalidated).  "" on skipped cycles.
     decision_path: str = ""
+    #: Routes actually held by the injector after this cycle.  Equal to
+    #: the active override count normally; under aggregated injection
+    #: it is the (much smaller) covering-prefix count.
+    installed_overrides: int = 0
 
     @property
     def churn(self) -> int:

@@ -24,9 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+import numpy as np
+
 from ..bgp.route import Route
 from ..dataplane.fib import egress_interface
 from ..netbase.addr import Prefix
+from ..netbase.intern import Interner
 from ..netbase.units import Rate
 from ..topology.entities import InterfaceKey, PoP
 from .inputs import ControllerInputs
@@ -104,10 +107,22 @@ class IncrementalProjection:
     still exactly (or, with hysteresis, acceptably) valid.
     """
 
+    #: Initial interface-column capacity; doubles on demand.
+    _INITIAL_CAPACITY = 16
+
     def __init__(self, pop: PoP) -> None:
         self.pop = pop
         self.placements: Dict[Prefix, Placement] = {}
-        self._loads_bps: Dict[InterfaceKey, float] = {}
+        # Columnar interface loads: interfaces are interned into dense
+        # slots and per-interface bits/second live in a float64 column
+        # (with a parallel liveness mask standing in for dict-key
+        # presence), so drift comparison and utilization checks are
+        # vectorized.  Element-wise float64 ops are the identical IEEE
+        # operations the dict accumulation performed, so the loads stay
+        # bit-for-bit equal to :func:`project`.
+        self._ifaces: Interner[InterfaceKey] = Interner()
+        self._loads_col = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._live = np.zeros(self._INITIAL_CAPACITY, dtype=bool)
         self._by_interface: Dict[InterfaceKey, Dict[Prefix, Placement]] = {}
         self._sorted_cache: Dict[InterfaceKey, List[Placement]] = {}
         self._unplaceable_bps: Dict[Prefix, float] = {}
@@ -117,18 +132,38 @@ class IncrementalProjection:
         self._abs_delta_bps: Dict[InterfaceKey, float] = {}
         self._band_loads_bps: Dict[InterfaceKey, float] = {}
 
+    def _slot_for(self, key: InterfaceKey) -> int:
+        slot = self._ifaces.intern(key)
+        if slot == len(self._loads_col):
+            grown = len(self._loads_col) * 2
+            loads = np.zeros(grown, dtype=np.float64)
+            loads[:slot] = self._loads_col
+            live = np.zeros(grown, dtype=bool)
+            live[:slot] = self._live
+            self._loads_col = loads
+            self._live = live
+        return slot
+
     # -- projection queries (the allocator's view) ---------------------------
 
     @property
     def loads(self) -> Dict[InterfaceKey, Rate]:
-        return {key: Rate(bps) for key, bps in self._loads_bps.items()}
+        table = self._ifaces.keys
+        unboxed = self._loads_col.tolist()
+        return {
+            table[slot]: Rate(unboxed[slot])
+            for slot in np.nonzero(self._live)[0].tolist()
+        }
 
     @property
     def unplaceable(self) -> Rate:
         return Rate(self._unplaceable_total)
 
     def load_on(self, key: InterfaceKey) -> Rate:
-        return Rate(self._loads_bps.get(key, 0.0))
+        slot = self._ifaces.id_of(key)
+        if slot is None or not self._live[slot]:
+            return Rate(0.0)
+        return Rate(self._loads_col[slot].item())
 
     def prefixes_on(self, key: InterfaceKey) -> List[Placement]:
         """Placements assigned to one interface, heaviest first.
@@ -151,14 +186,25 @@ class IncrementalProjection:
         threshold: float,
     ) -> List[InterfaceKey]:
         """Same contract as :meth:`Projection.overloaded`."""
-        excesses = []
-        for key, load_bps in self._loads_bps.items():
-            capacity = capacities.get(key)
-            if capacity is None or capacity.is_zero():
-                continue
-            excess = load_bps - capacity.bits_per_second * threshold
-            if excess > 0:
-                excesses.append((excess, key))
+        count = len(self._ifaces)
+        if count == 0:
+            return []
+        table = self._ifaces.keys
+        caps = np.zeros(count, dtype=np.float64)
+        for slot in np.nonzero(self._live[:count])[0].tolist():
+            capacity = capacities.get(table[slot])
+            if capacity is not None and not capacity.is_zero():
+                caps[slot] = capacity.bits_per_second
+        # Vectorized `load - capacity * threshold`: element-wise float64,
+        # identical to the per-key arithmetic it replaces.  Slots with no
+        # (or zero) capacity keep caps == 0 and are masked out below.
+        excess = self._loads_col[:count] - caps * threshold
+        mask = self._live[:count] & (caps > 0.0) & (excess > 0.0)
+        unboxed = excess.tolist()
+        excesses = [
+            (unboxed[slot], table[slot])
+            for slot in np.nonzero(mask)[0].tolist()
+        ]
         excesses.sort(key=lambda pair: (-pair[0], pair[1]))
         return [key for _excess, key in excesses]
 
@@ -175,15 +221,18 @@ class IncrementalProjection:
         disagreement per interface, for the controller's drift guard
         (empty on the first build).
         """
-        before = self._loads_bps
-        had_state = bool(before) or bool(self.placements)
+        before_count = len(self._ifaces)
+        before_col = self._loads_col[:before_count].copy()
+        had_state = bool(self._live.any()) or bool(self.placements)
         self.placements = {}
-        self._loads_bps = {}
+        self._loads_col[:] = 0.0
+        self._live[:] = False
         self._by_interface = {}
         self._sorted_cache = {}
         self._unplaceable_bps = {}
-        loads_bps: Dict[InterfaceKey, float] = {}
         unplaceable_total = 0.0
+        loads_col = self._loads_col
+        live = self._live
         for prefix, rate in inputs.traffic.items():
             routes = inputs.routes_of(prefix)
             if not routes:
@@ -193,7 +242,12 @@ class IncrementalProjection:
                 continue
             preferred = routes[0]
             key = egress_interface(self.pop, preferred)
-            loads_bps[key] = loads_bps.get(key, 0.0) + rate.bits_per_second
+            slot = self._slot_for(key)
+            if loads_col is not self._loads_col:
+                loads_col = self._loads_col
+                live = self._live
+            loads_col[slot] += rate.bits_per_second
+            live[slot] = True
             placement = Placement(
                 prefix=prefix, rate=rate, route=preferred, interface=key
             )
@@ -203,18 +257,25 @@ class IncrementalProjection:
                 holders = {}
                 self._by_interface[key] = holders
             holders[prefix] = placement
-        self._loads_bps = loads_bps
         self._unplaceable_total = unplaceable_total
         self._structural_change = True
         drift: Dict[InterfaceKey, float] = {}
         if had_state:
-            for key in set(before) | set(loads_bps):
-                truth = loads_bps.get(key, 0.0)
-                held = before.get(key, 0.0)
-                scale = max(abs(truth), abs(held), 1.0)
-                relative = abs(truth - held) / scale
-                if relative > 0.0:
-                    drift[key] = relative
+            count = len(self._ifaces)
+            truth = self._loads_col[:count]
+            held = np.zeros(count, dtype=np.float64)
+            held[:before_count] = before_col
+            # Vectorized |truth - held| / max(|truth|, |held|, 1.0):
+            # element-wise float64, identical to the scalar arithmetic.
+            # Slots dead in both snapshots hold 0.0 in both columns and
+            # fall out through the `> 0.0` filter, exactly as keys
+            # absent from both dicts never entered the old loop.
+            scale = np.maximum(np.maximum(np.abs(truth), np.abs(held)), 1.0)
+            relative = np.abs(truth - held) / scale
+            table = self._ifaces.keys
+            unboxed = relative.tolist()
+            for slot in np.nonzero(relative > 0.0)[0].tolist():
+                drift[table[slot]] = unboxed[slot]
         return drift
 
     def apply(self, inputs: ControllerInputs) -> None:
@@ -229,22 +290,24 @@ class IncrementalProjection:
             raise ValueError("apply() needs an incremental snapshot")
         route_dirty = inputs.route_dirty_prefixes or frozenset()
         traffic = inputs.traffic
-        loads = self._loads_bps
         for prefix in sorted(dirty):
             old = self.placements.pop(prefix, None)
             if old is not None:
                 old_key = old.interface
-                loads[old_key] -= old.rate.bits_per_second
+                old_slot = self._ifaces.id_of(old_key)
+                assert old_slot is not None
+                self._loads_col[old_slot] -= old.rate.bits_per_second
                 holders = self._by_interface[old_key]
                 del holders[prefix]
                 self._sorted_cache.pop(old_key, None)
                 if not holders:
-                    # Drop the empty interface entirely so a rebuilt
+                    # Retire the empty interface entirely so a rebuilt
                     # projection (which would never create the key)
                     # agrees on which interfaces carry load, instead of
                     # leaving an ulp-scale float residue behind.
                     del self._by_interface[old_key]
-                    del loads[old_key]
+                    self._live[old_slot] = False
+                    self._loads_col[old_slot] = 0.0
             else:
                 stale = self._unplaceable_bps.pop(prefix, None)
                 if stale is not None:
@@ -260,9 +323,11 @@ class IncrementalProjection:
                 else:
                     preferred = routes[0]
                     key = egress_interface(self.pop, preferred)
-                    loads[key] = (
-                        loads.get(key, 0.0) + rate.bits_per_second
-                    )
+                    slot = self._slot_for(key)
+                    # Retired slots were zeroed, so += restarts from
+                    # exactly the 0.0 a fresh dict entry would hold.
+                    self._loads_col[slot] += rate.bits_per_second
+                    self._live[slot] = True
                     new = Placement(
                         prefix=prefix,
                         rate=rate,
@@ -330,7 +395,12 @@ class IncrementalProjection:
         """Record that the allocator just ran against this projection."""
         self._structural_change = False
         self._abs_delta_bps = {}
-        self._band_loads_bps = dict(self._loads_bps)
+        table = self._ifaces.keys
+        unboxed = self._loads_col.tolist()
+        self._band_loads_bps = {
+            table[slot]: unboxed[slot]
+            for slot in np.nonzero(self._live)[0].tolist()
+        }
 
     def allocation_still_valid(
         self,
@@ -351,14 +421,17 @@ class IncrementalProjection:
         """
         if self._structural_change:
             return False
-        loads = self._loads_bps
         band = self._band_loads_bps
         for key in self._abs_delta_bps:
             capacity = capacities.get(key)
             if capacity is None or capacity.is_zero():
                 continue
             limit = capacity.bits_per_second * threshold
-            now_bps = loads.get(key, 0.0)
+            slot = self._ifaces.id_of(key)
+            if slot is not None and self._live[slot]:
+                now_bps = self._loads_col[slot].item()
+            else:
+                now_bps = 0.0
             then_bps = band.get(key, 0.0)
             if (now_bps > limit) != (then_bps > limit):
                 return False

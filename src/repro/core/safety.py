@@ -235,7 +235,10 @@ class SafetyChecker:
         self, now: float, found: List[Violation]
     ) -> None:
         injected = self.controller.injector.injected_prefixes()
-        tracked = sorted(self.controller.overrides.active())
+        # Compare against the *installed* table: under aggregation the
+        # injector legitimately holds covering prefixes, not the
+        # per-prefix desired set.
+        tracked = self.controller.installed_prefixes()
         if injected != tracked:
             extra = [str(p) for p in injected if p not in tracked]
             missing = [str(p) for p in tracked if p not in injected]

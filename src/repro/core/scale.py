@@ -45,6 +45,7 @@ from ..netbase.addr import Family, Prefix
 from ..netbase.units import Rate
 from ..obs.telemetry import Telemetry
 from ..sflow.collector import SflowCollector
+from ..sflow.estimator import DEFAULT_CHANGE_LOG_LIMIT
 from ..topology.entities import InterfaceKey
 from ..topology.scenarios import ScalePop, build_scale_pop
 from .config import ControllerConfig
@@ -88,6 +89,20 @@ class ScaleConfig:
     #: Tight-PNI load as a multiple of the detour threshold limit.
     overload_factor: float = 1.1
     cycle_seconds: float = 30.0
+    #: Home the tight slice in contiguous prefix blocks (one block per
+    #: tight PNI) instead of round-robin.  Contiguous blocks are what a
+    #: real PoP sees — a congested peer owns whole swaths of its
+    #: announced space — and what aggregated injection collapses.
+    block_tight_homing: bool = False
+    #: Give every tight prefix the same rate, so the allocator's
+    #: rate-ordered detour picks stay contiguous in prefix space.
+    uniform_tight_rates: bool = False
+    #: Run the controller with aggregated override injection.
+    aggregate_overrides: bool = False
+    #: Audit a "keep" event per standing override per cycle (see
+    #: :attr:`ControllerConfig.audit_keep_events`); the full-table
+    #: preset turns this off.
+    audit_keep_events: bool = True
 
     def __post_init__(self) -> None:
         if self.prefix_count < 1:
@@ -115,9 +130,41 @@ class ScaleConfig:
             cycle_seconds=self.cycle_seconds,
             max_input_age_seconds=self.window_seconds,
             incremental_engine=incremental,
+            aggregate_overrides=self.aggregate_overrides,
+            audit_keep_events=self.audit_keep_events,
         )
         base.update(overrides)
         return ControllerConfig(**base)  # type: ignore[arg-type]
+
+    @classmethod
+    def full_table(
+        cls,
+        prefix_count: int = 700_000,
+        cycles: int = 12,
+        seed: int = 7,
+        **overrides: object,
+    ) -> "ScaleConfig":
+        """The full-table preset: a PoP carrying the whole IPv4 table.
+
+        700k prefixes is today's global routing table; the tight PNIs
+        are overloaded hard (8x the threshold limit) so nearly the whole
+        tight slice — ~21k prefixes — must detour, which is the regime
+        where aggregated injection pays: contiguous blocks of equal-rate
+        detours collapse into a handful of covering announcements.
+        """
+        base: Dict[str, object] = dict(
+            prefix_count=prefix_count,
+            cycles=cycles,
+            seed=seed,
+            churn_fraction=0.005,
+            overload_factor=8.0,
+            block_tight_homing=True,
+            uniform_tight_rates=True,
+            aggregate_overrides=True,
+            audit_keep_events=False,
+        )
+        base.update(overrides)
+        return cls(**base)  # type: ignore[arg-type]
 
 
 @dataclass
@@ -129,6 +176,9 @@ class CycleCapture:
     decision_path: str
     #: prefix -> detour target session name (exact-comparable).
     overrides: Dict[Prefix, str]
+    #: The injector-held table: covering aggregates under aggregated
+    #: injection, identical to ``overrides`` otherwise.
+    installed: Dict[Prefix, str]
     #: interface -> projected post-detour load, bits/second.
     final_loads: Dict[InterfaceKey, float]
     report: CycleReport = field(repr=False, compare=False, default=None)
@@ -161,6 +211,18 @@ class ScaleRunResult:
             )
         return counts
 
+    def mean_install_ratio(self) -> float:
+        """Mean desired-overrides / installed-routes across cycles —
+        the aggregation win (1.0 without aggregated injection)."""
+        ratios = [
+            len(capture.overrides) / len(capture.installed)
+            for capture in self.cycles
+            if capture.installed
+        ]
+        if not ratios:
+            return 1.0
+        return sum(ratios) / len(ratios)
+
 
 class ScaleScenario:
     """One seeded scale run against the real control stack."""
@@ -186,16 +248,25 @@ class ScaleScenario:
             build_rng.uniform(2e6, 5e7) for _ in range(count)
         ]
 
-        # Home each prefix on a PNI: a small slice round-robins over the
-        # tight ports, the rest over the roomy ones.
+        # Home each prefix on a PNI: a small slice goes to the tight
+        # ports — round-robin by default, contiguous blocks when
+        # block-homing is on — and the rest round-robins the roomy ones.
         tight_total = config.tight_pni_count
         tight_prefixes = (
             int(count * config.tight_prefix_share) if tight_total else 0
         )
+        if config.uniform_tight_rates:
+            for index in range(tight_prefixes):
+                self._rate_bps[index] = 3e7
         self._home: List[int] = []
         for index in range(count):
             if index < tight_prefixes:
-                self._home.append(index % tight_total)
+                if config.block_tight_homing:
+                    self._home.append(
+                        index * tight_total // tight_prefixes
+                    )
+                else:
+                    self._home.append(index % tight_total)
             else:
                 self._home.append(
                     tight_total + index % config.pni_count
@@ -231,6 +302,13 @@ class ScaleScenario:
             lambda _family, _address: None,
             window_seconds=config.window_seconds,
             telemetry=self.telemetry,
+            # The change log must absorb one whole-table seed plus a
+            # run's worth of churn, or the incremental snapshot path
+            # degrades to full rebuilds at exactly the table sizes
+            # where it matters most.
+            change_log_limit=max(
+                DEFAULT_CHANGE_LOG_LIMIT, 2 * config.prefix_count
+            ),
         )
         self.injector = BgpInjector(
             self.scale_pop.pop, self.scale_pop.speakers, cc
@@ -282,10 +360,12 @@ class ScaleScenario:
         )
 
     def _seed_routes(self) -> None:
-        bmp = self.bmp
+        # Bulk path: one best-path decision per prefix instead of two.
+        routes: List[Route] = []
         for index in range(self.config.prefix_count):
-            bmp.ingest_route(self._transit_route(index))
-            bmp.ingest_route(self._pni_route(index, 0.0))
+            routes.append(self._transit_route(index))
+            routes.append(self._pni_route(index, 0.0))
+        self.bmp.ingest_routes(routes, now=0.0)
 
     def _seed_rates(self) -> None:
         # bytes = bps * window / 8 makes the estimator report exactly
@@ -339,11 +419,17 @@ class ScaleScenario:
         report = self.controller.run_cycle(now)
         wall = _time.perf_counter() - started
         self.safety.check(now, report)
+        aggregator = self.controller.aggregator
         return CycleCapture(
             time=now,
             wall_seconds=wall,
             decision_path=report.decision_path,
             overrides=dict(self.controller.overrides.active_targets()),
+            installed=dict(
+                self.controller.overrides.active_targets()
+                if aggregator is None
+                else aggregator.installed.active_targets()
+            ),
             final_loads={
                 key: rate.bits_per_second
                 for key, rate in self.controller.last_final_loads.items()
@@ -398,6 +484,12 @@ def compare_runs(
                 f"cycle {index}: override tables differ "
                 f"(left-only/changed: {_preview(only_a)}, "
                 f"right-only/changed: {_preview(only_b)})"
+            )
+        if a.installed != b.installed:
+            problems.append(
+                f"cycle {index}: installed (injector-held) tables "
+                f"differ: {len(a.installed)} vs {len(b.installed)} "
+                "routes"
             )
         if set(a.final_loads) != set(b.final_loads):
             problems.append(

@@ -122,6 +122,17 @@ class PopView:
         except KeyError:
             pass
         best = self.rib.best(prefix)
+        if (
+            best is not None
+            and not best.is_injected
+            and self.rib.injected_route_count
+        ):
+            # Aggregated overrides: a detour installed at a covering
+            # prefix applies to every routed prefix beneath it (the
+            # injected route wins on LOCAL_PREF for the whole block).
+            covering = self.rib.injected_covering(prefix)
+            if covering is not None:
+                best = covering
         entry = (
             None if best is None else (best, egress_interface(pop, best))
         )

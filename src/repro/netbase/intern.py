@@ -1,0 +1,77 @@
+"""Dense integer interning for hot-path keys.
+
+At full-table scale (~700k prefixes) the controller's hot state is
+dominated by dict lookups keyed on :class:`~.addr.Prefix` objects and
+interface tuples.  An :class:`Interner` assigns each distinct key a
+stable, dense integer id the first time it is seen, so columnar state
+(:mod:`repro.sflow.estimator`, :mod:`repro.core.projection`) can keep
+per-key values in flat arrays indexed by id instead of per-key boxed
+floats.
+
+Ids are never recycled: a key's id is valid for the interner's lifetime
+even if the keyed state empties and refills, which is exactly what a
+sliding-window estimator needs (a prefix that goes quiet and returns
+keeps its slot).  Density makes ids directly usable as array indices;
+``len(interner)`` is always the next id to be assigned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, TypeVar
+
+__all__ = ["Interner"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+class Interner(Generic[K]):
+    """Assigns stable dense integer ids to hashable keys.
+
+    >>> interner = Interner()
+    >>> interner.intern("a"), interner.intern("b"), interner.intern("a")
+    (0, 1, 0)
+    >>> interner.key_of(1)
+    'b'
+    """
+
+    __slots__ = ("_ids", "_keys")
+
+    def __init__(self) -> None:
+        self._ids: Dict[K, int] = {}
+        self._keys: List[K] = []
+
+    def intern(self, key: K) -> int:
+        """The id for *key*, assigning the next dense id if unseen."""
+        found = self._ids.get(key)
+        if found is not None:
+            return found
+        assigned = len(self._keys)
+        self._ids[key] = assigned
+        self._keys.append(key)
+        return assigned
+
+    def id_of(self, key: K) -> Optional[int]:
+        """The id for *key* if it has been interned, else None."""
+        return self._ids.get(key)
+
+    def key_of(self, ident: int) -> K:
+        """The key holding id *ident* (raises IndexError if unassigned)."""
+        return self._keys[ident]
+
+    @property
+    def keys(self) -> List[K]:
+        """The id -> key table itself (treat as read-only)."""
+        return self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._ids
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._keys)
+
+    def clear(self) -> None:
+        self._ids.clear()
+        self._keys.clear()

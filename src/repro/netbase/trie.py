@@ -68,6 +68,13 @@ class RadixTrie(Generic[V]):
         self._family = family
         self._root: Optional[_Node[V]] = None
         self._size = 0
+        # Exact-match index: every *inserted* prefix (has_value nodes
+        # only, never branch nodes) maps straight to its node.  Exact
+        # get/contains are the controller's hottest trie operation at
+        # full-table scale; the index makes them one dict probe instead
+        # of a bit-walk, while LPM and subtree iteration still use the
+        # tree structure.
+        self._nodes: dict[Prefix, _Node[V]] = {}
 
     @property
     def family(self) -> Family:
@@ -84,67 +91,87 @@ class RadixTrie(Generic[V]):
     def insert(self, prefix: Prefix, value: V) -> None:
         """Insert or replace the value stored at *prefix*."""
         self._check_family(prefix)
+        existing = self._nodes.get(prefix)
+        if existing is not None:
+            # Replacement: the index guarantees has_value is already set.
+            existing.value = value
+            return
         if self._root is None:
             node: _Node[V] = _Node(prefix)
             node.value, node.has_value = value, True
             self._root = node
             self._size = 1
+            self._nodes[prefix] = node
             return
-        self._root = self._insert(self._root, prefix, value)
-
-    def _insert(self, node: _Node[V], prefix: Prefix, value: V) -> _Node[V]:
-        common = _common_length(node.prefix, prefix)
-        if common < node.prefix.length:
-            # Split: make a branch node covering the common part.
-            branch_prefix = Prefix.from_address(
-                prefix.family, prefix.network, common
-            )
-            branch: _Node[V] = _Node(branch_prefix)
-            node_bit = _bit_at(prefix.family, node.prefix.network, common)
-            if common == prefix.length:
-                # The new prefix *is* the branch point.
-                branch.value, branch.has_value = value, True
+        # Iterative descent (the insert path runs ~1.4M times building a
+        # full-table RIB; recursion overhead is measurable there).
+        parent: Optional[_Node[V]] = None
+        parent_bit = 0
+        node = self._root
+        while True:
+            common = _common_length(node.prefix, prefix)
+            if common < node.prefix.length:
+                # Split: make a branch node covering the common part.
+                branch_prefix = Prefix.from_address(
+                    prefix.family, prefix.network, common
+                )
+                branch: _Node[V] = _Node(branch_prefix)
+                node_bit = _bit_at(
+                    prefix.family, node.prefix.network, common
+                )
+                if common == prefix.length:
+                    # The new prefix *is* the branch point.
+                    branch.value, branch.has_value = value, True
+                    self._nodes[prefix] = branch
+                else:
+                    leaf: _Node[V] = _Node(prefix)
+                    leaf.value, leaf.has_value = value, True
+                    self._nodes[prefix] = leaf
+                    if node_bit:
+                        branch.left = leaf
+                    else:
+                        branch.right = leaf
+                if node_bit:
+                    branch.right = node
+                else:
+                    branch.left = node
                 self._size += 1
-            else:
-                leaf: _Node[V] = _Node(prefix)
+                if parent is None:
+                    self._root = branch
+                elif parent_bit:
+                    parent.right = branch
+                else:
+                    parent.left = branch
+                return
+            if prefix.length == node.prefix.length:
+                # An existing branch node becomes a value node (an index
+                # hit would have taken the replacement fast path above).
+                if not node.has_value:
+                    self._size += 1
+                node.value, node.has_value = value, True
+                self._nodes[prefix] = node
+                return
+            # Descend: prefix is strictly longer and node covers it.
+            bit = _bit_at(prefix.family, prefix.network, node.prefix.length)
+            child = node.right if bit else node.left
+            if child is None:
+                leaf = _Node(prefix)
                 leaf.value, leaf.has_value = value, True
                 self._size += 1
-                if node_bit:
-                    branch.left = leaf
+                self._nodes[prefix] = leaf
+                if bit:
+                    node.right = leaf
                 else:
-                    branch.right = leaf
-            if node_bit:
-                branch.right = node
-            else:
-                branch.left = node
-            return branch
-        if prefix.length == node.prefix.length:
-            if not node.has_value:
-                self._size += 1
-            node.value, node.has_value = value, True
-            return node
-        # Descend: prefix is strictly longer and node covers it.
-        bit = _bit_at(prefix.family, prefix.network, node.prefix.length)
-        child = node.right if bit else node.left
-        if child is None:
-            leaf = _Node(prefix)
-            leaf.value, leaf.has_value = value, True
-            self._size += 1
-            if bit:
-                node.right = leaf
-            else:
-                node.left = leaf
-        else:
-            replacement = self._insert(child, prefix, value)
-            if bit:
-                node.right = replacement
-            else:
-                node.left = replacement
-        return node
+                    node.left = leaf
+                return
+            parent, parent_bit = node, bit
+            node = child
 
     def delete(self, prefix: Prefix) -> V:
         """Remove *prefix*, returning its value.  Raises KeyError if absent."""
         self._check_family(prefix)
+        if prefix not in self._nodes:
+            raise KeyError(str(prefix))
         path: list[Tuple[Optional[_Node[V]], int]] = []
         node = self._root
         while node is not None:
@@ -161,6 +188,7 @@ class RadixTrie(Generic[V]):
             raise KeyError(str(prefix))
         value = node.value
         node.value, node.has_value = None, False
+        del self._nodes[prefix]
         self._size -= 1
         self._prune(node, path)
         return value  # type: ignore[return-value]
@@ -198,6 +226,7 @@ class RadixTrie(Generic[V]):
     def clear(self) -> None:
         self._root = None
         self._size = 0
+        self._nodes.clear()
 
     # -- dict-style access -----------------------------------------------------
 
@@ -205,36 +234,23 @@ class RadixTrie(Generic[V]):
         self.insert(prefix, value)
 
     def __getitem__(self, prefix: Prefix) -> V:
-        found = self.get(prefix)
-        if found is None and not self.__contains__(prefix):
+        self._check_family(prefix)
+        node = self._nodes.get(prefix)
+        if node is None:
             raise KeyError(str(prefix))
-        return found  # type: ignore[return-value]
+        return node.value  # type: ignore[return-value]
 
     def __contains__(self, prefix: Prefix) -> bool:
-        node = self._exact_node(prefix)
-        return node is not None and node.has_value
+        self._check_family(prefix)
+        return prefix in self._nodes
 
     def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
-        """Exact-match lookup."""
-        node = self._exact_node(prefix)
-        if node is not None and node.has_value:
+        """Exact-match lookup (one index probe, no tree walk)."""
+        self._check_family(prefix)
+        node = self._nodes.get(prefix)
+        if node is not None:
             return node.value
         return default
-
-    def _exact_node(self, prefix: Prefix) -> Optional[_Node[V]]:
-        self._check_family(prefix)
-        node = self._root
-        while node is not None:
-            common = _common_length(node.prefix, prefix)
-            if common < node.prefix.length:
-                return None
-            if node.prefix.length == prefix.length:
-                return node
-            if node.prefix.length > prefix.length:
-                return None
-            bit = _bit_at(prefix.family, prefix.network, node.prefix.length)
-            node = node.right if bit else node.left
-        return None
 
     # -- longest-prefix match ---------------------------------------------------
 
@@ -286,8 +302,18 @@ class RadixTrie(Generic[V]):
     def __iter__(self) -> Iterator[Prefix]:
         return self.keys()
 
-    def covered_by(self, covering: Prefix) -> Iterator[Tuple[Prefix, V]]:
-        """All inserted prefixes equal to or more specific than *covering*."""
+    def subtree(self, covering: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """All inserted prefixes equal to or more specific than *covering*.
+
+        Yields in deterministic pre-order — a covering prefix before the
+        prefixes under it, lower networks before higher — which for
+        prefixes is exactly lexicographic (:class:`Prefix` sort) order.
+        The order is a function of the stored key *set* only: a
+        path-compressed trie's shape is canonical for its keys, so two
+        tries built from the same prefixes in any insertion order
+        iterate identically.  Aggregation (``repro.core.aggregate``)
+        depends on this determinism for twin-run equivalence.
+        """
         self._check_family(covering)
         node = self._root
         while node is not None and node.prefix.length < covering.length:
@@ -307,6 +333,30 @@ class RadixTrie(Generic[V]):
                 stack.append(current.right)
             if current.left is not None:
                 stack.append(current.left)
+
+    def covered_by(self, covering: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Alias of :meth:`subtree` (the historical name)."""
+        return self.subtree(covering)
+
+    def matches(self, target: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """All inserted prefixes covering *target*, least specific first.
+
+        The full covering chain a longest-prefix match walks through;
+        ``list(matches(t))[-1]`` equals ``longest_match(t)`` when any
+        match exists.
+        """
+        self._check_family(target)
+        node = self._root
+        while node is not None:
+            common = _common_length(node.prefix, target)
+            if common < node.prefix.length or node.prefix.length > target.length:
+                return
+            if node.has_value:
+                yield node.prefix, node.value  # type: ignore[misc]
+            if node.prefix.length == target.length:
+                return
+            bit = _bit_at(target.family, target.network, node.prefix.length)
+            node = node.right if bit else node.left
 
     def _check_family(self, prefix: Prefix) -> None:
         if prefix.family is not self._family:
@@ -368,7 +418,15 @@ class PrefixMap(Generic[V]):
 
     def covered_by(self, covering: Prefix) -> Iterator[Tuple[Prefix, V]]:
         """All entries equal to or more specific than *covering*."""
-        return self._tries[covering.family].covered_by(covering)
+        return self._tries[covering.family].subtree(covering)
+
+    def subtree(self, covering: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """All entries at or under *covering*, deterministic pre-order."""
+        return self._tries[covering.family].subtree(covering)
+
+    def matches(self, target: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """All entries covering *target*, least specific first."""
+        return self._tries[target.family].matches(target)
 
     def lookup_address(
         self, family: Family, address: int

@@ -118,6 +118,9 @@ class PrefixExplanation:
     events: Tuple[OverrideEvent, ...]
     #: True when the last event leaves an override installed.
     active: bool
+    #: Under aggregated injection: the covering prefix the injector
+    #: actually holds for this override ("" when installed as-is).
+    installed_as: str = ""
 
     def render(self) -> str:
         """Operator-facing, one line per event."""
@@ -128,6 +131,10 @@ class PrefixExplanation:
             f"{'override ACTIVE' if self.active else 'no active override'}"
             f" ({len(self.events)} recorded events)"
         ]
+        if self.active and self.installed_as:
+            lines.append(
+                f"  installed as covering aggregate {self.installed_as}"
+            )
         for event in self.events:
             if event.action == "withdraw":
                 lines.append(
@@ -167,6 +174,13 @@ class DecisionAudit:
         )
         self.recorded = 0
         self.evicted_prefixes = 0
+        # Desired prefix -> installed covering aggregate, as handed over
+        # by the controller each cycle.  Kept as the raw Prefix-keyed
+        # mapping and stringified lazily on the first explain() against
+        # it — the mapping can span tens of thousands of prefixes and
+        # explain is an operator-paced query.
+        self._covering_src: Optional[Dict] = None
+        self._covering_strs: Optional[Dict[str, str]] = None
 
     # -- recording ------------------------------------------------------------
 
@@ -183,7 +197,13 @@ class DecisionAudit:
         history.append(event)
         self.recorded += 1
 
-    def record_cycle(self, now: float, diff, detours: Dict) -> None:
+    def record_cycle(
+        self,
+        now: float,
+        diff,
+        detours: Dict,
+        record_keeps: bool = True,
+    ) -> None:
         """Record one cycle's override diff.
 
         *diff* is the :class:`~repro.core.overrides.OverrideDiff` the
@@ -192,6 +212,12 @@ class DecisionAudit:
         preferred route and the overloaded interface each move fled).
         Withdraw events precede announces so a replaced override reads
         as withdraw-then-announce in its history.
+
+        ``record_keeps=False`` drops the per-cycle "keep" events for
+        standing overrides — the full-table configuration, where that
+        work is O(standing overrides) per cycle and the bounded trail
+        evicts most of it anyway.  A prefix's history then reads
+        announce → withdraw with its active state still exact.
         """
         for override in diff.withdraw:
             self._append(
@@ -203,10 +229,10 @@ class DecisionAudit:
                     target_session=override.target_session,
                 )
             )
-        for action, overrides in (
-            ("announce", diff.announce),
-            ("keep", diff.keep),
-        ):
+        actions = [("announce", diff.announce)]
+        if record_keeps:
+            actions.append(("keep", diff.keep))
+        for action, overrides in actions:
             for override in overrides:
                 detour = detours.get(override.prefix)
                 if detour is None:
@@ -232,6 +258,31 @@ class DecisionAudit:
                         ),
                     )
                 )
+
+    def set_installed_aggregates(self, covering_of: Dict) -> None:
+        """Record how desired overrides map onto installed routes.
+
+        *covering_of* maps each desired prefix to the covering prefix
+        the injector actually holds for it (aggregated injection).
+        Replaced wholesale each cycle; the stringified index is rebuilt
+        lazily only when an ``explain`` actually needs it.
+        """
+        if covering_of is self._covering_src:
+            return
+        self._covering_src = covering_of
+        self._covering_strs = None
+
+    def installed_as(self, prefix: object) -> str:
+        """The covering aggregate installed for *prefix*, or ''."""
+        if not self._covering_src:
+            return ""
+        if self._covering_strs is None:
+            self._covering_strs = {
+                str(member): str(covering)
+                for member, covering in self._covering_src.items()
+                if member != covering
+            }
+        return self._covering_strs.get(str(prefix), "")
 
     def record_violation(
         self, now: float, subject: str, invariant: str, message: str
@@ -271,7 +322,10 @@ class DecisionAudit:
             "keep",
         )
         return PrefixExplanation(
-            prefix=key, events=events, active=active
+            prefix=key,
+            events=events,
+            active=active,
+            installed_as=self.installed_as(key) if active else "",
         )
 
     def detoured_prefixes(self) -> List[str]:

@@ -3,7 +3,7 @@
 from .agent import InterfaceIndexMap, ObservedFlow, SflowAgent
 from .collector import SflowCollector
 from .datagram import FlowSample, PacketRecord, SflowDatagram, SFLOW_VERSION
-from .estimator import RateEstimator
+from .estimator import ColumnarRateEstimator, RateEstimator
 
 __all__ = [
     "InterfaceIndexMap",
@@ -15,4 +15,5 @@ __all__ = [
     "SflowDatagram",
     "SFLOW_VERSION",
     "RateEstimator",
+    "ColumnarRateEstimator",
 ]

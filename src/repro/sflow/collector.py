@@ -23,7 +23,7 @@ from ..netbase.units import Rate
 from ..obs.telemetry import Telemetry
 from .agent import InterfaceIndexMap
 from .datagram import iter_sample_fields
-from .estimator import RateEstimator
+from .estimator import ColumnarRateEstimator
 
 __all__ = ["SflowCollector"]
 
@@ -42,7 +42,14 @@ class SflowCollector:
         resolver: PrefixResolver,
         window_seconds: float = 60.0,
         telemetry: Optional[Telemetry] = None,
+        change_log_limit: Optional[int] = None,
     ) -> None:
+        """*change_log_limit* bounds each estimator's change log (the
+        structure behind :meth:`changed_prefixes`).  The default suits
+        tens-of-thousands-of-prefixes tables; full-table deployments
+        must size it past one whole table refresh, or the first bulk
+        seed overflows the log and parks the incremental snapshot path
+        on full rebuilds for a window's worth of cycles."""
         self._resolver = resolver
         self.telemetry = telemetry or Telemetry(name="sflow")
         registry = self.telemetry.registry
@@ -59,15 +66,21 @@ class SflowCollector:
         )
         self._interfaces_by_router: Dict[str, InterfaceIndexMap] = {}
         self._router_by_agent: Dict[int, str] = {}
-        self._prefix_rates: RateEstimator[Prefix] = RateEstimator(
-            window_seconds
+        # Columnar estimators: bit-identical to RateEstimator (the
+        # parity suite enforces it) with vectorized snapshots, which is
+        # what makes full-table rates() affordable every cycle.
+        estimator_kwargs: Dict[str, object] = {}
+        if change_log_limit is not None:
+            estimator_kwargs["change_log_limit"] = change_log_limit
+        self._prefix_rates: ColumnarRateEstimator[Prefix] = (
+            ColumnarRateEstimator(window_seconds, **estimator_kwargs)
         )
-        self._interface_rates: RateEstimator[InterfaceKey] = RateEstimator(
-            window_seconds
+        self._interface_rates: ColumnarRateEstimator[InterfaceKey] = (
+            ColumnarRateEstimator(window_seconds, **estimator_kwargs)
         )
-        self._prefix_interface_rates: RateEstimator[
+        self._prefix_interface_rates: ColumnarRateEstimator[
             Tuple[Prefix, InterfaceKey]
-        ] = RateEstimator(window_seconds)
+        ] = ColumnarRateEstimator(window_seconds, **estimator_kwargs)
         self.unroutable_bytes = 0.0
         self.datagrams = 0
         self.samples = 0

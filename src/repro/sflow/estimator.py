@@ -22,15 +22,19 @@ from typing import (
     Generic,
     Hashable,
     Iterator,
+    List,
     Optional,
     Set,
     Tuple,
     TypeVar,
 )
 
+import numpy as np
+
+from ..netbase.intern import Interner
 from ..netbase.units import Rate
 
-__all__ = ["RateEstimator", "WindowStats"]
+__all__ = ["RateEstimator", "ColumnarRateEstimator", "WindowStats"]
 
 K = TypeVar("K", bound=Hashable)
 
@@ -269,6 +273,268 @@ class RateEstimator(Generic[K]):
     def clear(self) -> None:
         self._events.clear()
         self._totals.clear()
+        self.last_add_at = None
+        self._add_log.clear()
+        self._changed_watermark = _NEVER
+        self._log_ordered = True
+        self._log_dropped_until = _NEVER
+
+
+class ColumnarRateEstimator(Generic[K]):
+    """Array-backed :class:`RateEstimator`, bit-for-bit compatible.
+
+    Keys are interned into dense slots (:class:`~repro.netbase.intern.Interner`)
+    and per-key running totals live in a numpy float64 column instead of
+    a dict of boxed floats; a parallel ``_oldest`` column holds each
+    slot's oldest in-window sample timestamp (``inf`` for slots with no
+    in-window samples), so the bulk :meth:`rates` snapshot finds the
+    slots needing expiry with one vectorized comparison and computes all
+    rates with one vectorized multiply-divide, instead of touching every
+    key in Python.  At full-table scale (~700k prefixes) this turns the
+    steady-state snapshot from the dominant per-cycle cost into noise.
+
+    Parity is a hard contract, enforced property-style by the test
+    suite: every observable — rates, window stats, ``changed_keys``
+    (including the change-log overflow and out-of-order degradation
+    paths), lengths, membership — is bit-identical to the dict
+    implementation over any add/expire/query sequence, because the
+    per-slot arithmetic performs the exact same sequence of IEEE double
+    operations (element-wise numpy float64 math is the same operation
+    as the Python float math it replaces).  Numpy scalars never escape:
+    values are converted to Python floats at every API boundary so
+    reprs, JSON encodings and hash behaviour stay identical.
+
+    The one intentional difference is iteration *order*: a key that
+    empties and later gains samples keeps its slot (the dict
+    implementation re-inserts it at the end), so :meth:`keys` and
+    :meth:`rates` enumerate in first-ever-seen order, not
+    most-recently-revived order.  No consumer depends on either order;
+    parity tests compare by dict equality.
+    """
+
+    #: Initial slot capacity; columns double on demand.
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(
+        self,
+        window_seconds: float = 60.0,
+        change_log_limit: int = DEFAULT_CHANGE_LOG_LIMIT,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        self.window_seconds = window_seconds
+        self._log_limit = change_log_limit
+        self._slots: Interner[K] = Interner()
+        self._totals = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._oldest = np.full(
+            self._INITIAL_CAPACITY, np.inf, dtype=np.float64
+        )
+        #: Per-slot event deques, parallel to the interner's id space.
+        self._events: List[Deque[Tuple[float, float]]] = []
+        #: Count of slots currently holding in-window samples.
+        self._live = 0
+        self.last_add_at: Optional[float] = None
+        # Change-detection state: identical machinery to RateEstimator
+        # (see its field comments); the log stores keys, not slots, so
+        # changed_keys() returns the same sets.
+        self._add_log: Deque[Tuple[float, K]] = deque()
+        self._changed_watermark: float = _NEVER
+        self._log_ordered: bool = True
+        self._log_dropped_until: float = _NEVER
+
+    def _slot_for(self, key: K) -> int:
+        slot = self._slots.intern(key)
+        if slot == len(self._events):
+            self._events.append(deque())
+            if slot == len(self._totals):
+                grown = len(self._totals) * 2
+                totals = np.zeros(grown, dtype=np.float64)
+                totals[:slot] = self._totals
+                oldest = np.full(grown, np.inf, dtype=np.float64)
+                oldest[:slot] = self._oldest
+                self._totals = totals
+                self._oldest = oldest
+        return slot
+
+    def add(self, key: K, byte_count: float, now: float) -> None:
+        if byte_count < 0:
+            raise ValueError("byte count cannot be negative")
+        slot = self._slot_for(key)
+        self._expire_slot(slot, now - self.window_seconds)
+        events = self._events[slot]
+        if not events:
+            self._live += 1
+        events.append((now, byte_count))
+        self._oldest[slot] = events[0][0]
+        self._totals[slot] += byte_count
+        if self.last_add_at is None or now >= self.last_add_at:
+            self.last_add_at = now
+        else:
+            self._log_ordered = False
+        log = self._add_log
+        log.append((now, key))
+        floor = self._changed_watermark - self.window_seconds
+        while log and log[0][0] <= floor:
+            log.popleft()
+        if len(log) > self._log_limit:
+            self._log_dropped_until = log[-1][0]
+            log.clear()
+
+    def _expire_slot(self, slot: int, horizon: float) -> None:
+        """Mirror of :meth:`RateEstimator._expire`: same pops, same
+        single clamp, so totals stay bit-identical."""
+        events = self._events[slot]
+        if not events or events[0][0] > horizon:
+            return
+        total = self._totals[slot].item()
+        while events and events[0][0] <= horizon:
+            _ts, stale = events.popleft()
+            total -= stale
+        if events:
+            self._totals[slot] = max(0.0, total)
+            self._oldest[slot] = events[0][0]
+        else:
+            self._totals[slot] = 0.0
+            self._oldest[slot] = np.inf
+            self._live -= 1
+
+    def rate(self, key: K, now: float) -> Rate:
+        """Estimated rate for *key* over the window ending at *now*."""
+        slot = self._slots.id_of(key)
+        if slot is None or slot >= len(self._events):
+            return Rate(0.0)
+        self._expire_slot(slot, now - self.window_seconds)
+        total = self._totals[slot].item()
+        return Rate(total * 8.0 / self.window_seconds)
+
+    def window_stats(self, key: K, now: float) -> WindowStats:
+        """Diagnostics for *key*'s window; safe on empty windows."""
+        slot = self._slots.id_of(key)
+        if slot is not None and slot < len(self._events):
+            self._expire_slot(slot, now - self.window_seconds)
+            events = self._events[slot]
+        else:
+            events = None
+        if not events:
+            return WindowStats(
+                samples=0,
+                total_bytes=0.0,
+                window_rate=Rate(0),
+                observed_span=0.0,
+                mean_sample_gap=0.0,
+            )
+        count = len(events)
+        span = events[-1][0] - events[0][0]
+        gap = span / (count - 1) if count > 1 else 0.0
+        total = self._totals[slot].item()  # type: ignore[index]
+        return WindowStats(
+            samples=count,
+            total_bytes=total,
+            window_rate=Rate(total * 8.0 / self.window_seconds),
+            observed_span=span,
+            mean_sample_gap=gap,
+        )
+
+    def age(self, now: float) -> float:
+        """Seconds since *any* sample arrived (inf before the first)."""
+        if self.last_add_at is None:
+            return float("inf")
+        return max(0.0, now - self.last_add_at)
+
+    def keys(self) -> Iterator[K]:
+        """Live iterator over keys with in-window samples (no copy)."""
+        table = self._slots.keys
+        return (
+            table[slot]
+            for slot, events in enumerate(self._events)
+            if events
+        )
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __contains__(self, key: K) -> bool:
+        slot = self._slots.id_of(key)
+        return (
+            slot is not None
+            and slot < len(self._events)
+            and bool(self._events[slot])
+        )
+
+    def rates(self, now: float) -> Dict[K, Rate]:
+        """Snapshot of every key's current rate (zero-rate keys dropped).
+
+        The vectorized twin of :meth:`RateEstimator.rates`: one
+        comparison over the ``_oldest`` column finds the slots with
+        anything to expire (Python-loop expiry on just those slots keeps
+        the subtraction order, hence the bits, identical), then one
+        ``(totals * 8.0) / window`` computes every rate at once.
+        """
+        window = self.window_seconds
+        horizon = now - window
+        count = len(self._events)
+        out: Dict[K, Rate] = {}
+        if count == 0:
+            return out
+        oldest = self._oldest[:count]
+        for slot in np.nonzero(oldest <= horizon)[0].tolist():
+            events = self._events[slot]
+            total = self._totals[slot].item()
+            while events and events[0][0] <= horizon:
+                _ts, stale = events.popleft()
+                total -= stale
+            total = max(0.0, total)
+            if events:
+                self._totals[slot] = total
+                self._oldest[slot] = events[0][0]
+            else:
+                self._totals[slot] = 0.0
+                self._oldest[slot] = np.inf
+                self._live -= 1
+        values = (self._totals[:count] * 8.0) / window
+        # `oldest` is a view, so the expiry pass above already flipped
+        # emptied slots to inf; the mask below skips them.
+        live = np.nonzero(np.isfinite(oldest) & (values != 0.0))[0]
+        table = self._slots.keys
+        unboxed = values.tolist()
+        for slot in live.tolist():
+            out[table[slot]] = Rate(unboxed[slot])
+        return out
+
+    def changed_keys(self, since: float, now: float) -> Optional[Set[K]]:
+        """Identical contract and arithmetic to
+        :meth:`RateEstimator.changed_keys`."""
+        if now < since:
+            raise ValueError("change window runs backwards")
+        if (
+            not self._log_ordered
+            or since < self._changed_watermark
+            or since - self.window_seconds <= self._log_dropped_until
+        ):
+            return None
+        changed: Set[K] = set()
+        log = self._add_log
+        horizon = now - self.window_seconds
+        since_horizon = since - self.window_seconds
+        while log and log[0][0] <= horizon:
+            ts, key = log.popleft()
+            if ts > since_horizon:
+                changed.add(key)
+        for ts, key in reversed(log):
+            if ts <= since:
+                break
+            changed.add(key)
+        self._changed_watermark = now
+        return changed
+
+    def clear(self) -> None:
+        self._slots.clear()
+        self._totals = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._oldest = np.full(
+            self._INITIAL_CAPACITY, np.inf, dtype=np.float64
+        )
+        self._events.clear()
+        self._live = 0
         self.last_add_at = None
         self._add_log.clear()
         self._changed_watermark = _NEVER

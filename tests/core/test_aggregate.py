@@ -1,0 +1,493 @@
+"""Aggregated override injection: planning and observational equivalence.
+
+Unit tests pin the planner's shape on hand-built tables (runs merge,
+holes split or stay neutral, the length floor holds, conflicting nested
+desires fall back to flat installs).  The property suite is satellite
+S3: over random routing tables and random desired sets, installing the
+aggregated plan must be *observationally identical* — per-packet FIB
+resolution — to installing one override per desired prefix.
+"""
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.communities import INJECTED
+from repro.bgp.peering import PeerDescriptor, PeerType
+from repro.bgp.rib import LocRib
+from repro.bgp.route import Route
+from repro.core.aggregate import OverrideAggregator
+from repro.netbase.addr import Family, Prefix
+from repro.netbase.units import Rate, mbps
+
+LOCAL_ASN = 64600
+
+SESSION_A = PeerDescriptor(
+    router="pr0",
+    peer_asn=65001,
+    peer_type=PeerType.TRANSIT,
+    interface="tr0",
+    address=0x0A00_0001,
+)
+SESSION_B = PeerDescriptor(
+    router="pr0",
+    peer_asn=65002,
+    peer_type=PeerType.PRIVATE,
+    interface="pni0",
+    address=0x0A00_0002,
+)
+SESSION_C = PeerDescriptor(
+    router="pr0",
+    peer_asn=65003,
+    peer_type=PeerType.PUBLIC,
+    interface="ixp0",
+    address=0x0A00_0003,
+)
+SESSIONS = {s.name: s for s in (SESSION_A, SESSION_B, SESSION_C)}
+INJECTOR = PeerDescriptor(
+    router="pr0",
+    peer_asn=LOCAL_ASN,
+    peer_type=PeerType.INTERNAL,
+    interface="lo0",
+    address=0x7F00_0A01,
+    session_name="edge-fabric-injector",
+)
+
+
+def organic_route(prefix: Prefix, session: PeerDescriptor) -> Route:
+    return Route(
+        prefix=prefix,
+        attributes=PathAttributes(
+            as_path=AsPath.sequence(session.peer_asn, 64900),
+            next_hop=(Family.IPV4, session.address),
+        ),
+        source=session,
+        learned_at=0.0,
+    )
+
+
+def injected_route(prefix: Prefix, target: Route) -> Route:
+    """What the injector announces for an override at *prefix*."""
+    return Route(
+        prefix=prefix,
+        attributes=PathAttributes(
+            origin=target.attributes.origin,
+            as_path=target.attributes.as_path,
+            next_hop=(Family.IPV4, target.source.address),
+            local_pref=10_000,
+            communities=target.attributes.communities | {INJECTED},
+        ),
+        source=INJECTOR,
+        learned_at=0.0,
+    )
+
+
+@dataclass
+class FakeDetour:
+    """The two fields the aggregator reads off an allocator Detour."""
+
+    target: Route
+    rate: Rate
+
+
+def slash24(index: int) -> Prefix:
+    return Prefix(Family.IPV4, (10 << 24) | (index << 8), 24)
+
+
+def build(routed, desired_indices, target_session, organic_session):
+    """A rib of /24s at *routed* indices, with a desired subset."""
+    rib = LocRib()
+    for index, session in routed:
+        rib.update(organic_route(slash24(index), session))
+    desired = {}
+    for index in desired_indices:
+        prefix = slash24(index)
+        desired[prefix] = FakeDetour(
+            target=organic_route(prefix, target_session),
+            rate=mbps(index + 1),
+        )
+    targets = {p: d.target.source.name for p, d in desired.items()}
+    return rib, desired, targets
+
+
+class TestPlanner:
+    def test_contiguous_run_collapses_to_one_aggregate(self):
+        rib, desired, targets = build(
+            [(i, SESSION_B) for i in range(16)],
+            range(16),
+            SESSION_A,
+            SESSION_B,
+        )
+        agg = OverrideAggregator(min_length=20)
+        intents = agg.plan(desired, targets, rib)
+        assert list(intents) == [Prefix.parse("10.0.0.0/20")]
+        intent = intents[Prefix.parse("10.0.0.0/20")]
+        assert intent.members == 16
+        assert intent.target.source.name == SESSION_A.name
+        # The combined rate is the exact sum of the members'.
+        assert intent.rate == Rate(
+            sum(mbps(i + 1).bits_per_second for i in range(16))
+        )
+        assert set(agg.covering_of) == set(desired)
+        assert all(
+            c == Prefix.parse("10.0.0.0/20")
+            for c in agg.covering_of.values()
+        )
+
+    def test_min_length_floor_is_respected(self):
+        rib, desired, targets = build(
+            [(i, SESSION_B) for i in range(16)],
+            range(16),
+            SESSION_A,
+            SESSION_B,
+        )
+        agg = OverrideAggregator(min_length=22)
+        intents = agg.plan(desired, targets, rib)
+        assert sorted(intents) == [
+            Prefix.parse("10.0.0.0/22"),
+            Prefix.parse("10.0.4.0/22"),
+            Prefix.parse("10.0.8.0/22"),
+            Prefix.parse("10.0.12.0/22"),
+        ]
+        assert all(i.members == 4 for i in intents.values())
+
+    def test_neutral_hole_is_absorbed(self):
+        # Index 5 is not desired but its organic best already exits via
+        # the target session: the run may aggregate straight over it.
+        routed = [
+            (i, SESSION_A if i == 5 else SESSION_B) for i in range(16)
+        ]
+        rib, desired, targets = build(
+            routed, [i for i in range(16) if i != 5], SESSION_A, SESSION_B
+        )
+        agg = OverrideAggregator(min_length=20)
+        intents = agg.plan(desired, targets, rib)
+        assert list(intents) == [Prefix.parse("10.0.0.0/20")]
+        assert intents[Prefix.parse("10.0.0.0/20")].members == 15
+
+    def test_foreign_hole_splits_the_run(self):
+        # Index 5 is routed via an unrelated session and not desired:
+        # no aggregate may cover it.
+        routed = [
+            (i, SESSION_C if i == 5 else SESSION_B) for i in range(16)
+        ]
+        rib, desired, targets = build(
+            routed, [i for i in range(16) if i != 5], SESSION_A, SESSION_B
+        )
+        agg = OverrideAggregator(min_length=20)
+        intents = agg.plan(desired, targets, rib)
+        assert sorted(intents) == [
+            Prefix.parse("10.0.0.0/22"),  # 0-3
+            Prefix.parse("10.0.4.0/24"),  # 4 (sibling 5 is poisoned)
+            Prefix.parse("10.0.6.0/23"),  # 6-7
+            Prefix.parse("10.0.8.0/21"),  # 8-15
+        ]
+        assert not any(
+            c.covers(slash24(5)) for c in intents
+        )
+        assert sum(i.members for i in intents.values()) == 15
+
+    def test_conflicting_target_splits_the_run(self):
+        # Index 8 is desired toward a different session: the two plans
+        # must stay disjoint.
+        rib, desired, targets = build(
+            [(i, SESSION_B) for i in range(16)],
+            [i for i in range(16) if i != 8],
+            SESSION_A,
+            SESSION_B,
+        )
+        p8 = slash24(8)
+        desired[p8] = FakeDetour(
+            target=organic_route(p8, SESSION_C), rate=mbps(1)
+        )
+        targets[p8] = SESSION_C.name
+        agg = OverrideAggregator(min_length=20)
+        intents = agg.plan(desired, targets, rib)
+        by_target = {
+            p: i.target.source.name for p, i in intents.items()
+        }
+        assert by_target[p8] == SESSION_C.name
+        assert all(
+            not c.covers(p8) for c in intents if c != p8
+        )
+
+    def test_nested_conflicting_desire_installs_flat(self):
+        # A desired /22 whose subtree holds a /24 desired elsewhere:
+        # the /22 installs as itself and the /24 gets its own intent.
+        rib = LocRib()
+        p22 = Prefix.parse("10.0.0.0/22")
+        p24 = Prefix.parse("10.0.1.0/24")
+        rib.update(organic_route(p22, SESSION_B))
+        rib.update(organic_route(p24, SESSION_B))
+        desired = {
+            p22: FakeDetour(organic_route(p22, SESSION_A), mbps(10)),
+            p24: FakeDetour(organic_route(p24, SESSION_C), mbps(2)),
+        }
+        targets = {p22: SESSION_A.name, p24: SESSION_C.name}
+        agg = OverrideAggregator(min_length=8)
+        intents = agg.plan(desired, targets, rib)
+        # The /22 cannot grow (its subtree holds the conflicting /24) and
+        # installs as itself; the /24 gets its own intent, which may
+        # widen over *unrouted* space but must stay more specific than
+        # the /22 so LPM keeps both decisions.
+        assert agg.covering_of[p22] == p22
+        assert intents[p22].members == 1
+        cover24 = agg.covering_of[p24]
+        assert cover24.covers(p24)
+        assert cover24.length > p22.length
+        assert intents[cover24].target.source.name == SESSION_C.name
+
+    def test_plan_reuse_until_inputs_move(self):
+        rib, desired, targets = build(
+            [(i, SESSION_B) for i in range(8)],
+            range(8),
+            SESSION_A,
+            SESSION_B,
+        )
+        agg = OverrideAggregator(min_length=20)
+        agg.reconcile(desired, targets, rib, now=0.0)
+        assert (agg.plans, agg.plan_reuses) == (1, 0)
+        # Same targets, untouched rib: the cached plan is reused.
+        agg.reconcile(desired, targets, rib, now=30.0)
+        assert (agg.plans, agg.plan_reuses) == (1, 1)
+        # Any rib mutation forces re-validation (a neutral member's
+        # organic best can flip without any desired target changing).
+        rib.update(organic_route(slash24(100), SESSION_C))
+        agg.reconcile(desired, targets, rib, now=60.0)
+        assert (agg.plans, agg.plan_reuses) == (2, 1)
+
+    def test_flush_clears_installed_and_plan(self):
+        rib, desired, targets = build(
+            [(i, SESSION_B) for i in range(4)],
+            range(4),
+            SESSION_A,
+            SESSION_B,
+        )
+        agg = OverrideAggregator(min_length=20)
+        diff = agg.reconcile(desired, targets, rib, now=0.0)
+        assert len(diff.announce) == 1
+        flushed = agg.flush(now=10.0)
+        assert len(flushed) == 1
+        assert len(agg.installed) == 0
+        assert agg.covering_of == {}
+        desired_count, installed = agg.install_ratio()
+        assert (desired_count, installed) == (0, 0)
+
+    def test_install_ratio_reflects_compression(self):
+        rib, desired, targets = build(
+            [(i, SESSION_B) for i in range(16)],
+            range(16),
+            SESSION_A,
+            SESSION_B,
+        )
+        agg = OverrideAggregator(min_length=20)
+        agg.reconcile(desired, targets, rib, now=0.0)
+        assert agg.install_ratio() == (16, 1)
+
+
+# -- S3: observational equivalence over random tables -----------------------
+
+
+def egress_address(route):
+    """The session address a resolved route forwards through."""
+    if route is None:
+        return None
+    if route.is_injected:
+        return route.attributes.next_hop[1] & 0xFFFFFFFF
+    return route.source.address
+
+
+def resolve_all(rib, probes):
+    return [egress_address(rib.effective_lookup(p)) for p in probes]
+
+
+# Random tables live inside 10.0.0.0/16: a prefix is (aligned network,
+# length) with nesting allowed, each homed to one of three sessions.
+prefix_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 10) - 1),
+        st.integers(min_value=18, max_value=26),
+        st.integers(min_value=0, max_value=2),
+        st.booleans(),  # desired?
+        st.integers(min_value=0, max_value=2),  # desired target
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@st.composite
+def random_table(draw):
+    sessions = (SESSION_A, SESSION_B, SESSION_C)
+    entries = draw(prefix_entries)
+    routed = {}
+    desired = {}
+    for slot, length, home, wants, target in entries:
+        network = (10 << 24) | (slot << 14)
+        shift = 32 - length
+        prefix = Prefix(Family.IPV4, (network >> shift) << shift, length)
+        if prefix in routed:
+            continue
+        routed[prefix] = sessions[home]
+        if wants:
+            desired[prefix] = FakeDetour(
+                target=organic_route(prefix, sessions[target]),
+                rate=mbps(1),
+            )
+    min_length = draw(st.integers(min_value=8, max_value=24))
+    return routed, desired, min_length
+
+
+@st.composite
+def probe_addresses(draw):
+    return [
+        (10 << 24) | draw(st.integers(min_value=0, max_value=(1 << 16) - 1))
+        for _ in range(draw(st.integers(min_value=0, max_value=8)))
+    ]
+
+
+class TestObservationalEquivalence:
+    @settings(max_examples=250, deadline=None)
+    @given(random_table(), probe_addresses())
+    def test_aggregated_install_matches_flat_install(self, table, extra):
+        routed, desired, min_length = table
+        targets = {
+            p: d.target.source.name for p, d in desired.items()
+        }
+
+        organic = LocRib()
+        for prefix, session in routed.items():
+            organic.update(organic_route(prefix, session))
+
+        agg = OverrideAggregator(min_length=min_length)
+        intents = agg.plan(desired, targets, organic)
+        # Aggregation never inflates the installed table.
+        assert len(intents) <= len(desired)
+        assert set(agg.covering_of) == set(desired)
+
+        flat_rib = LocRib()
+        agg_rib = LocRib()
+        for prefix, session in routed.items():
+            flat_rib.update(organic_route(prefix, session))
+            agg_rib.update(organic_route(prefix, session))
+        for prefix, detour in desired.items():
+            flat_rib.update(injected_route(prefix, detour.target))
+        for prefix, intent in intents.items():
+            agg_rib.update(injected_route(prefix, intent.target))
+
+        # Per-packet resolution: every routed prefix, every /32 corner
+        # of every routed prefix, and random addresses.
+        probes = list(routed)
+        for prefix in routed:
+            probes.append(Prefix(Family.IPV4, prefix.network, 32))
+        probes.extend(
+            Prefix(Family.IPV4, address, 32) for address in extra
+        )
+        assert resolve_all(agg_rib, probes) == resolve_all(
+            flat_rib, probes
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_table())
+    def test_every_desired_prefix_resolves_to_its_target(self, table):
+        routed, desired, min_length = table
+        targets = {
+            p: d.target.source.name for p, d in desired.items()
+        }
+        organic = LocRib()
+        for prefix, session in routed.items():
+            organic.update(organic_route(prefix, session))
+        agg = OverrideAggregator(min_length=min_length)
+        intents = agg.plan(desired, targets, organic)
+        agg_rib = LocRib()
+        for prefix, session in routed.items():
+            agg_rib.update(organic_route(prefix, session))
+        for prefix, intent in intents.items():
+            agg_rib.update(injected_route(prefix, intent.target))
+        for prefix, detour in desired.items():
+            resolved = agg_rib.effective_lookup(prefix)
+            assert egress_address(resolved) == detour.target.source.address
+
+
+# -- end to end through the controller --------------------------------------
+
+
+class TestControllerIntegration:
+    def _overloaded_harness(self):
+        from .test_controller import Harness
+        from repro.netbase.units import gbps
+
+        harness = Harness(aggregate_overrides=True)
+        # Each cone prefix alone exceeds pni0's threshold, so the
+        # allocator must detour both; the IXP is kept full (but not
+        # overloaded) so both detours land on the same transit session —
+        # a two-member same-target run of siblings.
+        harness.feed_traffic(
+            {
+                Prefix.parse("11.0.0.0/24"): gbps(9.8),
+                Prefix.parse("11.0.1.0/24"): gbps(9.8),
+                Prefix.parse("11.0.2.0/24"): gbps(18.9),
+            },
+            now=10.0,
+        )
+        return harness
+
+    def test_aggregated_injection_end_to_end(self):
+        harness = self._overloaded_harness()
+        report = harness.controller.run_cycle(10.0)
+        assert report.detour_count == 2
+        # Two desired overrides ride one installed covering route.
+        assert report.installed_overrides == 1
+        covering = Prefix.parse("11.0.0.0/23")
+        assert harness.injector.injected_prefixes() == [covering]
+        assert harness.controller.installed_prefixes() == [covering]
+        # The audit still explains the *decision* per prefix, and
+        # attributes the installation to the covering aggregate.
+        explanation = harness.controller.telemetry.audit.explain(
+            Prefix.parse("11.0.0.0/24")
+        )
+        assert explanation.active
+        assert explanation.installed_as == str(covering)
+        assert "covering aggregate 11.0.0.0/23" in explanation.render()
+
+    def test_dataplane_resolves_members_through_aggregate(self):
+        from repro.dataplane.popview import PopView
+
+        harness = self._overloaded_harness()
+        harness.controller.run_cycle(10.0)
+        view = PopView([harness.mini.speaker])
+        for name in ("11.0.0.0/24", "11.0.1.0/24"):
+            resolved = view.resolve_egress(
+                Prefix.parse(name), harness.mini.pop
+            )
+            assert resolved is not None
+            route, interface = resolved
+            assert route.is_injected
+            assert interface == ("mini-pr0", "tr0")
+        # Non-members keep their organic egress.
+        resolved = view.resolve_egress(
+            Prefix.parse("11.0.2.0/24"), harness.mini.pop
+        )
+        assert resolved is not None
+        assert not resolved[0].is_injected
+
+    def test_shutdown_withdraws_installed_aggregates(self):
+        harness = self._overloaded_harness()
+        harness.controller.run_cycle(10.0)
+        assert harness.injector.injected_prefixes()
+        harness.controller.shutdown(20.0)
+        assert harness.injector.injected_prefixes() == []
+        assert harness.controller.installed_prefixes() == []
+
+    def test_injector_consistency_check_uses_installed_table(self):
+        from repro.core.safety import SafetyChecker
+
+        harness = self._overloaded_harness()
+        checker = SafetyChecker(harness.controller, harness.mini.collector)
+        report = harness.controller.run_cycle(10.0)
+        violations = checker.check(10.0, report)
+        assert [
+            v for v in violations if v.invariant == "injector_consistency"
+        ] == []

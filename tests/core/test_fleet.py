@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.core.fleet as fleet_module
 from repro.core.fleet import FleetDeployment
 
 
@@ -149,3 +150,98 @@ class TestParallelFleet:
         )
         for name in fleet.deployments:
             assert ticks.value(pop=name) == 10.0
+
+
+def _build_pair():
+    """Two identically seeded 2-PoP fleets plus their shared start time."""
+    serial = FleetDeployment.build(
+        pop_count=2, seed=23, tick_seconds=60.0
+    )
+    pooled = FleetDeployment.build(
+        pop_count=2, seed=23, tick_seconds=60.0
+    )
+    start = next(iter(serial.deployments.values())).demand.config.peak_time
+    return serial, pooled, start
+
+
+class TestWorkerPool:
+    def test_multi_segment_pool_matches_serial(self):
+        """Successive run() calls continue the simulation — the property
+        fork-per-run could never offer (workers restarted from the
+        parent's frozen image every call)."""
+        serial, pooled, start = _build_pair()
+        try:
+            serial.run(start, 600.0)
+            # Same 10 ticks, split across three pool commands with the
+            # pickle-back deferred to one final collect().
+            pooled.run(start, 240.0, parallel=2, sync=False)
+            pooled.run(start + 240.0, 240.0, parallel=2, sync=False)
+            pooled.run(start + 480.0, 120.0, parallel=2, sync=False)
+            pooled.collect()
+            assert (
+                pooled.summary_table().render()
+                == serial.summary_table().render()
+            )
+            for name, serial_pop in serial.deployments.items():
+                pooled_pop = pooled.deployments[name]
+                assert pooled_pop.record.ticks == serial_pop.record.ticks
+                assert (
+                    pooled_pop.current_time == serial_pop.current_time
+                )
+                assert _deterministic_view(
+                    pooled_pop.telemetry.registry
+                ) == _deterministic_view(serial_pop.telemetry.registry)
+            assert _deterministic_view(
+                pooled.merged_registry()
+            ) == _deterministic_view(serial.merged_registry())
+        finally:
+            pooled.close_pool()
+
+    def test_step_refused_while_pool_is_live(self):
+        _serial, pooled, start = _build_pair()
+        try:
+            pooled.run(start, 120.0, parallel=2, sync=False)
+            with pytest.raises(RuntimeError, match="worker pool"):
+                pooled.step(start + 120.0)
+        finally:
+            pooled.close_pool()
+
+    def test_close_pool_collects_and_restores_serial_stepping(self):
+        serial, pooled, start = _build_pair()
+        serial.run(start, 180.0)
+        pooled.run(start, 120.0, parallel=2, sync=False)
+        pooled.close_pool()
+        assert pooled._pool is None
+        # close_pool() collected the workers' final state...
+        first = next(iter(pooled.deployments.values()))
+        assert len(first.record.ticks) == 2
+        # ...but live routing state stays in the dead workers, so the
+        # fleet builds a fresh pool on the next parallel run rather than
+        # continuing serially from stale parent state.
+        pooled.run(start + 120.0, 60.0, parallel=2)
+        pooled.close_pool()
+
+    def test_fork_unavailable_falls_back_loudly(self, monkeypatch):
+        serial, degraded, start = _build_pair()
+        serial.run(start, 120.0)
+
+        def no_fork(method):
+            raise ValueError(f"cannot find context for {method!r}")
+
+        monkeypatch.setattr(
+            fleet_module.multiprocessing, "get_context", no_fork
+        )
+        degraded.run(start, 120.0, parallel=2)
+        fallback = degraded.telemetry.registry.counter(
+            "fleet_parallel_fallback_total"
+        )
+        assert fallback.value() == 1.0
+        # The degraded run is still the serial run, bit for bit.
+        for name, serial_pop in serial.deployments.items():
+            assert (
+                degraded.deployments[name].record.ticks
+                == serial_pop.record.ticks
+            )
+        # The legacy fork-per-run path degrades through the same funnel.
+        degraded.run(start + 120.0, 60.0, parallel=2, pool=False)
+        assert fallback.value() == 2.0

@@ -299,8 +299,8 @@ class TestControllerPaths:
         # Corrupt one maintained load well past the tolerance; the next
         # reconciliation cycle must flag and repair it.
         incremental = scenario.controller._incremental
-        key = next(iter(incremental._loads_bps))
-        incremental._loads_bps[key] *= 1.5
+        key = next(iter(incremental.loads))
+        incremental._loads_col[incremental._ifaces.id_of(key)] *= 1.5
         while scenario.controller._cycles_since_full < 1:
             scenario.run_one_cycle(2)
         capture = scenario.run_one_cycle(3)

@@ -1,0 +1,170 @@
+"""Bit-for-bit parity: ColumnarRateEstimator vs the dict RateEstimator.
+
+The columnar estimator promises that every observable is *bit-identical*
+to the reference implementation over any operation sequence — not
+approximately equal.  These tests drive both implementations through the
+same randomized scripts of adds, snapshot reads, per-key reads and
+change queries (including the degradation paths: out-of-order adds and
+change-log overflow) and compare results with ``==`` on exact floats.
+
+Iteration order is the one documented difference (slots are stable,
+dict keys re-insert at the end), so collections are compared by
+dict/set equality, never by sequence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sflow.estimator import ColumnarRateEstimator, RateEstimator
+
+KEYS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+# One scripted operation: (op, key_index, bytes, time_advance).
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "rates", "rate", "stats", "changed"]),
+        st.integers(min_value=0, max_value=len(KEYS) - 1),
+        st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        st.floats(min_value=0, max_value=40.0, allow_nan=False),
+    ),
+    max_size=60,
+)
+
+
+def run_script(rows, window, log_limit=1 << 18, jitter=None):
+    """Drive both estimators through one script, asserting parity at
+    every observation point.  Returns both for final-state checks."""
+    reference = RateEstimator(window_seconds=window, change_log_limit=log_limit)
+    columnar = ColumnarRateEstimator(
+        window_seconds=window, change_log_limit=log_limit
+    )
+    now = 0.0
+    watermark = 0.0
+    for index, (op, key_index, byte_count, advance) in enumerate(rows):
+        if jitter is not None and jitter(index):
+            now = max(0.0, now - advance)  # deliberate out-of-order add
+        else:
+            now += advance
+        key = KEYS[key_index]
+        if op == "add":
+            reference.add(key, byte_count, now)
+            columnar.add(key, byte_count, now)
+        elif op == "rates":
+            assert columnar.rates(now) == reference.rates(now)
+        elif op == "rate":
+            assert columnar.rate(key, now) == reference.rate(key, now)
+        elif op == "stats":
+            assert columnar.window_stats(key, now) == reference.window_stats(
+                key, now
+            )
+        elif op == "changed":
+            if now < watermark:
+                # Both must reject a backwards change window.
+                with pytest.raises(ValueError):
+                    reference.changed_keys(watermark, now)
+                with pytest.raises(ValueError):
+                    columnar.changed_keys(watermark, now)
+            else:
+                since, watermark = watermark, now
+                assert columnar.changed_keys(
+                    since, now
+                ) == reference.changed_keys(since, now)
+        assert len(columnar) == len(reference)
+        assert columnar.last_add_at == reference.last_add_at
+        assert columnar.age(now) == reference.age(now)
+        for probe in KEYS:
+            assert (probe in columnar) == (probe in reference)
+    assert set(columnar.keys()) == set(reference.keys())
+    return reference, columnar
+
+
+class TestColumnarParity:
+    @settings(max_examples=200, deadline=None)
+    @given(ops, st.floats(min_value=1, max_value=90))
+    def test_scripted_parity_in_order(self, rows, window):
+        run_script(rows, window)
+
+    @settings(max_examples=150, deadline=None)
+    @given(ops, st.floats(min_value=1, max_value=90), st.integers(0, 7))
+    def test_scripted_parity_with_out_of_order_adds(self, rows, window, step):
+        # Every (step+2)-th operation rewinds the clock, exercising the
+        # _log_ordered degradation path on both implementations.
+        run_script(rows, window, jitter=lambda i: i % (step + 2) == 1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops, st.integers(min_value=1, max_value=8))
+    def test_scripted_parity_under_log_overflow(self, rows, log_limit):
+        # A tiny change-log cap forces the overflow path (log cleared,
+        # changed_keys parked on None) within a handful of adds.
+        run_script(rows, 30.0, log_limit=log_limit)
+
+    def test_overflow_then_recovery_parity(self):
+        reference = RateEstimator(window_seconds=10.0, change_log_limit=3)
+        columnar = ColumnarRateEstimator(
+            window_seconds=10.0, change_log_limit=3
+        )
+        for both in (reference, columnar):
+            for tick in range(6):
+                both.add("k", 100.0, float(tick))
+        # Overflowed: both report "unknown".
+        assert reference.changed_keys(0.0, 6.0) is None
+        assert columnar.changed_keys(0.0, 6.0) is None
+        # After the dropped span ages out of every window, both recover.
+        for both in (reference, columnar):
+            both.add("k", 50.0, 40.0)
+        assert columnar.changed_keys(30.0, 41.0) == reference.changed_keys(
+            30.0, 41.0
+        )
+
+    def test_revived_key_keeps_exact_rate(self):
+        reference = RateEstimator(window_seconds=5.0)
+        columnar = ColumnarRateEstimator(window_seconds=5.0)
+        for both in (reference, columnar):
+            both.add("a", 123.456, 0.0)
+            both.add("b", 9.9, 1.0)
+        # Expire "a" entirely, then revive it: the columnar slot is
+        # reused, the dict key re-created — rates must still match.
+        assert columnar.rates(8.0) == reference.rates(8.0)
+        for both in (reference, columnar):
+            both.add("a", 777.0, 9.0)
+        assert columnar.rates(9.0) == reference.rates(9.0)
+        assert columnar.rate("a", 9.0) == reference.rate("a", 9.0)
+
+    def test_rates_returns_python_floats(self):
+        columnar = ColumnarRateEstimator(window_seconds=2.0)
+        columnar.add("k", 10.0, 0.0)
+        value = columnar.rates(0.0)["k"].bits_per_second
+        assert type(value) is float
+        assert type(columnar.rate("k", 0.0).bits_per_second) is float
+        stats = columnar.window_stats("k", 0.0)
+        assert type(stats.total_bytes) is float
+
+    def test_clear_resets_both_identically(self):
+        reference = RateEstimator(window_seconds=4.0)
+        columnar = ColumnarRateEstimator(window_seconds=4.0)
+        for both in (reference, columnar):
+            both.add("x", 5.0, 1.0)
+            both.clear()
+        assert columnar.rates(2.0) == reference.rates(2.0) == {}
+        assert columnar.last_add_at is None
+        assert len(columnar) == 0
+        # Fresh change-log state after clear.
+        assert columnar.changed_keys(0.0, 5.0) == reference.changed_keys(
+            0.0, 5.0
+        )
+
+    def test_negative_byte_count_rejected(self):
+        columnar = ColumnarRateEstimator(window_seconds=1.0)
+        with pytest.raises(ValueError):
+            columnar.add("k", -1.0, 0.0)
+
+    def test_slot_growth_past_initial_capacity(self):
+        columnar = ColumnarRateEstimator(window_seconds=60.0)
+        reference = RateEstimator(window_seconds=60.0)
+        total = ColumnarRateEstimator._INITIAL_CAPACITY + 17
+        for index in range(total):
+            columnar.add(index, float(index), 1.0)
+            reference.add(index, float(index), 1.0)
+        assert len(columnar) == total
+        assert columnar.rates(2.0) == reference.rates(2.0)
