@@ -30,18 +30,34 @@ mean cycle budget; the acceptance bar is one second) and
 acceptance bar is 10x).  ``--full-table --quick`` is the CI variant
 (20k prefixes, 6 cycles) gated against
 ``BENCH_fulltable_baseline.json``.
+
+``--dual-stack`` is the full-table preset with the real Internet's
+other half: ~200k IPv6 /48s carried alongside the 700k IPv4 prefixes,
+homed in contiguous blocks on the same PNIs, detouring through the
+family-aware aggregation floor (/32 for v6).  The acceptance bar is a
+steady-state mean under 1.5 s (``--max-steady-ms 1500``) with the same
+equivalence and zero-violation gates; ``--dual-stack --quick`` is the
+CI variant (20k v4 + 6k v6, 6 cycles) gated against
+``BENCH_dualstack_baseline.json``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import sys
 import time
 from pathlib import Path
 
-HERE = Path(__file__).resolve().parent
-sys.path.insert(0, str(HERE.parent / "src"))
+from common import (
+    HERE,
+    check_maximum,
+    check_minimum,
+    check_regression,
+    ensure_src_on_path,
+    load_baseline,
+    write_results,
+)
+
+ensure_src_on_path()
 
 from repro.core.scale import (  # noqa: E402
     ScaleConfig,
@@ -55,6 +71,8 @@ def _workload_key(config: ScaleConfig) -> str:
         f"prefixes={config.prefix_count},churn={config.churn_fraction},"
         f"cycles={config.cycles},seed={config.seed}"
     )
+    if config.ipv6_prefix_count:
+        key += f",v6={config.ipv6_prefix_count}"
     if config.aggregate_overrides:
         key += ",aggregated"
     return key
@@ -80,6 +98,7 @@ def run_bench(config: ScaleConfig) -> dict:
     return {
         "workload": _workload_key(config),
         "prefixes": config.prefix_count,
+        "ipv6_prefixes": config.ipv6_prefix_count,
         "churn_fraction": config.churn_fraction,
         "cycles": config.cycles,
         "seed": config.seed,
@@ -112,6 +131,36 @@ def run_bench(config: ScaleConfig) -> dict:
     }
 
 
+def _build_config(args) -> ScaleConfig:
+    if args.full_table or args.dual_stack:
+        return ScaleConfig.full_table(
+            prefix_count=(
+                20_000 if args.quick else (args.prefixes or 700_000)
+            ),
+            cycles=6 if args.quick else (args.cycles or 12),
+            seed=args.seed,
+            dual_stack=args.dual_stack,
+            ipv6_prefix_count=(
+                6_000
+                if args.quick
+                else (args.ipv6_prefixes or 200_000)
+            ),
+            **(
+                {"churn_fraction": args.churn}
+                if args.churn is not None
+                else {}
+            ),
+        )
+    return ScaleConfig(
+        prefix_count=(
+            5_000 if args.quick else (args.prefixes or 50_000)
+        ),
+        churn_fraction=0.02 if args.churn is None else args.churn,
+        cycles=10 if args.quick else (args.cycles or 20),
+        seed=args.seed,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -119,7 +168,13 @@ def main(argv=None) -> int:
         type=int,
         default=None,
         help="prefix table size (default 50000 — the acceptance bar — "
-        "or 700000 with --full-table)",
+        "or 700000 with --full-table / --dual-stack)",
+    )
+    parser.add_argument(
+        "--ipv6-prefixes",
+        type=int,
+        default=None,
+        help="IPv6 table size with --dual-stack (default 200000)",
     )
     parser.add_argument(
         "--churn",
@@ -140,7 +195,7 @@ def main(argv=None) -> int:
         "--quick",
         action="store_true",
         help="short run for CI (5k prefixes, 10 cycles; 20k prefixes, "
-        "6 cycles with --full-table)",
+        "6 cycles with --full-table; plus 6k v6 with --dual-stack)",
     )
     parser.add_argument(
         "--full-table",
@@ -149,19 +204,26 @@ def main(argv=None) -> int:
         "tight PNIs, aggregated override injection)",
     )
     parser.add_argument(
+        "--dual-stack",
+        action="store_true",
+        help="the full-table preset carrying both families: 700k IPv4 "
+        "prefixes plus 200k IPv6 /48s on the same PNIs",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
-        help="where to write results (default BENCH_scale_churn.json, "
-        "or BENCH_fulltable.json with --full-table)",
+        help="where to write results (default BENCH_scale_churn.json; "
+        "BENCH_fulltable.json with --full-table; "
+        "BENCH_dualstack.json with --dual-stack)",
     )
     parser.add_argument(
         "--baseline",
         type=Path,
         default=None,
         help="committed baseline to compare against (default "
-        "BENCH_scale_churn_baseline.json, or "
-        "BENCH_fulltable_baseline.json with --full-table)",
+        "BENCH_scale_churn_baseline.json, or the matching "
+        "--full-table / --dual-stack baseline)",
     )
     parser.add_argument(
         "--min-speedup",
@@ -189,60 +251,43 @@ def main(argv=None) -> int:
         type=float,
         default=None,
         help="fail if the incremental steady-state mean cycle time "
-        "exceeds this many milliseconds (the full-table bar is 1000)",
+        "exceeds this many milliseconds (the full-table bar is 1000; "
+        "dual-stack, 1500)",
     )
     args = parser.parse_args(argv)
 
-    if args.full_table:
-        config = ScaleConfig.full_table(
-            prefix_count=(
-                20_000 if args.quick else (args.prefixes or 700_000)
-            ),
-            cycles=6 if args.quick else (args.cycles or 12),
-            seed=args.seed,
-            **(
-                {"churn_fraction": args.churn}
-                if args.churn is not None
-                else {}
-            ),
-        )
+    config = _build_config(args)
+    if args.dual_stack:
+        stem = "BENCH_dualstack"
+    elif args.full_table:
+        stem = "BENCH_fulltable"
     else:
-        config = ScaleConfig(
-            prefix_count=(
-                5_000 if args.quick else (args.prefixes or 50_000)
-            ),
-            churn_fraction=0.02 if args.churn is None else args.churn,
-            cycles=10 if args.quick else (args.cycles or 20),
-            seed=args.seed,
-        )
-    stem = "BENCH_fulltable" if args.full_table else "BENCH_scale_churn"
+        stem = "BENCH_scale_churn"
     output = args.output or HERE / f"{stem}.json"
     baseline_path = args.baseline or HERE / f"{stem}_baseline.json"
     results = run_bench(config)
 
-    baseline_mean = None
-    if baseline_path.exists():
-        baseline = json.loads(baseline_path.read_text())
-        if baseline.get("workload") == results["workload"]:
-            baseline_mean = baseline.get("inc_steady_mean_ms")
-            results["baseline_mean_ms"] = baseline_mean
-        else:
-            print(
-                f"baseline workload {baseline.get('workload')!r} does "
-                f"not match this run ({results['workload']}); skipping "
-                "regression comparison"
-            )
-
-    output.write_text(
-        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    baseline_mean = load_baseline(
+        baseline_path, results["workload"], "inc_steady_mean_ms"
     )
+    if baseline_mean is not None:
+        results["baseline_mean_ms"] = baseline_mean
+
+    write_results(output, results)
 
     inc = results["incremental"]
     full = results["full_recompute"]
+    preset = ""
+    if args.dual_stack:
+        preset = " [dual-stack full-table preset]"
+    elif args.full_table:
+        preset = " [full-table preset]"
+    table = f"{config.prefix_count} prefixes"
+    if config.ipv6_prefix_count:
+        table += f" + {config.ipv6_prefix_count} v6 /48s"
     print(
-        f"{config.prefix_count} prefixes, "
-        f"{config.churn_fraction:.1%} churn, {config.cycles} cycles"
-        + (" [full-table preset]" if args.full_table else "")
+        f"{table}, {config.churn_fraction:.1%} churn, "
+        f"{config.cycles} cycles{preset}"
     )
     print(
         f"incremental:    steady mean {inc['steady_mean_ms']:.1f} ms "
@@ -270,54 +315,26 @@ def main(argv=None) -> int:
         if count:
             print(f"FAIL: {count} safety violations in the {mode} run")
             failed = True
-    if args.min_speedup is not None:
-        speedup = results["steady_speedup"]
-        if speedup is None or speedup < args.min_speedup:
-            print(
-                f"FAIL: speedup {speedup}x < "
-                f"required {args.min_speedup:.2f}x"
-            )
-            failed = True
-    if args.min_install_ratio is not None:
-        ratio = results["install_ratio"]
-        if ratio < args.min_install_ratio:
-            print(
-                f"FAIL: install ratio {ratio}x < required "
-                f"{args.min_install_ratio:.1f}x"
-            )
-            failed = True
-    if args.max_steady_ms is not None:
-        current = inc["steady_mean_ms"]
-        if current > args.max_steady_ms:
-            print(
-                f"FAIL: steady mean {current:.1f} ms over the "
-                f"{args.max_steady_ms:.0f} ms budget"
-            )
-            failed = True
-        else:
-            print(
-                f"budget OK: steady mean {current:.1f} ms <= "
-                f"{args.max_steady_ms:.0f} ms"
-            )
-    if args.max_regression is not None:
-        if baseline_mean is None:
-            print("no matching baseline for --max-regression check")
-            failed = True
-        else:
-            limit = baseline_mean * (1.0 + args.max_regression)
-            current = inc["steady_mean_ms"]
-            if current > limit:
-                print(
-                    f"FAIL: steady mean {current:.1f} ms regressed "
-                    f"past {limit:.1f} ms (baseline "
-                    f"{baseline_mean:.1f} ms +{args.max_regression:.0%})"
-                )
-                failed = True
-            else:
-                print(
-                    f"regression gate OK: steady mean {current:.1f} ms "
-                    f"<= {limit:.1f} ms"
-                )
+    failed |= check_minimum(
+        results["steady_speedup"], args.min_speedup, "speedup"
+    )
+    failed |= check_minimum(
+        results["install_ratio"],
+        args.min_install_ratio,
+        "install ratio",
+        fmt=".1f",
+    )
+    failed |= check_maximum(
+        inc["steady_mean_ms"], args.max_steady_ms, "steady mean"
+    )
+    failed |= check_regression(
+        inc["steady_mean_ms"],
+        baseline_mean,
+        args.max_regression,
+        "steady mean",
+        unit="ms",
+        fmt=".1f",
+    )
     return 1 if failed else 0
 
 

@@ -164,13 +164,29 @@ def _sort_key(route: Route, med_rank: int, config: DecisionConfig) -> Tuple:
     )
     # Last-resort tiebreak so the ranking is a deterministic function of
     # the route *set* even for inputs no real RIB would hold (two routes
-    # from one session differing only in attribute details).
+    # from one session differing only in attribute details).  The tail
+    # must distinguish every pair of unequal routes — a key collision
+    # would let the stable sort leak input order — so it spells out each
+    # remaining field, keeping unset MED/LOCAL_PREF distinct from their
+    # effective defaults.
+    attrs = route.attributes
     key.extend(
         (
-            str(route.attributes.as_path),
-            route.attributes.med or 0,
-            tuple(route.attributes.sorted_communities()),
+            str(attrs.as_path),
+            attrs.med is not None,
+            attrs.med or 0,
+            attrs.local_pref is not None,
+            tuple(attrs.sorted_communities()),
             route.learned_at,
+            int(route.prefix.family),
+            route.prefix.network,
+            route.prefix.length,
+            int(attrs.next_hop[0]),
+            attrs.next_hop[1],
+            attrs.atomic_aggregate,
+            attrs.aggregator is not None,
+            attrs.aggregator or (0, 0),
+            int(route.source.family),
         )
     )
     return tuple(key)

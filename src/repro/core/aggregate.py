@@ -59,7 +59,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..bgp.rib import LocRib
 from ..bgp.route import Route
-from ..netbase.addr import Prefix
+from ..netbase.addr import Family, Prefix
 from ..netbase.units import Rate
 from .allocator import Detour
 from .overrides import OverrideDiff, OverrideSet
@@ -104,8 +104,14 @@ class InstallIntent:
 class OverrideAggregator:
     """Plans and tracks the installed (aggregated) override table."""
 
-    def __init__(self, min_length: int = 8) -> None:
+    def __init__(self, min_length: int = 8, min_length_v6: int = 32) -> None:
+        #: Shortest aggregate the planner will install, per family.  A
+        #: v4 floor of 8 (one /8) is far wider than any plausible run;
+        #: v6 growth stops at /32 — the conventional RIR allocation
+        #: size — so a runaway aggregate can never cover unrelated
+        #: provider space even in a sparsely routed v6 table.
         self.min_length = min_length
+        self.min_length_v6 = min_length_v6
         #: The installed table, with the same lifecycle bookkeeping the
         #: desired set gets (diffing, created_at, durations).
         self.installed = OverrideSet()
@@ -117,6 +123,10 @@ class OverrideAggregator:
         #: Diagnostics: how many cycles replanned vs reused the plan.
         self.plans = 0
         self.plan_reuses = 0
+
+    def floor_for(self, family: Family) -> int:
+        """The minimum aggregate length for *family*."""
+        return self.min_length if family == Family.IPV4 else self.min_length_v6
 
     # -- planning -----------------------------------------------------------
 
@@ -212,7 +222,8 @@ class OverrideAggregator:
                 # install the seed as-is, exactly as the flat form does.
                 node_members = [seed]
             else:
-                while node.length > self.min_length:
+                floor = self.floor_for(seed.family)
+                while node.length > floor:
                     parent = _parent(node)
                     fallback = self._nearest_desired_above(parent, targets)
                     parent_want = targets.get(parent)

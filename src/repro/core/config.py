@@ -62,6 +62,9 @@ class ControllerConfig:
     #: Never aggregate beyond this prefix length (a too-broad covering
     #: route is operationally radioactive even when momentarily valid).
     aggregate_min_length: int = 8
+    #: The IPv6 twin of ``aggregate_min_length``: v6 aggregates stop at
+    #: the conventional /32 RIR allocation size.
+    aggregate_min_length_v6: int = 32
     #: Record a "keep" audit event for every standing override every
     #: cycle.  Full continuity for small tables; at full-table scale
     #: (tens of thousands of standing detours) this is O(standing) work
@@ -137,4 +140,8 @@ class ControllerConfig:
         if self.aggregate_min_length < 0:
             raise ControllerError(
                 "aggregate_min_length cannot be negative"
+            )
+        if self.aggregate_min_length_v6 < 0:
+            raise ControllerError(
+                "aggregate_min_length_v6 cannot be negative"
             )

@@ -62,7 +62,10 @@ class EdgeFabricController:
         #: the desired per-prefix set: runs of same-target detours are
         #: injected as one covering prefix.  None = install 1:1.
         self.aggregator: Optional[OverrideAggregator] = (
-            OverrideAggregator(config.aggregate_min_length)
+            OverrideAggregator(
+                config.aggregate_min_length,
+                config.aggregate_min_length_v6,
+            )
             if config.aggregate_overrides
             else None
         )

@@ -12,20 +12,24 @@ from __future__ import annotations
 import multiprocessing
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..analysis.report import Table
 from ..core.config import ControllerConfig
+from ..netbase.substrate import FrozenTable
 from ..netbase.units import Rate, gbps
 from ..obs.logs import get_logger, log_event
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, process_rss_bytes
 from ..obs.telemetry import Telemetry, merge_registries
-from ..topology.builder import build_pop, provision_against_demand
+from ..topology.builder import PopSpec, build_pop, provision_against_demand
+from ..topology.internet import InternetConfig, InternetTopology
 from ..topology.scenarios import default_internet, fleet_specs
 from ..traffic.demand import DemandConfig, DemandModel
 from .pipeline import PopDeployment, RunRecord
 
-__all__ = ["FleetDeployment"]
+__all__ = ["FleetDeployment", "FleetBuildSpec"]
 
 _log = get_logger("repro.core.fleet")
 
@@ -92,14 +96,10 @@ def _run_pop_worker(name: str) -> Tuple[str, _PopRunState]:
     return name, _capture_state(deployment)
 
 
-def _pool_worker(connection, fleet: "FleetDeployment", names) -> None:
-    """One persistent worker: owns *names*' deployments for its lifetime.
-
-    The worker inherits its deployments (with all their live
-    routing/dataplane state) at fork time and keeps them across
-    commands, so successive ``run`` commands continue the simulation
-    exactly as serial stepping would — unlike fork-per-run, where each
-    run restarted from the parent's frozen pre-run image.
+def _serve_pool_commands(connection, deployments: Dict[str, PopDeployment], names) -> None:
+    """The pool worker command loop, shared by the fork and substrate
+    pools: ``run`` steps the partition, ``collect`` pickles its state
+    back, ``rss`` reports this process's resident set, ``stop`` exits.
     """
     while True:
         command = connection.recv()
@@ -107,7 +107,7 @@ def _pool_worker(connection, fleet: "FleetDeployment", names) -> None:
         if op == "run":
             start, duration, run_controller = command[1:]
             for name in names:
-                fleet.deployments[name].run(
+                deployments[name].run(
                     start, duration, run_controller=run_controller
                 )
             connection.send(("ran", len(names)))
@@ -116,11 +116,13 @@ def _pool_worker(connection, fleet: "FleetDeployment", names) -> None:
                 (
                     "state",
                     [
-                        (name, _capture_state(fleet.deployments[name]))
+                        (name, _capture_state(deployments[name]))
                         for name in names
                     ],
                 )
             )
+        elif op == "rss":
+            connection.send(("rss", process_rss_bytes()))
         elif op == "stop":
             connection.send(("stopped", None))
             connection.close()
@@ -129,7 +131,52 @@ def _pool_worker(connection, fleet: "FleetDeployment", names) -> None:
             raise RuntimeError(f"unknown pool command {op!r}")
 
 
-def _shutdown_pool(processes, connections) -> None:
+def _pool_worker(connection, fleet: "FleetDeployment", names) -> None:
+    """One persistent fork worker: owns *names*' deployments for life.
+
+    The worker inherits its deployments (with all their live
+    routing/dataplane state) at fork time and keeps them across
+    commands, so successive ``run`` commands continue the simulation
+    exactly as serial stepping would — unlike fork-per-run, where each
+    run restarted from the parent's frozen pre-run image.
+    """
+    _serve_pool_commands(connection, fleet.deployments, names)
+
+
+def _substrate_worker(
+    connection,
+    spec: "FleetBuildSpec",
+    names,
+    substrate_name: str,
+    demand_states: Dict[str, Tuple[dict, int]],
+) -> None:
+    """One spawned worker on the shared read-only substrate.
+
+    Spawned (not forked), so it starts from a fresh interpreter holding
+    nothing of the parent's image; it deterministically rebuilds ONLY
+    its partition's deployments, and the read-mostly bulk — the
+    internet prefix table plus per-PoP demand weight/volatility
+    columns — is mapped read-only from the parent's
+    :class:`FrozenTable` instead of being built (or copied) per worker.
+    The rebuild is a pure function of (spec, seed, substrate), so the
+    worker's deployments are byte-identical to the parent's.
+    """
+    table = FrozenTable.attach(substrate_name)
+    try:
+        deployments = _build_partition(spec, names, table, demand_states)
+        _serve_pool_commands(connection, deployments, names)
+        # Release the deployments' column views (demand weights etc.)
+        # before dropping the mapping, so the segment closes cleanly
+        # instead of riding out to process exit.
+        del deployments
+        import gc
+
+        gc.collect()
+    finally:
+        table.close()
+
+
+def _shutdown_pool(processes, connections, substrate=None) -> None:
     """Best-effort worker teardown (close_pool and GC finalizer)."""
     for connection in connections:
         try:
@@ -145,35 +192,128 @@ def _shutdown_pool(processes, connections) -> None:
             connection.close()
         except OSError:
             pass
+    if substrate is not None:
+        substrate.unlink()
 
 
-class _WorkerPool:
-    """Long-lived fork workers, each owning a partition of the PoPs."""
+@dataclass(frozen=True)
+class FleetBuildSpec:
+    """Everything :meth:`FleetDeployment.build` needs, in picklable form.
 
-    def __init__(self, fleet: "FleetDeployment", workers: int, context):
-        names = sorted(fleet.deployments)
-        partitions = [
-            names[index::workers] for index in range(workers)
-        ]
-        self.partitions = [p for p in partitions if p]
-        self.connections = []
-        self.processes = []
-        for partition in self.partitions:
-            parent_end, child_end = context.Pipe()
-            process = context.Process(
-                target=_pool_worker,
-                args=(child_end, fleet, partition),
-                daemon=True,
-            )
-            process.start()
-            child_end.close()
-            self.connections.append(parent_end)
-            self.processes.append(process)
-        # The fleet must never keep its workers alive past its own
-        # lifetime; the finalizer must not capture the pool (or fleet).
-        self._finalizer = weakref.finalize(
-            self, _shutdown_pool, self.processes, self.connections
+    The shared-substrate pool's spawned workers rebuild their partition
+    of the fleet from this spec — identically to the parent, because
+    every build step is a pure function of (spec, per-PoP seed) plus the
+    substrate columns.
+    """
+
+    pop_count: int = 4
+    seed: int = 0
+    tick_seconds: float = 60.0
+    controller_config: Optional[ControllerConfig] = None
+    sampling_rate: int = 131_072
+    fault_plans: Optional[Dict[str, object]] = None
+    safety_checks: bool = False
+    internet_config: Optional[InternetConfig] = None
+
+    def resolved_config(self) -> ControllerConfig:
+        return self.controller_config or ControllerConfig(
+            cycle_seconds=self.tick_seconds
         )
+
+
+def _assemble_pop(
+    build_spec: FleetBuildSpec,
+    pop_spec: PopSpec,
+    index: int,
+    internet: InternetTopology,
+    config: ControllerConfig,
+    demand_factory: Callable[..., DemandModel],
+) -> PopDeployment:
+    """Build one PoP's deployment — the single code path both the
+    parent and substrate workers run, so their results can only differ
+    if a build step is nondeterministic (none is)."""
+    wired = build_pop(pop_spec, internet)
+    peak = pop_spec.expected_peak or gbps(160)
+    demand_config = DemandConfig(
+        seed=build_spec.seed + 100 + index,
+        peak_total=peak,
+        # Regional peaks: offset each PoP by ~90 minutes.
+        peak_time=(64_800.0 + index * 5_400.0) % 86_400.0,
+    )
+    demand = demand_factory(wired, demand_config)
+    provision_against_demand(
+        wired,
+        demand.weight_of,
+        expected_peak=peak,
+        headroom=pop_spec.private_headroom,
+        tight_headroom=pop_spec.tight_headroom,
+        tight_peer_count=pop_spec.tight_peer_count,
+        seed=build_spec.seed + 200 + index,
+    )
+    faults = None
+    if build_spec.fault_plans and pop_spec.name in build_spec.fault_plans:
+        from ..faults.harness import FaultInjector
+
+        faults = FaultInjector(build_spec.fault_plans[pop_spec.name])
+    return PopDeployment(
+        wired,
+        demand,
+        controller_config=config,
+        tick_seconds=build_spec.tick_seconds,
+        sampling_rate=build_spec.sampling_rate,
+        seed=build_spec.seed + 300 + index,
+        faults=faults,
+        safety_checks=build_spec.safety_checks,
+    )
+
+
+def _build_partition(
+    spec: FleetBuildSpec,
+    names,
+    table: FrozenTable,
+    demand_states: Dict[str, Tuple[dict, int]],
+) -> Dict[str, PopDeployment]:
+    """Rebuild one partition of the fleet inside a substrate worker."""
+    internet = default_internet(spec.seed, spec.internet_config)
+    prefixes = internet.all_prefixes()
+    if len(prefixes) != len(table):
+        raise RuntimeError(
+            f"substrate table carries {len(table)} prefixes but the "
+            f"rebuilt internet has {len(prefixes)} — spec and substrate "
+            "disagree"
+        )
+    wanted = set(names)
+    config = spec.resolved_config()
+    deployments: Dict[str, PopDeployment] = {}
+    for index, pop_spec in enumerate(fleet_specs(spec.pop_count, spec.seed)):
+        if pop_spec.name not in wanted:
+            continue
+        name = pop_spec.name
+        rng_state, tick = demand_states[name]
+
+        def demand_factory(
+            wired, demand_config, name=name, rng_state=rng_state, tick=tick
+        ):
+            return DemandModel.from_columns(
+                prefixes,
+                demand_config,
+                table.column(f"demand_weights:{name}"),
+                table.column(f"demand_log0:{name}"),
+                rng_state=rng_state,
+                current_tick=tick,
+            )
+
+        deployments[name] = _assemble_pop(
+            spec, pop_spec, index, internet, config, demand_factory
+        )
+    return deployments
+
+
+class _PoolTransport:
+    """Command transport shared by the fork and substrate pools."""
+
+    connections: List
+    processes: List
 
     def command(self, command: Tuple) -> List:
         """Broadcast one command, returning every worker's payload."""
@@ -194,6 +334,107 @@ class _WorkerPool:
         self._finalizer()
 
 
+def _partition_names(names: List[str], workers: int) -> List[List[str]]:
+    partitions = [names[index::workers] for index in range(workers)]
+    return [partition for partition in partitions if partition]
+
+
+class _WorkerPool(_PoolTransport):
+    """Long-lived fork workers, each owning a partition of the PoPs."""
+
+    def __init__(self, fleet: "FleetDeployment", workers: int, context):
+        self.partitions = _partition_names(
+            sorted(fleet.deployments), workers
+        )
+        self.connections = []
+        self.processes = []
+        for partition in self.partitions:
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_pool_worker,
+                args=(child_end, fleet, partition),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self.connections.append(parent_end)
+            self.processes.append(process)
+        # The fleet must never keep its workers alive past its own
+        # lifetime; the finalizer must not capture the pool (or fleet).
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self.processes, self.connections
+        )
+
+
+class _SubstrateWorkerPool(_PoolTransport):
+    """Spawned workers over one shared read-only FrozenTable.
+
+    The fork pool's workers each inherit the parent's whole image — all
+    N PoPs' deployments — and CPython's refcount/GC writes gradually
+    privatize those copy-on-write pages, so per-worker RSS converges on
+    the full parent footprint.  Here each worker is *spawned* into a
+    fresh interpreter, rebuilds only its own partition, and maps the
+    fleet's read-mostly bulk (internet prefix table, per-PoP demand
+    columns) from shared memory: the table costs one set of physical
+    pages machine-wide, and per-worker RSS is the partition's share of
+    the fleet plus a constant interpreter baseline.
+    """
+
+    def __init__(self, fleet: "FleetDeployment", workers: int, context):
+        spec = fleet.build_spec
+        assert spec is not None
+        names = sorted(fleet.deployments)
+        self.partitions = _partition_names(names, workers)
+        # Freeze the substrate: the packed prefix table plus every
+        # PoP's demand weight and initial volatility columns.  Workers
+        # map only the columns they read; untouched pages never become
+        # resident in them.
+        columns: Dict[str, np.ndarray] = {}
+        demand_states: Dict[str, Tuple[dict, int]] = {}
+        sample: Optional[DemandModel] = None
+        for name in names:
+            model = fleet.deployments[name].demand
+            weights, log_state, rng_state, tick = model.column_state()
+            columns[f"demand_weights:{name}"] = np.asarray(
+                weights, dtype=np.float64
+            )
+            columns[f"demand_log0:{name}"] = np.asarray(
+                log_state, dtype=np.float64
+            )
+            demand_states[name] = (rng_state, tick)
+            sample = model
+        assert sample is not None
+        self.substrate = FrozenTable.build(
+            prefixes=sample.prefixes, columns=columns
+        ).share()
+        self.connections = []
+        self.processes = []
+        for partition in self.partitions:
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_substrate_worker,
+                args=(
+                    child_end,
+                    spec,
+                    partition,
+                    self.substrate.shared_name,
+                    {name: demand_states[name] for name in partition},
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self.connections.append(parent_end)
+            self.processes.append(process)
+        self._finalizer = weakref.finalize(
+            self,
+            _shutdown_pool,
+            self.processes,
+            self.connections,
+            self.substrate,
+        )
+
+
 @dataclass
 class FleetDeployment:
     """Independent per-PoP deployments, stepped together."""
@@ -208,7 +449,14 @@ class FleetDeployment:
         repr=False,
         compare=False,
     )
-    _pool: Optional[_WorkerPool] = field(
+    #: The picklable recipe this fleet was built from; required by the
+    #: shared-substrate pool (whose workers rebuild their partitions
+    #: from it).  None for hand-assembled fleets — those can still use
+    #: the fork pool.
+    build_spec: Optional[FleetBuildSpec] = field(
+        default=None, repr=False, compare=False
+    )
+    _pool: Optional[_PoolTransport] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -228,6 +476,7 @@ class FleetDeployment:
         sampling_rate: int = 131_072,
         fault_plans: Optional[Dict[str, object]] = None,
         safety_checks: bool = False,
+        internet_config: Optional[InternetConfig] = None,
     ) -> "FleetDeployment":
         """Build *pop_count* PoPs over one shared synthetic Internet.
 
@@ -239,50 +488,43 @@ class FleetDeployment:
         :class:`~repro.faults.FaultInjector` while the rest run clean —
         chaos at one PoP must never disturb another (the paper's
         controllers share nothing).
-        """
-        internet = default_internet(seed)
-        config = controller_config or ControllerConfig(
-            cycle_seconds=tick_seconds
-        )
-        deployments: Dict[str, PopDeployment] = {}
-        for index, spec in enumerate(fleet_specs(pop_count, seed)):
-            wired = build_pop(spec, internet)
-            peak = spec.expected_peak or gbps(160)
-            demand = DemandModel(
-                internet.all_prefixes(),
-                DemandConfig(
-                    seed=seed + 100 + index,
-                    peak_total=peak,
-                    # Regional peaks: offset each PoP by ~90 minutes.
-                    peak_time=(64_800.0 + index * 5_400.0) % 86_400.0,
-                ),
-                popular=wired.popular_prefixes(),
-            )
-            provision_against_demand(
-                wired,
-                demand.weight_of,
-                expected_peak=peak,
-                headroom=spec.private_headroom,
-                tight_headroom=spec.tight_headroom,
-                tight_peer_count=spec.tight_peer_count,
-                seed=seed + 200 + index,
-            )
-            faults = None
-            if fault_plans and spec.name in fault_plans:
-                from ..faults.harness import FaultInjector
 
-                faults = FaultInjector(fault_plans[spec.name])
-            deployments[spec.name] = PopDeployment(
-                wired,
-                demand,
-                controller_config=config,
-                tick_seconds=tick_seconds,
-                sampling_rate=sampling_rate,
-                seed=seed + 300 + index,
-                faults=faults,
-                safety_checks=safety_checks,
+        *internet_config* scales the shared synthetic Internet (more
+        stubs, more prefixes per stub, a larger IPv6 share) — the knob
+        the substrate bench turns to make the shared table dominate
+        per-worker memory the way a real full table does.
+        """
+        spec = FleetBuildSpec(
+            pop_count=pop_count,
+            seed=seed,
+            tick_seconds=tick_seconds,
+            controller_config=controller_config,
+            sampling_rate=sampling_rate,
+            fault_plans=fault_plans,
+            safety_checks=safety_checks,
+            internet_config=internet_config,
+        )
+        internet = default_internet(seed, internet_config)
+        prefixes = internet.all_prefixes()
+        config = spec.resolved_config()
+        deployments: Dict[str, PopDeployment] = {}
+        for index, pop_spec in enumerate(fleet_specs(pop_count, seed)):
+
+            def demand_factory(wired, demand_config):
+                return DemandModel(
+                    prefixes,
+                    demand_config,
+                    popular=wired.popular_prefixes(),
+                )
+
+            deployments[pop_spec.name] = _assemble_pop(
+                spec, pop_spec, index, internet, config, demand_factory
             )
-        return cls(deployments=deployments, tick_seconds=tick_seconds)
+        return cls(
+            deployments=deployments,
+            tick_seconds=tick_seconds,
+            build_spec=spec,
+        )
 
     # -- stepping ---------------------------------------------------------------
 
@@ -304,6 +546,7 @@ class FleetDeployment:
         parallel: Optional[int] = None,
         pool: bool = True,
         sync: bool = True,
+        substrate: bool = False,
     ) -> None:
         """Run every PoP from *start* for *duration* seconds.
 
@@ -323,6 +566,15 @@ class FleetDeployment:
         to the legacy fork-per-run path (whole-run semantics only: live
         state stays at pre-run values, so never run it twice).
 
+        ``substrate=True`` (pool mode only) runs the pool on the shared
+        read-only substrate: workers are *spawned* rather than forked,
+        rebuild only their partition, and map the fleet's read-mostly
+        bulk from one :class:`FrozenTable` in shared memory — the
+        zero-copy mode whose per-worker RSS ``bench_fleet
+        --shared-substrate`` gates.  Requires a fleet from
+        :meth:`build` (``build_spec`` set) that has not been stepped
+        yet; otherwise the run degrades to the fork pool, loudly.
+
         If process forking is unavailable, the run degrades to the
         serial loop — loudly: a structured ``fleet.parallel_fallback``
         log line plus the ``fleet_parallel_fallback_total`` counter on
@@ -334,7 +586,20 @@ class FleetDeployment:
             and len(self.deployments) > 1
         ):
             if pool:
-                worker_pool = self._ensure_pool(parallel)
+                worker_pool = None
+                if substrate:
+                    worker_pool = self._ensure_substrate_pool(parallel)
+                    if worker_pool is None:
+                        self._note_parallel_fallback(
+                            parallel,
+                            reason=(
+                                "substrate pool unavailable (needs a "
+                                "built, unstepped fleet and the spawn "
+                                "start method); using the fork pool"
+                            ),
+                        )
+                if worker_pool is None:
+                    worker_pool = self._ensure_pool(parallel)
                 if worker_pool is not None:
                     worker_pool.command(
                         ("run", start, duration, run_controller)
@@ -354,7 +619,7 @@ class FleetDeployment:
 
     # -- the persistent pool -----------------------------------------------------
 
-    def _ensure_pool(self, workers: int) -> Optional[_WorkerPool]:
+    def _ensure_pool(self, workers: int) -> Optional[_PoolTransport]:
         """The live worker pool, forked on first use (None: no fork)."""
         if self._pool is not None:
             return self._pool
@@ -366,6 +631,59 @@ class FleetDeployment:
             self, min(workers, len(self.deployments)), context
         )
         return self._pool
+
+    def _ensure_substrate_pool(
+        self, workers: int
+    ) -> Optional[_PoolTransport]:
+        """The live substrate pool, spawned on first use.
+
+        None when the fleet cannot host one: hand-assembled (no
+        :class:`FleetBuildSpec` to rebuild from), already stepped
+        (workers rebuild from scratch, so prior per-PoP state would be
+        lost), or no spawn start method.  A pool that already exists is
+        returned whatever its kind — the caller committed to it.
+        """
+        if self._pool is not None:
+            return self._pool
+        if self.build_spec is None:
+            return None
+        if any(
+            deployment.record.ticks or deployment.current_time
+            for deployment in self.deployments.values()
+        ):
+            return None
+        try:
+            context = multiprocessing.get_context("spawn")
+        except ValueError:  # pragma: no cover - spawn always exists
+            return None
+        self._pool = _SubstrateWorkerPool(
+            self, min(workers, len(self.deployments)), context
+        )
+        return self._pool
+
+    def worker_rss_bytes(self) -> Dict[str, float]:
+        """Per-worker resident set size in bytes (empty without a pool).
+
+        Polls each live worker process and mirrors the readings onto
+        the fleet's own telemetry as the ``fleet_worker_rss_bytes``
+        gauge (labelled by worker), so the substrate's memory win is a
+        dashboard series, not just a bench artifact.  Fleet-level
+        telemetry only: per-PoP registries stay untouched, preserving
+        serial-vs-pool byte-equality of per-PoP results.
+        """
+        if self._pool is None:
+            return {}
+        gauge = self.telemetry.registry.gauge(
+            "fleet_worker_rss_bytes",
+            "Resident set size of each fleet worker process",
+            labelnames=("worker",),
+        )
+        readings: Dict[str, float] = {}
+        for index, rss in enumerate(self._pool.command(("rss",))):
+            worker = f"worker-{index}"
+            readings[worker] = rss
+            gauge.labels(worker=worker).set(rss)
+        return readings
 
     def collect(self) -> None:
         """Pull worker state into the parent deployments (pool only).
@@ -387,14 +705,18 @@ class FleetDeployment:
         pool, self._pool = self._pool, None
         pool.stop()
 
-    def _note_parallel_fallback(self, requested: int) -> None:
+    def _note_parallel_fallback(
+        self,
+        requested: int,
+        reason: str = "fork start method unavailable",
+    ) -> None:
         self._m_parallel_fallback.inc()
         log_event(
             _log,
             "fleet.parallel_fallback",
             requested_workers=requested,
             pops=len(self.deployments),
-            reason="fork start method unavailable",
+            reason=reason,
         )
 
     def _merge_state(self, name: str, state: _PopRunState) -> None:

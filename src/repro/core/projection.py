@@ -121,6 +121,11 @@ class IncrementalProjection:
         # operations the dict accumulation performed, so the loads stay
         # bit-for-bit equal to :func:`project`.
         self._ifaces: Interner[InterfaceKey] = Interner()
+        # The load column and liveness mask are id-indexed, so the
+        # projection registers as an interner consumer: any id-space
+        # wipe must go through reset(), which drops the columns via
+        # _invalidate_columns first (Interner.clear() would raise).
+        self._ifaces.register_consumer(self._invalidate_columns)
         self._loads_col = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
         self._live = np.zeros(self._INITIAL_CAPACITY, dtype=bool)
         self._by_interface: Dict[InterfaceKey, Dict[Prefix, Placement]] = {}
@@ -131,6 +136,13 @@ class IncrementalProjection:
         self._structural_change = True
         self._abs_delta_bps: Dict[InterfaceKey, float] = {}
         self._band_loads_bps: Dict[InterfaceKey, float] = {}
+
+    def _invalidate_columns(self) -> None:
+        """Drop every id-indexed structure (interner consumer hook)."""
+        self._loads_col = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._live = np.zeros(self._INITIAL_CAPACITY, dtype=bool)
+        self._by_interface = {}
+        self._sorted_cache = {}
 
     def _slot_for(self, key: InterfaceKey) -> int:
         slot = self._ifaces.intern(key)

@@ -68,9 +68,15 @@ __all__ = [
 class ScaleConfig:
     """Knobs for one scale run; two runs from one config are twins."""
 
-    #: Size of the prefix table (the paper's PoPs serve tens of
+    #: Size of the IPv4 prefix table (the paper's PoPs serve tens of
     #: thousands of routable prefixes; the acceptance bar is 50k).
     prefix_count: int = 50_000
+    #: IPv6 prefixes (/48s) carried alongside the IPv4 table.  Zero
+    #: keeps the scenario byte-identical to its v4-only history: v6
+    #: rates are drawn from the build RNG *after* every v4 draw, and v6
+    #: homing is a pure function of the index, so enabling v6 never
+    #: perturbs the v4 event sequence.
+    ipv6_prefix_count: int = 0
     #: Fraction of the table churned per cycle (rates and routes).
     churn_fraction: float = 0.02
     #: Of the churned prefixes, the share whose churn is a route flap
@@ -107,6 +113,8 @@ class ScaleConfig:
     def __post_init__(self) -> None:
         if self.prefix_count < 1:
             raise ValueError("prefix_count must be positive")
+        if self.ipv6_prefix_count < 0:
+            raise ValueError("ipv6_prefix_count cannot be negative")
         if not 0.0 <= self.churn_fraction <= 1.0:
             raise ValueError("churn_fraction must be in [0, 1]")
         if not 0.0 <= self.route_flap_fraction <= 1.0:
@@ -115,6 +123,11 @@ class ScaleConfig:
             raise ValueError("cycles must be positive")
         if self.pni_count < 1 or self.tight_pni_count < 0:
             raise ValueError("need at least one roomy PNI")
+
+    @property
+    def total_prefix_count(self) -> int:
+        """Both families together — the table the controller carries."""
+        return self.prefix_count + self.ipv6_prefix_count
 
     @property
     def window_seconds(self) -> float:
@@ -142,18 +155,26 @@ class ScaleConfig:
         prefix_count: int = 700_000,
         cycles: int = 12,
         seed: int = 7,
+        dual_stack: bool = False,
+        ipv6_prefix_count: int = 200_000,
         **overrides: object,
     ) -> "ScaleConfig":
-        """The full-table preset: a PoP carrying the whole IPv4 table.
+        """The full-table preset: a PoP carrying the whole routing table.
 
-        700k prefixes is today's global routing table; the tight PNIs
-        are overloaded hard (8x the threshold limit) so nearly the whole
+        700k prefixes is today's global IPv4 table; the tight PNIs are
+        overloaded hard (8x the threshold limit) so nearly the whole
         tight slice — ~21k prefixes — must detour, which is the regime
         where aggregated injection pays: contiguous blocks of equal-rate
         detours collapse into a handful of covering announcements.
+
+        ``dual_stack=True`` adds the real Internet's other half: ~200k
+        IPv6 /48s homed in contiguous blocks on the same PNIs, with
+        their own tight slice detouring through the family-aware
+        aggregation floor (/32).
         """
         base: Dict[str, object] = dict(
             prefix_count=prefix_count,
+            ipv6_prefix_count=ipv6_prefix_count if dual_stack else 0,
             cycles=cycles,
             seed=seed,
             churn_fraction=0.005,
@@ -241,36 +262,50 @@ class ScaleScenario:
 
         # Deterministic demand: per-prefix base rates first, so PNI
         # capacities can be sized against the load they will carry.
+        # Index space is v4 first ([0, prefix_count)), then v6 — and
+        # every v6 draw comes after every v4 draw, so a v4-only config
+        # replays its historical event sequence bit for bit.
         build_rng = random.Random(config.seed)
-        count = config.prefix_count
-        self._prefixes = [_nth_prefix(index) for index in range(count)]
+        count4 = config.prefix_count
+        count6 = config.ipv6_prefix_count
+        count = count4 + count6
+        self._prefixes = [_nth_prefix(index) for index in range(count4)]
+        self._prefixes.extend(
+            _nth_prefix6(index) for index in range(count6)
+        )
         self._rate_bps = [
             build_rng.uniform(2e6, 5e7) for _ in range(count)
         ]
 
-        # Home each prefix on a PNI: a small slice goes to the tight
-        # ports — round-robin by default, contiguous blocks when
-        # block-homing is on — and the rest round-robins the roomy ones.
+        # Home each prefix on a PNI, per family: a small slice of each
+        # family goes to the tight ports — round-robin by default,
+        # contiguous blocks when block-homing is on — and the rest
+        # round-robins the roomy ones.  Both families share the same
+        # physical PNIs (a congested peer is congested for the traffic
+        # it carries, not per address family).
         tight_total = config.tight_pni_count
-        tight_prefixes = (
-            int(count * config.tight_prefix_share) if tight_total else 0
-        )
-        if config.uniform_tight_rates:
-            for index in range(tight_prefixes):
-                self._rate_bps[index] = 3e7
         self._home: List[int] = []
-        for index in range(count):
-            if index < tight_prefixes:
-                if config.block_tight_homing:
-                    self._home.append(
-                        index * tight_total // tight_prefixes
-                    )
+        for family_count, base in ((count4, 0), (count6, count4)):
+            tight_prefixes = (
+                int(family_count * config.tight_prefix_share)
+                if tight_total
+                else 0
+            )
+            if config.uniform_tight_rates:
+                for local in range(tight_prefixes):
+                    self._rate_bps[base + local] = 3e7
+            for local in range(family_count):
+                if local < tight_prefixes:
+                    if config.block_tight_homing:
+                        self._home.append(
+                            local * tight_total // tight_prefixes
+                        )
+                    else:
+                        self._home.append(local % tight_total)
                 else:
-                    self._home.append(index % tight_total)
-            else:
-                self._home.append(
-                    tight_total + index % config.pni_count
-                )
+                    self._home.append(
+                        tight_total + local % config.pni_count
+                    )
 
         pni_total = tight_total + config.pni_count
         pni_loads = [0.0] * pni_total
@@ -307,7 +342,7 @@ class ScaleScenario:
             # degrades to full rebuilds at exactly the table sizes
             # where it matters most.
             change_log_limit=max(
-                DEFAULT_CHANGE_LOG_LIMIT, 2 * config.prefix_count
+                DEFAULT_CHANGE_LOG_LIMIT, 2 * config.total_prefix_count
             ),
         )
         self.injector = BgpInjector(
@@ -333,13 +368,21 @@ class ScaleScenario:
     def _pni_session(self, index: int) -> PeerDescriptor:
         return self.scale_pop.pnis[self._home[index]]
 
+    def _next_hop(self, index: int, session: PeerDescriptor):
+        """Family-matched next hop: v6 prefixes carry the conventional
+        link-local form embedding the 32-bit session address (the same
+        convention the injector and topology builder use)."""
+        if self._prefixes[index].family is Family.IPV4:
+            return (Family.IPV4, session.address)
+        return (Family.IPV6, (0xFE80 << 112) | session.address)
+
     def _pni_route(self, index: int, now: float) -> Route:
         session = self._pni_session(index)
         return Route(
             prefix=self._prefixes[index],
             attributes=PathAttributes(
                 as_path=AsPath.sequence(session.peer_asn),
-                next_hop=(Family.IPV4, session.address),
+                next_hop=self._next_hop(index, session),
                 local_pref=LOCAL_PREF_BY_PEER_TYPE[session.peer_type],
             ),
             source=session,
@@ -352,7 +395,7 @@ class ScaleScenario:
             prefix=self._prefixes[index],
             attributes=PathAttributes(
                 as_path=AsPath.sequence(session.peer_asn, 64900),
-                next_hop=(Family.IPV4, session.address),
+                next_hop=self._next_hop(index, session),
                 local_pref=LOCAL_PREF_BY_PEER_TYPE[session.peer_type],
             ),
             source=session,
@@ -362,7 +405,7 @@ class ScaleScenario:
     def _seed_routes(self) -> None:
         # Bulk path: one best-path decision per prefix instead of two.
         routes: List[Route] = []
-        for index in range(self.config.prefix_count):
+        for index in range(self.config.total_prefix_count):
             routes.append(self._transit_route(index))
             routes.append(self._pni_route(index, 0.0))
         self.bmp.ingest_routes(routes, now=0.0)
@@ -372,7 +415,7 @@ class ScaleScenario:
         # the drawn rate for the rest of the run (nothing expires).
         window = self.config.window_seconds
         sflow = self.sflow
-        for index in range(self.config.prefix_count):
+        for index in range(self.config.total_prefix_count):
             session = self._pni_session(index)
             sflow.add_estimate(
                 self._prefixes[index],
@@ -383,12 +426,13 @@ class ScaleScenario:
 
     def _churn(self, now: float) -> None:
         config = self.config
-        churned = int(config.prefix_count * config.churn_fraction)
+        total = config.total_prefix_count
+        churned = int(total * config.churn_fraction)
         if churned == 0:
             return
         rng = self._churn_rng
         window = config.window_seconds
-        for index in rng.sample(range(config.prefix_count), churned):
+        for index in rng.sample(range(total), churned):
             if rng.random() < config.route_flap_fraction:
                 if index in self._withdrawn:
                     self._withdrawn.discard(index)
@@ -520,3 +564,11 @@ def _nth_prefix(index: int) -> Prefix:
     upward, 65536 per /8)."""
     address = ((11 + index // 65536) << 24) | ((index % 65536) << 8)
     return Prefix.from_address(Family.IPV4, address, 24)
+
+
+def _nth_prefix6(index: int) -> Prefix:
+    """The index-th /48 of the synthetic IPv6 plan: consecutive /48s
+    walking up from 2600::/16, so block-homed tight slices occupy
+    contiguous v6 space exactly as the v4 plan's /24s do."""
+    address = (0x2600 << 112) | (index << 80)
+    return Prefix.from_address(Family.IPV6, address, 48)

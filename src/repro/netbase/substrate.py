@@ -1,0 +1,404 @@
+"""Frozen, shareable columnar snapshots of prefix-keyed tables.
+
+Full-table deployments hold one large read-mostly dataset — the routed
+prefix table plus per-prefix columns (demand weights, base rates,
+homing) — and then fork a worker per PoP.  Under fork, every worker
+inherits the parent's boxed Python objects; CPython's reference counting
+and cycle collector write into the header of each object they touch, so
+the copy-on-write pages holding those objects are dirtied worker by
+worker until each process carries its own full copy.
+
+A :class:`FrozenTable` takes the other path: the key table and every
+column are packed into **one contiguous buffer** that can live in
+:mod:`multiprocessing.shared_memory`.  Workers attach the buffer and map
+numpy views straight onto it — no per-row Python objects, nothing for
+the allocator or GC to write to — so the table costs one set of physical
+pages machine-wide no matter how many workers read it.  Views are marked
+read-only; per-worker mutable state is an explicit overlay (copy the
+column you need to write).
+
+IPv6 networks are 128-bit and do not fit any numpy integer dtype, so
+prefix networks are split into *hi/lo* ``uint64`` columns
+(:class:`PrefixColumns`): ``hi`` holds bits 64..127 (always zero for
+IPv4), ``lo`` bits 0..63.  The split is exact — packing and unpacking
+round-trip bit-for-bit for both families — which is what lets the
+columnar hot paths carry the dual-stack table without widening to
+Python integers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .addr import Family, Prefix
+from .errors import ReproError
+
+__all__ = [
+    "PrefixColumns",
+    "FrozenTable",
+    "SubstrateError",
+    "pack_prefixes",
+    "unpack_prefixes",
+]
+
+_MAGIC = b"REPROFZ1"
+_ALIGN = 64
+_U64_MASK = (1 << 64) - 1
+
+
+class SubstrateError(ReproError):
+    """A frozen-table buffer is malformed or misused."""
+
+
+@dataclass(frozen=True)
+class PrefixColumns:
+    """A prefix table as four parallel columns (one row per prefix).
+
+    ``family`` carries the IANA AFI value (1/2), ``length`` the mask
+    length, and the network address is split across two ``uint64``
+    halves because 128-bit IPv6 networks fit no numpy integer dtype:
+    ``net_hi`` holds bits 64..127 (zero for IPv4), ``net_lo`` bits
+    0..63.  The representation is exact for both families.
+    """
+
+    family: np.ndarray  # uint8
+    length: np.ndarray  # uint8
+    net_hi: np.ndarray  # uint64
+    net_lo: np.ndarray  # uint64
+
+    def __len__(self) -> int:
+        return len(self.family)
+
+    def prefix_at(self, row: int) -> Prefix:
+        """Reconstruct one row's :class:`Prefix`, bit-identical."""
+        family = Family(int(self.family[row]))
+        network = (int(self.net_hi[row]) << 64) | int(self.net_lo[row])
+        return Prefix(family, network, int(self.length[row]))
+
+
+def pack_prefixes(prefixes: Sequence[Prefix]) -> PrefixColumns:
+    """Pack *prefixes* into hi/lo columnar form (row order preserved)."""
+    count = len(prefixes)
+    family = np.empty(count, dtype=np.uint8)
+    length = np.empty(count, dtype=np.uint8)
+    # Build the halves as Python ints first: values in [0, 2**64) are
+    # exactly representable, and the single array construction at the
+    # end is far cheaper than per-element numpy stores.
+    hi: List[int] = []
+    lo: List[int] = []
+    for row, prefix in enumerate(prefixes):
+        family[row] = int(prefix.family)
+        length[row] = prefix.length
+        network = prefix.network
+        hi.append(network >> 64)
+        lo.append(network & _U64_MASK)
+    return PrefixColumns(
+        family=family,
+        length=length,
+        net_hi=np.array(hi, dtype=np.uint64),
+        net_lo=np.array(lo, dtype=np.uint64),
+    )
+
+
+def unpack_prefixes(columns: PrefixColumns) -> List[Prefix]:
+    """Rebuild the packed prefixes, bit-identical and in row order."""
+    families = columns.family.tolist()
+    lengths = columns.length.tolist()
+    his = columns.net_hi.tolist()
+    los = columns.net_lo.tolist()
+    return [
+        Prefix(Family(families[row]), (his[row] << 64) | los[row], lengths[row])
+        for row in range(len(families))
+    ]
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+_PREFIX_COLUMN_NAMES = (
+    "__prefix_family",
+    "__prefix_length",
+    "__prefix_net_hi",
+    "__prefix_net_lo",
+)
+
+
+class FrozenTable:
+    """An immutable prefix table plus named columns in one flat buffer.
+
+    Build one with :meth:`build` (from live arrays), then either keep it
+    in-process, ship it as :meth:`to_bytes`, or :meth:`share` it through
+    POSIX shared memory and :meth:`attach` from any other process.  All
+    access paths end in the same place: numpy views directly onto the
+    buffer, marked read-only.
+
+    Layout::
+
+        [8B magic][8B header length][header JSON][pad to 64]
+        [column 0 bytes][pad to 64][column 1 bytes][pad] ...
+
+    The header records each column's dtype, shape and offset; prefix
+    columns (when present) are ordinary columns under reserved names.
+    """
+
+    def __init__(
+        self,
+        buffer,
+        columns: Dict[str, np.ndarray],
+        shm=None,
+    ) -> None:
+        self._buffer = buffer
+        self._columns = columns
+        self._shm = shm
+        self._prefixes: Optional[List[Prefix]] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        prefixes: Optional[Sequence[Prefix]] = None,
+        columns: Optional[Dict[str, np.ndarray]] = None,
+    ) -> "FrozenTable":
+        """Freeze *prefixes* (optional) and *columns* into one buffer.
+
+        Column arrays must be one-dimensional; each is copied once into
+        the packed buffer, so the originals stay untouched and the
+        frozen views share no memory with them.
+        """
+        named: Dict[str, np.ndarray] = {}
+        if prefixes is not None:
+            packed = pack_prefixes(prefixes)
+            named[_PREFIX_COLUMN_NAMES[0]] = packed.family
+            named[_PREFIX_COLUMN_NAMES[1]] = packed.length
+            named[_PREFIX_COLUMN_NAMES[2]] = packed.net_hi
+            named[_PREFIX_COLUMN_NAMES[3]] = packed.net_lo
+        for name, array in (columns or {}).items():
+            if name.startswith("__"):
+                raise SubstrateError(
+                    f"column name {name!r} is reserved (double underscore)"
+                )
+            arr = np.ascontiguousarray(array)
+            if arr.ndim != 1:
+                raise SubstrateError(
+                    f"column {name!r} must be one-dimensional, "
+                    f"got shape {arr.shape}"
+                )
+            named[name] = arr
+        if not named:
+            raise SubstrateError("a frozen table needs at least one column")
+
+        entries = []
+        # First pass with a placeholder header length to discover the
+        # real header size, second pass with the true offsets; the JSON
+        # length only depends on the offsets' digit count, so iterate
+        # until stable (converges in <= 2 extra rounds).
+        header_len = 0
+        while True:
+            entries = []
+            offset = _aligned(len(_MAGIC) + 8 + header_len)
+            for name, arr in named.items():
+                entries.append(
+                    {
+                        "name": name,
+                        "dtype": arr.dtype.str,
+                        "count": int(arr.shape[0]),
+                        "offset": offset,
+                    }
+                )
+                offset = _aligned(offset + arr.nbytes)
+            header = json.dumps({"columns": entries}).encode("ascii")
+            if len(header) == header_len:
+                total = offset
+                break
+            header_len = len(header)
+
+        buffer = bytearray(total)
+        buffer[: len(_MAGIC)] = _MAGIC
+        buffer[len(_MAGIC) : len(_MAGIC) + 8] = len(header).to_bytes(
+            8, "little"
+        )
+        start = len(_MAGIC) + 8
+        buffer[start : start + len(header)] = header
+        views: Dict[str, np.ndarray] = {}
+        for entry, arr in zip(entries, named.values()):
+            begin = entry["offset"]
+            buffer[begin : begin + arr.nbytes] = arr.tobytes()
+        table = cls(bytes(buffer), {})
+        table._columns = _map_columns(table._buffer, entries)
+        return table
+
+    @classmethod
+    def from_buffer(cls, buffer, shm=None) -> "FrozenTable":
+        """Map a frozen table from an existing buffer (zero-copy)."""
+        view = memoryview(buffer)
+        if bytes(view[: len(_MAGIC)]) != _MAGIC:
+            raise SubstrateError("buffer does not hold a frozen table")
+        header_len = int.from_bytes(
+            bytes(view[len(_MAGIC) : len(_MAGIC) + 8]), "little"
+        )
+        start = len(_MAGIC) + 8
+        try:
+            header = json.loads(bytes(view[start : start + header_len]))
+        except ValueError as exc:
+            raise SubstrateError(f"corrupt frozen-table header: {exc}") from exc
+        table = cls(buffer, {}, shm=shm)
+        table._columns = _map_columns(buffer, header["columns"])
+        return table
+
+    def to_bytes(self) -> bytes:
+        """The packed buffer (suitable for files or wire transfer)."""
+        return bytes(self._buffer)
+
+    # -- shared memory -------------------------------------------------------
+
+    def share(self, name: Optional[str] = None) -> "FrozenTable":
+        """Copy this table into POSIX shared memory; returns the shared
+        twin (the creating process owns the segment — call
+        :meth:`unlink` there when every attacher is done)."""
+        from multiprocessing import shared_memory
+
+        data = self.to_bytes()
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=len(data)
+        )
+        shm.buf[: len(data)] = data
+        return FrozenTable.from_buffer(shm.buf, shm=shm)
+
+    @classmethod
+    def attach(cls, name: str) -> "FrozenTable":
+        """Attach to a shared table created by :meth:`share` elsewhere.
+
+        The attaching process maps views only; it never owns the
+        segment.  Call :meth:`close` when done.
+        """
+        from multiprocessing import shared_memory
+
+        # The resource tracker assumes whoever opens a segment owns it
+        # and unlinks it on that process's exit — which would tear the
+        # substrate out from under every other attacher (and, since
+        # workers share the parent's tracker process, corrupt its
+        # registry for the creator's own unlink).  Only the creator
+        # tracks; suppress registration for the attach.
+        try:  # pragma: no cover - tracker internals vary by version
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.register
+
+            def _skip_shm(name_, rtype):
+                if rtype != "shared_memory":
+                    original(name_, rtype)
+
+            resource_tracker.register = _skip_shm
+            try:
+                shm = shared_memory.SharedMemory(name=name, create=False)
+            finally:
+                resource_tracker.register = original
+        except ImportError:
+            shm = shared_memory.SharedMemory(name=name, create=False)
+        return cls.from_buffer(shm.buf, shm=shm)
+
+    @property
+    def shared_name(self) -> Optional[str]:
+        """The shared-memory segment name (None when not shared)."""
+        return self._shm.name if self._shm is not None else None
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid).
+
+        If column views are still referenced elsewhere the mmap cannot
+        be unmapped yet; the close is best-effort and the mapping then
+        goes away with the process (a BufferError here must not take
+        down a worker's shutdown path).
+        """
+        self._columns = {}
+        self._prefixes = None
+        self._buffer = b""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:
+                pass
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the shared segment (creator only; closes first)."""
+        shm = self._shm
+        self.close()
+        if shm is not None:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- access --------------------------------------------------------------
+
+    def column_names(self) -> List[str]:
+        return [
+            name for name in self._columns if not name.startswith("__")
+        ]
+
+    def column(self, name: str) -> np.ndarray:
+        """Read-only view of one named column."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SubstrateError(
+                f"no column {name!r}; have {self.column_names()}"
+            ) from None
+
+    def has_prefixes(self) -> bool:
+        return _PREFIX_COLUMN_NAMES[0] in self._columns
+
+    def prefix_columns(self) -> PrefixColumns:
+        """The packed prefix table (read-only views)."""
+        if not self.has_prefixes():
+            raise SubstrateError("this table was frozen without prefixes")
+        return PrefixColumns(
+            family=self._columns[_PREFIX_COLUMN_NAMES[0]],
+            length=self._columns[_PREFIX_COLUMN_NAMES[1]],
+            net_hi=self._columns[_PREFIX_COLUMN_NAMES[2]],
+            net_lo=self._columns[_PREFIX_COLUMN_NAMES[3]],
+        )
+
+    def prefixes(self) -> List[Prefix]:
+        """The prefix table as :class:`Prefix` objects (cached).
+
+        Reconstruction materializes per-row Python objects — the one
+        thing the substrate avoids — so call this only where object
+        identity is needed (building per-worker RIB state), never in a
+        per-cycle path.
+        """
+        if self._prefixes is None:
+            self._prefixes = unpack_prefixes(self.prefix_columns())
+        return self._prefixes
+
+    def __len__(self) -> int:
+        if self.has_prefixes():
+            return len(self._columns[_PREFIX_COLUMN_NAMES[0]])
+        first = next(iter(self._columns.values()), None)
+        return 0 if first is None else len(first)
+
+    def nbytes(self) -> int:
+        """Size of the packed buffer in bytes."""
+        return len(self._buffer)
+
+
+def _map_columns(buffer, entries: Iterable[dict]) -> Dict[str, np.ndarray]:
+    """Read-only numpy views onto *buffer* for each header entry."""
+    columns: Dict[str, np.ndarray] = {}
+    for entry in entries:
+        dtype = np.dtype(entry["dtype"])
+        count = entry["count"]
+        offset = entry["offset"]
+        view = np.frombuffer(
+            buffer, dtype=dtype, count=count, offset=offset
+        )
+        view.flags.writeable = False
+        columns[entry["name"]] = view
+    return columns

@@ -30,7 +30,35 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "process_rss_bytes",
 ]
+
+
+def process_rss_bytes() -> float:
+    """This process's resident set size in bytes (0.0 if unknowable).
+
+    Reads ``/proc/self/statm`` where procfs exists (Linux); falls back
+    to ``getrusage`` peak RSS elsewhere.  Used by the fleet to report
+    per-worker memory, where the shared-substrate pool's win (one set
+    of physical pages for the table, however many workers) shows up.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as statm:
+            fields = statm.read().split()
+        import resource
+
+        page = resource.getpagesize()
+        return float(int(fields[1]) * page)
+    except (OSError, IndexError, ValueError):
+        pass
+    try:  # pragma: no cover - non-procfs platforms
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; procfs handled Linux above.
+        return float(peak)
+    except Exception:  # pragma: no cover
+        return 0.0
 
 #: Histogram bucket upper bounds in seconds (Prometheus-style defaults,
 #: trimmed to the latency range a simulated tick/cycle actually spans).

@@ -325,6 +325,12 @@ class ColumnarRateEstimator(Generic[K]):
         self.window_seconds = window_seconds
         self._log_limit = change_log_limit
         self._slots: Interner[K] = Interner()
+        # The columns below are indexed by the interner's ids, so the
+        # estimator registers as a consumer: wiping the id space goes
+        # through reset(), which drops the columns first (a bare
+        # Interner.clear() would raise rather than let stale rows pair
+        # with recycled ids).
+        self._slots.register_consumer(self._invalidate_columns)
         self._totals = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
         self._oldest = np.full(
             self._INITIAL_CAPACITY, np.inf, dtype=np.float64
@@ -527,14 +533,19 @@ class ColumnarRateEstimator(Generic[K]):
         self._changed_watermark = now
         return changed
 
-    def clear(self) -> None:
-        self._slots.clear()
+    def _invalidate_columns(self) -> None:
+        """Drop every id-indexed structure (interner consumer hook)."""
         self._totals = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
         self._oldest = np.full(
             self._INITIAL_CAPACITY, np.inf, dtype=np.float64
         )
         self._events.clear()
         self._live = 0
+
+    def clear(self) -> None:
+        # reset() invalidates this estimator's columns via the consumer
+        # hook before wiping the id space, keeping ids and rows in step.
+        self._slots.reset()
         self.last_add_at = None
         self._add_log.clear()
         self._changed_watermark = _NEVER

@@ -411,6 +411,168 @@ class TestObservationalEquivalence:
             assert egress_address(resolved) == detour.target.source.address
 
 
+# -- S3 (v6): the same equivalence over /48-grained IPv6 tables --------------
+#
+# IPv6 detours grow through the family-aware floor (min_length_v6,
+# /32 = an RIR allocation) instead of the v4 floor, and carry
+# link-local next-hops; everything else about the plan must behave
+# identically, so this suite mirrors the v4 property suite above.
+
+V6_BASE = 0x2600 << 112
+
+
+def organic_route6(prefix: Prefix, session: PeerDescriptor) -> Route:
+    return Route(
+        prefix=prefix,
+        attributes=PathAttributes(
+            as_path=AsPath.sequence(session.peer_asn, 64900),
+            next_hop=(Family.IPV6, (0xFE80 << 112) | session.address),
+        ),
+        source=session,
+        learned_at=0.0,
+    )
+
+
+def injected_route6(prefix: Prefix, target: Route) -> Route:
+    return Route(
+        prefix=prefix,
+        attributes=PathAttributes(
+            origin=target.attributes.origin,
+            as_path=target.attributes.as_path,
+            next_hop=(
+                Family.IPV6,
+                (0xFE80 << 112) | target.source.address,
+            ),
+            local_pref=10_000,
+            communities=target.attributes.communities | {INJECTED},
+        ),
+        source=INJECTOR,
+        learned_at=0.0,
+    )
+
+
+# Random v6 tables inside 2600::/16: slots sit at bits 86..95, so
+# lengths 34..48 nest and collide the way the v4 suite's /18../26
+# entries do.
+prefix_entries6 = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 10) - 1),
+        st.integers(min_value=34, max_value=48),
+        st.integers(min_value=0, max_value=2),
+        st.booleans(),  # desired?
+        st.integers(min_value=0, max_value=2),  # desired target
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@st.composite
+def random_table6(draw):
+    sessions = (SESSION_A, SESSION_B, SESSION_C)
+    entries = draw(prefix_entries6)
+    routed = {}
+    desired = {}
+    for slot, length, home, wants, target in entries:
+        network = V6_BASE | (slot << 86)
+        shift = 128 - length
+        prefix = Prefix(
+            Family.IPV6, (network >> shift) << shift, length
+        )
+        if prefix in routed:
+            continue
+        routed[prefix] = sessions[home]
+        if wants:
+            desired[prefix] = FakeDetour(
+                target=organic_route6(prefix, sessions[target]),
+                rate=mbps(1),
+            )
+    floor = draw(st.integers(min_value=32, max_value=44))
+    return routed, desired, floor
+
+
+@st.composite
+def probe_addresses6(draw):
+    return [
+        V6_BASE
+        | (
+            draw(st.integers(min_value=0, max_value=(1 << 16) - 1))
+            << 80
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=8)))
+    ]
+
+
+class TestObservationalEquivalenceV6:
+    @settings(max_examples=150, deadline=None)
+    @given(random_table6(), probe_addresses6())
+    def test_aggregated_install_matches_flat_install(self, table, extra):
+        routed, desired, floor = table
+        targets = {
+            p: d.target.source.name for p, d in desired.items()
+        }
+
+        organic = LocRib()
+        for prefix, session in routed.items():
+            organic.update(organic_route6(prefix, session))
+
+        agg = OverrideAggregator(min_length_v6=floor)
+        intents = agg.plan(desired, targets, organic)
+        assert len(intents) <= len(desired)
+        assert set(agg.covering_of) == set(desired)
+        # Grown covers respect the v6 floor.  Covers that are
+        # themselves desired prefixes are exempt: those are flat
+        # installs (or same-target nesting absorbed by an enclosing
+        # desire), not grown aggregates.
+        for prefix, cover in agg.covering_of.items():
+            if cover != prefix and cover not in desired:
+                assert cover.length >= floor
+
+        flat_rib = LocRib()
+        agg_rib = LocRib()
+        for prefix, session in routed.items():
+            flat_rib.update(organic_route6(prefix, session))
+            agg_rib.update(organic_route6(prefix, session))
+        for prefix, detour in desired.items():
+            flat_rib.update(injected_route6(prefix, detour.target))
+        for prefix, intent in intents.items():
+            agg_rib.update(injected_route6(prefix, intent.target))
+
+        probes = list(routed)
+        for prefix in routed:
+            probes.append(Prefix(Family.IPV6, prefix.network, 128))
+        probes.extend(
+            Prefix(Family.IPV6, address, 128) for address in extra
+        )
+        assert resolve_all(agg_rib, probes) == resolve_all(
+            flat_rib, probes
+        )
+
+    @settings(max_examples=75, deadline=None)
+    @given(random_table6())
+    def test_every_desired_prefix_resolves_to_its_target(self, table):
+        routed, desired, floor = table
+        targets = {
+            p: d.target.source.name for p, d in desired.items()
+        }
+        organic = LocRib()
+        for prefix, session in routed.items():
+            organic.update(organic_route6(prefix, session))
+        agg = OverrideAggregator(min_length_v6=floor)
+        intents = agg.plan(desired, targets, organic)
+        agg_rib = LocRib()
+        for prefix, session in routed.items():
+            agg_rib.update(organic_route6(prefix, session))
+        for prefix, intent in intents.items():
+            agg_rib.update(injected_route6(prefix, intent.target))
+        for prefix, detour in desired.items():
+            resolved = agg_rib.effective_lookup(prefix)
+            assert (
+                egress_address(resolved)
+                == detour.target.source.address
+            )
+
+
 # -- end to end through the controller --------------------------------------
 
 

@@ -1,0 +1,177 @@
+"""The shared-substrate worker pool: spawned, zero-copy, byte-identical.
+
+``run(..., substrate=True)`` replaces fork-copied workers with spawned
+processes that rebuild only their partition from the fleet's
+:class:`FleetBuildSpec` and map the read-mostly bulk (prefix table,
+demand columns) from one shared-memory
+:class:`~repro.netbase.substrate.FrozenTable`.  The contract is the
+same as the fork pool's — results byte-identical to serial stepping —
+plus the guard rails: a fleet that cannot host a substrate pool
+(hand-assembled, already stepped) degrades to the fork pool loudly,
+never silently, and worker RSS becomes observable through the fleet's
+own telemetry without touching per-PoP registries.
+"""
+
+from repro.core.fleet import FleetDeployment
+from tests.core.test_fleet import _deterministic_view
+
+
+def _build_pair(pop_count=3, seed=29):
+    serial = FleetDeployment.build(
+        pop_count=pop_count, seed=seed, tick_seconds=60.0
+    )
+    shared = FleetDeployment.build(
+        pop_count=pop_count, seed=seed, tick_seconds=60.0
+    )
+    start = next(
+        iter(serial.deployments.values())
+    ).demand.config.peak_time
+    return serial, shared, start
+
+
+class TestSubstratePoolParity:
+    def test_multi_segment_substrate_matches_serial(self):
+        serial, shared, start = _build_pair()
+        try:
+            serial.run(start, 300.0)
+            shared.run(
+                start, 180.0, parallel=2, sync=False, substrate=True
+            )
+            shared.run(
+                start + 180.0,
+                120.0,
+                parallel=2,
+                sync=False,
+                substrate=True,
+            )
+            shared.collect()
+            assert (
+                shared.summary_table().render()
+                == serial.summary_table().render()
+            )
+            for name, serial_pop in serial.deployments.items():
+                shared_pop = shared.deployments[name]
+                assert (
+                    shared_pop.record.ticks == serial_pop.record.ticks
+                )
+                assert (
+                    shared_pop.current_time == serial_pop.current_time
+                )
+                assert _deterministic_view(
+                    shared_pop.telemetry.registry
+                ) == _deterministic_view(serial_pop.telemetry.registry)
+                assert [
+                    event.to_dict()
+                    for event in shared_pop.telemetry.audit.events()
+                ] == [
+                    event.to_dict()
+                    for event in serial_pop.telemetry.audit.events()
+                ]
+            assert _deterministic_view(
+                shared.merged_registry()
+            ) == _deterministic_view(serial.merged_registry())
+            # The substrate pool really ran — no fallback was taken.
+            assert (
+                shared.telemetry.registry.counter(
+                    "fleet_parallel_fallback_total"
+                ).value()
+                == 0.0
+            )
+        finally:
+            shared.close_pool()
+
+    def test_worker_rss_is_observable_on_fleet_telemetry(self):
+        _serial, shared, start = _build_pair(pop_count=2)
+        try:
+            shared.run(
+                start, 60.0, parallel=2, sync=False, substrate=True
+            )
+            readings = shared.worker_rss_bytes()
+            assert set(readings) == {"worker-0", "worker-1"}
+            assert all(value > 0 for value in readings.values())
+            gauge = shared.telemetry.registry.gauge(
+                "fleet_worker_rss_bytes", labelnames=("worker",)
+            )
+            for worker, value in readings.items():
+                assert gauge.value(worker=worker) == value
+            # Per-PoP registries stay untouched (byte-equality of
+            # per-PoP results is the fork/substrate pools' contract).
+            for deployment in shared.deployments.values():
+                snapshot = deployment.telemetry.registry.snapshot()
+                assert "fleet_worker_rss_bytes" not in snapshot["gauges"]
+        finally:
+            shared.close_pool()
+
+    def test_rss_empty_without_a_pool(self):
+        _serial, shared, _start = _build_pair(pop_count=2)
+        assert shared.worker_rss_bytes() == {}
+
+
+class TestSubstrateGuards:
+    def test_stepped_fleet_degrades_to_fork_pool_loudly(self):
+        serial, shared, start = _build_pair(pop_count=2)
+        serial.run(start, 180.0)
+        # One serial tick first: worker rebuilds would lose this state,
+        # so the substrate pool must refuse and the fork pool (which
+        # inherits live state) must carry the run instead.
+        shared.run(start, 60.0)
+        try:
+            shared.run(
+                start + 60.0,
+                120.0,
+                parallel=2,
+                sync=False,
+                substrate=True,
+            )
+            shared.collect()
+            fallback = shared.telemetry.registry.counter(
+                "fleet_parallel_fallback_total"
+            )
+            assert fallback.value() == 1.0
+            for name, serial_pop in serial.deployments.items():
+                assert (
+                    shared.deployments[name].record.ticks
+                    == serial_pop.record.ticks
+                )
+        finally:
+            shared.close_pool()
+
+    def test_hand_assembled_fleet_has_no_substrate_pool(self):
+        _serial, donor, start = _build_pair(pop_count=2)
+        hand_built = FleetDeployment(
+            deployments=donor.deployments,
+            tick_seconds=donor.tick_seconds,
+        )
+        assert hand_built.build_spec is None
+        try:
+            hand_built.run(
+                start, 60.0, parallel=2, sync=False, substrate=True
+            )
+            assert (
+                hand_built.telemetry.registry.counter(
+                    "fleet_parallel_fallback_total"
+                ).value()
+                == 1.0
+            )
+        finally:
+            hand_built.close_pool()
+
+    def test_existing_pool_wins_whatever_its_kind(self):
+        _serial, shared, start = _build_pair(pop_count=2)
+        try:
+            shared.run(start, 60.0, parallel=2, sync=False)
+            fork_pool = shared._pool
+            assert fork_pool is not None
+            # substrate=True after a fork pool exists keeps the pool:
+            # the caller committed to it, and switching mid-run would
+            # strand worker state.
+            shared.run(
+                start + 60.0,
+                60.0,
+                parallel=2,
+                sync=False,
+                substrate=True,
+            )
+            assert shared._pool is fork_pool
+        finally:
+            shared.close_pool()

@@ -1,0 +1,136 @@
+"""Dual-stack scale scenario: IPv6 rides along without touching IPv4.
+
+Three contracts matter.  The incremental engine stays observationally
+identical to full recomputation when the table carries both families.
+Enabling v6 must not perturb the v4 build (v6 rates are drawn after
+every v4 draw and homing is a pure function of the index, so a v4-only
+config replays its historical sequence bit for bit).  And v6 detours
+aggregate through the family-aware floor — /48 members collapsing into
+covers no shorter than the v6 floor — while their routes carry the
+conventional link-local next hop.
+"""
+
+from repro.core.scale import (
+    ScaleConfig,
+    ScaleScenario,
+    _nth_prefix6,
+    compare_runs,
+)
+from repro.netbase.addr import Family
+
+
+def _dualstack_config(**overrides):
+    base = dict(
+        prefix_count=600,
+        ipv6_prefix_count=200,
+        churn_fraction=0.05,
+        cycles=3,
+        seed=11,
+        pni_count=3,
+        tight_pni_count=1,
+        tight_prefix_share=0.1,
+        overload_factor=8.0,
+        block_tight_homing=True,
+        uniform_tight_rates=True,
+        aggregate_overrides=True,
+        audit_keep_events=False,
+    )
+    base.update(overrides)
+    return ScaleConfig(**base)
+
+
+class TestDualStackEquivalence:
+    def test_incremental_matches_full_recompute(self):
+        config = _dualstack_config()
+        incremental = ScaleScenario(config, incremental=True).run()
+        full = ScaleScenario(config, incremental=False).run()
+        assert compare_runs(incremental, full) == []
+        assert incremental.violations == 0
+        assert full.violations == 0
+        # Both families actually exercised the allocator.
+        families = {
+            prefix.family
+            for prefix in incremental.cycles[-1].overrides
+        }
+        assert families == {Family.IPV4, Family.IPV6}
+
+
+class TestV4HistoryUnperturbed:
+    def test_enabling_v6_leaves_the_v4_build_bitwise_intact(self):
+        v4_only = ScaleScenario(
+            _dualstack_config(ipv6_prefix_count=0)
+        )
+        dual = ScaleScenario(_dualstack_config())
+        count4 = v4_only.config.prefix_count
+        assert dual._prefixes[:count4] == v4_only._prefixes
+        assert dual._rate_bps[:count4] == v4_only._rate_bps
+        assert dual._home[:count4] == v4_only._home
+        # The v6 extension really is appended, not interleaved.
+        assert all(
+            prefix.family is Family.IPV6
+            for prefix in dual._prefixes[count4:]
+        )
+
+    def test_full_table_preset_gates_v6_on_dual_stack(self):
+        v4 = ScaleConfig.full_table(prefix_count=1_000, cycles=2)
+        assert v4.ipv6_prefix_count == 0
+        assert v4.total_prefix_count == 1_000
+        dual = ScaleConfig.full_table(
+            prefix_count=1_000,
+            cycles=2,
+            dual_stack=True,
+            ipv6_prefix_count=300,
+        )
+        assert dual.ipv6_prefix_count == 300
+        assert dual.total_prefix_count == 1_300
+
+
+class TestV6Synthesis:
+    def test_nth_prefix6_is_a_distinct_48(self):
+        seen = set()
+        for index in range(100):
+            prefix = _nth_prefix6(index)
+            assert prefix.family is Family.IPV6
+            assert prefix.length == 48
+            assert prefix.network == (0x2600 << 112) | (index << 80)
+            seen.add(prefix)
+        assert len(seen) == 100
+
+    def test_next_hops_are_family_matched(self):
+        scenario = ScaleScenario(_dualstack_config(cycles=1))
+        count4 = scenario.config.prefix_count
+        v4_session = scenario._pni_session(0)
+        assert scenario._next_hop(0, v4_session) == (
+            Family.IPV4,
+            v4_session.address,
+        )
+        v6_session = scenario._pni_session(count4)
+        family, address = scenario._next_hop(count4, v6_session)
+        assert family is Family.IPV6
+        assert address == (0xFE80 << 112) | v6_session.address
+        # The low 32 bits recover the session address (the dataplane's
+        # session mask convention).
+        assert address & 0xFFFFFFFF == v6_session.address
+
+
+class TestV6Aggregation:
+    def test_v6_detours_collapse_through_the_family_floor(self):
+        config = _dualstack_config()
+        result = ScaleScenario(config, incremental=True).run()
+        final = result.cycles[-1]
+        desired6 = [
+            prefix
+            for prefix in final.overrides
+            if prefix.family is Family.IPV6
+        ]
+        installed6 = [
+            prefix
+            for prefix in final.installed
+            if prefix.family is Family.IPV6
+        ]
+        assert desired6, "the tight v6 block never detoured"
+        # The contiguous /48 block rides fewer covering installs.
+        assert len(installed6) < len(desired6)
+        assert any(prefix.length < 48 for prefix in installed6)
+        # No cover grows past the v6 floor (an RIR allocation).
+        assert all(prefix.length >= 32 for prefix in installed6)

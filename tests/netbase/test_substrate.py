@@ -1,0 +1,166 @@
+"""FrozenTable: packing, mapping, sharing, and the hi/lo v6 split.
+
+The substrate's contract is exactness — pack/unpack must round-trip
+every prefix bit-for-bit for both families — plus immutability (every
+mapped view is read-only) and a stable wire layout (magic, JSON
+header, 64-byte-aligned columns).
+"""
+
+import numpy as np
+import pytest
+
+from repro.netbase.addr import Family, Prefix
+from repro.netbase.substrate import (
+    FrozenTable,
+    SubstrateError,
+    pack_prefixes,
+    unpack_prefixes,
+)
+
+
+def _v4(address: int, length: int = 24) -> Prefix:
+    return Prefix(Family.IPV4, address & ~((1 << (32 - length)) - 1), length)
+
+
+EDGE_PREFIXES = [
+    Prefix(Family.IPV4, 0, 0),  # default route
+    _v4(0x01020300),
+    _v4(0xFFFFFF00),
+    Prefix(Family.IPV4, 0xC0A80000, 16),
+    Prefix(Family.IPV6, 0, 0),
+    # bit 127 set: the value that breaks any signed/float detour.
+    Prefix(Family.IPV6, 1 << 127, 1),
+    Prefix(Family.IPV6, (0x2600 << 112) | (7 << 80), 48),
+    Prefix(Family.IPV6, (1 << 128) - 1, 128),  # all bits set host route
+    Prefix(Family.IPV6, ((1 << 64) - 1) << 64, 64),  # hi all-ones, lo zero
+]
+
+
+class TestPackUnpack:
+    def test_round_trip_is_bit_identical(self):
+        columns = pack_prefixes(EDGE_PREFIXES)
+        assert unpack_prefixes(columns) == EDGE_PREFIXES
+
+    def test_hi_lo_split(self):
+        columns = pack_prefixes(EDGE_PREFIXES)
+        assert columns.net_hi.dtype == np.uint64
+        assert columns.net_lo.dtype == np.uint64
+        for row, prefix in enumerate(EDGE_PREFIXES):
+            hi = int(columns.net_hi[row])
+            lo = int(columns.net_lo[row])
+            assert (hi << 64) | lo == prefix.network
+            if prefix.family == Family.IPV4:
+                assert hi == 0
+
+    def test_prefix_at_matches_unpack(self):
+        columns = pack_prefixes(EDGE_PREFIXES)
+        for row, prefix in enumerate(EDGE_PREFIXES):
+            assert columns.prefix_at(row) == prefix
+
+
+class TestFrozenTable:
+    def test_build_and_read_columns(self):
+        weights = np.linspace(0.0, 1.0, len(EDGE_PREFIXES))
+        table = FrozenTable.build(
+            prefixes=EDGE_PREFIXES, columns={"weights": weights}
+        )
+        assert len(table) == len(EDGE_PREFIXES)
+        assert table.column_names() == ["weights"]
+        np.testing.assert_array_equal(table.column("weights"), weights)
+        assert table.prefixes() == EDGE_PREFIXES
+        # The prefix list is cached (object identity on repeat calls).
+        assert table.prefixes() is table.prefixes()
+
+    def test_views_are_read_only(self):
+        table = FrozenTable.build(
+            prefixes=EDGE_PREFIXES,
+            columns={"weights": np.ones(len(EDGE_PREFIXES))},
+        )
+        with pytest.raises((ValueError, RuntimeError)):
+            table.column("weights")[0] = 2.0
+        with pytest.raises((ValueError, RuntimeError)):
+            table.prefix_columns().net_lo[0] = 7
+
+    def test_build_copies_source_arrays(self):
+        weights = np.ones(4)
+        table = FrozenTable.build(columns={"weights": weights})
+        weights[0] = 99.0
+        assert table.column("weights")[0] == 1.0
+
+    def test_bytes_round_trip(self):
+        table = FrozenTable.build(
+            prefixes=EDGE_PREFIXES,
+            columns={"rates": np.arange(len(EDGE_PREFIXES), dtype=np.float64)},
+        )
+        twin = FrozenTable.from_buffer(table.to_bytes())
+        assert twin.prefixes() == table.prefixes()
+        np.testing.assert_array_equal(
+            twin.column("rates"), table.column("rates")
+        )
+
+    def test_layout_magic_and_alignment(self):
+        table = FrozenTable.build(columns={"a": np.arange(3.0)})
+        data = table.to_bytes()
+        assert data[:8] == b"REPROFZ1"
+        header_len = int.from_bytes(data[8:16], "little")
+        import json
+
+        header = json.loads(data[16 : 16 + header_len])
+        for entry in header["columns"]:
+            assert entry["offset"] % 64 == 0
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(SubstrateError, match="reserved"):
+            FrozenTable.build(columns={"__secret": np.ones(2)})
+
+    def test_non_1d_columns_rejected(self):
+        with pytest.raises(SubstrateError, match="one-dimensional"):
+            FrozenTable.build(columns={"m": np.ones((2, 2))})
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SubstrateError, match="at least one column"):
+            FrozenTable.build()
+
+    def test_missing_column_raises(self):
+        table = FrozenTable.build(columns={"a": np.ones(2)})
+        with pytest.raises(SubstrateError, match="no column 'b'"):
+            table.column("b")
+
+    def test_prefixless_table_has_no_prefixes(self):
+        table = FrozenTable.build(columns={"a": np.ones(2)})
+        assert not table.has_prefixes()
+        assert len(table) == 2
+        with pytest.raises(SubstrateError, match="without prefixes"):
+            table.prefix_columns()
+
+    def test_bad_buffer_rejected(self):
+        with pytest.raises(SubstrateError, match="frozen table"):
+            FrozenTable.from_buffer(b"\x00" * 64)
+
+
+class TestSharedMemory:
+    def test_share_attach_round_trip(self):
+        table = FrozenTable.build(
+            prefixes=EDGE_PREFIXES,
+            columns={"w": np.arange(len(EDGE_PREFIXES), dtype=np.float64)},
+        )
+        shared = table.share()
+        try:
+            name = shared.shared_name
+            assert name is not None
+            attached = FrozenTable.attach(name)
+            assert attached.prefixes() == EDGE_PREFIXES
+            np.testing.assert_array_equal(
+                attached.column("w"), table.column("w")
+            )
+            assert attached.shared_name == name
+            attached.close()
+            assert attached.shared_name is None
+        finally:
+            shared.unlink()
+
+    def test_unlink_is_idempotent(self):
+        shared = FrozenTable.build(columns={"a": np.ones(2)}).share()
+        shared.unlink()
+        shared.unlink()
+        assert shared.shared_name is None

@@ -16,6 +16,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.netbase.addr import Family, Prefix
 from repro.sflow.estimator import ColumnarRateEstimator, RateEstimator
 
 KEYS = ["alpha", "beta", "gamma", "delta", "epsilon"]
@@ -32,7 +33,7 @@ ops = st.lists(
 )
 
 
-def run_script(rows, window, log_limit=1 << 18, jitter=None):
+def run_script(rows, window, log_limit=1 << 18, jitter=None, keys=KEYS):
     """Drive both estimators through one script, asserting parity at
     every observation point.  Returns both for final-state checks."""
     reference = RateEstimator(window_seconds=window, change_log_limit=log_limit)
@@ -46,7 +47,7 @@ def run_script(rows, window, log_limit=1 << 18, jitter=None):
             now = max(0.0, now - advance)  # deliberate out-of-order add
         else:
             now += advance
-        key = KEYS[key_index]
+        key = keys[key_index]
         if op == "add":
             reference.add(key, byte_count, now)
             columnar.add(key, byte_count, now)
@@ -73,7 +74,7 @@ def run_script(rows, window, log_limit=1 << 18, jitter=None):
         assert len(columnar) == len(reference)
         assert columnar.last_add_at == reference.last_add_at
         assert columnar.age(now) == reference.age(now)
-        for probe in KEYS:
+        for probe in keys:
             assert (probe in columnar) == (probe in reference)
     assert set(columnar.keys()) == set(reference.keys())
     return reference, columnar
@@ -168,3 +169,50 @@ class TestColumnarParity:
             reference.add(index, float(index), 1.0)
         assert len(columnar) == total
         assert columnar.rates(2.0) == reference.rates(2.0)
+
+
+# Dual-stack keys: the columnar hot path must treat 128-bit prefixes
+# exactly like any other hashable key, including the values that break
+# signed/float detours (bit 127 set, all-ones host routes).
+PREFIX_KEYS = [
+    Prefix(Family.IPV4, 0x0A000000, 24),
+    Prefix(Family.IPV6, (0x2600 << 112) | (5 << 80), 48),
+    Prefix(Family.IPV6, 1 << 127, 1),
+    Prefix(Family.IPV6, (1 << 128) - 1, 128),
+    Prefix(Family.IPV4, 0, 0),
+]
+
+
+class TestColumnarParityDualStack:
+    @settings(max_examples=100, deadline=None)
+    @given(ops, st.floats(min_value=1, max_value=90))
+    def test_scripted_parity_with_prefix_keys(self, rows, window):
+        run_script(rows, window, keys=PREFIX_KEYS)
+
+    @settings(max_examples=75, deadline=None)
+    @given(ops, st.floats(min_value=1, max_value=90), st.integers(0, 7))
+    def test_out_of_order_parity_with_prefix_keys(
+        self, rows, window, step
+    ):
+        run_script(
+            rows,
+            window,
+            jitter=lambda i: i % (step + 2) == 1,
+            keys=PREFIX_KEYS,
+        )
+
+    def test_clear_goes_through_interner_reset(self):
+        # clear() must route through Interner.reset() so the slot
+        # table's registered consumer drops its columns first; a bare
+        # interner clear() underneath live columns is refused.
+        columnar = ColumnarRateEstimator(window_seconds=4.0)
+        columnar.add(PREFIX_KEYS[1], 5.0, 1.0)
+        with pytest.raises(RuntimeError, match="reset"):
+            columnar._slots.clear()
+        columnar.clear()
+        assert len(columnar) == 0
+        assert len(columnar._slots) == 0
+        # Ids restart dense after the reset — no stale slots survive.
+        columnar.add(PREFIX_KEYS[2], 7.0, 2.0)
+        assert columnar._slots.id_of(PREFIX_KEYS[2]) == 0
+        assert columnar.rate(PREFIX_KEYS[2], 2.0).bits_per_second > 0
