@@ -16,6 +16,10 @@ snapshots plus the speedup over the baseline's mean tick time.  Pass
 short — the acceptance gate for the fast-path work.  Pass
 ``--max-regression 0.25`` to fail when the mean tick time exceeds the
 baseline mean by more than that fraction — the CI regression gate.
+Pass ``--max-health-overhead 0.05`` to also run a health-engine pass:
+two same-seed deployments (health off / on) must steer byte-identically
+and the engine's self-timed overhead must stay under that fraction of
+total controller cycle time.
 """
 
 from __future__ import annotations
@@ -66,6 +70,44 @@ def run_bench(ticks: int, telemetry_output: Path | None = None) -> dict:
     )
 
 
+def run_health_overhead(ticks: int) -> dict:
+    """Measure what the health engine costs, and that it costs nothing else.
+
+    Steps two same-seed deployments in lockstep — health off and on —
+    and fails loudly if the tick records diverge (the engine must be a
+    pure observer).  The overhead fraction is the engine's self-timed
+    ``on_cycle`` total over the controller's total cycle runtime, both
+    from the same run, so the measurement is immune to machine noise
+    between two wall-clock runs.
+    """
+    baseline = PopDeployment.build(pop_name="pop-a", seed=7)
+    checked = PopDeployment.build(
+        pop_name="pop-a", seed=7, health_checks=True
+    )
+    now = PEAK_START
+    for _ in range(ticks):
+        baseline.step(now)
+        checked.step(now)
+        now += TICK_SECONDS
+
+    if checked.record.ticks != baseline.record.ticks:
+        raise AssertionError(
+            "health engine changed steering: tick records diverged"
+        )
+
+    runtime = checked.controller.monitor.series.get("runtime")
+    cycle_seconds = sum(runtime.values()) if runtime else 0.0
+    overhead = checked.health.overhead_seconds
+    fraction = overhead / cycle_seconds if cycle_seconds else 0.0
+    return {
+        "ticks": ticks,
+        "cycle_seconds": round(cycle_seconds, 4),
+        "overhead_seconds": round(overhead, 4),
+        "overhead_fraction": round(fraction, 4),
+        "steering_identical": True,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -105,6 +147,13 @@ def main(argv=None) -> int:
         "more than this fraction (e.g. 0.25 allows +25%%)",
     )
     parser.add_argument(
+        "--max-health-overhead",
+        type=float,
+        default=None,
+        help="run a health-engine pass; fail if its self-timed cost "
+        "exceeds this fraction of total cycle time (e.g. 0.05)",
+    )
+    parser.add_argument(
         "--telemetry-output",
         type=Path,
         default=HERE / "BENCH_hotpath_telemetry.jsonl",
@@ -114,6 +163,8 @@ def main(argv=None) -> int:
 
     ticks = 20 if args.quick else args.ticks
     results = run_bench(ticks, telemetry_output=args.telemetry_output)
+    if args.max_health_overhead is not None:
+        results["health"] = run_health_overhead(ticks)
 
     speedup = None
     if args.baseline.exists():
@@ -174,6 +225,24 @@ def main(argv=None) -> int:
         print(
             f"regression gate OK: mean tick {current_mean:.1f} ms "
             f"<= {limit:.1f} ms"
+        )
+    if args.max_health_overhead is not None:
+        health = results["health"]
+        fraction = health["overhead_fraction"]
+        print(
+            f"health engine: {health['overhead_seconds']:.3f} s over "
+            f"{health['cycle_seconds']:.3f} s of cycles "
+            f"({fraction:.1%}), steering byte-identical"
+        )
+        if fraction > args.max_health_overhead:
+            print(
+                f"FAIL: health overhead {fraction:.1%} > "
+                f"allowed {args.max_health_overhead:.1%}"
+            )
+            return 1
+        print(
+            f"health overhead gate OK: {fraction:.1%} <= "
+            f"{args.max_health_overhead:.1%}"
         )
     return 0
 

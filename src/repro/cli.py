@@ -165,6 +165,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     tracer = deployment.telemetry.tracer
     names = sorted(tracer.counts())
     print(
+        f"spans: {tracer.recorded} recorded, {len(tracer)} buffered, "
+        f"{tracer.dropped} dropped by the ring"
+    )
+    print(
         f"{'span':<20} {'count':>6} {'mean ms':>9} {'max ms':>9}"
     )
     for name in names:
@@ -253,6 +257,149 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             handle.write(report.to_json() + "\n")
         print(f"\nreport written to {args.report}")
     return 0 if report.clean else 1
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from .faults import FaultInjector, FaultPlan, build_chaos_deployment
+    from .obs.health import SloSpec
+
+    slo_spec = SloSpec.load(args.slo) if args.slo else None
+    injector = None
+    if args.plan:
+        injector = FaultInjector(FaultPlan.load(args.plan))
+    if args.pop == "chaos-mini":
+        deployment = build_chaos_deployment(
+            seed=args.seed,
+            faults=injector,
+            safety_checks=True,
+            health_checks=True,
+            slo_spec=slo_spec,
+        )
+    else:
+        deployment = PopDeployment.build(
+            pop_name=args.pop,
+            seed=args.seed,
+            faults=injector,
+            safety_checks=True,
+            health_checks=True,
+            slo_spec=slo_spec,
+            controller_config=_controller_config(args),
+        )
+    start = deployment.demand.config.peak_time
+    ticks = max(1, int(args.minutes * 60 / deployment.tick_seconds))
+    log_event(
+        _log,
+        "cli.health",
+        pop=args.pop,
+        seed=args.seed,
+        ticks=ticks,
+        faulted=injector is not None,
+    )
+    for index in range(ticks):
+        deployment.step(start + index * deployment.tick_seconds)
+    report = deployment.health.report()
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 1 if report.firing else 0
+
+
+def _render_top_frame(fleet, now: float) -> str:
+    """One frame of the fleet console, as plain text.
+
+    Pure function of the fleet's current state so tests can assert on
+    frames without a terminal.
+    """
+    lines = [
+        f"repro top — fleet of {len(fleet.deployments)} PoPs "
+        f"at t={now:.0f}s",
+        f"{'pop':<10} {'offered':>14} {'detoured':>14} "
+        f"{'ovr':>5} {'cyc':>5} {'skip':>5} {'alerts':<24}",
+    ]
+    total_firing = 0
+    for name, deployment in sorted(fleet.deployments.items()):
+        ticks = deployment.record.ticks
+        offered = str(ticks[-1].offered) if ticks else "-"
+        detoured = str(ticks[-1].detoured) if ticks else "-"
+        overrides = len(deployment.controller.overrides)
+        monitor = deployment.controller.monitor
+        health = deployment.health
+        if health is not None:
+            firing = health.firing_alerts()
+            total_firing += len(firing)
+            pending = [
+                a
+                for a in health.alerts.values()
+                if a.state == "pending"
+            ]
+            if firing:
+                alerts = "FIRING: " + ",".join(
+                    sorted(a.rule.name for a in firing)
+                )
+            elif pending:
+                alerts = "pending: " + ",".join(
+                    sorted(a.rule.name for a in pending)
+                )
+            else:
+                alerts = "ok"
+        else:
+            alerts = "(health off)"
+        lines.append(
+            f"{name:<10} {offered:>14} {detoured:>14} "
+            f"{overrides:>5} {monitor.cycles():>5} "
+            f"{monitor.skipped_cycles():>5} {alerts:<24}"
+        )
+    verdict = (
+        f"{total_firing} alerts FIRING" if total_firing else "healthy"
+    )
+    lines.append(f"fleet: {verdict}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .core.fleet import FleetDeployment
+
+    fleet = FleetDeployment.build(
+        pop_count=args.pops,
+        seed=args.seed,
+        health_checks=True,
+    )
+    ticks = max(
+        1, int(args.minutes * 60 / fleet.tick_seconds)
+    )
+    log_event(
+        _log,
+        "cli.top",
+        pops=args.pops,
+        seed=args.seed,
+        ticks=ticks,
+        plain=args.plain,
+    )
+    start = 0.0
+    now = start
+    for index in range(ticks):
+        now = start + index * fleet.tick_seconds
+        fleet.step(now)
+        if index % args.every and index != ticks - 1:
+            continue
+        frame = _render_top_frame(fleet, now)
+        if args.plain:
+            print(frame)
+            print()
+        else:
+            # Clear screen + home cursor, then the frame.
+            print(f"\x1b[2J\x1b[H{frame}", flush=True)
+    firing = fleet.firing_alerts()
+    if firing:
+        print()
+        for pop, alerts in firing.items():
+            for alert in alerts:
+                print(
+                    f"{pop}: {alert.rule.name} FIRING "
+                    f"({alert.message or alert.rule.description})"
+                )
+    return 1 if firing else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -368,6 +515,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report as JSON to PATH",
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    health = sub.add_parser(
+        "health",
+        help="run a workload under the health engine and print the "
+        "conformance/SLO report (exit 1 if an alert is firing)",
+    )
+    health.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the summary",
+    )
+    health.add_argument(
+        "--slo",
+        default=None,
+        metavar="PATH",
+        help="JSON SLO spec to evaluate (default: the stock posture)",
+    )
+    health.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="JSON fault plan to replay while watching health",
+    )
+    health.add_argument(
+        "--pop",
+        default="chaos-mini",
+        help="'chaos-mini' (fast, default) or a study PoP name",
+    )
+    health.add_argument("--minutes", type=float, default=30.0)
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument(
+        "--full-recompute",
+        action="store_true",
+        help="disable the incremental cycle engine (study PoPs only)",
+    )
+    health.set_defaults(func=_cmd_health)
+
+    top = sub.add_parser(
+        "top",
+        help="live per-PoP fleet console: traffic, overrides, alerts",
+    )
+    top.add_argument("--pops", type=int, default=4)
+    top.add_argument("--minutes", type=float, default=30.0)
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument(
+        "--every",
+        type=int,
+        default=1,
+        metavar="TICKS",
+        help="redraw every N ticks (default every tick)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append frames instead of redrawing (pipe-friendly)",
+    )
+    top.set_defaults(func=_cmd_top)
     return parser
 
 

@@ -91,6 +91,11 @@ class EdgeFabricController:
         #: the last full reconciliation beyond ``config.drift_tolerance``
         #: (relative), for the safety checker.  Cleared every cycle.
         self.last_drift: Dict = {}
+        #: The per-prefix override diff the last completed cycle
+        #: committed (None until a cycle runs, and after skipped cycles
+        #: so stale diffs are never re-read).  The health engine's flap
+        #: monitor consumes this.
+        self.last_diff: Optional[OverrideDiff] = None
         if config.performance_aware and altpath is None:
             raise ValueError(
                 "performance_aware requires an AltPathMonitor"
@@ -157,6 +162,7 @@ class EdgeFabricController:
         """Run one full decision cycle at simulation time *now*."""
         started = _time.perf_counter()
         tracer = self.telemetry.tracer
+        self.last_diff = None
         try:
             inputs = self.assembler.snapshot(now)
         except StaleInputError as exc:
@@ -219,6 +225,7 @@ class EdgeFabricController:
             )
 
         diff = self.overrides.reconcile(allocation.detours, now)
+        self.last_diff = diff
         if self.aggregator is not None:
             # Desired decisions stay per-prefix; what reaches the
             # injector is the aggregated install table.
@@ -451,6 +458,7 @@ class EdgeFabricController:
         self._cached_targets = None
         self._cycles_since_full = 0
         self.last_drift = {}
+        self.last_diff = None
         self._m_active.set(0)
         log_event(
             _log, "controller.crash", time=now, lost=len(flushed)

@@ -56,6 +56,9 @@ class _PopRunState:
     #: The override aggregator (installed table + plan), when the
     #: controller runs with aggregated injection; None otherwise.
     aggregator: object = None
+    #: The PoP's :class:`~repro.obs.HealthEngine` (plain picklable
+    #: data), when health checks are on; None otherwise.
+    health: object = None
 
 
 def _capture_state(deployment: PopDeployment) -> _PopRunState:
@@ -78,6 +81,7 @@ def _capture_state(deployment: PopDeployment) -> _PopRunState:
             else []
         ),
         aggregator=deployment.controller.aggregator,
+        health=deployment.health,
     )
 
 
@@ -213,6 +217,10 @@ class FleetBuildSpec:
     sampling_rate: int = 131_072
     fault_plans: Optional[Dict[str, object]] = None
     safety_checks: bool = False
+    health_checks: bool = False
+    #: Optional :class:`~repro.obs.SloSpec` (picklable); None = the
+    #: default posture when health checks are on.
+    slo_spec: object = None
     internet_config: Optional[InternetConfig] = None
 
     def resolved_config(self) -> ControllerConfig:
@@ -264,6 +272,8 @@ def _assemble_pop(
         seed=build_spec.seed + 300 + index,
         faults=faults,
         safety_checks=build_spec.safety_checks,
+        health_checks=build_spec.health_checks,
+        slo_spec=build_spec.slo_spec,
     )
 
 
@@ -476,6 +486,8 @@ class FleetDeployment:
         sampling_rate: int = 131_072,
         fault_plans: Optional[Dict[str, object]] = None,
         safety_checks: bool = False,
+        health_checks: bool = False,
+        slo_spec: object = None,
         internet_config: Optional[InternetConfig] = None,
     ) -> "FleetDeployment":
         """Build *pop_count* PoPs over one shared synthetic Internet.
@@ -502,6 +514,8 @@ class FleetDeployment:
             sampling_rate=sampling_rate,
             fault_plans=fault_plans,
             safety_checks=safety_checks,
+            health_checks=health_checks,
+            slo_spec=slo_spec,
             internet_config=internet_config,
         )
         internet = default_internet(seed, internet_config)
@@ -736,6 +750,8 @@ class FleetDeployment:
             deployment.safety.violations = state.safety_violations
         if deployment.faults is not None:
             deployment.faults.log = state.fault_actions
+        if state.health is not None:
+            deployment.health = state.health
 
     def _run_parallel(
         self,
@@ -802,6 +818,27 @@ class FleetDeployment:
             for name, deployment in sorted(self.deployments.items())
             if deployment.safety is not None
         }
+
+    def health_reports(self) -> Dict[str, object]:
+        """Per-PoP :class:`~repro.obs.HealthReport` (health-checked PoPs
+        only).  Works identically after serial and pooled runs — the
+        engines ride the same state merge as telemetry."""
+        return {
+            name: deployment.health.report(name=name)
+            for name, deployment in sorted(self.deployments.items())
+            if deployment.health is not None
+        }
+
+    def firing_alerts(self) -> Dict[str, List]:
+        """Per-PoP alerts currently firing (PoPs with none are omitted)."""
+        out: Dict[str, List] = {}
+        for name, deployment in sorted(self.deployments.items()):
+            if deployment.health is None:
+                continue
+            firing = deployment.health.firing_alerts()
+            if firing:
+                out[name] = firing
+        return out
 
     def total_active_overrides(self) -> int:
         return sum(

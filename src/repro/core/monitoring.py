@@ -4,6 +4,13 @@ Production Edge Fabric is audited heavily (every decision logged, every
 override accounted for); this module is that audit trail, and doubles as
 the data source for the evaluation — detour volume over time, detour
 durations, override churn, unresolved overloads.
+
+The run-level history is backed by a
+:class:`~repro.obs.timeseries.TimeSeriesStore` (one named ring series
+per signal, recorded as each report lands) so the same store the health
+engine samples also answers the evaluation queries; the full
+:class:`CycleReport` list is kept alongside for the detail-level
+consumers (experiments, chaos reports).
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..netbase.units import Rate
+from ..obs.timeseries import TimeSeriesStore
 
 __all__ = ["CycleReport", "ControllerMonitor"]
 
@@ -57,12 +65,33 @@ class CycleReport:
 
 @dataclass
 class ControllerMonitor:
-    """Accumulates cycle reports for a whole run."""
+    """Accumulates cycle reports for a whole run.
+
+    Every report also lands in :attr:`series` — churn per cycle (all
+    cycles: skipped ones still carry fail-static withdrawals), plus
+    detoured-fraction / detour-count / runtime / unresolved for active
+    cycles and a 0/1 skipped marker — so run-level queries read bounded
+    ring series instead of rescanning the report list.
+    """
 
     reports: List[CycleReport] = field(default_factory=list)
+    series: TimeSeriesStore = field(default_factory=TimeSeriesStore)
 
     def record(self, report: CycleReport) -> None:
         self.reports.append(report)
+        series = self.series
+        time = report.time
+        series.record("churn", time, report.churn)
+        series.record("skipped", time, 1.0 if report.skipped else 0.0)
+        if not report.skipped:
+            series.record(
+                "detoured_fraction", time, report.detoured_fraction
+            )
+            series.record("detour_count", time, report.detour_count)
+            series.record("runtime", time, report.runtime_seconds)
+            series.record(
+                "unresolved", time, 1.0 if report.unresolved else 0.0
+            )
 
     # -- run-level queries ---------------------------------------------------
 
@@ -70,43 +99,47 @@ class ControllerMonitor:
         return len(self.reports)
 
     def skipped_cycles(self) -> int:
-        return sum(1 for report in self.reports if report.skipped)
+        skipped = self.series.get("skipped")
+        return int(sum(skipped.values())) if skipped else 0
 
     def detoured_fraction_series(self) -> List[tuple]:
         """(time, fraction of traffic detoured) per active cycle."""
-        return [
-            (report.time, report.detoured_fraction)
-            for report in self.reports
-            if not report.skipped
-        ]
+        fractions = self.series.get("detoured_fraction")
+        return fractions.points() if fractions else []
 
     def detour_count_series(self) -> List[tuple]:
-        return [
-            (report.time, report.detour_count)
-            for report in self.reports
-            if not report.skipped
-        ]
+        counts = self.series.get("detour_count")
+        if counts is None:
+            return []
+        return [(time, int(value)) for time, value in counts.points()]
 
     def total_churn(self) -> int:
-        return sum(report.churn for report in self.reports)
+        churn = self.series.get("churn")
+        return int(sum(churn.values())) if churn else 0
 
     def mean_churn_per_cycle(self) -> float:
-        active = [r for r in self.reports if not r.skipped]
+        active = self.cycles() - self.skipped_cycles()
         if not active:
             return 0.0
-        return sum(r.churn for r in active) / len(active)
+        # Skipped cycles contribute fail-static withdrawals to total
+        # churn but are not "cycles" for the per-cycle mean.
+        skipped_churn = sum(
+            report.churn for report in self.reports if report.skipped
+        )
+        return (self.total_churn() - skipped_churn) / active
 
     def peak_detoured_fraction(self) -> float:
-        return max(
-            (r.detoured_fraction for r in self.reports if not r.skipped),
-            default=0.0,
-        )
+        fractions = self.series.get("detoured_fraction")
+        if fractions is None or not len(fractions):
+            return 0.0
+        return max(fractions.values())
 
     def unresolved_overload_cycles(self) -> int:
-        return sum(1 for r in self.reports if r.unresolved)
+        unresolved = self.series.get("unresolved")
+        return int(sum(unresolved.values())) if unresolved else 0
 
     def mean_runtime(self) -> float:
-        active = [r for r in self.reports if not r.skipped]
-        if not active:
+        runtime = self.series.get("runtime")
+        if runtime is None or not len(runtime):
             return 0.0
-        return sum(r.runtime_seconds for r in active) / len(active)
+        return runtime.mean()

@@ -211,6 +211,8 @@ class PopDeployment:
         telemetry: Optional[Telemetry] = None,
         faults=None,
         safety_checks: bool = False,
+        health_checks: bool = False,
+        slo_spec=None,
     ) -> None:
         self.wired = wired
         self.demand = demand
@@ -316,6 +318,18 @@ class PopDeployment:
             from .safety import SafetyChecker
 
             self.safety = SafetyChecker(self.controller, self.bmp)
+        #: Optional :class:`repro.obs.HealthEngine` — a pure observer
+        #: fed after every controller cycle; steering is byte-identical
+        #: with it on or off.
+        self.health = None
+        if health_checks:
+            from ..obs.health import HealthEngine
+
+            self.health = HealthEngine(
+                spec=slo_spec,
+                telemetry=self.telemetry,
+                cycle_seconds=controller_config.cycle_seconds,
+            )
 
         self.record = RunRecord(telemetry=self.telemetry)
         #: Optional :class:`repro.analysis.perf.PerfRecorder`; when set,
@@ -502,6 +516,15 @@ class PopDeployment:
                 perf.record_cycle(report.runtime_seconds)
             if self.safety is not None:
                 self.safety.check(now, report)
+            if self.health is not None:
+                self.health.on_cycle(
+                    now,
+                    report,
+                    controller=self.controller,
+                    bmp=self.bmp,
+                    safety=self.safety,
+                    utilization_of=self._current_utilization,
+                )
 
         detoured = self._currently_detoured_rate(result)
         self.record.ticks.append(

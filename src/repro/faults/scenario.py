@@ -32,6 +32,8 @@ def build_chaos_deployment(
     safety_checks: bool = True,
     controller_config: Optional[ControllerConfig] = None,
     tick_seconds: float = CHAOS_TICK_SECONDS,
+    health_checks: bool = False,
+    slo_spec=None,
 ) -> PopDeployment:
     """One small PoP with the full stack, ready for fault plans.
 
@@ -92,4 +94,6 @@ def build_chaos_deployment(
         seed=seed,
         faults=faults,
         safety_checks=safety_checks,
+        health_checks=health_checks,
+        slo_spec=slo_spec,
     )

@@ -146,6 +146,10 @@ class PrefixExplanation:
                 lines.append(
                     f"  t={event.cycle_time:>9.1f}  VIOLATION {event.note}"
                 )
+            elif event.action == "alert":
+                lines.append(
+                    f"  t={event.cycle_time:>9.1f}  ALERT     {event.note}"
+                )
             else:
                 lines.append(
                     f"  t={event.cycle_time:>9.1f}  {event.action:<8}  "
@@ -303,6 +307,33 @@ class DecisionAudit:
             )
         )
 
+    def record_alert(
+        self,
+        now: float,
+        rule: str,
+        state: str,
+        message: str,
+        subject: str = "*",
+    ) -> None:
+        """Append a health-alert transition to the trail.
+
+        Health alerts are PoP-wide by default (kept under ``*`` like
+        PoP-wide violations); pass a prefix *subject* when an alert
+        attributes a specific prefix (e.g. an override flap).
+        """
+        prefix = subject if "/" in subject else "*"
+        note = f"{rule} -> {state}"
+        if message:
+            note += f" ({message})"
+        self._append(
+            OverrideEvent(
+                cycle_time=now,
+                action="alert",
+                prefix=prefix,
+                note=note,
+            )
+        )
+
     # -- queries -------------------------------------------------------------------
 
     @staticmethod
@@ -342,6 +373,12 @@ class DecisionAudit:
             event
             for event in self.events()
             if event.action == "violation"
+        ]
+
+    def alerts(self) -> List[OverrideEvent]:
+        """Every recorded health-alert event, in insertion order per prefix."""
+        return [
+            event for event in self.events() if event.action == "alert"
         ]
 
     def prefixes(self) -> List[str]:

@@ -426,11 +426,14 @@ class MetricsRegistry:
         wins — merge disjoint label sets, e.g. one per PoP, when the
         distinction matters).  ``extra_labels`` are appended to every
         incoming series' label set, which is how per-worker registries
-        become one fleet registry without colliding.
+        become one fleet registry without colliding.  The extra labels
+        are appended in sorted name order, so merged output never
+        depends on the caller's dict insertion order (two merges with
+        the same extras always agree on label layout).
         """
-        extra = dict(extra_labels or {})
-        extra_names = tuple(extra)
-        extra_values = tuple(str(value) for value in extra.values())
+        extra_items = sorted((extra_labels or {}).items())
+        extra_names = tuple(name for name, _ in extra_items)
+        extra_values = tuple(str(value) for _, value in extra_items)
         for theirs in other.metrics():
             labelnames = theirs.labelnames + extra_names
             if isinstance(theirs, Counter):

@@ -37,6 +37,12 @@ class Telemetry:
         self.name = name
         self.registry = MetricsRegistry()
         self.tracer = Tracer(capacity=span_capacity)
+        self.tracer.set_drop_counter(
+            self.registry.counter(
+                "tracer_dropped_spans_total",
+                "Spans evicted from the tracer ring buffer",
+            )
+        )
         self.audit = DecisionAudit(
             per_prefix_capacity=audit_per_prefix,
             max_prefixes=audit_max_prefixes,

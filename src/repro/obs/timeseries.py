@@ -1,0 +1,299 @@
+"""Fixed-capacity time series: the health engine's memory.
+
+A :class:`TimeSeries` is a ring of ``(time, value)`` points —
+``deque(maxlen=capacity)`` — so an arbitrarily long run keeps a bounded,
+most-recent window of every signal it tracks.  A :class:`TimeSeriesStore`
+names many of them, samples whole metric registries once per controller
+cycle (:meth:`~TimeSeriesStore.sample_registry`), and round-trips
+through JSONL for offline analysis.
+
+Everything here is plain data (deques of float tuples), picklable, and
+cheap on the hot path: one append per recorded point, queries that walk
+only the tail they need (``reversed(deque)`` starts at the newest
+point), no numpy, no wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from itertools import islice
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TimeSeries", "TimeSeriesStore", "DEFAULT_SERIES_CAPACITY"]
+
+#: Points kept per series.  At the paper's 30-second cycle this is more
+#: than three weeks of history per signal; memory is two floats a point.
+DEFAULT_SERIES_CAPACITY = 65_536
+
+Point = Tuple[float, float]
+
+
+class TimeSeries:
+    """One named signal: a bounded ring of (time, value) points."""
+
+    __slots__ = ("name", "capacity", "_points", "recorded")
+
+    def __init__(
+        self, name: str, capacity: int = DEFAULT_SERIES_CAPACITY
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._points: Deque[Point] = deque(maxlen=capacity)
+        #: Points ever recorded; ``recorded - len(self)`` fell off the ring.
+        self.recorded = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, time: float, value: float) -> None:
+        self._points.append((time, float(value)))
+        self.recorded += 1
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def dropped(self) -> int:
+        """Points evicted by the ring so far."""
+        return self.recorded - len(self._points)
+
+    def points(self) -> List[Point]:
+        """Every buffered point, oldest first."""
+        return list(self._points)
+
+    def latest(self) -> Optional[Point]:
+        return self._points[-1] if self._points else None
+
+    def last(self, n: int) -> List[Point]:
+        """The newest *n* points, oldest-of-them first."""
+        if n <= 0:
+            return []
+        tail = list(islice(reversed(self._points), n))
+        tail.reverse()
+        return tail
+
+    def values(self, n: Optional[int] = None) -> List[float]:
+        if n is None:
+            return [value for _, value in self._points]
+        return [value for _, value in self.last(n)]
+
+    def mean(self, n: Optional[int] = None) -> float:
+        values = self.values(n)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def delta(self, n: Optional[int] = None) -> float:
+        """Newest value minus the oldest value of the last *n* points."""
+        window = self.last(n) if n is not None else self.points()
+        if len(window) < 2:
+            return 0.0
+        return window[-1][1] - window[0][1]
+
+    def rate(self, n: Optional[int] = None) -> float:
+        """:meth:`delta` per second of elapsed sample time."""
+        window = self.last(n) if n is not None else self.points()
+        if len(window) < 2:
+            return 0.0
+        elapsed = window[-1][0] - window[0][0]
+        if elapsed <= 0.0:
+            return 0.0
+        return (window[-1][1] - window[0][1]) / elapsed
+
+    def percentile(self, q: float, n: Optional[int] = None) -> float:
+        """The *q*-th percentile (0..100) of the last *n* values."""
+        values = sorted(self.values(n))
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        rank = (max(0.0, min(100.0, q)) / 100.0) * (len(values) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return values[low]
+        weight = rank - low
+        return values[low] * (1.0 - weight) + values[high] * weight
+
+    def window(
+        self, seconds: float, now: Optional[float] = None
+    ) -> List[Point]:
+        """Points with ``time >= now - seconds`` (*now* defaults to the
+        newest point's time)."""
+        if not self._points:
+            return []
+        edge = (now if now is not None else self._points[-1][0]) - seconds
+        out: List[Point] = []
+        for point in reversed(self._points):
+            if point[0] < edge:
+                break
+            out.append(point)
+        out.reverse()
+        return out
+
+
+class TimeSeriesStore:
+    """A namespace of :class:`TimeSeries`, one unit of sampling/export."""
+
+    def __init__(self, capacity: int = DEFAULT_SERIES_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._series: Dict[str, TimeSeries] = {}
+
+    # -- access ------------------------------------------------------------
+
+    def series(self, name: str) -> TimeSeries:
+        """The named series, created empty on first use."""
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(name, self.capacity)
+            self._series[name] = series
+        return series
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        return self._series.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).record(time, value)
+
+    # -- registry sampling -------------------------------------------------
+
+    def sample_registry(
+        self, registry, now: float, prefix: str = ""
+    ) -> int:
+        """Sample every counter/gauge series (and histogram count/sum)
+        of *registry* as one point per series at time *now*.
+
+        Series are keyed ``[prefix]name{label="value",...}`` — the same
+        rendering the exporters use — so a sampled store lines up with
+        the Prometheus view.  Returns the number of points recorded.
+        """
+        from .metrics import Counter, Gauge, Histogram, _label_string
+
+        points = 0
+        for metric in registry.metrics():
+            if isinstance(metric, (Counter, Gauge)):
+                for key, value in metric.series().items():
+                    labels = _label_string(metric.labelnames, key)
+                    suffix = f"{{{labels}}}" if labels else ""
+                    self.record(
+                        f"{prefix}{metric.name}{suffix}", now, value
+                    )
+                    points += 1
+            elif isinstance(metric, Histogram):
+                for key, series in metric.series().items():
+                    labels = _label_string(metric.labelnames, key)
+                    suffix = f"{{{labels}}}" if labels else ""
+                    base = f"{prefix}{metric.name}{suffix}"
+                    self.record(f"{base}:count", now, series.count)
+                    self.record(f"{base}:sum", now, series.sum)
+                    points += 2
+        return points
+
+    # -- persistence -------------------------------------------------------
+
+    def write_jsonl(self, path) -> int:
+        """Persist the store as JSONL; returns lines written.
+
+        One ``meta`` line for the store, one ``series`` header per
+        series (carrying its capacity and lifetime ``recorded`` count),
+        then one ``point`` line per buffered point.
+        """
+        lines = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {"kind": "meta", "capacity": self.capacity},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            lines += 1
+            for name in self.names():
+                series = self._series[name]
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "series",
+                            "name": name,
+                            "capacity": series.capacity,
+                            "recorded": series.recorded,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                lines += 1
+                for time, value in series.points():
+                    handle.write(
+                        json.dumps(
+                            {
+                                "kind": "point",
+                                "series": name,
+                                "t": time,
+                                "v": value,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                    lines += 1
+        return lines
+
+    @classmethod
+    def load_jsonl(cls, path) -> "TimeSeriesStore":
+        """Rebuild a store written by :meth:`write_jsonl`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_jsonl_lines(handle)
+
+    @classmethod
+    def from_jsonl_lines(cls, lines: Iterable[str]) -> "TimeSeriesStore":
+        store: Optional[TimeSeriesStore] = None
+        recorded: Dict[str, int] = {}
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
+                continue
+            entry = json.loads(raw)
+            kind = entry.get("kind")
+            if kind == "meta":
+                store = cls(capacity=int(entry["capacity"]))
+            elif kind == "series":
+                if store is None:
+                    raise ValueError("series line before meta line")
+                name = str(entry["name"])
+                series = TimeSeries(name, int(entry["capacity"]))
+                store._series[name] = series
+                recorded[name] = int(entry.get("recorded", 0))
+            elif kind == "point":
+                if store is None:
+                    raise ValueError("point line before meta line")
+                store.series(str(entry["series"])).record(
+                    float(entry["t"]), float(entry["v"])
+                )
+            else:
+                raise ValueError(f"unknown timeseries line kind {kind!r}")
+        if store is None:
+            raise ValueError("no meta line: not a timeseries JSONL file")
+        # Restore lifetime counts: replaying only the buffered points
+        # undercounts series that had already wrapped.
+        for name, count in recorded.items():
+            series = store._series.get(name)
+            if series is not None:
+                series.recorded = max(series.recorded, count)
+        return store

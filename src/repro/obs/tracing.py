@@ -59,6 +59,13 @@ class Tracer:
         self._spans: Deque[Span] = deque(maxlen=capacity)
         self.recorded = 0  # total spans ever finished
         self.dropped = 0  # spans evicted by the ring buffer
+        # Optional bound registry counter mirroring ``dropped`` so
+        # silent span loss shows up on dashboards (set by Telemetry).
+        self._drop_counter = None
+
+    def set_drop_counter(self, counter) -> None:
+        """Mirror ring evictions into a bound metrics counter."""
+        self._drop_counter = counter
 
     # -- recording ------------------------------------------------------------
 
@@ -83,6 +90,8 @@ class Tracer:
         """Append one pre-timed span (the non-context-manager path)."""
         if len(self._spans) == self.capacity:
             self.dropped += 1
+            if self._drop_counter is not None:
+                self._drop_counter.inc()
         self.recorded += 1
         self._spans.append(
             Span(

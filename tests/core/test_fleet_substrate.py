@@ -175,3 +175,88 @@ class TestSubstrateGuards:
             assert shared._pool is fork_pool
         finally:
             shared.close_pool()
+
+
+class TestMergedRegistryLabels:
+    """Per-PoP labels survive the merge whichever pool ran the fleet."""
+
+    def _assert_pop_labels(self, fleet):
+        merged = fleet.merged_registry()
+        pops = sorted(fleet.deployments)
+        counter = merged.counter(
+            "pipeline_ticks_total", labelnames=("pop",)
+        )
+        for pop in pops:
+            assert counter.value(pop=pop) > 0
+        # Every exported series carries the pop label.
+        for line in merged.to_prometheus().splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            assert 'pop="' in line, line
+
+    def test_fork_pool_labels_survive(self):
+        _serial, fleet, start = _build_pair(pop_count=2)
+        try:
+            fleet.run(start, 120.0, parallel=2, sync=False)
+            fleet.collect()
+            self._assert_pop_labels(fleet)
+        finally:
+            fleet.close_pool()
+
+    def test_substrate_pool_labels_survive_and_rss_stays_fleet_level(
+        self,
+    ):
+        _serial, fleet, start = _build_pair(pop_count=2)
+        try:
+            fleet.run(
+                start, 120.0, parallel=2, sync=False, substrate=True
+            )
+            readings = fleet.worker_rss_bytes()
+            fleet.collect()
+            self._assert_pop_labels(fleet)
+            # Worker RSS is fleet-level telemetry: labelled per worker
+            # on the fleet registry, absent from the per-PoP merge.
+            gauge = fleet.telemetry.registry.gauge(
+                "fleet_worker_rss_bytes", labelnames=("worker",)
+            )
+            assert readings
+            for worker in readings:
+                assert gauge.value(worker=worker) > 0
+            merged = fleet.merged_registry()
+            assert "fleet_worker_rss_bytes" not in merged.to_prometheus()
+        finally:
+            fleet.close_pool()
+
+
+class TestFleetHealth:
+    """Health engines ride worker results back into the fleet view."""
+
+    def test_health_state_survives_parallel_merge(self):
+        fleet = FleetDeployment.build(
+            pop_count=2, seed=29, tick_seconds=60.0, health_checks=True
+        )
+        start = next(
+            iter(fleet.deployments.values())
+        ).demand.config.peak_time
+        try:
+            fleet.run(
+                start, 180.0, parallel=2, sync=False, substrate=True
+            )
+            fleet.collect()
+        finally:
+            fleet.close_pool()
+        reports = fleet.health_reports()
+        assert sorted(reports) == sorted(fleet.deployments)
+        for name, report in reports.items():
+            assert report.cycles > 0
+            assert report.name == name
+        # A clean run has nothing firing, fleet-wide.
+        assert fleet.firing_alerts() == {}
+        # The health metrics land in the merged fleet registry too,
+        # labelled per PoP.
+        merged = fleet.merged_registry()
+        counter = merged.counter(
+            "health_cycles_total", labelnames=("pop",)
+        )
+        for name in fleet.deployments:
+            assert counter.value(pop=name) > 0

@@ -3,6 +3,11 @@
 Locally this runs 5 seeds (a smoke-level gate); CI sets
 ``CHAOS_GAUNTLET_SEEDS=25`` for the full sweep and ``CHAOS_REPORT_DIR``
 to collect one JSON report per seed as a build artifact.
+
+The health engine rides along on every seed: a plan that trips the
+degradation ladder must raise at least one alert naming the cause
+signal, and a clean (fault-free) run must raise none — the two halves
+of the engine's false-negative / false-positive contract.
 """
 
 import os
@@ -23,27 +28,43 @@ GAUNTLET_SEEDS = int(os.environ.get("CHAOS_GAUNTLET_SEEDS", "5"))
 DURATION = 1800.0
 
 
-@pytest.mark.parametrize("seed", range(GAUNTLET_SEEDS))
-def test_gauntlet_seed_survives_clean(seed):
-    plan = FaultPlan.random(seed, duration=DURATION)
-    injector = FaultInjector(plan)
+def _run_seed(seed, injector=None):
     deployment = build_chaos_deployment(
-        seed=seed, faults=injector, safety_checks=True
+        seed=seed,
+        faults=injector,
+        safety_checks=True,
+        health_checks=True,
     )
     start = deployment.demand.config.peak_time
     ticks = int(DURATION / deployment.tick_seconds)
     for index in range(ticks):
         deployment.step(start + index * deployment.tick_seconds)
+    return deployment
+
+
+def _write_report(report_dir, name, text):
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.mark.parametrize("seed", range(GAUNTLET_SEEDS))
+def test_gauntlet_seed_survives_clean(seed):
+    plan = FaultPlan.random(seed, duration=DURATION)
+    injector = FaultInjector(plan)
+    deployment = _run_seed(seed, injector=injector)
 
     report = build_chaos_report(deployment)
+    health = deployment.health.report(name=f"chaos-seed-{seed}")
     report_dir = os.environ.get("CHAOS_REPORT_DIR")
     if report_dir:
-        os.makedirs(report_dir, exist_ok=True)
-        path = os.path.join(
-            report_dir, f"chaos-seed-{seed:03d}.json"
+        _write_report(
+            report_dir, f"chaos-seed-{seed:03d}.json", report.to_json()
         )
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json() + "\n")
+        _write_report(
+            report_dir, f"health-seed-{seed:03d}.json", health.to_json()
+        )
 
     assert injector.finished(deployment.current_time)
     assert report.clean, "\n" + report.render()
@@ -51,3 +72,32 @@ def test_gauntlet_seed_survives_clean(seed):
     # the checker watched every cycle.
     assert report.faults["actions"]
     assert report.safety["checks_run"] > 0
+
+    # If the plan tripped the degradation ladder, the health engine
+    # must have attributed it: every rung has a signal that fires.
+    degradation = report.degradation
+    tripped = (
+        degradation["cycles_skipped"] > 0
+        or degradation["fail_static_withdrawals"] > 0
+        or degradation["collector_resets"] > 0
+    )
+    if tripped:
+        fired = set(health.ever_fired)
+        assert fired, "ladder tripped but no alert ever fired"
+        if degradation["cycles_skipped"] > 0:
+            assert "input_freshness" in fired
+        if degradation["fail_static_withdrawals"] > 0:
+            assert "fail_static" in fired
+        if degradation["collector_resets"] > 0:
+            assert "collector_resync" in fired
+
+
+@pytest.mark.parametrize("seed", range(GAUNTLET_SEEDS))
+def test_gauntlet_clean_seed_raises_no_alerts(seed):
+    """No faults, no alerts: the engine's false-positive contract."""
+    deployment = _run_seed(seed)
+    health = deployment.health.report(name=f"clean-seed-{seed}")
+    assert health.ever_fired == [], "\n" + health.render()
+    assert not health.firing
+    # The engine really watched the run.
+    assert health.cycles == int(DURATION / deployment.tick_seconds)

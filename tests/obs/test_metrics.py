@@ -176,3 +176,62 @@ class TestMerge:
         series = a.histogram("h", buckets=(1.0,)).series()[()]
         assert series.count == 2
         assert series.bucket_counts == [1, 1]
+
+
+class TestExportDeterminism:
+    """Exports are stable regardless of registration/merge order.
+
+    Fleet dashboards diff merged registries across runs; if series
+    order followed dict insertion order, merging PoPs in a different
+    order would produce spuriously different text.
+    """
+
+    @staticmethod
+    def _part(ticks, load):
+        registry = MetricsRegistry()
+        registry.counter("ticks_total").inc(ticks)
+        registry.gauge("load", labelnames=("iface",)).labels(
+            iface="if0"
+        ).set(load)
+        registry.histogram("cycle_seconds").observe(load)
+        return registry
+
+    def test_merge_order_does_not_change_export(self):
+        parts = [
+            ("pop-a", self._part(1, 0.1)),
+            ("pop-b", self._part(2, 0.2)),
+            ("pop-c", self._part(3, 0.3)),
+        ]
+        forward = MetricsRegistry()
+        for pop, registry in parts:
+            forward.merge(registry, extra_labels={"pop": pop})
+        backward = MetricsRegistry()
+        for pop, registry in reversed(parts):
+            backward.merge(registry, extra_labels={"pop": pop})
+        assert forward.to_prometheus() == backward.to_prometheus()
+        assert forward.to_json() == backward.to_json()
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_extra_label_insertion_order_is_canonicalized(self):
+        first = MetricsRegistry()
+        first.merge(
+            self._part(1, 0.1), extra_labels={"pop": "a", "site": "x"}
+        )
+        second = MetricsRegistry()
+        second.merge(
+            self._part(1, 0.1), extra_labels={"site": "x", "pop": "a"}
+        )
+        assert first.to_prometheus() == second.to_prometheus()
+        assert first.to_json() == second.to_json()
+
+    def test_prometheus_series_sorted_by_label_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total", labelnames=("pop",))
+        for pop in ("zulu", "alpha", "mike"):
+            counter.labels(pop=pop).inc()
+        lines = [
+            line
+            for line in registry.to_prometheus().splitlines()
+            if line.startswith("n_total{")
+        ]
+        assert lines == sorted(lines)

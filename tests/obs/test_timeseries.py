@@ -1,0 +1,158 @@
+"""Tests for the ring time-series store the health engine records into."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeries, TimeSeriesStore
+
+
+class TestTimeSeries:
+    def test_record_and_query(self):
+        series = TimeSeries("x")
+        for i in range(5):
+            series.record(float(i), float(i) * 2.0)
+        assert len(series) == 5
+        assert series.latest() == (4.0, 8.0)
+        assert series.points()[0] == (0.0, 0.0)
+        assert series.values() == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_ring_eviction_counts_dropped(self):
+        series = TimeSeries("x", capacity=3)
+        for i in range(10):
+            series.record(float(i), float(i))
+        assert len(series) == 3
+        assert series.recorded == 10
+        assert series.dropped == 7
+        assert series.values() == [7.0, 8.0, 9.0]
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", capacity=0)
+
+    def test_last_n(self):
+        series = TimeSeries("x")
+        for i in range(6):
+            series.record(float(i), float(i))
+        assert series.last(2) == [(4.0, 4.0), (5.0, 5.0)]
+        assert series.last(100) == series.points()
+        assert series.last(0) == []
+
+    def test_mean_over_window(self):
+        series = TimeSeries("x")
+        for value in (1.0, 1.0, 4.0, 4.0):
+            series.record(0.0, value)
+        assert series.mean() == 2.5
+        assert series.mean(2) == 4.0
+        assert TimeSeries("empty").mean() == 0.0
+
+    def test_delta_and_rate(self):
+        series = TimeSeries("x")
+        series.record(0.0, 10.0)
+        series.record(10.0, 30.0)
+        series.record(20.0, 35.0)
+        assert series.delta() == 25.0
+        assert series.delta(2) == 5.0
+        assert series.rate() == 25.0 / 20.0
+        assert series.rate(2) == 0.5
+
+    def test_delta_rate_degenerate(self):
+        series = TimeSeries("x")
+        assert series.delta() == 0.0
+        assert series.rate() == 0.0
+        series.record(5.0, 1.0)
+        assert series.delta() == 0.0
+        series.record(5.0, 3.0)  # zero elapsed
+        assert series.rate() == 0.0
+
+    def test_percentile(self):
+        series = TimeSeries("x")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            series.record(0.0, value)
+        assert series.percentile(0) == 1.0
+        assert series.percentile(100) == 4.0
+        assert series.percentile(50) == 2.5
+        assert series.percentile(50, n=2) == 3.5
+        assert TimeSeries("empty").percentile(99) == 0.0
+
+    def test_time_window(self):
+        series = TimeSeries("x")
+        for t in (0.0, 30.0, 60.0, 90.0):
+            series.record(t, t)
+        assert series.window(60.0) == [(30.0, 30.0), (60.0, 60.0), (90.0, 90.0)]
+        assert series.window(0.0) == [(90.0, 90.0)]
+        assert series.window(30.0, now=60.0) == [
+            (30.0, 30.0),
+            (60.0, 60.0),
+            (90.0, 90.0),
+        ]
+        assert TimeSeries("empty").window(60.0) == []
+
+
+class TestTimeSeriesStore:
+    def test_named_series_create_on_first_use(self):
+        store = TimeSeriesStore()
+        store.record("a", 0.0, 1.0)
+        store.record("b", 0.0, 2.0)
+        store.record("a", 1.0, 3.0)
+        assert store.names() == ["a", "b"]
+        assert len(store) == 2
+        assert "a" in store and "z" not in store
+        assert store.get("z") is None
+        assert len(store.series("a")) == 2
+
+    def test_capacity_applies_to_new_series(self):
+        store = TimeSeriesStore(capacity=2)
+        for i in range(5):
+            store.record("x", float(i), float(i))
+        assert store.series("x").values() == [3.0, 4.0]
+
+    def test_sample_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("ticks_total").inc(3)
+        registry.gauge("load", labelnames=("pop",)).labels(
+            pop="pop-a"
+        ).set(0.5)
+        registry.histogram("cycle_seconds").observe(0.01)
+        store = TimeSeriesStore()
+        points = store.sample_registry(registry, now=30.0)
+        assert points == 4  # counter + gauge + histogram count/sum
+        assert store.series("ticks_total").latest() == (30.0, 3.0)
+        assert store.series('load{pop="pop-a"}').latest() == (30.0, 0.5)
+        assert store.series("cycle_seconds:count").latest() == (30.0, 1.0)
+        # Two samples -> deltas/rates over registry history work.
+        registry.counter("ticks_total").inc(2)
+        store.sample_registry(registry, now=60.0)
+        assert store.series("ticks_total").delta() == 2.0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        store = TimeSeriesStore(capacity=4)
+        for i in range(7):  # wraps: recorded > buffered
+            store.record("wrapped", float(i), float(i) * 1.5)
+        store.record("tiny", 1.0, -2.0)
+        path = tmp_path / "series.jsonl"
+        lines = store.write_jsonl(path)
+        assert lines == 1 + 2 + 4 + 1  # meta + headers + points
+
+        loaded = TimeSeriesStore.load_jsonl(path)
+        assert loaded.capacity == store.capacity
+        assert loaded.names() == store.names()
+        for name in store.names():
+            original = store.series(name)
+            restored = loaded.series(name)
+            assert restored.points() == original.points()
+            assert restored.recorded == original.recorded
+            assert restored.dropped == original.dropped
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "point", "series": "x", "t": 0, "v": 0}\n')
+        with pytest.raises(ValueError):
+            TimeSeriesStore.load_jsonl(path)
+
+    def test_picklable(self):
+        store = TimeSeriesStore()
+        store.record("x", 1.0, 2.0)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.series("x").points() == [(1.0, 2.0)]

@@ -66,3 +66,15 @@ class TestTracer:
     def test_bad_capacity(self):
         with pytest.raises(ValueError):
             Tracer(capacity=0)
+
+    def test_eviction_feeds_drop_counter(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        counter = registry.counter("tracer_dropped_spans_total")
+        tracer = Tracer(capacity=2)
+        tracer.set_drop_counter(counter)
+        for i in range(5):
+            tracer.record(f"op{i}", float(i), 0.1)
+        assert counter.value() == 3.0
+        assert tracer.dropped == 3

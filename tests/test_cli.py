@@ -79,6 +79,7 @@ class TestTelemetryCommands:
         assert "dataplane.tick" in out
         assert "controller.cycle" in out
         assert "most recent" in out
+        assert "dropped by the ring" in out
 
     def test_explain_lists_detoured_prefixes(self, capsys):
         assert main(["explain", "--minutes", "3", "--list"]) == 0
@@ -170,3 +171,80 @@ class TestChaosCommand:
         # The contract the CI gauntlet relies on: same plan, same seed,
         # byte-identical report.
         assert reports[0] == reports[1]
+
+
+class TestHealthCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["health"])
+        assert args.pop == "chaos-mini"
+        assert args.minutes == 30.0
+        assert args.seed == 7
+        assert not args.json and args.slo is None and args.plan is None
+
+    def test_clean_run_is_healthy(self, capsys):
+        assert main(["health", "--minutes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "healthy" in out
+
+    def test_json_round_trips(self, capsys):
+        from repro.obs.health import HealthReport
+
+        assert main(["health", "--minutes", "10", "--json"]) == 0
+        report = HealthReport.from_json(capsys.readouterr().out)
+        assert report.cycles == 20
+        assert report.ok
+
+    def test_stale_feed_plan_exits_nonzero(self, tmp_path, capsys):
+        from repro.faults import FaultPlan
+
+        # The feed goes stale five minutes in and never recovers, so
+        # the freshness alert is still firing at the final cycle.
+        plan = FaultPlan(seed=1).stale_clock(
+            at=300.0, duration=300.0, skew_seconds=600.0
+        )
+        path = tmp_path / "stale.json"
+        plan.save(path)
+        assert (
+            main(["health", "--minutes", "10", "--plan", str(path)])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "FIRING" in out
+        assert "input_freshness" in out
+
+    def test_custom_slo_spec(self, tmp_path, capsys):
+        from repro.obs.health import SloSpec
+
+        path = tmp_path / "slo.json"
+        SloSpec.default().save(path)
+        assert (
+            main(["health", "--minutes", "5", "--slo", str(path)]) == 0
+        )
+        assert "healthy" in capsys.readouterr().out
+
+
+class TestTopCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.pops == 4
+        assert args.minutes == 30.0
+        assert args.every == 1
+        assert not args.plain
+
+    def test_plain_frames(self, capsys):
+        assert main(
+            [
+                "top",
+                "--pops",
+                "2",
+                "--minutes",
+                "5",
+                "--plain",
+                "--every",
+                "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro top — fleet of 2 PoPs" in out
+        assert "fleet: healthy" in out
+        assert "pop-00" in out and "pop-01" in out
