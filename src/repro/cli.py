@@ -63,9 +63,23 @@ _TAKES_HOURS = {
 
 def _controller_config(args: argparse.Namespace) -> ControllerConfig:
     """Build the controller config a workload verb asked for."""
+    kwargs = {}
     if getattr(args, "full_recompute", False):
-        return ControllerConfig(incremental_engine=False)
-    return ControllerConfig()
+        kwargs["incremental_engine"] = False
+    if getattr(args, "steering", False):
+        kwargs["performance_aware"] = True
+    return ControllerConfig(**kwargs)
+
+
+def _steering_kwargs(config: ControllerConfig) -> dict:
+    """Deployment kwargs the closed loop needs: measurement rounds.
+
+    The engine votes on alternate-path statistics, so a steering-armed
+    workload must actually run DSCP measurement rounds.
+    """
+    if not config.performance_aware:
+        return {}
+    return {"altpath_every_ticks": 2, "altpath_prefix_count": 100}
 
 
 def _run_peak_deployment(
@@ -76,7 +90,10 @@ def _run_peak_deployment(
 ) -> PopDeployment:
     """The telemetry verbs' shared workload: *minutes* at the peak."""
     deployment = PopDeployment.build(
-        pop_name=pop, seed=seed, controller_config=controller_config
+        pop_name=pop,
+        seed=seed,
+        controller_config=controller_config,
+        **_steering_kwargs(controller_config),
     )
     start = deployment.demand.config.peak_time
     ticks = int(minutes * 60 / deployment.tick_seconds)
@@ -208,6 +225,20 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             )
             for prefix in detoured:
                 print(f"  {prefix}")
+        engine = deployment.controller.steering
+        if engine is not None:
+            counts = engine.tier_counts()
+            print(
+                "steering tiers: "
+                f"GREEN={counts['GREEN']} YELLOW={counts['YELLOW']} "
+                f"RED={counts['RED']}"
+            )
+            for state in engine.states():
+                if state.tier != "GREEN":
+                    print(
+                        f"  {state.tier:<6} {state.prefix} "
+                        f"via {state.path}"
+                    )
         return 0
     explanation = deployment.telemetry.explain(args.prefix)
     print(explanation.render())
@@ -229,14 +260,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     injector = FaultInjector(plan)
     if args.pop == "chaos-mini":
         deployment = build_chaos_deployment(
-            seed=args.seed, faults=injector, safety_checks=True
+            seed=args.seed,
+            faults=injector,
+            safety_checks=True,
+            steering=args.steering,
         )
     else:
+        config = ControllerConfig(performance_aware=args.steering)
         deployment = PopDeployment.build(
             pop_name=args.pop,
             seed=args.seed,
             faults=injector,
             safety_checks=True,
+            controller_config=config,
+            **_steering_kwargs(config),
         )
     start = deployment.demand.config.peak_time
     ticks = max(1, int(args.minutes * 60 / deployment.tick_seconds))
@@ -274,8 +311,10 @@ def _cmd_health(args: argparse.Namespace) -> int:
             safety_checks=True,
             health_checks=True,
             slo_spec=slo_spec,
+            steering=args.steering,
         )
     else:
+        config = _controller_config(args)
         deployment = PopDeployment.build(
             pop_name=args.pop,
             seed=args.seed,
@@ -283,7 +322,8 @@ def _cmd_health(args: argparse.Namespace) -> int:
             safety_checks=True,
             health_checks=True,
             slo_spec=slo_spec,
-            controller_config=_controller_config(args),
+            controller_config=config,
+            **_steering_kwargs(config),
         )
     start = deployment.demand.config.peak_time
     ticks = max(1, int(args.minutes * 60 / deployment.tick_seconds))
@@ -434,6 +474,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "escape hatch while debugging delta-path suspicions)"
             ),
         )
+        command.add_argument(
+            "--steering",
+            action="store_true",
+            help=(
+                "arm closed-loop performance-aware steering (the "
+                "GREEN/YELLOW/RED engine) and run alternate-path "
+                "measurement rounds; `explain` then shows tier "
+                "transitions and the signals that voted"
+            ),
+        )
 
     quickstart = sub.add_parser(
         "quickstart", help="run a PoP with the controller at peak"
@@ -514,6 +564,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the report as JSON to PATH",
     )
+    chaos.add_argument(
+        "--steering",
+        action="store_true",
+        help="arm closed-loop performance-aware steering; the report "
+        "then carries tier counts and flap rates",
+    )
     chaos.set_defaults(func=_cmd_chaos)
 
     health = sub.add_parser(
@@ -549,6 +605,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--full-recompute",
         action="store_true",
         help="disable the incremental cycle engine (study PoPs only)",
+    )
+    health.add_argument(
+        "--steering",
+        action="store_true",
+        help="arm closed-loop performance-aware steering; the health "
+        "report then shows per-tier steering counts",
     )
     health.set_defaults(func=_cmd_health)
 

@@ -12,6 +12,16 @@ from .overrides import Override, OverrideDiff, OverrideSet
 from .perfaware import PerformanceAwarePass
 from .pipeline import PopDeployment, RunRecord, TickSummary
 from .projection import Placement, Projection, project
+from .steering import (
+    STEERING_TIERS,
+    TIER_GREEN,
+    TIER_RED,
+    TIER_YELLOW,
+    PathHealth,
+    SignalVote,
+    SteeringEngine,
+    TierTransition,
+)
 
 __all__ = [
     "InstallIntent",
@@ -37,4 +47,12 @@ __all__ = [
     "Placement",
     "Projection",
     "project",
+    "STEERING_TIERS",
+    "TIER_GREEN",
+    "TIER_YELLOW",
+    "TIER_RED",
+    "PathHealth",
+    "SignalVote",
+    "SteeringEngine",
+    "TierTransition",
 ]

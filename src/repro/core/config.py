@@ -40,6 +40,52 @@ class ControllerConfig:
     perf_improvement_threshold_ms: float = 20.0
     #: Cap on how many prefixes the perf-aware pass may move per cycle.
     perf_moves_per_cycle: int = 50
+    #: How performance-aware steering decides: ``"closed_loop"`` runs
+    #: the per-⟨prefix, path⟩ GREEN/YELLOW/RED state machine in
+    #: :mod:`repro.core.steering`; ``"one_shot"`` is the escape hatch
+    #: back to the paper's §5 single-pass detour logic, byte-identical
+    #: to the pre-v2 behavior.
+    steering_mode: str = "closed_loop"
+    #: Consecutive bad-vote cycles before a key trips GREEN/YELLOW→RED
+    #: (fast to protect).
+    steering_trip_cycles: int = 2
+    #: Consecutive good cycles a RED key must sustain before returning
+    #: to GREEN (slow to recover — the asymmetric dwell).
+    steering_recover_cycles: int = 15
+    #: Consecutive good cycles that clear YELLOW back to GREEN.
+    steering_yellow_recover_cycles: int = 3
+    #: EWMA smoothing factor for the per-path RTT/retransmit estimates.
+    steering_ewma_alpha: float = 0.3
+    #: Retransmit-rate excess (preferred minus best alternate) that
+    #: counts as a degraded-path vote.
+    steering_retx_degraded: float = 0.02
+    #: Egress-interface utilization at which the queue signal votes bad
+    #: (early-warning pressure, below the overload threshold).
+    steering_queue_utilization: float = 0.92
+    #: Signals that must agree in one cycle for it to count as bad; a
+    #: single dissenting signal yields YELLOW, never RED.
+    steering_votes_to_trip: int = 2
+    #: Consecutive non-good cycles before GREEN drops to YELLOW.  A
+    #: single-cycle spike on one signal (sFlow skew hopping an
+    #: interface's utilization over the queue line for one cycle) must
+    #: not move the tier at all, or the early-warning tier itself flaps.
+    steering_warn_cycles: int = 2
+    #: While RED, the RTT/retransmit trip lines shrink to this fraction:
+    #: recovery demands clear health, not hovering at the trip line.
+    steering_recovery_fraction: float = 0.5
+    #: Flap accounting: a key exceeding ``steering_flap_budget`` tier
+    #: transitions within ``steering_flap_window_cycles`` cycles raises
+    #: the ``steering_flap`` health signal.  A key legitimately
+    #: *tracking* repeated faults — trip, 15-cycle recovery dwell,
+    #: trip again, with a YELLOW round-trip per episode — costs up to
+    #: 6 transitions per 60-cycle chaos trial (10/100).  12 keeps the
+    #: gate quiet for fault-tracking while rates the hysteresis should
+    #: make impossible (YELLOW toggling every few cycles reaches 50/100)
+    #: still breach.
+    steering_flap_window_cycles: int = 100
+    steering_flap_budget: int = 12
+    #: Cap on tracked ⟨prefix, path⟩ keys (LRU-evicted beyond it).
+    steering_max_keys: int = 4096
     #: Safety rail: at most this many *new* detours per cycle (kept
     #: detours are free).  A controller fed garbage inputs can then
     #: shift only a bounded amount of traffic before a human notices.
@@ -144,4 +190,56 @@ class ControllerConfig:
         if self.aggregate_min_length_v6 < 0:
             raise ControllerError(
                 "aggregate_min_length_v6 cannot be negative"
+            )
+        if self.steering_mode not in ("closed_loop", "one_shot"):
+            raise ControllerError(
+                "steering_mode must be 'closed_loop' or 'one_shot'"
+            )
+        if self.steering_trip_cycles < 1:
+            raise ControllerError(
+                "steering_trip_cycles must be at least 1"
+            )
+        if self.steering_recover_cycles < 1:
+            raise ControllerError(
+                "steering_recover_cycles must be at least 1"
+            )
+        if self.steering_yellow_recover_cycles < 1:
+            raise ControllerError(
+                "steering_yellow_recover_cycles must be at least 1"
+            )
+        if not 0.0 < self.steering_ewma_alpha <= 1.0:
+            raise ControllerError(
+                "steering_ewma_alpha must be in (0, 1]"
+            )
+        if self.steering_retx_degraded <= 0.0:
+            raise ControllerError(
+                "steering_retx_degraded must be positive"
+            )
+        if not 0.0 < self.steering_queue_utilization <= 1.0:
+            raise ControllerError(
+                "steering_queue_utilization must be in (0, 1]"
+            )
+        if self.steering_votes_to_trip < 1:
+            raise ControllerError(
+                "steering_votes_to_trip must be at least 1"
+            )
+        if self.steering_warn_cycles < 1:
+            raise ControllerError(
+                "steering_warn_cycles must be at least 1"
+            )
+        if not 0.0 < self.steering_recovery_fraction <= 1.0:
+            raise ControllerError(
+                "steering_recovery_fraction must be in (0, 1]"
+            )
+        if self.steering_flap_window_cycles < 1:
+            raise ControllerError(
+                "steering_flap_window_cycles must be at least 1"
+            )
+        if self.steering_flap_budget < 1:
+            raise ControllerError(
+                "steering_flap_budget must be at least 1"
+            )
+        if self.steering_max_keys < 1:
+            raise ControllerError(
+                "steering_max_keys must be at least 1"
             )

@@ -36,6 +36,7 @@ from .monitoring import ControllerMonitor, CycleReport
 from .overrides import OverrideDiff, OverrideSet
 from .perfaware import PerformanceAwarePass
 from .projection import IncrementalProjection, project
+from .steering import SteeringEngine
 
 __all__ = ["EdgeFabricController"]
 
@@ -101,6 +102,15 @@ class EdgeFabricController:
                 "performance_aware requires an AltPathMonitor"
             )
         self.telemetry = telemetry or Telemetry(name=assembler.pop.name)
+        #: The closed-loop steering engine (v2).  None when the feature
+        #: is off or the ``one_shot`` escape hatch routes performance
+        #: moves through the legacy single-pass logic instead.
+        self.steering: Optional[SteeringEngine] = (
+            SteeringEngine(config, telemetry=self.telemetry)
+            if config.performance_aware
+            and config.steering_mode == "closed_loop"
+            else None
+        )
         registry = self.telemetry.registry
         cycles = registry.counter(
             "controller_cycles_total",
@@ -158,8 +168,17 @@ class EdgeFabricController:
 
     # -- the cycle ------------------------------------------------------------
 
-    def run_cycle(self, now: float) -> CycleReport:
-        """Run one full decision cycle at simulation time *now*."""
+    def run_cycle(
+        self, now: float, utilization_of=None
+    ) -> CycleReport:
+        """Run one full decision cycle at simulation time *now*.
+
+        *utilization_of* is the dataplane's per-interface utilization
+        view (``InterfaceKey -> float``), consumed by the closed-loop
+        steering engine's queue-pressure signal.  Optional — without it
+        that signal abstains and steering runs on the measurement
+        signals alone.
+        """
         started = _time.perf_counter()
         tracer = self.telemetry.tracer
         self.last_diff = None
@@ -213,16 +232,29 @@ class EdgeFabricController:
         )
         perf_moves = 0
         if self.config.performance_aware and self.altpath is not None:
-            perf_pass = PerformanceAwarePass(
-                pop=self.assembler.pop,
-                config=self.config,
-                altpath=self.altpath,
-            )
-            perf_moves = len(
-                perf_pass.extend(
-                    allocation.detours, allocation.final_loads, inputs
+            if self.steering is not None:
+                perf_moves = len(
+                    self.steering.run(
+                        now,
+                        allocation.detours,
+                        allocation.final_loads,
+                        inputs,
+                        self.altpath,
+                        self.assembler.pop,
+                        utilization_of=utilization_of,
+                    )
                 )
-            )
+            else:
+                perf_pass = PerformanceAwarePass(
+                    pop=self.assembler.pop,
+                    config=self.config,
+                    altpath=self.altpath,
+                )
+                perf_moves = len(
+                    perf_pass.extend(
+                        allocation.detours, allocation.final_loads, inputs
+                    )
+                )
 
         diff = self.overrides.reconcile(allocation.detours, now)
         self.last_diff = diff
@@ -459,6 +491,8 @@ class EdgeFabricController:
         self._cycles_since_full = 0
         self.last_drift = {}
         self.last_diff = None
+        if self.steering is not None:
+            self.steering.reset()
         self._m_active.set(0)
         log_event(
             _log, "controller.crash", time=now, lost=len(flushed)

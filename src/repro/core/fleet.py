@@ -59,6 +59,10 @@ class _PopRunState:
     #: The PoP's :class:`~repro.obs.HealthEngine` (plain picklable
     #: data), when health checks are on; None otherwise.
     health: object = None
+    #: The PoP's :class:`~repro.core.SteeringEngine` (no closures —
+    #: live collaborators are passed per call), when closed-loop
+    #: performance-aware steering is on; None otherwise.
+    steering: object = None
 
 
 def _capture_state(deployment: PopDeployment) -> _PopRunState:
@@ -82,6 +86,7 @@ def _capture_state(deployment: PopDeployment) -> _PopRunState:
         ),
         aggregator=deployment.controller.aggregator,
         health=deployment.health,
+        steering=deployment.controller.steering,
     )
 
 
@@ -752,6 +757,8 @@ class FleetDeployment:
             deployment.faults.log = state.fault_actions
         if state.health is not None:
             deployment.health = state.health
+        if state.steering is not None:
+            deployment.controller.steering = state.steering
 
     def _run_parallel(
         self,

@@ -509,7 +509,9 @@ class PopDeployment:
             and (faults is None or not faults.controller_down)
             and self._cycle_due(now)
         ):
-            report = self.controller.run_cycle(now)
+            report = self.controller.run_cycle(
+                now, utilization_of=self._current_utilization
+            )
             self.record.cycle_reports.append(report)
             self._last_cycle_at = now
             if perf is not None:

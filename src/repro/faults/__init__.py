@@ -22,6 +22,11 @@ from .harness import FaultAction, FaultInjector
 from .plan import FaultEvent, FaultPlan
 from .report import ChaosReport, build_chaos_report
 from .scenario import build_chaos_deployment
+from .stability import (
+    STABILITY_FAULT_KINDS,
+    StabilityReport,
+    run_stability_trial,
+)
 
 __all__ = [
     "FaultAction",
@@ -31,4 +36,7 @@ __all__ = [
     "ChaosReport",
     "build_chaos_report",
     "build_chaos_deployment",
+    "STABILITY_FAULT_KINDS",
+    "StabilityReport",
+    "run_stability_trial",
 ]

@@ -31,6 +31,9 @@ class ChaosReport:
     #: End-of-run routing state (the recovery digest).
     final_state: Dict[str, Any]
     violations: List[Dict[str, Any]] = field(default_factory=list)
+    #: Closed-loop steering digest: tier counts, transition totals and
+    #: the worst per-key flap rate ({} when the engine is off).
+    steering: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -45,6 +48,7 @@ class ChaosReport:
             "safety": self.safety,
             "final_state": self.final_state,
             "violations": self.violations,
+            "steering": self.steering,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -92,6 +96,18 @@ class ChaosReport:
             f"{self.final_state['offered_bps'] / 1e9:.2f} Gbps, "
             f"dropped {self.final_state['dropped_bps'] / 1e9:.3f} Gbps"
         )
+        if self.steering:
+            tiers = self.steering.get("tier_counts", {})
+            lines.append(
+                "steering:    "
+                f"GREEN={tiers.get('GREEN', 0)} "
+                f"YELLOW={tiers.get('YELLOW', 0)} "
+                f"RED={tiers.get('RED', 0)}, "
+                f"{self.steering.get('transitions_total', 0)} tier "
+                "transitions, worst flap rate "
+                f"{self.steering.get('max_flap_rate', 0.0):.1f}/100 "
+                "cycles"
+            )
         if self.violations:
             lines.append("violations:")
             for violation in self.violations:
@@ -170,6 +186,18 @@ def build_chaos_report(deployment, injector=None) -> ChaosReport:
         "time": last_tick.time if last_tick else 0.0,
     }
 
+    engine = getattr(deployment.controller, "steering", None)
+    steering: Dict[str, Any] = {}
+    if engine is not None:
+        rates = engine.flap_rates()
+        steering = {
+            "cycles": engine.cycles,
+            "keys": len(rates),
+            "tier_counts": engine.tier_counts(),
+            "transitions_total": len(engine.transitions),
+            "max_flap_rate": max(rates.values(), default=0.0),
+        }
+
     return ChaosReport(
         seed=seed,
         plan=plan_dict,
@@ -178,4 +206,5 @@ def build_chaos_report(deployment, injector=None) -> ChaosReport:
         safety=safety,
         final_state=final_state,
         violations=violations,
+        steering=steering,
     )

@@ -34,11 +34,17 @@ def build_chaos_deployment(
     tick_seconds: float = CHAOS_TICK_SECONDS,
     health_checks: bool = False,
     slo_spec=None,
+    steering: bool = False,
 ) -> PopDeployment:
     """One small PoP with the full stack, ready for fault plans.
 
     Deterministic per *seed*: topology, demand and sampling all derive
     from it, so two builds with the same seed step identically.
+
+    ``steering=True`` arms the closed-loop performance-aware engine:
+    the controller runs with ``performance_aware`` on (v2 mode) and the
+    deployment drives an alternate-path measurement round every other
+    tick, which is what the steering-stability gauntlet exercises.
     """
     internet = InternetTopology(
         InternetConfig(
@@ -84,7 +90,13 @@ def build_chaos_deployment(
         fail_static_after_cycles=2,
         resubscribe_initial_seconds=tick_seconds,
         resubscribe_max_attempts=4,
+        performance_aware=steering,
     )
+    altpath_kwargs = {}
+    if steering:
+        altpath_kwargs = dict(
+            altpath_every_ticks=2, altpath_prefix_count=60
+        )
     return PopDeployment(
         wired,
         demand,
@@ -96,4 +108,5 @@ def build_chaos_deployment(
         safety_checks=safety_checks,
         health_checks=health_checks,
         slo_spec=slo_spec,
+        **altpath_kwargs,
     )

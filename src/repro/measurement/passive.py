@@ -87,6 +87,19 @@ class PassiveMonitor:
     def paths_for(self, prefix: Prefix) -> List[str]:
         return [name for p, name in self._rtts if p == prefix]
 
+    def stats_for_prefix(self, prefix: Prefix) -> Dict[str, PathStats]:
+        """Every measured path's stats for *prefix*, keyed by session.
+
+        The closed-loop steering engine's per-cycle read: one dict
+        lookup set instead of a stats() call per candidate route.
+        """
+        out: Dict[str, PathStats] = {}
+        for name in self.paths_for(prefix):
+            stats = self.stats(prefix, name)
+            if stats is not None:
+                out[name] = stats
+        return out
+
     def clear(self) -> None:
         self._rtts.clear()
         self._retx.clear()

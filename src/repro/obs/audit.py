@@ -77,9 +77,11 @@ class OverrideEvent:
 
     cycle_time: float
     #: "announce" (override installed), "keep" (still wanted, unchanged),
-    #: "withdraw" (override removed; default routing restored), or
+    #: "withdraw" (override removed; default routing restored),
     #: "violation" (a safety invariant broke while this prefix — or
-    #: ``*`` for PoP-wide breaches — was involved).
+    #: ``*`` for PoP-wide breaches — was involved), "alert" (a health
+    #: rule changed state), or "steering" (the closed-loop engine moved
+    #: this prefix's tier; the note names the vote that did it).
     action: str
     prefix: str
     rate_bps: float = 0.0
@@ -149,6 +151,16 @@ class PrefixExplanation:
             elif event.action == "alert":
                 lines.append(
                     f"  t={event.cycle_time:>9.1f}  ALERT     {event.note}"
+                )
+            elif event.action == "steering":
+                lines.append(
+                    f"  t={event.cycle_time:>9.1f}  steering  "
+                    + (
+                        f"via {event.preferred_session}: "
+                        if event.preferred_session
+                        else ""
+                    )
+                    + event.note
                 )
             else:
                 lines.append(
@@ -330,6 +342,34 @@ class DecisionAudit:
                 cycle_time=now,
                 action="alert",
                 prefix=prefix,
+                note=note,
+            )
+        )
+
+    def record_steering(
+        self,
+        now: float,
+        prefix: str,
+        from_tier: str,
+        to_tier: str,
+        votes,
+        path: str = "",
+    ) -> None:
+        """Append a closed-loop steering tier transition to the trail.
+
+        *votes* is the rendered verdict of every signal that voted this
+        cycle — the answer ``explain(prefix)`` gives to "why did the
+        tier change".  *path* names the preferred session being judged.
+        """
+        note = f"{from_tier} -> {to_tier}"
+        if votes:
+            note += f" [{'; '.join(votes)}]"
+        self._append(
+            OverrideEvent(
+                cycle_time=now,
+                action="steering",
+                prefix=prefix,
+                preferred_session=path,
                 note=note,
             )
         )

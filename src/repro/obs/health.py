@@ -69,6 +69,7 @@ HEALTH_SIGNALS: Tuple[str, ...] = (
     "projection_drift",  # incremental loads drifted past tolerance
     "load_conformance",  # projected vs observed utilization mismatch
     "override_flap",  # some prefix oscillated announce/withdraw
+    "steering_flap",  # a steering key burned its tier-transition budget
     "cycle_runtime",  # cycle compute time blew its budget
     "safety_violation",  # the safety checker found new violations
 )
@@ -259,6 +260,16 @@ class SloSpec:
                     description="a prefix's override is oscillating",
                 ),
                 SloRule(
+                    name="steering_flap",
+                    signal="steering_flap",
+                    objective=0.01,
+                    severity="ticket",
+                    description=(
+                        "a closed-loop steering key exceeded its "
+                        "tier-transition budget"
+                    ),
+                ),
+                SloRule(
                     name="cycle_runtime",
                     signal="cycle_runtime",
                     objective=0.05,
@@ -402,6 +413,9 @@ class HealthReport:
     signals: Dict[str, float] = field(default_factory=dict)
     ever_fired: List[str] = field(default_factory=list)
     overhead_seconds: float = 0.0
+    #: Closed-loop steering tier counts at report time ({} when the
+    #: deployment runs without the v2 engine).
+    steering: Dict[str, int] = field(default_factory=dict)
 
     @property
     def firing(self) -> List[Dict[str, Any]]:
@@ -421,6 +435,7 @@ class HealthReport:
             "signals": self.signals,
             "ever_fired": self.ever_fired,
             "overhead_seconds": self.overhead_seconds,
+            "steering": self.steering,
         }
 
     @classmethod
@@ -434,6 +449,12 @@ class HealthReport:
             signals=dict(data.get("signals", {})),
             ever_fired=list(data.get("ever_fired", [])),
             overhead_seconds=float(data.get("overhead_seconds", 0.0)),
+            steering={
+                str(tier): int(count)
+                for tier, count in dict(
+                    data.get("steering", {})
+                ).items()
+            },
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -456,6 +477,12 @@ class HealthReport:
             f"health [{self.name}] t={self.time:.0f}: {verdict} "
             f"({self.cycles} cycles observed)"
         ]
+        if self.steering:
+            tiers = "  ".join(
+                f"{tier}={self.steering.get(tier, 0)}"
+                for tier in ("GREEN", "YELLOW", "RED")
+            )
+            lines.append(f"  steering tiers: {tiers}")
         for alert in self.alerts:
             flag = {
                 ALERT_FIRING: "FIRING  ",
@@ -527,6 +554,8 @@ class HealthEngine:
             OrderedDict()
         )
         self._context: Dict[str, str] = {}
+        #: Last observed steering tier counts ({} without an engine).
+        self._last_steering: Dict[str, int] = {}
         self._m_cycles = None
         self._m_transitions = None
         self._m_firing = None
@@ -649,6 +678,18 @@ class HealthEngine:
             signals["override_flap"] = self._observe_flaps(
                 now, getattr(controller, "last_diff", None)
             )
+            steering = getattr(controller, "steering", None)
+            if steering is not None:
+                flapping = steering.flap_signal(now)
+                signals["steering_flap"] = flapping
+                self._last_steering = steering.tier_counts()
+                if flapping:
+                    budget = steering.config.steering_flap_budget
+                    window = steering.config.steering_flap_window_cycles
+                    context["steering_flap"] = (
+                        f"a steering key exceeded {budget} tier "
+                        f"transitions in {window} cycles"
+                    )
 
         if report is not None and not skipped:
             budget = (
@@ -896,4 +937,5 @@ class HealthEngine:
             signals=self.latest_signals(),
             ever_fired=self.ever_fired(),
             overhead_seconds=round(self.overhead_seconds, 6),
+            steering=dict(self._last_steering),
         )

@@ -1,0 +1,150 @@
+"""Property tests for the steering state machine's hysteresis bounds.
+
+The closed loop's stability contract is not about any particular
+measurement trace — it must hold for *every* vote sequence.  Hypothesis
+generates adversarial sequences and checks the two invariants the
+design document states:
+
+- **Monotone recovery:** once signals have gone good and stay good
+  (monotonically improving), a key never re-enters RED.
+- **Dwell bounds:** a key that entered RED cannot be GREEN again in
+  fewer than ``steering_recover_cycles`` cycles — there is no
+  GREEN -> RED -> GREEN path inside the recovery window.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ControllerConfig
+from repro.core.steering import (
+    TIER_GREEN,
+    TIER_RED,
+    PathHealth,
+    SignalVote,
+    SteeringEngine,
+)
+
+#: One cycle's signal verdicts: how many of the three signals voted bad.
+bad_counts = st.integers(min_value=0, max_value=3)
+
+hysteresis_configs = st.builds(
+    ControllerConfig,
+    steering_trip_cycles=st.integers(min_value=1, max_value=4),
+    steering_recover_cycles=st.integers(min_value=2, max_value=20),
+    steering_yellow_recover_cycles=st.integers(min_value=1, max_value=5),
+    steering_votes_to_trip=st.integers(min_value=1, max_value=3),
+    steering_warn_cycles=st.integers(min_value=1, max_value=3),
+)
+
+
+def make_votes(bad_count):
+    return tuple(
+        SignalVote(
+            signal=f"s{index}",
+            value=1.0,
+            threshold=0.5,
+            bad=index < bad_count,
+        )
+        for index in range(3)
+    )
+
+
+def drive(engine, state, sequence):
+    """Feed a bad-count sequence through the state machine; yield tiers."""
+    for cycle, bad_count in enumerate(sequence):
+        votes = make_votes(bad_count)
+        state.last_votes = votes
+        engine.cycles += 1
+        engine._advance(float(cycle) * 30.0, state, votes)
+        yield state.tier
+
+
+class TestMonotoneRecovery:
+    @given(
+        config=hysteresis_configs,
+        degraded=st.lists(bad_counts, min_size=0, max_size=30),
+        clean_cycles=st.integers(min_value=30, max_value=60),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_good_signals_never_reenter_red(
+        self, config, degraded, clean_cycles
+    ):
+        # Any degradation prefix, then monotonically improved (all-good)
+        # signals forever: the key may still be serving its dwell, but
+        # it must never *enter* RED on a good cycle — and once it leaves
+        # RED it stays out.
+        engine = SteeringEngine(config)
+        state = PathHealth(prefix="p", path="s")
+        for _ in drive(engine, state, degraded):
+            pass
+        start_tier = state.tier
+        tiers = list(drive(engine, state, [0] * clean_cycles))
+        for previous, current in zip([start_tier] + tiers, tiers):
+            assert not (current == TIER_RED and previous != TIER_RED)
+        # clean_cycles >= 30 always covers the longest recovery dwell.
+        assert tiers[-1] == TIER_GREEN
+
+    @given(
+        config=hysteresis_configs,
+        degraded=st.lists(
+            st.integers(min_value=1, max_value=3), min_size=1, max_size=10
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_recovery_is_monotone_in_good_cycles(self, config, degraded):
+        # Strictly improving signals produce a monotone tier sequence:
+        # RED -> (RED...) -> GREEN with no backtracking, and YELLOW
+        # never reappears after GREEN.
+        engine = SteeringEngine(config)
+        state = PathHealth(prefix="p", path="s")
+        for _ in drive(engine, state, degraded):
+            pass
+        order = {TIER_RED: 0, "YELLOW": 1, TIER_GREEN: 2}
+        ranks = [
+            order[tier] for tier in drive(engine, state, [0] * 40)
+        ]
+        assert ranks == sorted(ranks)
+
+
+class TestDwellBounds:
+    @given(
+        config=hysteresis_configs,
+        sequence=st.lists(bad_counts, min_size=1, max_size=120),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_no_green_inside_recovery_window(self, config, sequence):
+        # However adversarial the votes, a key that entered RED stays
+        # non-GREEN for at least steering_recover_cycles cycles.
+        engine = SteeringEngine(config)
+        state = PathHealth(prefix="p", path="s")
+        red_entered_at = None
+        for cycle, tier in enumerate(drive(engine, state, sequence)):
+            if tier == TIER_RED and red_entered_at is None:
+                red_entered_at = cycle
+            elif tier != TIER_RED and red_entered_at is not None:
+                dwell = cycle - red_entered_at
+                assert dwell >= config.steering_recover_cycles
+                red_entered_at = cycle if tier == TIER_RED else None
+
+    @given(
+        config=hysteresis_configs,
+        sequence=st.lists(bad_counts, min_size=1, max_size=120),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_trip_requires_consecutive_bad_cycles(self, config, sequence):
+        # RED is only ever entered after steering_trip_cycles
+        # *consecutive* bad cycles — a single bad cycle (or bad cycles
+        # separated by good ones) cannot trip.
+        engine = SteeringEngine(config)
+        state = PathHealth(prefix="p", path="s")
+        votes_to_trip = config.steering_votes_to_trip
+        bad_streak = 0
+        previous = state.tier
+        for bad_count, tier in zip(
+            sequence, drive(engine, state, sequence)
+        ):
+            is_bad = bad_count >= votes_to_trip
+            bad_streak = bad_streak + 1 if is_bad else 0
+            if tier == TIER_RED and previous != TIER_RED:
+                assert bad_streak >= config.steering_trip_cycles
+            previous = tier
