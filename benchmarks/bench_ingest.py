@@ -1,0 +1,238 @@
+"""Wire-ingest perf harness: decode hot path + socket end-to-end rate.
+
+Two stages, one gate file:
+
+1. **decode** — pre-encoded sFlow datagrams pushed through the
+   collector's lenient batched decode (the exact code the UDP frontend
+   runs), measured as seconds per million samples.  Gated with
+   ``--max-regression`` against ``BENCH_ingest_baseline.json``.
+2. **socket** — the soak harness at a fixed offered rate: real UDP
+   datagrams and real BMP-over-TCP into a live deployment whose
+   controller cycles throughout.  Gated with ``--min-rate`` (the
+   acceptance bar: one million samples per minute sustained through
+   the socket path) plus the soak harness's own gates (no shedding, no
+   decode errors, p99 tick latency, RSS slope).
+
+Run directly (not a pytest benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py \
+        --max-regression 0.3 --min-rate 1000000
+
+``--decode-only`` skips the socket stage (fast inner-loop runs);
+``--seconds`` stretches the socket stage (CI uses the short default,
+the 10-minute soak lives behind ``python -m repro soak``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from common import (
+    HERE,
+    check_minimum,
+    check_regression,
+    ensure_src_on_path,
+    write_results,
+    load_baseline,
+)
+
+ensure_src_on_path()
+
+from repro.io.soak import SoakConfig, run_soak  # noqa: E402
+from repro.netbase.addr import parse_address  # noqa: E402
+from repro.sflow.agent import (  # noqa: E402
+    InterfaceIndexMap,
+    ObservedFlow,
+    SflowAgent,
+)
+from repro.sflow.collector import SflowCollector  # noqa: E402
+
+RESULTS = HERE / "BENCH_ingest.json"
+BASELINE = HERE / "BENCH_ingest_baseline.json"
+
+DECODE_DATAGRAMS = 4096
+SAMPLES_PER_DATAGRAM = 64
+DECODE_PASSES = 4
+SEED = 7
+
+
+def _encode_corpus() -> list:
+    """A realistic decode corpus: full datagrams from the real agent."""
+    agent = SflowAgent(
+        router="r0",
+        agent_address=0x0A000001,
+        interfaces=InterfaceIndexMap(["et0", "et1", "et2", "et3"]),
+        sampling_rate=1,
+        seed=SEED,
+    )
+    family, base = parse_address("11.0.0.1")
+    interfaces = ["et0", "et1", "et2", "et3"]
+    datagrams = []
+    while len(datagrams) < DECODE_DATAGRAMS:
+        flows = [
+            ObservedFlow(
+                family=family,
+                src_address=0x01010101,
+                dst_address=base + (len(datagrams) * 64 + i) % 65536,
+                bytes_sent=1000.0,
+                packets=1.0,
+                egress_interface=interfaces[i % len(interfaces)],
+            )
+            for i in range(SAMPLES_PER_DATAGRAM)
+        ]
+        datagrams.extend(agent.observe(flows, now=1.0))
+    return datagrams[:DECODE_DATAGRAMS]
+
+
+def run_decode_stage() -> dict:
+    collector = SflowCollector(
+        lambda family, address: None, window_seconds=60.0
+    )
+    collector.register_router(
+        "r0",
+        0x0A000001,
+        InterfaceIndexMap(["et0", "et1", "et2", "et3"]),
+    )
+    corpus = _encode_corpus()
+    views = [memoryview(d) for d in corpus]
+    total_samples = 0
+    started = time.perf_counter()
+    for pass_index in range(DECODE_PASSES):
+        stats = collector.feed_many(
+            views, now=float(pass_index), lenient=True
+        )
+        total_samples += stats.samples
+    wall = time.perf_counter() - started
+    seconds_per_million = wall / (total_samples / 1e6)
+    return {
+        "datagrams": DECODE_DATAGRAMS * DECODE_PASSES,
+        "samples": total_samples,
+        "wall_seconds": round(wall, 4),
+        "decode_seconds_per_million": round(seconds_per_million, 4),
+        "samples_per_second": round(total_samples / wall),
+    }
+
+
+def run_socket_stage(seconds: float, rate: float) -> dict:
+    report = run_soak(
+        SoakConfig(
+            duration_seconds=seconds,
+            tick_seconds=2.0,
+            seed=SEED,
+            target_samples_per_minute=rate,
+            min_samples_per_minute=0.0,  # gated here, not in the soak
+        )
+    )
+    return {
+        "seconds": seconds,
+        "offered_samples_per_minute": rate,
+        "achieved_samples_per_minute": round(
+            report["achieved_samples_per_minute"]
+        ),
+        "p99_tick_seconds": round(report["p99_tick_seconds"], 4),
+        "cycles": report["cycles"],
+        "backpressure_total": report["ingest"]["backpressure_total"],
+        "decode_errors": report["ingest"]["decode_errors"],
+        "safety_violations": report["safety_violations"],
+        "rss_slope_bytes_per_minute": round(
+            report["rss_slope_bytes_per_minute"]
+        ),
+        "gates": {
+            name: gate["ok"]
+            for name, gate in report["gates"].items()
+            if name != "throughput"
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        help="fail if decode seconds/million regresses past "
+        "baseline * (1 + this)",
+    )
+    parser.add_argument(
+        "--min-rate",
+        type=float,
+        default=None,
+        help="fail if the socket stage sustains fewer "
+        "samples/minute than this",
+    )
+    parser.add_argument(
+        "--seconds",
+        type=float,
+        default=20.0,
+        help="socket stage duration (default 20s; the long soak is "
+        "`python -m repro soak`)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=1_500_000.0,
+        help="socket stage offered load, samples/minute",
+    )
+    parser.add_argument("--decode-only", action="store_true")
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS, metavar="PATH"
+    )
+    args = parser.parse_args()
+
+    workload = (
+        f"decode={DECODE_DATAGRAMS}x{SAMPLES_PER_DATAGRAM}x"
+        f"{DECODE_PASSES},seed={SEED}"
+    )
+    decode = run_decode_stage()
+    print(
+        f"decode: {decode['samples']:,} samples in "
+        f"{decode['wall_seconds']}s — "
+        f"{decode['decode_seconds_per_million']}s/M "
+        f"({decode['samples_per_second']:,}/s)"
+    )
+    results = {"workload": workload, "decode": decode}
+
+    failed = False
+    baseline = load_baseline(
+        BASELINE, workload, "decode_seconds_per_million"
+    )
+    failed |= check_regression(
+        decode["decode_seconds_per_million"],
+        baseline,
+        args.max_regression,
+        "decode seconds/million",
+        unit="s/M",
+        fmt=".3f",
+    )
+
+    if not args.decode_only:
+        sock = run_socket_stage(args.seconds, args.rate)
+        results["socket"] = sock
+        print(
+            f"socket: {sock['achieved_samples_per_minute']:,} "
+            f"samples/min sustained over {args.seconds:.0f}s "
+            f"({sock['cycles']} controller cycles, p99 tick "
+            f"{sock['p99_tick_seconds'] * 1000:.1f}ms)"
+        )
+        failed |= check_minimum(
+            sock["achieved_samples_per_minute"],
+            args.min_rate,
+            "socket samples/minute",
+            unit=" samples/min",
+            fmt=",.0f",
+        )
+        for name, ok in sock["gates"].items():
+            if not ok:
+                print(f"FAIL: soak gate {name}")
+                failed = True
+
+    write_results(args.output, results)
+    print(f"results written to {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from ..bgp.peering import PeerDescriptor
 from ..bgp.rib import LocRib
 from ..bgp.route import Route
 from ..netbase.addr import Family, Prefix
-from ..netbase.errors import MalformedMessage
+from ..netbase.errors import MalformedMessage, TruncatedMessage
 from ..obs.telemetry import Telemetry
 from .messages import (
     BmpMessage,
@@ -37,8 +37,13 @@ from .messages import (
     RouteMonitoringMessage,
     StatisticsReport,
     TerminationMessage,
-    decode_bmp_stream,
+    decode_bmp_at,
 )
+
+#: Bound on one router's partial-message buffer.  A healthy stream
+#: never holds more than one incomplete message (< MAX_BMP_MESSAGE_LENGTH
+#: plus one socket read); past this the stream is taken to be garbage.
+_MAX_STREAM_BUFFER = 4 << 20
 
 __all__ = ["PeerRegistry", "BmpCollector", "CollectorStats"]
 
@@ -128,13 +133,46 @@ class BmpCollector:
 
     # -- feed ingestion ------------------------------------------------------
 
-    def feed(self, router: str, data: bytes) -> None:
-        """Consume bytes from one router's BMP stream."""
+    def feed(self, router: str, data: bytes) -> bool:
+        """Consume bytes from one router's BMP stream.
+
+        Returns ``True`` while the stream frames cleanly.  On malformed
+        framing the collector counts the defect, discards the rest of
+        the router's buffer (framing is unrecoverable mid-stream) and
+        raises :attr:`needs_resync` so the degradation ladder drives a
+        full re-export — it never propagates, so one bad byte stream
+        cannot crash the control loop.  Callers that own the transport
+        (the TCP frontend) use the ``False`` return to drop the
+        connection.
+        """
         buffer = self._buffers.get(router, b"") + data
-        messages, remainder = decode_bmp_stream(buffer)
-        self._buffers[router] = remainder
-        for message in messages:
+        offset = 0
+        size = len(buffer)
+        ok = True
+        while offset < size:
+            try:
+                message, consumed = decode_bmp_at(buffer, offset)
+            except TruncatedMessage:
+                break
+            except MalformedMessage:
+                ok = False
+                break
+            # Messages decoded before a framing defect still apply —
+            # the stream was valid up to the defect.
+            offset += consumed
             self._handle(router, message)
+        if ok and size - offset > _MAX_STREAM_BUFFER:
+            # Never-completing "truncation" (e.g. a huge claimed length
+            # fed one byte at a time) must not buffer unboundedly.
+            ok = False
+        if not ok:
+            self.stats.decode_errors += 1
+            self._m_decode_errors.inc()
+            self._buffers.pop(router, None)
+            self.needs_resync = True
+            return False
+        self._buffers[router] = buffer[offset:]
+        return True
 
     def _handle(self, router: str, message: BmpMessage) -> None:
         self.stats.messages += 1

@@ -36,13 +36,21 @@ __all__ = [
     "BmpMessage",
     "encode_bmp",
     "decode_bmp",
+    "decode_bmp_at",
     "decode_bmp_stream",
     "BMP_VERSION",
+    "MAX_BMP_MESSAGE_LENGTH",
 ]
 
 BMP_VERSION = 3
 _COMMON_HEADER_LEN = 6
 _PEER_HEADER_LEN = 42
+
+#: Upper bound on one message's claimed length.  Nothing this codec
+#: produces comes near it; without a cap, garbage in the length field
+#: would make a stream consumer buffer gigabytes waiting for a "body"
+#: that never arrives.  Oversized claims are malformed, not truncated.
+MAX_BMP_MESSAGE_LENGTH = 1 << 20
 
 
 class BmpMessageType(IntEnum):
@@ -254,17 +262,42 @@ def encode_bmp(message: BmpMessage) -> bytes:
 
 def decode_bmp(data: bytes) -> Tuple[BmpMessage, int]:
     """Decode one BMP message; returns (message, bytes consumed)."""
-    if len(data) < _COMMON_HEADER_LEN:
+    return decode_bmp_at(data, 0)
+
+
+def decode_bmp_at(data: bytes, offset: int) -> Tuple[BmpMessage, int]:
+    """Decode one BMP message starting at *offset* in *data*.
+
+    Equivalent to ``decode_bmp(data[offset:])`` without the leading
+    copy — stream consumers walk a buffer by offset so a multi-megabyte
+    full-RIB dump costs one pass, not one slice per message.
+    """
+    available = len(data) - offset
+    if available < _COMMON_HEADER_LEN:
         raise TruncatedMessage("BMP common header truncated")
-    version, length, msg_type = struct.unpack_from("!BIB", data, 0)
+    version, length, msg_type = struct.unpack_from("!BIB", data, offset)
     if version != BMP_VERSION:
         raise MalformedMessage(f"unsupported BMP version {version}")
     if length < _COMMON_HEADER_LEN:
         raise MalformedMessage(f"bad BMP length {length}")
-    if len(data) < length:
+    if length > MAX_BMP_MESSAGE_LENGTH:
+        raise MalformedMessage(f"implausible BMP length {length}")
+    if available < length:
         raise TruncatedMessage("BMP body truncated")
-    body = data[_COMMON_HEADER_LEN:length]
-    message = _decode_body(msg_type, body)
+    body = bytes(data[offset + _COMMON_HEADER_LEN : offset + length])
+    try:
+        message = _decode_body(msg_type, body)
+    except MalformedMessage:
+        raise
+    except TruncatedMessage as exc:
+        # The common header promised a complete message, so a body that
+        # ends early is a framing defect, not missing bytes: reporting
+        # it as truncation would park stream consumers waiting forever.
+        raise MalformedMessage(f"BMP body inconsistent: {exc}") from exc
+    except (struct.error, IndexError, OverflowError, ValueError) as exc:
+        raise MalformedMessage(
+            f"BMP type-{msg_type} body invalid: {exc}"
+        ) from exc
     return message, length
 
 

@@ -442,6 +442,163 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 1 if firing else 0
 
 
+def _cmd_capture(args: argparse.Namespace) -> int:
+    from .io import record_capture
+
+    meta = record_capture(
+        args.path,
+        ticks=args.ticks,
+        seed=args.seed,
+        tick_seconds=args.tick_seconds,
+    )
+    log_event(_log, "cli.capture", path=args.path, **meta)
+    print(
+        f"captured {meta['ticks']} ticks to {args.path}: "
+        f"{meta['frames']} frames, {meta['datagrams']} sFlow "
+        f"datagrams, {meta['bmp_bytes']} BMP bytes"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .io import (
+        build_twin_from_meta,
+        decision_fingerprint,
+        read_capture_meta,
+        replay_capture,
+    )
+
+    meta = read_capture_meta(args.path)
+    twin = build_twin_from_meta(meta)
+    report = replay_capture(args.path, twin)
+    log_event(
+        _log,
+        "cli.replay",
+        path=args.path,
+        ticks=report.ticks,
+        cycles=report.cycles,
+    )
+    print(
+        f"replayed {report.ticks} ticks over loopback sockets: "
+        f"{report.datagrams_sent} datagrams, "
+        f"{report.bmp_bytes_sent} BMP bytes, "
+        f"{report.cycles} controller cycles"
+    )
+    print(f"ingest: {report.ingest}")
+    if not args.verify:
+        return 0
+    # Verification: re-run the captured deployment in-process and
+    # require decision-identical cycle reports.
+    from .faults.scenario import build_chaos_deployment
+
+    reference = build_chaos_deployment(
+        seed=int(meta["seed"]),
+        tick_seconds=float(meta["tick_seconds"]),
+        steering=bool(meta.get("steering", False)),
+        health_checks=bool(meta.get("health_checks", False)),
+    )
+    now = 0.0
+    for _ in range(int(meta["ticks"])):
+        now += float(meta["tick_seconds"])
+        reference.step(now)
+    expected = [
+        decision_fingerprint(r) for r in reference.record.cycle_reports
+    ]
+    actual = [
+        decision_fingerprint(r) for r in twin.record.cycle_reports
+    ]
+    if expected == actual:
+        print(
+            f"verify: PASS — {len(actual)} cycles decision-identical "
+            "to the in-process run"
+        )
+        return 0
+    print("verify: FAIL — wire-fed decisions diverged:")
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        if want != got:
+            diffs = {
+                key: (want[key], got[key])
+                for key in want
+                if want[key] != got[key]
+            }
+            print(f"  cycle {index}: {diffs}")
+    if len(expected) != len(actual):
+        print(
+            f"  cycle count differs: {len(expected)} in-process "
+            f"vs {len(actual)} replayed"
+        )
+    return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .faults.scenario import build_chaos_deployment
+    from .io import serve
+
+    deployment = build_chaos_deployment(
+        seed=args.seed,
+        tick_seconds=args.tick_seconds,
+        safety_checks=True,
+        health_checks=True,
+        external_ingest=True,
+    )
+
+    def on_ready(sflow_addr, bmp_addr):
+        print(
+            f"listening: sFlow udp://{sflow_addr[0]}:{sflow_addr[1]} "
+            f"BMP tcp://{bmp_addr[0]}:{bmp_addr[1]}",
+            flush=True,
+        )
+
+    duration = args.minutes * 60.0 if args.minutes else None
+    result = serve(
+        deployment, duration_seconds=duration, on_ready=on_ready
+    )
+    print(
+        f"served {result['ticks']} ticks, {result['cycles']} cycles"
+    )
+    print(f"ingest: {result['ingest']}")
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .io.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        duration_seconds=args.minutes * 60.0,
+        tick_seconds=args.tick_seconds,
+        seed=args.seed,
+        target_samples_per_minute=args.rate,
+        min_samples_per_minute=args.min_rate,
+    )
+    report = run_soak(config)
+    if args.report:
+        with open(args.report, "w") as out:
+            _json.dump(report, out, indent=1, sort_keys=True)
+            out.write("\n")
+    print(
+        f"soak: {report['wall_seconds']:.0f}s, "
+        f"{report['ticks']} ticks, {report['cycles']} cycles, "
+        f"{report['achieved_samples_per_minute']:,.0f} samples/min "
+        f"achieved (offered {args.rate:,.0f})"
+    )
+    print(
+        f"  p99 tick {report['p99_tick_seconds'] * 1000:.1f}ms, "
+        f"peak queue {report['peak_queue_depth']}, "
+        f"RSS slope {report['rss_slope_bytes_per_minute'] / 1e6:+.1f} "
+        "MB/min"
+    )
+    for name, gate in report["gates"].items():
+        flag = "ok" if gate["ok"] else "FAIL"
+        print(
+            f"  gate {name}: {flag} "
+            f"(value {gate['value']:.6g}, limit {gate['limit']:.6g})"
+        )
+    print("PASS" if report["ok"] else "FAIL")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -634,6 +791,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="append frames instead of redrawing (pipe-friendly)",
     )
     top.set_defaults(func=_cmd_top)
+
+    capture = sub.add_parser(
+        "capture",
+        help="record a deployment run as a wire capture "
+        "(sFlow datagrams + BMP bytes + utilization frames)",
+    )
+    capture.add_argument("path", help="capture file to write")
+    capture.add_argument("--ticks", type=int, default=20)
+    capture.add_argument("--seed", type=int, default=7)
+    capture.add_argument(
+        "--tick-seconds", type=float, default=2.0, dest="tick_seconds"
+    )
+    capture.set_defaults(func=_cmd_capture)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a wire capture through real loopback sockets "
+        "into a twin deployment",
+    )
+    replay.add_argument("path", help="capture file to replay")
+    replay.add_argument(
+        "--verify",
+        action="store_true",
+        help="also re-run the capture in-process and require "
+        "decision-identical controller cycles (exit 1 on divergence)",
+    )
+    replay.set_defaults(func=_cmd_replay)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a live wire-fed deployment: open sFlow/BMP sockets "
+        "and cycle the controller on wall-clock ticks",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--minutes",
+        type=float,
+        default=0.0,
+        help="stop after this long (default: run until interrupted)",
+    )
+    serve.add_argument(
+        "--tick-seconds", type=float, default=2.0, dest="tick_seconds"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    soak = sub.add_parser(
+        "soak",
+        help="blast wire-rate sFlow at a live deployment and gate "
+        "throughput/latency/memory (exit 1 on any gate failure)",
+    )
+    soak.add_argument("--minutes", type=float, default=10.0)
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument(
+        "--tick-seconds", type=float, default=2.0, dest="tick_seconds"
+    )
+    soak.add_argument(
+        "--rate",
+        type=float,
+        default=1_500_000.0,
+        help="offered load in samples/minute",
+    )
+    soak.add_argument(
+        "--min-rate",
+        type=float,
+        default=1_000_000.0,
+        dest="min_rate",
+        help="gate: achieved samples/minute must reach this",
+    )
+    soak.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the full JSON report to PATH",
+    )
+    soak.set_defaults(func=_cmd_soak)
     return parser
 
 

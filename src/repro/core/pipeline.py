@@ -213,6 +213,8 @@ class PopDeployment:
         safety_checks: bool = False,
         health_checks: bool = False,
         slo_spec=None,
+        wire_tap=None,
+        external_ingest: bool = False,
     ) -> None:
         self.wired = wired
         self.demand = demand
@@ -222,6 +224,17 @@ class PopDeployment:
         #: Optional :class:`repro.faults.FaultInjector`.  ``None`` (the
         #: default) keeps every fault hook off the hot path.
         self.faults = faults
+        #: Optional :class:`repro.io.capture.WireTap`: sees every byte
+        #: the collectors consume (including the construction-time
+        #: full-RIB export below) plus per-tick time/utilization frames,
+        #: which is exactly what loopback replay needs to reproduce this
+        #: deployment's decisions from sockets.
+        self.wire_tap = wire_tap
+        #: When True the deployment runs *without* in-process exporters
+        #: or simulator feeding: all collector input arrives from the
+        #: outside (the socket frontends), and :meth:`control_step`
+        #: replaces :meth:`step`.
+        self.external_ingest = external_ingest
 
         # One telemetry handle shared by every layer of the stack, so
         # the registry/tracer/audit views cover the whole tick path.
@@ -242,11 +255,20 @@ class PopDeployment:
             clock=lambda: self.current_time,
             telemetry=self.telemetry,
         )
-        sink = self.bmp.feed if faults is None else self._bmp_feed_faulted
-        self.exporters = [
-            BmpExporter(speaker, sink)
-            for speaker in wired.speakers.values()
-        ]
+        self._bmp_deliver = (
+            self.bmp.feed if wire_tap is None else self._bmp_feed_tapped
+        )
+        sink = (
+            self._bmp_deliver if faults is None else self._bmp_feed_faulted
+        )
+        self.exporters = (
+            []
+            if external_ingest
+            else [
+                BmpExporter(speaker, sink)
+                for speaker in wired.speakers.values()
+            ]
+        )
         for exporter in self.exporters:
             exporter.export_full_rib()
 
@@ -388,6 +410,16 @@ class PopDeployment:
         if self.faults.drops_bmp(router):
             self.faults.note_bmp_dropped(router, len(data))
             return
+        self._bmp_deliver(router, data)
+
+    def _bmp_feed_tapped(self, router: str, data: bytes) -> None:
+        """BMP sink that records the delivered bytes on the wire tap.
+
+        Sits *after* the fault filter so the capture holds exactly what
+        the collector consumed — replaying it reproduces the same RIB
+        without re-running the fault plan.
+        """
+        self.wire_tap.on_bmp(router, data)
         self.bmp.feed(router, data)
 
     def _resolve_prefix(
@@ -485,48 +517,27 @@ class PopDeployment:
         step_started = _time.perf_counter()
         self.current_time = now
         faults = self.faults
+        tap = self.wire_tap
+        if tap is not None:
+            tap.on_tick(now)
         if faults is not None:
             faults.on_tick(self, now)
         self._tick_index += 1
         result = self.simulator.tick(now)
-        for datagrams in result.datagrams.values():
-            self.sflow.feed_many(datagrams, now)
+        if tap is None:
+            for datagrams in result.datagrams.values():
+                self.sflow.feed_many(datagrams, now)
+        else:
+            # Record exactly the per-router batches the collector eats
+            # (post fault filtering), one capture frame per feed_many
+            # call, so replay reproduces the same float-summation order.
+            for router, datagrams in result.datagrams.items():
+                tap.on_sflow(router, datagrams)
+                self.sflow.feed_many(datagrams, now)
         for exporter in self.exporters:
             exporter.heartbeat()
-        self.resubscriber.poll(now)
 
-        if (
-            self.altpath_every_ticks
-            and self._tick_index % self.altpath_every_ticks == 0
-        ):
-            targets = self.demand.top_prefixes(self.altpath_prefix_count)
-            self.altpath.measure_round(
-                targets, utilization_of=self._current_utilization
-            )
-
-        if (
-            run_controller
-            and (faults is None or not faults.controller_down)
-            and self._cycle_due(now)
-        ):
-            report = self.controller.run_cycle(
-                now, utilization_of=self._current_utilization
-            )
-            self.record.cycle_reports.append(report)
-            self._last_cycle_at = now
-            if perf is not None:
-                perf.record_cycle(report.runtime_seconds)
-            if self.safety is not None:
-                self.safety.check(now, report)
-            if self.health is not None:
-                self.health.on_cycle(
-                    now,
-                    report,
-                    controller=self.controller,
-                    bmp=self.bmp,
-                    safety=self.safety,
-                    utilization_of=self._current_utilization,
-                )
+        self._control_phase(now, run_controller=run_controller)
 
         detoured = self._currently_detoured_rate(result)
         self.record.ticks.append(
@@ -544,6 +555,109 @@ class PopDeployment:
         if perf is not None:
             perf.record_tick(wall)
         return result
+
+    def _control_phase(
+        self,
+        now: float,
+        run_controller: bool = True,
+        utilization_of=None,
+        ingest=None,
+    ) -> Optional[CycleReport]:
+        """The control half of a tick: resubscriber poll, due alt-path
+        round, and (when a cycle is due) the controller cycle with
+        safety/health observation.  Shared verbatim by the in-process
+        :meth:`step` and the wire-fed :meth:`control_step`, which is
+        what makes loopback replay decision-identical to simulation.
+        """
+        faults = self.faults
+        util = (
+            utilization_of
+            if utilization_of is not None
+            else self._current_utilization
+        )
+        self.resubscriber.poll(now)
+        tap = self.wire_tap
+        if tap is not None:
+            # End-of-input marker for this tick: everything the control
+            # phase may consume (including any resync re-export the
+            # poll above just drove) is already on the tap.
+            tap.on_util(now, self._utilization_snapshot())
+
+        if (
+            self.altpath_every_ticks
+            and self._tick_index % self.altpath_every_ticks == 0
+        ):
+            targets = self.demand.top_prefixes(self.altpath_prefix_count)
+            self.altpath.measure_round(targets, utilization_of=util)
+
+        report = None
+        if (
+            run_controller
+            and (faults is None or not faults.controller_down)
+            and self._cycle_due(now)
+        ):
+            report = self.controller.run_cycle(now, utilization_of=util)
+            self.record.cycle_reports.append(report)
+            self._last_cycle_at = now
+            if self.perf is not None:
+                self.perf.record_cycle(report.runtime_seconds)
+            if self.safety is not None:
+                self.safety.check(now, report)
+            if self.health is not None:
+                self.health.on_cycle(
+                    now,
+                    report,
+                    controller=self.controller,
+                    bmp=self.bmp,
+                    safety=self.safety,
+                    utilization_of=util,
+                    ingest=ingest,
+                )
+        return report
+
+    def control_step(
+        self,
+        now: float,
+        utilization_of=None,
+        ingest=None,
+    ) -> Optional[CycleReport]:
+        """Advance one control tick at externally-fed time *now*.
+
+        The wire-ingest engine calls this once per tick after draining
+        its socket queues into the collectors: it is :meth:`step` minus
+        the simulator — no synthetic traffic, no in-process exporter
+        heartbeats.  *utilization_of* supplies egress-interface
+        utilization (replay passes the captured snapshot; free-run
+        serving usually has no dataplane and passes nothing, reading
+        zero); *ingest* is the engine's stats view for the
+        ``ingest_backpressure`` health signal.  Returns the cycle's
+        report when a cycle ran.
+        """
+        step_started = _time.perf_counter()
+        self.current_time = now
+        self._tick_index += 1
+        report = self._control_phase(
+            now,
+            run_controller=True,
+            utilization_of=utilization_of,
+            ingest=ingest,
+        )
+        wall = _time.perf_counter() - step_started
+        self._m_ticks.inc()
+        self._m_tick_wall.observe(wall)
+        if self.perf is not None:
+            self.perf.record_tick(wall)
+        return report
+
+    def _utilization_snapshot(self) -> Dict:
+        """Current utilization of every egress interface, for capture."""
+        snapshot: Dict = {}
+        utilization_at = self.simulator.metrics.utilization_at
+        for router_name, router in self.wired.pop.routers.items():
+            for interface_name in router.interfaces:
+                key = (router_name, interface_name)
+                snapshot[key] = utilization_at(key, self.current_time)
+        return snapshot
 
     def _cycle_due(self, now: float) -> bool:
         if self._last_cycle_at is None:

@@ -35,8 +35,13 @@ def build_chaos_deployment(
     health_checks: bool = False,
     slo_spec=None,
     steering: bool = False,
+    **deployment_kwargs,
 ) -> PopDeployment:
     """One small PoP with the full stack, ready for fault plans.
+
+    Extra keyword arguments pass through to :class:`PopDeployment`
+    (e.g. ``wire_tap=...`` to record a capture, or
+    ``external_ingest=True`` for a socket-fed replay twin).
 
     Deterministic per *seed*: topology, demand and sampling all derive
     from it, so two builds with the same seed step identically.
@@ -109,4 +114,5 @@ def build_chaos_deployment(
         health_checks=health_checks,
         slo_spec=slo_spec,
         **altpath_kwargs,
+        **deployment_kwargs,
     )

@@ -1,0 +1,64 @@
+"""Wire-speed async ingest: socket-native frontends for the collectors.
+
+Everything the deployment's collectors normally receive in-process —
+sFlow datagrams, BMP stream bytes — can instead arrive on real sockets:
+
+- :mod:`repro.io.queues` — preallocated receive buffers and bounded
+  queues with explicit shed accounting;
+- :mod:`repro.io.frontends` — the asyncio UDP sFlow and TCP BMP
+  frontends (batched drain, zero-copy decode, backpressure);
+- :mod:`repro.io.capture` — record/replay wire captures;
+- :mod:`repro.io.engine` — the ingest engine, lockstep replay driver
+  (byte-identical controller decisions) and free-run server;
+- :mod:`repro.io.soak` — the gated soak harness CI runs.
+"""
+
+from .capture import (
+    BmpFrame,
+    CaptureWriter,
+    SflowFrame,
+    TickFrame,
+    UtilFrame,
+    read_capture,
+    read_capture_meta,
+)
+from .engine import (
+    IngestStats,
+    ReplayError,
+    ReplayReport,
+    WireIngest,
+    build_twin_from_meta,
+    decision_fingerprint,
+    record_capture,
+    replay_capture,
+    serve,
+)
+from .frontends import BmpFrontend, SflowFrontend
+from .queues import BufferPool, ChunkQueue, DatagramQueue
+from .soak import SoakConfig, run_soak
+
+__all__ = [
+    "BufferPool",
+    "DatagramQueue",
+    "ChunkQueue",
+    "SflowFrontend",
+    "BmpFrontend",
+    "CaptureWriter",
+    "TickFrame",
+    "SflowFrame",
+    "BmpFrame",
+    "UtilFrame",
+    "read_capture",
+    "read_capture_meta",
+    "WireIngest",
+    "IngestStats",
+    "ReplayError",
+    "ReplayReport",
+    "record_capture",
+    "build_twin_from_meta",
+    "replay_capture",
+    "serve",
+    "decision_fingerprint",
+    "SoakConfig",
+    "run_soak",
+]

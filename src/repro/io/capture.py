@@ -1,0 +1,238 @@
+"""Wire capture files: record a deployment's ingest, replay it later.
+
+A capture is the byte-exact record of everything a deployment's
+collectors consumed, in consumption order, framed per tick:
+
+- ``TICK`` — simulation time advanced to *t*; subsequent frames belong
+  to this tick.
+- ``SFLOW`` — one router's datagram batch, exactly one frame per
+  ``feed_many`` call (replay preserves the float-summation order the
+  original run used).
+- ``BMP`` — one chunk of BMP stream bytes delivered to one router's
+  collector session (post fault-filter: what the collector *ate*, not
+  what the exporter tried to send).
+- ``UTIL`` — end-of-tick marker carrying the per-interface utilization
+  snapshot the control phase read.  Replay drives ``control_step`` off
+  this frame, so a capture replayed over loopback sockets produces
+  byte-identical controller decisions.
+
+The format is a magic string, a JSON metadata header (builder, seed,
+tick period — enough to rebuild the twin deployment), then
+length-prefixed binary frames.  Everything is big-endian.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import BinaryIO, Dict, Iterator, List, Tuple, Union
+
+__all__ = [
+    "CAPTURE_MAGIC",
+    "TickFrame",
+    "SflowFrame",
+    "BmpFrame",
+    "UtilFrame",
+    "CaptureWriter",
+    "read_capture",
+    "read_capture_meta",
+]
+
+CAPTURE_MAGIC = b"REPROCAP1"
+
+_U32 = struct.Struct("!I")
+_U16 = struct.Struct("!H")
+_F64 = struct.Struct("!d")
+
+_TICK = b"T"
+_SFLOW = b"S"
+_BMP = b"B"
+_UTIL = b"U"
+
+
+@dataclass(frozen=True)
+class TickFrame:
+    time: float
+
+
+@dataclass(frozen=True)
+class SflowFrame:
+    router: str
+    datagrams: Tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class BmpFrame:
+    router: str
+    data: bytes
+
+
+@dataclass(frozen=True)
+class UtilFrame:
+    time: float
+    utilization: Dict[Tuple[str, str], float] = field(hash=False)
+
+
+Frame = Union[TickFrame, SflowFrame, BmpFrame, UtilFrame]
+
+
+def _write_str(out: BinaryIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    out.write(_U16.pack(len(raw)))
+    out.write(raw)
+
+
+def _write_bytes(out: BinaryIO, data: bytes) -> None:
+    out.write(_U32.pack(len(data)))
+    out.write(data)
+
+
+class CaptureWriter:
+    """Record one deployment run; plugs in as ``wire_tap=``.
+
+    Implements the four tap hooks the pipeline calls (``on_tick``,
+    ``on_sflow``, ``on_bmp``, ``on_util``) and streams frames straight
+    to *path* — a capture of millions of samples never lives in memory.
+    """
+
+    def __init__(self, path: str, meta: Dict) -> None:
+        self.path = path
+        self.meta = dict(meta)
+        self._out: BinaryIO = open(path, "wb")
+        self._out.write(CAPTURE_MAGIC)
+        header = json.dumps(self.meta, sort_keys=True).encode("utf-8")
+        self._out.write(_U32.pack(len(header)))
+        self._out.write(header)
+        self.frames = 0
+        self.datagrams = 0
+        self.bmp_bytes = 0
+
+    # -- tap hooks ----------------------------------------------------------
+
+    def on_tick(self, now: float) -> None:
+        out = self._out
+        out.write(_TICK)
+        out.write(_F64.pack(now))
+        self.frames += 1
+
+    def on_sflow(self, router: str, datagrams: List[bytes]) -> None:
+        out = self._out
+        out.write(_SFLOW)
+        _write_str(out, router)
+        out.write(_U32.pack(len(datagrams)))
+        for datagram in datagrams:
+            _write_bytes(out, bytes(datagram))
+        self.frames += 1
+        self.datagrams += len(datagrams)
+
+    def on_bmp(self, router: str, data: bytes) -> None:
+        out = self._out
+        out.write(_BMP)
+        _write_str(out, router)
+        _write_bytes(out, bytes(data))
+        self.frames += 1
+        self.bmp_bytes += len(data)
+
+    def on_util(
+        self, now: float, utilization: Dict[Tuple[str, str], float]
+    ) -> None:
+        out = self._out
+        out.write(_UTIL)
+        out.write(_F64.pack(now))
+        out.write(_U32.pack(len(utilization)))
+        for (router, interface), value in sorted(utilization.items()):
+            _write_str(out, router)
+            _write_str(out, interface)
+            out.write(_F64.pack(value))
+        self.frames += 1
+
+    def close(self) -> None:
+        if self._out is not None:
+            self._out.close()
+            self._out = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "CaptureWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise ValueError("capture file truncated")
+    return data
+
+
+def _read_str(stream: BinaryIO) -> str:
+    (length,) = _U16.unpack(_read_exact(stream, 2))
+    return _read_exact(stream, length).decode("utf-8")
+
+
+def _read_meta(stream: BinaryIO) -> Dict:
+    magic = stream.read(len(CAPTURE_MAGIC))
+    if magic != CAPTURE_MAGIC:
+        raise ValueError("not a repro capture file (bad magic)")
+    (header_len,) = _U32.unpack(_read_exact(stream, 4))
+    return json.loads(_read_exact(stream, header_len).decode("utf-8"))
+
+
+def read_capture_meta(path: str) -> Dict:
+    """Just the JSON metadata header, without walking the frames."""
+    with open(path, "rb") as stream:
+        return _read_meta(stream)
+
+
+def read_capture(path: str) -> Tuple[Dict, Iterator[Frame]]:
+    """Open a capture: returns (meta, frame iterator).
+
+    The iterator owns the file handle and closes it on exhaustion.
+    """
+    stream = open(path, "rb")
+    try:
+        meta = _read_meta(stream)
+    except Exception:
+        stream.close()
+        raise
+    return meta, _iter_frames(stream)
+
+
+def _iter_frames(stream: BinaryIO) -> Iterator[Frame]:
+    try:
+        while True:
+            kind = stream.read(1)
+            if not kind:
+                return
+            if kind == _TICK:
+                (now,) = _F64.unpack(_read_exact(stream, 8))
+                yield TickFrame(now)
+            elif kind == _SFLOW:
+                router = _read_str(stream)
+                (count,) = _U32.unpack(_read_exact(stream, 4))
+                datagrams = []
+                for _ in range(count):
+                    (length,) = _U32.unpack(_read_exact(stream, 4))
+                    datagrams.append(_read_exact(stream, length))
+                yield SflowFrame(router, tuple(datagrams))
+            elif kind == _BMP:
+                router = _read_str(stream)
+                (length,) = _U32.unpack(_read_exact(stream, 4))
+                yield BmpFrame(router, _read_exact(stream, length))
+            elif kind == _UTIL:
+                (now,) = _F64.unpack(_read_exact(stream, 8))
+                (count,) = _U32.unpack(_read_exact(stream, 4))
+                utilization: Dict[Tuple[str, str], float] = {}
+                for _ in range(count):
+                    router = _read_str(stream)
+                    interface = _read_str(stream)
+                    (value,) = _F64.unpack(_read_exact(stream, 8))
+                    utilization[(router, interface)] = value
+                yield UtilFrame(now, utilization)
+            else:
+                raise ValueError(
+                    f"unknown capture frame type {kind!r}"
+                )
+    finally:
+        stream.close()

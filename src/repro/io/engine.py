@@ -1,0 +1,487 @@
+"""The wire-ingest engine: sockets in, controller decisions out.
+
+:class:`WireIngest` bolts the socket frontends onto a deployment whose
+collectors would otherwise be fed in-process: UDP datagrams and BMP
+stream bytes arrive on real loopback sockets, drain in batches into the
+existing collectors, and :meth:`WireIngest.control_step` runs the same
+control phase the simulator path runs — resubscriber poll, alt-path
+round, controller cycle, safety and health checks — with the ingest
+backpressure counters wired into the health engine.
+
+Two drivers sit on top:
+
+- :func:`replay_capture` — the *lockstep* driver.  It reads a capture
+  (see :mod:`repro.io.capture`), pushes each frame's bytes through the
+  sockets, waits for delivery (received-count barriers), and drains in
+  capture order.  Because frame structure preserves the original
+  feed_many batching and the drain re-sorts datagrams by wire sequence
+  number, a fault-free capture replayed over loopback produces
+  **byte-identical controller decisions** to the in-process run.
+- :func:`serve` — the *free-run* driver.  Wall-clock paced: whatever
+  shows up on the sockets gets drained each tick, the controller
+  cycles on time regardless, and starvation degrades through the
+  ladder (stale inputs → skipped cycles → fail-static) instead of
+  blocking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..faults.scenario import build_chaos_deployment
+from .capture import (
+    BmpFrame,
+    CaptureWriter,
+    SflowFrame,
+    TickFrame,
+    UtilFrame,
+    read_capture,
+)
+from .frontends import BmpFrontend, SflowFrontend
+
+__all__ = [
+    "IngestStats",
+    "WireIngest",
+    "ReplayError",
+    "ReplayReport",
+    "record_capture",
+    "build_twin_from_meta",
+    "replay_capture",
+    "serve",
+    "decision_fingerprint",
+]
+
+
+class IngestStats:
+    """Aggregated counters over both frontends.
+
+    ``backpressure_total`` is the one number the health engine reads
+    (anything shed or deferred: queue-full drops, staleness expiry,
+    TCP pauses); the rest are for reports and gates.
+    """
+
+    def __init__(
+        self, sflow: SflowFrontend, bmp: BmpFrontend
+    ) -> None:
+        self._sflow = sflow
+        self._bmp = bmp
+
+    @property
+    def datagrams_received(self) -> int:
+        return self._sflow.received
+
+    @property
+    def datagrams_fed(self) -> int:
+        return self._sflow.fed
+
+    @property
+    def samples_fed(self) -> int:
+        return self._sflow.samples
+
+    @property
+    def queue_dropped(self) -> int:
+        return self._sflow.queue.dropped
+
+    @property
+    def stale_expired(self) -> int:
+        return self._sflow.queue.expired
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._sflow.queue)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return self._sflow.queue.peak_depth
+
+    @property
+    def tcp_pauses(self) -> int:
+        return self._bmp.queue.pauses
+
+    @property
+    def decode_errors(self) -> int:
+        return self._sflow.decode_errors + self._bmp.decode_errors
+
+    @property
+    def unknown_agents(self) -> int:
+        return self._sflow.unknown_agents
+
+    @property
+    def backpressure_total(self) -> int:
+        return self.queue_dropped + self.stale_expired + self.tcp_pauses
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "datagrams_received": self.datagrams_received,
+            "datagrams_fed": self.datagrams_fed,
+            "samples_fed": self.samples_fed,
+            "queue_dropped": self.queue_dropped,
+            "stale_expired": self.stale_expired,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "tcp_pauses": self.tcp_pauses,
+            "decode_errors": self.decode_errors,
+            "unknown_agents": self.unknown_agents,
+            "backpressure_total": self.backpressure_total,
+        }
+
+
+class WireIngest:
+    """Socket frontends bound to one deployment's collectors."""
+
+    def __init__(
+        self,
+        deployment,
+        queue_capacity: int = 8192,
+        max_datagram_age: Optional[float] = None,
+        batch_max: int = 512,
+        max_pending_bytes: int = 4 << 20,
+    ) -> None:
+        self.deployment = deployment
+        # Receive times are stamped in *deployment* time, so staleness
+        # expiry and the collectors' age() agree on one clock whether
+        # the driver is lockstep replay (simulated time) or free-run
+        # serving (wall-clock time mapped onto it).
+        clock = lambda: deployment.current_time  # noqa: E731
+        self.sflow = SflowFrontend(
+            deployment.sflow,
+            clock=clock,
+            telemetry=deployment.telemetry,
+            queue_capacity=queue_capacity,
+            max_datagram_age=max_datagram_age,
+            batch_max=batch_max,
+        )
+        self.bmp = BmpFrontend(
+            deployment.bmp,
+            telemetry=deployment.telemetry,
+            max_pending_bytes=max_pending_bytes,
+        )
+        self.stats = IngestStats(self.sflow, self.bmp)
+        self.wake = asyncio.Event()
+        self._started = False
+
+    async def start(
+        self, host: str = "127.0.0.1"
+    ) -> Tuple[Tuple[str, int], Tuple[str, int]]:
+        """Open both sockets; returns (sflow address, bmp address)."""
+        loop = asyncio.get_running_loop()
+        sflow_addr = self.sflow.open(host, 0)
+        self.sflow.attach(loop, self.wake)
+        bmp_addr = await self.bmp.start(loop, self.wake, host, 0)
+        self._started = True
+        return sflow_addr, bmp_addr
+
+    def close(self) -> None:
+        if self._started:
+            self.sflow.close()
+            self.bmp.close()
+            self._started = False
+
+    # -- draining and control ----------------------------------------------
+
+    def process_pending(self, now: float, ordered: bool = False) -> None:
+        """Drain both queues into the collectors (BMP first, so route
+        state is as complete as the wire allows before traffic)."""
+        self.bmp.process()
+        self.sflow.process(now, ordered=ordered)
+
+    def control_step(self, now: float, utilization_of=None):
+        """One control tick with ingest stats wired into health."""
+        return self.deployment.control_step(
+            now, utilization_of=utilization_of, ingest=self.stats
+        )
+
+    async def wait_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        what: str = "delivery",
+    ) -> None:
+        """Block until *predicate* (a delivery barrier) holds."""
+        deadline = _time.monotonic() + timeout
+        while not predicate():
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise ReplayError(
+                    f"timed out after {timeout:.1f}s waiting for {what}"
+                )
+            self.wake.clear()
+            try:
+                await asyncio.wait_for(
+                    self.wake.wait(), min(remaining, 0.25)
+                )
+            except asyncio.TimeoutError:
+                continue
+
+
+class ReplayError(RuntimeError):
+    """Replay could not faithfully deliver the capture."""
+
+
+@dataclass
+class ReplayReport:
+    """What a lockstep replay pushed through the sockets."""
+
+    ticks: int = 0
+    cycles: int = 0
+    datagrams_sent: int = 0
+    bmp_bytes_sent: int = 0
+    ingest: Dict[str, int] = field(default_factory=dict)
+    meta: Dict = field(default_factory=dict)
+
+
+# -- capture / twin construction -------------------------------------------
+
+
+def record_capture(
+    path: str,
+    ticks: int,
+    seed: int = 0,
+    tick_seconds: float = 2.0,
+    steering: bool = False,
+    health_checks: bool = True,
+) -> Dict:
+    """Run the chaos-mini deployment *ticks* steps, recording a capture.
+
+    Returns the capture metadata.  Fault-free by construction — replay
+    equivalence is only defined for fault-free runs (fault plans mutate
+    the deployment in ways no wire capture can reproduce).
+    """
+    meta = {
+        "builder": "chaos-mini",
+        "seed": seed,
+        "tick_seconds": tick_seconds,
+        "ticks": ticks,
+        "steering": steering,
+        "health_checks": health_checks,
+    }
+    writer = CaptureWriter(path, meta)
+    try:
+        deployment = build_chaos_deployment(
+            seed=seed,
+            tick_seconds=tick_seconds,
+            steering=steering,
+            health_checks=health_checks,
+            wire_tap=writer,
+        )
+        now = 0.0
+        for _ in range(ticks):
+            now += tick_seconds
+            deployment.step(now)
+    finally:
+        writer.close()
+    meta["frames"] = writer.frames
+    meta["datagrams"] = writer.datagrams
+    meta["bmp_bytes"] = writer.bmp_bytes
+    return meta
+
+
+def build_twin_from_meta(meta: Dict):
+    """Rebuild the captured deployment as a socket-fed replay twin.
+
+    Same builder, same seed — identical topology, policies and
+    controller — but ``external_ingest=True``: no in-process exporters,
+    no simulator feeds; the collectors start empty and see only what
+    arrives on the wire.
+    """
+    builder = meta.get("builder")
+    if builder != "chaos-mini":
+        raise ReplayError(f"unknown capture builder {builder!r}")
+    return build_chaos_deployment(
+        seed=int(meta["seed"]),
+        tick_seconds=float(meta["tick_seconds"]),
+        steering=bool(meta.get("steering", False)),
+        health_checks=bool(meta.get("health_checks", False)),
+        external_ingest=True,
+    )
+
+
+# -- lockstep replay --------------------------------------------------------
+
+
+async def replay_capture_async(
+    path: str,
+    deployment,
+    barrier_timeout: float = 30.0,
+) -> ReplayReport:
+    """Replay a capture into *deployment* over loopback sockets.
+
+    Lockstep: each frame's bytes are sent, *delivered* (received-count
+    barriers — UDP loss on loopback would otherwise silently fork the
+    decision history), and drained in capture order before the next
+    frame moves.  Drains re-sort each datagram batch by wire sequence
+    number, so kernel-level UDP reordering cannot perturb the original
+    float-summation order either.
+    """
+    meta, frames = read_capture(path)
+    ingest = WireIngest(deployment, max_datagram_age=None)
+    (sflow_host, sflow_port), (bmp_host, bmp_port) = await ingest.start()
+
+    udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    udp.connect((sflow_host, sflow_port))
+    writers: Dict[str, asyncio.StreamWriter] = {}
+    bmp_sent: Dict[str, int] = {}
+    report = ReplayReport(meta=dict(meta))
+    sflow_sent = 0
+
+    try:
+        for frame in frames:
+            if isinstance(frame, TickFrame):
+                deployment.current_time = frame.time
+                report.ticks += 1
+            elif isinstance(frame, SflowFrame):
+                for datagram in frame.datagrams:
+                    udp.send(datagram)
+                sflow_sent += len(frame.datagrams)
+                report.datagrams_sent += len(frame.datagrams)
+                target = sflow_sent
+                await ingest.wait_until(
+                    lambda: ingest.sflow.received >= target,
+                    barrier_timeout,
+                    "sFlow datagram delivery",
+                )
+                # One drain per captured frame reproduces the original
+                # one-feed_many-per-batch aggregation order exactly.
+                ingest.sflow.process(
+                    deployment.current_time, ordered=True
+                )
+            elif isinstance(frame, BmpFrame):
+                writer = writers.get(frame.router)
+                if writer is None:
+                    _reader, writer = await asyncio.open_connection(
+                        bmp_host, bmp_port
+                    )
+                    writers[frame.router] = writer
+                writer.write(frame.data)
+                await writer.drain()
+                sent = bmp_sent.get(frame.router, 0) + len(frame.data)
+                bmp_sent[frame.router] = sent
+                report.bmp_bytes_sent += len(frame.data)
+                router = frame.router
+                await ingest.wait_until(
+                    lambda: ingest.bmp.bytes_received.get(router, 0)
+                    >= sent,
+                    barrier_timeout,
+                    f"BMP delivery to {router}",
+                )
+                ingest.bmp.process()
+            elif isinstance(frame, UtilFrame):
+                utilization = frame.utilization
+                cycle = ingest.control_step(
+                    frame.time,
+                    utilization_of=lambda key: utilization.get(key, 0.0),
+                )
+                if cycle is not None:
+                    report.cycles += 1
+    finally:
+        udp.close()
+        for writer in writers.values():
+            writer.close()
+        ingest.close()
+    report.ingest = ingest.stats.snapshot()
+    return report
+
+
+def replay_capture(
+    path: str, deployment, barrier_timeout: float = 30.0
+) -> ReplayReport:
+    """Synchronous wrapper around :func:`replay_capture_async`."""
+    return asyncio.run(
+        replay_capture_async(
+            path, deployment, barrier_timeout=barrier_timeout
+        )
+    )
+
+
+def decision_fingerprint(report) -> Dict:
+    """A cycle report reduced to its decision-relevant fields.
+
+    Everything except wall-clock runtime: two runs that made the same
+    decisions produce identical fingerprints regardless of how fast the
+    hardware was.
+    """
+    return {
+        "time": report.time,
+        "skipped": report.skipped,
+        "skip_reason": report.skip_reason,
+        "total_traffic": report.total_traffic.bits_per_second,
+        "prefixes_seen": report.prefixes_seen,
+        "overloaded_interfaces": tuple(report.overloaded_interfaces),
+        "detour_count": report.detour_count,
+        "detoured_rate": report.detoured_rate.bits_per_second,
+        "announced": report.announced,
+        "withdrawn": report.withdrawn,
+        "kept": report.kept,
+        "unresolved": tuple(report.unresolved),
+        "perf_moves": report.perf_moves,
+        "decision_path": report.decision_path,
+        "installed_overrides": report.installed_overrides,
+    }
+
+
+# -- free-run serving -------------------------------------------------------
+
+
+async def serve_async(
+    deployment,
+    duration_seconds: Optional[float] = None,
+    host: str = "127.0.0.1",
+    on_ready: Optional[Callable[[Tuple[str, int], Tuple[str, int]], None]] = None,
+    max_datagram_age: Optional[float] = None,
+    queue_capacity: int = 8192,
+) -> Dict:
+    """Free-run the deployment against live sockets, wall-clock paced.
+
+    Every ``tick_seconds`` of wall time: drain whatever arrived, run
+    one control tick at the corresponding simulated time.  The control
+    loop never waits on input — missing feeds mean stale collectors,
+    and the degradation ladder (skip → fail-static → resubscribe
+    backoff) does its job while the loop keeps cycling.
+    """
+    tick = deployment.tick_seconds
+    if max_datagram_age is None:
+        max_datagram_age = deployment.config.max_input_age_seconds
+    ingest = WireIngest(
+        deployment,
+        max_datagram_age=max_datagram_age,
+        queue_capacity=queue_capacity,
+    )
+    addresses = await ingest.start(host)
+    if on_ready is not None:
+        on_ready(*addresses)
+    started = _time.monotonic()
+    ticks = 0
+    cycles = 0
+    try:
+        while True:
+            elapsed = _time.monotonic() - started
+            if duration_seconds is not None and elapsed >= duration_seconds:
+                break
+            next_tick = (ticks + 1) * tick
+            delay = next_tick - elapsed
+            if delay > 0:
+                await asyncio.sleep(delay)
+            now = (ticks + 1) * tick
+            deployment.current_time = now
+            ingest.process_pending(now)
+            if ingest.control_step(now) is not None:
+                cycles += 1
+            ticks += 1
+    finally:
+        ingest.close()
+    return {
+        "ticks": ticks,
+        "cycles": cycles,
+        "ingest": ingest.stats.snapshot(),
+    }
+
+
+def serve(deployment, duration_seconds: Optional[float] = None, **kwargs) -> Dict:
+    """Synchronous wrapper around :func:`serve_async`."""
+    return asyncio.run(
+        serve_async(deployment, duration_seconds=duration_seconds, **kwargs)
+    )

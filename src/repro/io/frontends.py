@@ -1,0 +1,412 @@
+"""Socket-native ingest frontends: UDP sFlow and TCP BMP.
+
+These speak the repo's actual wire bytes (:mod:`repro.sflow.datagram`,
+:mod:`repro.bmp.messages`) from real sockets:
+
+- :class:`SflowFrontend` — a non-blocking UDP socket on the event loop
+  (``add_reader``).  Each readiness callback drains *many* datagrams in
+  one wakeup with ``recv_into`` on preallocated pool buffers; decode
+  happens later, in batches, straight off ``memoryview`` slices via the
+  collector's lenient :meth:`~repro.sflow.collector.SflowCollector.feed_many`
+  — no per-datagram allocation, no per-sample objects, end to end.
+- :class:`BmpFrontend` — an asyncio TCP listener.  A connection's first
+  complete message must be an INITIATION naming the router (exactly how
+  the in-process exporter opens its stream); after identification the
+  raw chunks flow through a bounded :class:`~repro.io.queues.ChunkQueue`
+  into :meth:`BmpCollector.feed`, which does its own stream framing.
+  Malformed streams are counted, the connection is dropped, and the
+  collector raises ``needs_resync`` — the degradation ladder's job, not
+  an exception's.
+
+Neither frontend ever blocks the control loop: overload sheds the
+oldest UDP datagrams, pauses TCP reading, and shows up in metrics and
+the ``ingest_backpressure`` health signal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..bmp.collector import BmpCollector
+from ..netbase.errors import DecodeError, TruncatedMessage
+from ..bmp.messages import InitiationMessage, decode_bmp_at
+from ..obs.telemetry import Telemetry
+from ..sflow.collector import FeedStats, SflowCollector
+from ..sflow.datagram import datagram_meta
+from .queues import BufferPool, ChunkQueue, DatagramQueue, DEFAULT_BUFFER_SIZE
+
+__all__ = ["SflowFrontend", "BmpFrontend"]
+
+#: Receive-buffer request for the UDP socket: bursts at millions of
+#: samples/minute must ride out a whole drain-loop scheduling gap in
+#: the kernel queue, not in retransmits UDP doesn't have.
+_UDP_RCVBUF = 4 << 20
+
+#: A TCP connection must identify itself within this many bytes.
+_IDENT_LIMIT = 64 << 10
+
+
+class SflowFrontend:
+    """Batched zero-copy UDP collector front for :class:`SflowCollector`."""
+
+    def __init__(
+        self,
+        collector: SflowCollector,
+        clock: Callable[[], float],
+        telemetry: Optional[Telemetry] = None,
+        queue_capacity: int = 8192,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+        max_datagram_age: Optional[float] = None,
+        batch_max: int = 512,
+    ) -> None:
+        self.collector = collector
+        self.clock = clock
+        self.batch_max = batch_max
+        # One buffer per queue slot plus one drain batch in flight is
+        # enough to guarantee pool exhaustion only ever means "queue
+        # full", which the shed-oldest path below handles explicitly.
+        self.pool = BufferPool(
+            queue_capacity + batch_max, buffer_size=buffer_size
+        )
+        self.queue = DatagramQueue(
+            self.pool, queue_capacity, max_age_seconds=max_datagram_age
+        )
+        self.telemetry = telemetry or Telemetry(name="ingest")
+        registry = self.telemetry.registry
+        labels = {"transport": "sflow"}
+        self._m_datagrams = registry.counter(
+            "ingest_datagrams_total",
+            "Datagrams received on the wire",
+            ("transport",),
+        ).labels(**labels)
+        self._m_dropped = registry.counter(
+            "ingest_queue_dropped_total",
+            "Datagrams shed because the ingest queue was full",
+            ("transport",),
+        ).labels(**labels)
+        self._m_expired = registry.counter(
+            "ingest_stale_dropped_total",
+            "Datagrams expired unprocessed past the staleness bound",
+            ("transport",),
+        ).labels(**labels)
+        self._m_decode_errors = registry.counter(
+            "ingest_decode_errors_total",
+            "Undecodable wire input counted and dropped",
+            ("transport",),
+        ).labels(**labels)
+        self._m_unknown = registry.counter(
+            "ingest_unknown_agents_total",
+            "Datagrams from unregistered agents dropped",
+            ("transport",),
+        ).labels(**labels)
+        self._m_depth = registry.gauge(
+            "ingest_queue_depth",
+            "Datagrams waiting in the ingest queue",
+            ("transport",),
+        ).labels(**labels)
+        self._sock: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._synced_dropped = 0
+        self._synced_expired = 0
+        #: Datagrams accepted off the socket (pre-decode), for the
+        #: lockstep replay driver's delivery barriers.
+        self.received = 0
+        #: Datagrams decoded and fed to the collector.
+        self.fed = 0
+        #: Flow samples decoded and fed to the collector.
+        self.samples = 0
+        self.decode_errors = 0
+        self.unknown_agents = 0
+
+    # -- socket lifecycle ---------------------------------------------------
+
+    def open(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind the UDP socket; returns the bound (host, port)."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, _UDP_RCVBUF
+            )
+        except OSError:
+            pass  # a small kernel cap degrades throughput, not correctness
+        sock.bind((host, port))
+        sock.setblocking(False)
+        self._sock = sock
+        return sock.getsockname()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._sock is None:
+            raise RuntimeError("frontend is not open")
+        return self._sock.getsockname()
+
+    def attach(
+        self, loop: asyncio.AbstractEventLoop, wake: asyncio.Event
+    ) -> None:
+        """Register the readiness callback on *loop*; *wake* is set
+        whenever new datagrams are queued (the drain task's signal)."""
+        if self._sock is None:
+            raise RuntimeError("open() the socket before attach()")
+        self._loop = loop
+        self._wake = wake
+        loop.add_reader(self._sock.fileno(), self._on_readable)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            if self._loop is not None:
+                self._loop.remove_reader(self._sock.fileno())
+            self._sock.close()
+            self._sock = None
+
+    # -- hot path -----------------------------------------------------------
+
+    def _on_readable(self) -> None:
+        """Drain the kernel queue: many datagrams per event-loop wakeup."""
+        sock = self._sock
+        pool = self.pool
+        queue = self.queue
+        now = self.clock()
+        recv_into = sock.recv_into
+        accepted = 0
+        for _ in range(self.batch_max):
+            index = pool.acquire()
+            if index is None:
+                # Queue full is the only way the pool runs dry (see
+                # sizing in __init__): shed the oldest queued datagram
+                # — freshest data wins — and reuse its buffer.
+                queue.shed_oldest()
+                index = pool.acquire()
+                if index is None:  # pragma: no cover - sizing invariant
+                    break
+            try:
+                length = recv_into(pool.buffers[index])
+            except (BlockingIOError, InterruptedError):
+                pool.release(index)
+                break
+            queue.push(index, length, now)
+            accepted += 1
+        if accepted:
+            self.received += accepted
+            self._m_datagrams.inc(accepted)
+            if self._wake is not None:
+                self._wake.set()
+
+    def process(self, now: float, ordered: bool = False) -> FeedStats:
+        """Decode and feed everything queued, in one batched pass.
+
+        ``ordered=True`` (the lockstep replay driver's mode) re-sorts
+        the batch by (agent address, datagram sequence) so rare UDP
+        reordering cannot perturb the float-summation order the capture
+        recorded.  Free-run serving feeds in arrival order.
+        """
+        queue = self.queue
+        entries = queue.drain(now)
+        if not entries and not queue.dropped and not queue.expired:
+            self._m_depth.set(float(len(queue)))
+            return FeedStats(0, 0, 0, 0)
+        pool = self.pool
+        views = [pool.view(index, length) for index, length in entries]
+        if ordered and len(views) > 1:
+            views.sort(key=_meta_or_first)
+        stats = self.collector.feed_many(views, now, lenient=True)
+        queue.release_all(entries)
+        self.fed += stats.datagrams
+        self.samples += stats.samples
+        self.decode_errors += stats.decode_errors
+        self.unknown_agents += stats.unknown_agents
+        if stats.decode_errors:
+            self._m_decode_errors.inc(stats.decode_errors)
+        if stats.unknown_agents:
+            self._m_unknown.inc(stats.unknown_agents)
+        if queue.dropped != self._synced_dropped:
+            self._m_dropped.inc(queue.dropped - self._synced_dropped)
+            self._synced_dropped = queue.dropped
+        if queue.expired != self._synced_expired:
+            self._m_expired.inc(queue.expired - self._synced_expired)
+            self._synced_expired = queue.expired
+        self._m_depth.set(float(len(queue)))
+        return stats
+
+
+def _meta_or_first(view: memoryview) -> Tuple[int, int]:
+    try:
+        return datagram_meta(view)
+    except DecodeError:
+        # Undecodable datagrams sort first; feed_many counts and drops
+        # them, so their position cannot affect the aggregation.
+        return (-1, -1)
+
+
+class _BmpConnection(asyncio.Protocol):
+    """One router's inbound BMP session."""
+
+    def __init__(self, frontend: "BmpFrontend") -> None:
+        self.frontend = frontend
+        self.transport: Optional[asyncio.Transport] = None
+        self.router: Optional[str] = None
+        self.pending = b""
+        self.paused = False
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        self.frontend._connections.add(self)
+
+    def data_received(self, data: bytes) -> None:
+        self.frontend._on_data(self, data)
+
+    def connection_lost(self, exc) -> None:
+        self.frontend._connections.discard(self)
+        if self.router is not None:
+            conns = self.frontend._by_router.get(self.router)
+            if conns is not None:
+                conns.discard(self)
+
+
+class BmpFrontend:
+    """TCP BMP listener feeding one :class:`BmpCollector`."""
+
+    def __init__(
+        self,
+        collector: BmpCollector,
+        telemetry: Optional[Telemetry] = None,
+        max_pending_bytes: int = 4 << 20,
+        ident_limit: int = _IDENT_LIMIT,
+    ) -> None:
+        self.collector = collector
+        self.queue = ChunkQueue(max_pending_bytes)
+        self.ident_limit = ident_limit
+        self.telemetry = telemetry or Telemetry(name="ingest")
+        registry = self.telemetry.registry
+        labels = {"transport": "bmp"}
+        self._m_bytes = registry.counter(
+            "ingest_bytes_total",
+            "Bytes received on the wire",
+            ("transport",),
+        ).labels(**labels)
+        self._m_decode_errors = registry.counter(
+            "ingest_decode_errors_total",
+            "Undecodable wire input counted and dropped",
+            ("transport",),
+        ).labels(**labels)
+        self._m_pauses = registry.counter(
+            "ingest_tcp_pauses_total",
+            "Times a BMP connection was paused for backpressure",
+            ("transport",),
+        ).labels(**labels)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._connections: Set[_BmpConnection] = set()
+        self._by_router: Dict[str, Set[_BmpConnection]] = {}
+        self._paused: List[_BmpConnection] = []
+        #: Per-router byte counts, for lockstep delivery barriers.
+        self.bytes_received: Dict[str, int] = {}
+        self.bytes_fed: Dict[str, int] = {}
+        self.decode_errors = 0
+        self.connections_dropped = 0
+
+    async def start(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        wake: asyncio.Event,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> Tuple[str, int]:
+        self._wake = wake
+        self._server = await loop.create_server(
+            lambda: _BmpConnection(self), host, port
+        )
+        return self._server.sockets[0].getsockname()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("frontend is not started")
+        return self._server.sockets[0].getsockname()
+
+    def close(self) -> None:
+        for conn in list(self._connections):
+            if conn.transport is not None:
+                conn.transport.close()
+        self._connections.clear()
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    # -- inbound ------------------------------------------------------------
+
+    def _drop_connection(self, conn: _BmpConnection, why: str) -> None:
+        self.decode_errors += 1
+        self.connections_dropped += 1
+        self._m_decode_errors.inc()
+        if conn.transport is not None:
+            conn.transport.close()
+
+    def _on_data(self, conn: _BmpConnection, data: bytes) -> None:
+        self._m_bytes.inc(len(data))
+        if conn.router is None:
+            # Unidentified stream: hold bytes until the first complete
+            # message proves this is a BMP feed and names the router.
+            conn.pending += data
+            try:
+                message, _consumed = decode_bmp_at(conn.pending, 0)
+            except TruncatedMessage:
+                if len(conn.pending) > self.ident_limit:
+                    self._drop_connection(conn, "no initiation")
+                return
+            except DecodeError:
+                self._drop_connection(conn, "malformed pre-identification")
+                return
+            if not isinstance(message, InitiationMessage) or (
+                not message.sys_name
+            ):
+                self._drop_connection(conn, "first message not INITIATION")
+                return
+            conn.router = message.sys_name
+            self._by_router.setdefault(conn.router, set()).add(conn)
+            data, conn.pending = conn.pending, b""
+        router = conn.router
+        self.bytes_received[router] = (
+            self.bytes_received.get(router, 0) + len(data)
+        )
+        if not self.queue.push(router, data) and not conn.paused:
+            conn.paused = True
+            self._paused.append(conn)
+            self._m_pauses.inc()
+            if conn.transport is not None:
+                conn.transport.pause_reading()
+        if self._wake is not None:
+            self._wake.set()
+
+    # -- drain --------------------------------------------------------------
+
+    def process(self) -> int:
+        """Feed every queued chunk to the collector, in arrival order.
+
+        Returns the number of chunks fed.  A chunk the collector flags
+        as malformed framing closes that router's connections (the
+        stream cannot be re-synchronized mid-flight; the resubscriber
+        ladder will drive a fresh export when a new session connects).
+        """
+        chunks = self.queue.drain()
+        for router, data in chunks:
+            ok = self.collector.feed(router, data)
+            self.bytes_fed[router] = (
+                self.bytes_fed.get(router, 0) + len(data)
+            )
+            if not ok:
+                self.decode_errors += 1
+                self._m_decode_errors.inc()
+                for conn in list(self._by_router.get(router, ())):
+                    self.connections_dropped += 1
+                    if conn.transport is not None:
+                        conn.transport.close()
+        if self._paused:
+            for conn in self._paused:
+                conn.paused = False
+                if conn.transport is not None:
+                    conn.transport.resume_reading()
+            self._paused.clear()
+        return len(chunks)

@@ -1,0 +1,196 @@
+"""Bounded ingest queues and the preallocated receive-buffer pool.
+
+The wire frontends never allocate per datagram on the hot path: UDP
+reads land in a fixed pool of reusable buffers (``recv_into``), the
+queue holds (buffer index, length, receive time) triples, and the drain
+loop hands ``memoryview`` slices straight to the precompiled-struct
+decoder.  Buffers return to the pool only after the batch has been
+decoded and aggregated, so the datagram bytes are never copied between
+the kernel and the estimators.
+
+Both queues are *bounded* and account for every byte they refuse:
+
+- :class:`DatagramQueue` (UDP) sheds load by dropping the **oldest**
+  entry — freshest-data-wins, matching what the estimator wants — and
+  expires entries older than ``max_age_seconds`` at drain time.  Both
+  paths count (``dropped`` / ``expired``); nothing vanishes silently.
+- :class:`ChunkQueue` (TCP) cannot drop mid-stream without destroying
+  framing, so it bounds *bytes buffered* and tells the caller to pause
+  the transport instead (BMP's natural backpressure), counting pauses.
+
+The counts feed the ``ingest_backpressure`` health signal and the
+degradation ladder: a starved collector goes stale, the controller
+skips cycles and eventually fails static — the overload response is
+*shed and degrade*, never *block the control loop*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+__all__ = ["BufferPool", "DatagramQueue", "ChunkQueue"]
+
+#: Largest datagram the repo's sFlow agents emit: a 36-byte header plus
+#: 64 samples of 68 bytes (4388); rounded up for slack.
+DEFAULT_BUFFER_SIZE = 4608
+
+
+class BufferPool:
+    """A fixed set of reusable receive buffers, tracked by index."""
+
+    def __init__(
+        self,
+        count: int,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+    ) -> None:
+        if count < 1:
+            raise ValueError("pool needs at least one buffer")
+        self.buffer_size = buffer_size
+        self.buffers: List[bytearray] = [
+            bytearray(buffer_size) for _ in range(count)
+        ]
+        self._free: List[int] = list(range(count))
+
+    def acquire(self) -> Optional[int]:
+        """Take a free buffer's index; ``None`` when exhausted."""
+        if not self._free:
+            return None
+        return self._free.pop()
+
+    def release(self, index: int) -> None:
+        self._free.append(index)
+
+    def view(self, index: int, length: int) -> memoryview:
+        """A zero-copy view of the filled portion of one buffer."""
+        return memoryview(self.buffers[index])[:length]
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def __len__(self) -> int:
+        return len(self.buffers)
+
+
+class DatagramQueue:
+    """Bounded FIFO of received datagrams (buffer references, not bytes).
+
+    ``push`` on a full queue drops the *oldest* entry (releasing its
+    buffer) so the freshest measurements survive overload.  ``drain``
+    returns up to ``max_items`` entries, expiring any older than
+    ``max_age_seconds`` first; the caller owns the returned buffer
+    indices and must :meth:`release` them after decoding.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        capacity: int,
+        max_age_seconds: Optional[float] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.pool = pool
+        self.capacity = capacity
+        self.max_age_seconds = max_age_seconds
+        self._entries: Deque[Tuple[int, int, float]] = deque()
+        #: Entries shed because the queue was full (drop-oldest).
+        self.dropped = 0
+        #: Entries shed at drain time because they aged out.
+        self.expired = 0
+        #: High-water mark of queue depth.
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, buffer_index: int, length: int, now: float) -> None:
+        entries = self._entries
+        if len(entries) >= self.capacity:
+            old_index, _old_len, _old_time = entries.popleft()
+            self.pool.release(old_index)
+            self.dropped += 1
+        entries.append((buffer_index, length, now))
+        depth = len(entries)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+
+    def shed_oldest(self) -> bool:
+        """Drop the oldest entry to free its buffer (overload path)."""
+        if not self._entries:
+            return False
+        index, _length, _received_at = self._entries.popleft()
+        self.pool.release(index)
+        self.dropped += 1
+        return True
+
+    def drain(
+        self, now: float, max_items: Optional[int] = None
+    ) -> List[Tuple[int, int]]:
+        """Pop entries in arrival order as (buffer index, length).
+
+        Entries older than ``max_age_seconds`` are expired (buffer
+        released, counted) rather than returned: feeding stale samples
+        would smear old traffic into the current estimator window,
+        which is worse than the honest answer "we fell behind".
+        """
+        entries = self._entries
+        out: List[Tuple[int, int]] = []
+        max_age = self.max_age_seconds
+        limit = len(entries) if max_items is None else max_items
+        while entries and len(out) < limit:
+            index, length, received_at = entries.popleft()
+            if max_age is not None and now - received_at > max_age:
+                self.pool.release(index)
+                self.expired += 1
+                continue
+            out.append((index, length))
+        return out
+
+    def release_all(self, entries: List[Tuple[int, int]]) -> None:
+        """Return a drained batch's buffers to the pool."""
+        release = self.pool.release
+        for index, _length in entries:
+            release(index)
+
+
+class ChunkQueue:
+    """Bounded in-order byte-chunk queue for TCP streams.
+
+    TCP framing means chunks cannot be shed individually, so the bound
+    is advisory-with-backpressure: ``push`` always enqueues but returns
+    ``False`` once ``pending_bytes`` exceeds ``max_bytes`` — the signal
+    for the transport to ``pause_reading()`` until a drain empties the
+    queue.  ``pauses`` counts how often that happened.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_bytes = max_bytes
+        self._chunks: Deque[Tuple[str, bytes]] = deque()
+        self.pending_bytes = 0
+        self.pauses = 0
+        self.peak_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def push(self, router: str, data: bytes) -> bool:
+        """Enqueue one chunk; ``False`` means "pause the transport"."""
+        self._chunks.append((router, data))
+        self.pending_bytes += len(data)
+        if self.pending_bytes > self.peak_bytes:
+            self.peak_bytes = self.pending_bytes
+        if self.pending_bytes > self.max_bytes:
+            self.pauses += 1
+            return False
+        return True
+
+    def drain(self) -> List[Tuple[str, bytes]]:
+        """Pop every pending chunk in arrival order."""
+        out = list(self._chunks)
+        self._chunks.clear()
+        self.pending_bytes = 0
+        return out

@@ -1,0 +1,392 @@
+"""Soak harness: blast wire-rate sFlow at a live deployment and gate it.
+
+Runs the chaos-mini deployment in wire-ingest mode (``external_ingest``,
+safety and health checks on), then:
+
+- a **blaster** task sends pre-encoded sFlow datagrams over a real UDP
+  socket at a token-bucket target rate (millions of samples/minute);
+- a **BMP feeder** keeps per-router TCP sessions alive with the real
+  exporter (initiation, full-RIB export, per-tick statistics
+  heartbeats), so the controller has fresh routes to steer;
+- the **control loop** wall-clock-ticks the deployment: drain queues,
+  run the cycle — exactly the serve path;
+- a **sampler** records RSS and queue depth once a second.
+
+At the end the run is *gated*: achieved throughput, p99 control-tick
+latency, queue-depth bound, zero sheds, zero decode errors, zero safety
+violations, and an RSS slope (least squares over the post-warmup
+samples) small enough to rule out a per-datagram leak.  The result is a
+JSON-friendly report; ``ok`` is the single pass/fail bit CI consumes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time as _time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bmp.exporter import BmpExporter
+from ..faults.scenario import build_chaos_deployment
+from ..obs.metrics import process_rss_bytes
+from ..sflow.datagram import pack_datagram, pack_flow_sample
+from .engine import WireIngest
+
+__all__ = ["SoakConfig", "run_soak", "build_datagram_pool"]
+
+_SAMPLES_PER_DATAGRAM = 64
+
+
+@dataclass
+class SoakConfig:
+    """Knobs and gates for one soak run."""
+
+    duration_seconds: float = 90.0
+    tick_seconds: float = 2.0
+    seed: int = 0
+    #: Offered load (the blaster's token bucket).
+    target_samples_per_minute: float = 1_500_000.0
+    #: Gate: achieved decode-and-feed throughput must reach this.
+    min_samples_per_minute: float = 1_000_000.0
+    #: Gate: p99 wall time of one control tick (drain + cycle).
+    max_p99_tick_seconds: float = 1.0
+    #: Gate: ingest queue high-water mark as a fraction of capacity.
+    max_queue_depth_fraction: float = 0.9
+    #: Gate: post-warmup RSS growth rate.
+    max_rss_slope_bytes_per_minute: float = 32.0 * 1024 * 1024
+    #: Fraction of the run discarded before fitting the RSS slope
+    #: (allocator warmup, estimator windows filling, pool touch-in).
+    warmup_fraction: float = 0.25
+    queue_capacity: int = 16384
+    #: Distinct destination prefixes the blaster spreads load over.
+    prefix_spread: int = 200
+    #: Pre-encoded datagrams in the blaster's rotation.
+    pool_datagrams: int = 256
+
+
+def build_datagram_pool(deployment, config: SoakConfig) -> List[bytes]:
+    """Pre-encode the blaster's datagram rotation.
+
+    Real wire bytes for the deployment's own agents: destinations fall
+    inside the demand model's top prefixes (so samples resolve against
+    the BMP RIB and the controller does real work), egress interfaces
+    rotate over each router's actual ports.  Encoding happens once,
+    before the clock starts — the blaster's hot loop is sendto only.
+    """
+    prefixes = deployment.demand.top_prefixes(config.prefix_spread)
+    if not prefixes:
+        raise ValueError("deployment demand has no prefixes to sample")
+    agents = list(deployment.simulator.agents.items())
+    pool: List[bytes] = []
+    sequence = 0
+    sample_seq = 0
+    for pool_index in range(config.pool_datagrams):
+        _router, agent = agents[pool_index % len(agents)]
+        interfaces = agent.interfaces.names()
+        samples = []
+        for slot in range(_SAMPLES_PER_DATAGRAM):
+            prefix = prefixes[(pool_index + slot * 7) % len(prefixes)]
+            host_bits = prefix.family.max_length - prefix.length
+            dst = prefix.network + (1 if host_bits else 0)
+            interface = interfaces[
+                (pool_index + slot) % len(interfaces)
+            ]
+            sample_seq += 1
+            samples.append(
+                pack_flow_sample(
+                    sample_seq & 0xFFFFFFFF,
+                    agent.sampling_rate,
+                    sample_seq & 0xFFFFFFFF,  # pool
+                    0,  # drops
+                    0,  # input ifIndex
+                    agent.interfaces.index_of(interface),
+                    int(prefix.family),
+                    (0).to_bytes(16, "big"),
+                    dst.to_bytes(16, "big"),
+                    1000,
+                    0,
+                )
+            )
+        sequence += 1
+        pool.append(
+            pack_datagram(
+                agent.agent_address.to_bytes(16, "big"),
+                0,
+                sequence,
+                0,
+                samples,
+            )
+        )
+    return pool
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def _slope_per_second(points: List[Tuple[float, float]]) -> float:
+    """Least-squares slope of (t, value) points; 0.0 when degenerate."""
+    if len(points) < 2:
+        return 0.0
+    n = float(len(points))
+    mean_t = sum(t for t, _ in points) / n
+    mean_v = sum(v for _, v in points) / n
+    denominator = sum((t - mean_t) ** 2 for t, _ in points)
+    if denominator == 0.0:
+        return 0.0
+    numerator = sum(
+        (t - mean_t) * (v - mean_v) for t, v in points
+    )
+    return numerator / denominator
+
+
+async def _blaster(
+    address: Tuple[str, int],
+    pool: List[bytes],
+    rate_datagrams_per_second: float,
+    counters: Dict[str, int],
+) -> None:
+    """Token-bucket UDP sender; never sends a burst larger than the
+    ingest queue can absorb between drains."""
+    udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    udp.connect(address)
+    udp.setblocking(False)
+    try:
+        interval = 0.02
+        credit = 0.0
+        pool_size = len(pool)
+        next_index = 0
+        last = _time.monotonic()
+        while True:
+            await asyncio.sleep(interval)
+            now = _time.monotonic()
+            credit += (now - last) * rate_datagrams_per_second
+            last = now
+            to_send = int(credit)
+            credit -= to_send
+            for _ in range(to_send):
+                try:
+                    udp.send(pool[next_index])
+                except (BlockingIOError, InterruptedError):
+                    counters["send_blocked"] += 1
+                    break
+                counters["datagrams_sent"] += 1
+                counters["samples_sent"] += _SAMPLES_PER_DATAGRAM
+                next_index += 1
+                if next_index == pool_size:
+                    next_index = 0
+    finally:
+        udp.close()
+
+
+async def _bmp_feeder(
+    deployment,
+    address: Tuple[str, int],
+    tick_seconds: float,
+) -> None:
+    """Real BMP over real TCP: one session per speaker, full-RIB export
+    at connect, statistics heartbeats every tick thereafter."""
+    writers: List[asyncio.StreamWriter] = []
+    exporters: List[BmpExporter] = []
+    try:
+        for speaker in deployment.wired.speakers.values():
+            _reader, writer = await asyncio.open_connection(*address)
+            writers.append(writer)
+
+            def sink(_router: str, data: bytes, _writer=writer) -> None:
+                _writer.write(data)
+
+            exporter = BmpExporter(speaker, sink)
+            exporter.export_full_rib()
+            exporters.append(exporter)
+        for writer in writers:
+            await writer.drain()
+        while True:
+            await asyncio.sleep(tick_seconds)
+            for exporter in exporters:
+                exporter.heartbeat()
+            for writer in writers:
+                await writer.drain()
+    finally:
+        for writer in writers:
+            writer.close()
+
+
+async def _sampler(
+    started: float,
+    samples: List[Tuple[float, float]],
+    depths: List[int],
+    ingest: WireIngest,
+) -> None:
+    while True:
+        await asyncio.sleep(1.0)
+        elapsed = _time.monotonic() - started
+        samples.append((elapsed, process_rss_bytes()))
+        depths.append(len(ingest.sflow.queue))
+
+
+async def run_soak_async(config: SoakConfig) -> Dict:
+    deployment = build_chaos_deployment(
+        seed=config.seed,
+        tick_seconds=config.tick_seconds,
+        safety_checks=True,
+        health_checks=True,
+        external_ingest=True,
+    )
+    ingest = WireIngest(
+        deployment,
+        queue_capacity=config.queue_capacity,
+        max_datagram_age=deployment.config.max_input_age_seconds,
+    )
+    sflow_addr, bmp_addr = await ingest.start()
+    pool = build_datagram_pool(deployment, config)
+    rate_dps = config.target_samples_per_minute / 60.0 / (
+        _SAMPLES_PER_DATAGRAM
+    )
+    counters = {
+        "datagrams_sent": 0,
+        "samples_sent": 0,
+        "send_blocked": 0,
+    }
+    rss_samples: List[Tuple[float, float]] = []
+    depth_samples: List[int] = []
+    started = _time.monotonic()
+    tasks = [
+        asyncio.ensure_future(
+            _blaster(sflow_addr, pool, rate_dps, counters)
+        ),
+        asyncio.ensure_future(
+            _bmp_feeder(deployment, bmp_addr, config.tick_seconds)
+        ),
+        asyncio.ensure_future(
+            _sampler(started, rss_samples, depth_samples, ingest)
+        ),
+    ]
+    tick_walls: List[float] = []
+    cycle_runtimes: List[float] = []
+    ticks = 0
+    cycles = 0
+    try:
+        while True:
+            elapsed = _time.monotonic() - started
+            if elapsed >= config.duration_seconds:
+                break
+            next_tick = (ticks + 1) * config.tick_seconds
+            delay = next_tick - elapsed
+            if delay > 0:
+                await asyncio.sleep(delay)
+            for task in tasks:
+                if task.done() and task.exception() is not None:
+                    raise task.exception()
+            now = (ticks + 1) * config.tick_seconds
+            deployment.current_time = now
+            tick_started = _time.perf_counter()
+            ingest.process_pending(now)
+            report = ingest.control_step(now)
+            tick_walls.append(_time.perf_counter() - tick_started)
+            if report is not None:
+                cycles += 1
+                cycle_runtimes.append(report.runtime_seconds)
+            ticks += 1
+    finally:
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        ingest.close()
+    wall_seconds = _time.monotonic() - started
+    stats = ingest.stats.snapshot()
+    achieved_per_minute = (
+        stats["samples_fed"] * 60.0 / wall_seconds
+        if wall_seconds > 0
+        else 0.0
+    )
+    warmup = wall_seconds * config.warmup_fraction
+    steady_rss = [(t, v) for t, v in rss_samples if t >= warmup and v > 0]
+    rss_slope_per_minute = _slope_per_second(steady_rss) * 60.0
+    p99_tick = _percentile(tick_walls, 0.99)
+    peak_depth = stats["peak_queue_depth"]
+    safety_violations = (
+        len(deployment.safety.violations)
+        if deployment.safety is not None
+        else 0
+    )
+    gates = {
+        "throughput": {
+            "value": achieved_per_minute,
+            "limit": config.min_samples_per_minute,
+            "ok": achieved_per_minute >= config.min_samples_per_minute,
+        },
+        "p99_tick_latency": {
+            "value": p99_tick,
+            "limit": config.max_p99_tick_seconds,
+            "ok": p99_tick <= config.max_p99_tick_seconds,
+        },
+        "queue_depth": {
+            "value": peak_depth,
+            "limit": config.queue_capacity
+            * config.max_queue_depth_fraction,
+            "ok": peak_depth
+            <= config.queue_capacity * config.max_queue_depth_fraction,
+        },
+        "no_shedding": {
+            "value": stats["backpressure_total"],
+            "limit": 0,
+            "ok": stats["backpressure_total"] == 0,
+        },
+        "no_decode_errors": {
+            "value": stats["decode_errors"],
+            "limit": 0,
+            "ok": stats["decode_errors"] == 0,
+        },
+        "no_safety_violations": {
+            "value": safety_violations,
+            "limit": 0,
+            "ok": safety_violations == 0,
+        },
+        "rss_stability": {
+            "value": rss_slope_per_minute,
+            "limit": config.max_rss_slope_bytes_per_minute,
+            "ok": rss_slope_per_minute
+            <= config.max_rss_slope_bytes_per_minute,
+        },
+        "controller_cycled": {
+            "value": cycles,
+            "limit": 1,
+            "ok": cycles >= 1,
+        },
+    }
+    return {
+        "config": asdict(config),
+        "wall_seconds": wall_seconds,
+        "ticks": ticks,
+        "cycles": cycles,
+        "blaster": dict(counters),
+        "ingest": stats,
+        "achieved_samples_per_minute": achieved_per_minute,
+        "p99_tick_seconds": p99_tick,
+        "mean_cycle_runtime_seconds": (
+            sum(cycle_runtimes) / len(cycle_runtimes)
+            if cycle_runtimes
+            else 0.0
+        ),
+        "rss_start_bytes": rss_samples[0][1] if rss_samples else 0.0,
+        "rss_end_bytes": rss_samples[-1][1] if rss_samples else 0.0,
+        "rss_slope_bytes_per_minute": rss_slope_per_minute,
+        "rss_samples": len(rss_samples),
+        "peak_queue_depth": peak_depth,
+        "safety_violations": safety_violations,
+        "gates": gates,
+        "ok": all(gate["ok"] for gate in gates.values()),
+    }
+
+
+def run_soak(config: Optional[SoakConfig] = None) -> Dict:
+    """Synchronous wrapper; returns the JSON-friendly soak report."""
+    return asyncio.run(run_soak_async(config or SoakConfig()))

@@ -13,6 +13,7 @@ __all__ = [
     "ReproError",
     "AddressError",
     "CodecError",
+    "DecodeError",
     "TruncatedMessage",
     "MalformedMessage",
     "UnsupportedFeature",
@@ -43,11 +44,20 @@ class CodecError(ReproError, ValueError):
     """A wire-format message could not be encoded or decoded."""
 
 
-class TruncatedMessage(CodecError):
+class DecodeError(CodecError):
+    """Bytes from the wire could not be decoded.
+
+    The common parent of :class:`TruncatedMessage` and
+    :class:`MalformedMessage` — socket frontends catch this one class to
+    count-and-drop undecodable input, whatever the specific defect.
+    """
+
+
+class TruncatedMessage(DecodeError):
     """The byte buffer ended before the message was complete."""
 
 
-class MalformedMessage(CodecError):
+class MalformedMessage(DecodeError):
     """The bytes were structurally invalid for the claimed message type."""
 
 

@@ -72,6 +72,7 @@ HEALTH_SIGNALS: Tuple[str, ...] = (
     "steering_flap",  # a steering key burned its tier-transition budget
     "cycle_runtime",  # cycle compute time blew its budget
     "safety_violation",  # the safety checker found new violations
+    "ingest_backpressure",  # the wire-ingest queues dropped or expired input
 )
 
 ALERT_OK = "ok"
@@ -281,6 +282,16 @@ class SloSpec:
                     signal="safety_violation",
                     objective=0.001,
                     description="the safety checker found violations",
+                ),
+                SloRule(
+                    name="ingest_backpressure",
+                    signal="ingest_backpressure",
+                    objective=0.02,
+                    severity="ticket",
+                    description=(
+                        "the socket ingest path shed load (queue-full "
+                        "drops, stale expiry, or TCP pauses)"
+                    ),
                 ),
             ]
         )
@@ -554,6 +565,7 @@ class HealthEngine:
             OrderedDict()
         )
         self._context: Dict[str, str] = {}
+        self._last_backpressure = 0
         #: Last observed steering tier counts ({} without an engine).
         self._last_steering: Dict[str, int] = {}
         self._m_cycles = None
@@ -588,13 +600,17 @@ class HealthEngine:
         bmp=None,
         safety=None,
         utilization_of=None,
+        ingest=None,
     ) -> List[AlertTransition]:
         """Observe one finished controller cycle.
 
         *report* is the cycle's :class:`~repro.core.monitoring.CycleReport`;
         the rest are the live objects the monitors read (all optional so
-        the engine can run against partial stacks in tests).  Returns
-        the alert transitions this observation caused.
+        the engine can run against partial stacks in tests).  *ingest*
+        is the wire-ingest engine's stats view (anything with a
+        ``backpressure_total`` attribute); when present, a cycle during
+        which the ingest queues shed load raises ``ingest_backpressure``.
+        Returns the alert transitions this observation caused.
         """
         started = _time.perf_counter()
         self.cycles += 1
@@ -602,7 +618,7 @@ class HealthEngine:
             self._m_cycles.inc()
 
         signals = self._gather(now, report, controller, bmp, safety,
-                               utilization_of)
+                               utilization_of, ingest)
         store = self.store
         for name, value in signals.items():
             store.record(f"slo:{name}", now, value)
@@ -620,7 +636,8 @@ class HealthEngine:
     # -- signal derivation ----------------------------------------------------
 
     def _gather(
-        self, now, report, controller, bmp, safety, utilization_of
+        self, now, report, controller, bmp, safety, utilization_of,
+        ingest=None,
     ) -> Dict[str, float]:
         context = self._context
         signals: Dict[str, float] = {}
@@ -690,6 +707,17 @@ class HealthEngine:
                         f"a steering key exceeded {budget} tier "
                         f"transitions in {window} cycles"
                     )
+
+        if ingest is not None:
+            total = int(getattr(ingest, "backpressure_total", 0))
+            shed = total - self._last_backpressure
+            self._last_backpressure = total
+            signals["ingest_backpressure"] = 1.0 if shed > 0 else 0.0
+            if shed > 0:
+                context["ingest_backpressure"] = (
+                    f"ingest shed load {shed} times since last cycle "
+                    f"(queue drops / stale expiry / TCP pauses)"
+                )
 
         if report is not None and not skipped:
             budget = (

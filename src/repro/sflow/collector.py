@@ -15,17 +15,26 @@ can assert nothing silently disappears.
 from __future__ import annotations
 
 import time as _time
-from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, NamedTuple, Optional, Set, Tuple
 
 from ..netbase.addr import Family, Prefix
-from ..netbase.errors import TrafficError
+from ..netbase.errors import DecodeError, TrafficError
 from ..netbase.units import Rate
 from ..obs.telemetry import Telemetry
 from .agent import InterfaceIndexMap
 from .datagram import iter_sample_fields
 from .estimator import ColumnarRateEstimator
 
-__all__ = ["SflowCollector"]
+__all__ = ["SflowCollector", "FeedStats"]
+
+
+class FeedStats(NamedTuple):
+    """What one :meth:`SflowCollector.feed_many` call consumed/dropped."""
+
+    datagrams: int
+    samples: int
+    decode_errors: int
+    unknown_agents: int
 
 #: Resolves a destination address to the routed prefix covering it.
 PrefixResolver = Callable[[Family, int], Optional[Prefix]]
@@ -64,6 +73,14 @@ class SflowCollector:
             "sflow_unroutable_bytes_total",
             "Estimated bytes whose destination matched no routed prefix",
         )
+        self._m_decode_errors = registry.counter(
+            "sflow_decode_errors_total",
+            "Undecodable datagrams dropped (lenient ingestion)",
+        )
+        self._m_unknown_agents = registry.counter(
+            "sflow_unknown_agent_total",
+            "Datagrams from unregistered agents dropped (lenient ingestion)",
+        )
         self._interfaces_by_router: Dict[str, InterfaceIndexMap] = {}
         self._router_by_agent: Dict[int, str] = {}
         # Columnar estimators: bit-identical to RateEstimator (the
@@ -101,7 +118,12 @@ class SflowCollector:
         """Consume one encoded datagram."""
         self.feed_many((data,), now)
 
-    def feed_many(self, datagrams: Iterable[bytes], now: float) -> None:
+    def feed_many(
+        self,
+        datagrams: Iterable[bytes],
+        now: float,
+        lenient: bool = False,
+    ) -> FeedStats:
         """Consume a batch of datagrams in one aggregation pass.
 
         All samples of a flow share a destination and interface, so the
@@ -109,19 +131,47 @@ class SflowCollector:
         then resolves each unique destination once and performs a single
         estimator add per aggregate — identical rates to sample-by-sample
         feeding (same bytes, same timestamps) at a fraction of the cost.
+
+        With ``lenient=True`` — the socket frontends' mode, where the
+        bytes come from the network rather than the in-process agents —
+        undecodable datagrams and datagrams from unregistered agents are
+        counted and dropped whole (no partial aggregation) instead of
+        raising, and the counts come back in the :class:`FeedStats`.
+        The strict default preserves exact in-process semantics:
+        :class:`DecodeError` and :class:`TrafficError` propagate.
         """
         span_started = _time.perf_counter()
         datagram_count = sample_count = 0
+        decode_errors = unknown_agents = 0
         unroutable_before = self.unroutable_bytes
         # (router, output ifIndex, AFI, dst address) -> estimated bytes
         flow_bytes: Dict[Tuple[str, int, int, int], float] = {}
         for data in datagrams:
-            agent_address, samples = iter_sample_fields(data)
+            try:
+                agent_address, samples = iter_sample_fields(data)
+            except DecodeError:
+                if not lenient:
+                    raise
+                decode_errors += 1
+                continue
             router = self._router_by_agent.get(agent_address)
             if router is None:
-                raise TrafficError(
-                    f"datagram from unregistered agent {agent_address:#x}"
-                )
+                if not lenient:
+                    raise TrafficError(
+                        f"datagram from unregistered agent "
+                        f"{agent_address:#x}"
+                    )
+                unknown_agents += 1
+                continue
+            if lenient:
+                # Force the whole datagram to decode before any of it
+                # aggregates, so a corrupt tail drops the datagram
+                # cleanly rather than leaving partial contributions.
+                try:
+                    samples = list(samples)
+                except DecodeError:
+                    decode_errors += 1
+                    continue
             self.datagrams += 1
             datagram_count += 1
             for rate, out_if, afi, dst, frame_length in samples:
@@ -136,10 +186,18 @@ class SflowCollector:
         prefix_bytes: Dict[Prefix, float] = {}
         pair_bytes: Dict[Tuple[Prefix, InterfaceKey], float] = {}
         for (router, out_if, afi, dst), estimated in flow_bytes.items():
-            interface_key = (
-                router,
-                self._interfaces_by_router[router].name_of(out_if),
-            )
+            try:
+                interface_name = self._interfaces_by_router[router].name_of(
+                    out_if
+                )
+            except TrafficError:
+                # Structurally valid sample pointing at an ifIndex the
+                # router never registered: wire garbage, count and drop.
+                if not lenient:
+                    raise
+                decode_errors += 1
+                continue
+            interface_key = (router, interface_name)
             interface_bytes[interface_key] = (
                 interface_bytes.get(interface_key, 0.0) + estimated
             )
@@ -174,6 +232,16 @@ class SflowCollector:
                 _time.perf_counter() - span_started,
                 {"datagrams": datagram_count, "samples": sample_count},
             )
+        if decode_errors:
+            self._m_decode_errors.inc(decode_errors)
+        if unknown_agents:
+            self._m_unknown_agents.inc(unknown_agents)
+        return FeedStats(
+            datagrams=datagram_count,
+            samples=sample_count,
+            decode_errors=decode_errors,
+            unknown_agents=unknown_agents,
+        )
 
     def add_estimate(
         self,

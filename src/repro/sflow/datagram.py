@@ -37,6 +37,7 @@ __all__ = [
     "pack_flow_sample",
     "pack_datagram",
     "iter_sample_fields",
+    "datagram_meta",
 ]
 
 SFLOW_VERSION = 5
@@ -103,7 +104,7 @@ def pack_datagram(
 
 
 def iter_sample_fields(
-    data: bytes,
+    data,
 ) -> Tuple[int, Iterator[Tuple[int, int, int, int, int]]]:
     """Fast-path decode: (agent address, iterator of sample tuples).
 
@@ -112,6 +113,10 @@ def iter_sample_fields(
     scaling and aggregation need, without building per-sample objects.
     Validation (version, truncation, trailing bytes, zero sampling
     rate, bad AFI) matches the object API.
+
+    *data* may be ``bytes`` or a ``memoryview`` over a receive buffer —
+    the socket frontends decode straight out of their preallocated
+    buffers without copying the datagram first.
     """
     if len(data) < _HEADER.size:
         raise TruncatedMessage("sFlow datagram header truncated")
@@ -157,6 +162,24 @@ def iter_sample_fields(
             offset += _SAMPLE_LEN
 
     return agent_address, samples()
+
+
+def datagram_meta(data) -> Tuple[int, int]:
+    """Header-only decode: (agent address, datagram sequence number).
+
+    The lockstep replay driver uses this to restore agent emission
+    order over a UDP socket (which may reorder) without paying a full
+    sample decode, and the frontends use the agent address to pre-sort
+    per router.  Accepts ``bytes`` or ``memoryview``.
+    """
+    if len(data) < _HEADER.size:
+        raise TruncatedMessage("sFlow datagram header truncated")
+    version, agent_bytes, _sub, sequence, _uptime, _count = (
+        _HEADER.unpack_from(data, 0)
+    )
+    if version != SFLOW_VERSION:
+        raise MalformedMessage(f"unsupported sFlow version {version}")
+    return int.from_bytes(agent_bytes, "big"), sequence
 
 
 @dataclass(frozen=True)
@@ -296,6 +319,14 @@ class SflowDatagram:
         sub_agent_id, sequence, uptime_ms, count = struct.unpack_from(
             "!IIII", data, 20
         )
+        # Check the claimed sample count against the actual length up
+        # front: a garbage count field must not drive the decode loop
+        # (all samples are fixed-size, so the arithmetic is exact).
+        expected = 36 + count * _SAMPLE_LEN
+        if expected > len(data):
+            raise TruncatedMessage("flow sample truncated")
+        if expected < len(data):
+            raise MalformedMessage("trailing bytes in sFlow datagram")
         samples: List[FlowSample] = []
         offset = 36
         for _ in range(count):

@@ -1,0 +1,257 @@
+"""Socket-level tests for the UDP sFlow and TCP BMP frontends."""
+
+import asyncio
+import socket
+
+from repro.bmp.messages import InitiationMessage, encode_bmp
+from repro.io.frontends import BmpFrontend, SflowFrontend
+from repro.netbase.addr import Prefix, parse_address
+from repro.obs.telemetry import Telemetry
+from repro.sflow.agent import InterfaceIndexMap, ObservedFlow, SflowAgent
+from repro.sflow.collector import SflowCollector
+
+PREFIX = Prefix.parse("203.0.113.0/24")
+AGENT_ADDRESS = 0x0A000001
+
+
+def resolver(family, address):
+    if PREFIX.contains_address(family, address):
+        return PREFIX
+    return None
+
+
+def make_collector():
+    collector = SflowCollector(resolver, window_seconds=60.0)
+    collector.register_router(
+        "r0", AGENT_ADDRESS, InterfaceIndexMap(["et0", "et1"])
+    )
+    return collector
+
+
+def make_agent(seed=0):
+    return SflowAgent(
+        router="r0",
+        agent_address=AGENT_ADDRESS,
+        interfaces=InterfaceIndexMap(["et0", "et1"]),
+        sampling_rate=1,
+        seed=seed,
+    )
+
+
+def encode_datagrams(count=3, samples_per=4):
+    agent = make_agent()
+    family, dst = parse_address("203.0.113.9")
+    datagrams = []
+    for index in range(count):
+        flows = [
+            ObservedFlow(
+                family=family,
+                src_address=0x01010101,
+                dst_address=dst,
+                bytes_sent=1000.0,
+                packets=1.0,
+                egress_interface="et0",
+            )
+            for _ in range(samples_per)
+        ]
+        datagrams.extend(agent.observe(flows, now=float(index)))
+    return datagrams
+
+
+class TestSflowFrontend:
+    def run_frontend(self, datagrams, send_garbage=False, **kwargs):
+        collector = make_collector()
+        clock_value = [0.0]
+        frontend = SflowFrontend(
+            collector,
+            clock=lambda: clock_value[0],
+            telemetry=Telemetry(name="test"),
+            **kwargs,
+        )
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            wake = asyncio.Event()
+            host, port = frontend.open()
+            frontend.attach(loop, wake)
+            sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sender.connect((host, port))
+            for datagram in datagrams:
+                sender.send(datagram)
+            if send_garbage:
+                sender.send(b"\x00\x01nonsense")
+            sender.close()
+            expected = len(datagrams) + (1 if send_garbage else 0)
+            for _ in range(200):
+                if frontend.received >= expected:
+                    break
+                await asyncio.sleep(0.01)
+            stats = frontend.process(now=0.0)
+            frontend.close()
+            return stats
+
+        stats = asyncio.run(drive())
+        return frontend, collector, stats
+
+    def test_datagrams_flow_socket_to_collector(self):
+        datagrams = encode_datagrams(count=3, samples_per=4)
+        frontend, collector, stats = self.run_frontend(datagrams)
+        assert stats.datagrams == len(datagrams)
+        assert stats.samples == 12
+        assert frontend.received == len(datagrams)
+        assert frontend.fed == len(datagrams)
+        assert frontend.samples == 12
+        # All receive buffers returned to the pool after the drain.
+        assert frontend.pool.free_count == len(frontend.pool)
+        # The samples reached the estimator: the prefix has traffic.
+        assert (
+            collector.prefix_rate(PREFIX, now=0.0).bits_per_second > 0
+        )
+
+    def test_garbage_counted_and_dropped(self):
+        datagrams = encode_datagrams(count=2, samples_per=2)
+        frontend, collector, stats = self.run_frontend(
+            datagrams, send_garbage=True
+        )
+        assert stats.datagrams == 2
+        assert stats.decode_errors == 1
+        assert frontend.decode_errors == 1
+        registry = frontend.telemetry.registry
+        counter = registry.get("ingest_decode_errors_total")
+        assert counter.value(transport="sflow") == 1.0
+
+    def test_overflow_drops_oldest_and_counts(self):
+        datagrams = encode_datagrams(count=8, samples_per=1)
+        frontend, collector, stats = self.run_frontend(
+            datagrams, queue_capacity=4
+        )
+        assert frontend.queue.dropped == 4
+        assert stats.datagrams == 4
+        registry = frontend.telemetry.registry
+        dropped = registry.get("ingest_queue_dropped_total")
+        assert dropped.value(transport="sflow") == 4.0
+
+    def test_ordered_drain_sorts_by_wire_sequence(self):
+        datagrams = encode_datagrams(count=4, samples_per=1)
+        collector = make_collector()
+        frontend = SflowFrontend(
+            collector,
+            clock=lambda: 0.0,
+            telemetry=Telemetry(name="test"),
+        )
+        # Bypass the socket: queue the datagrams in scrambled order,
+        # as UDP delivery legally may.
+        for datagram in (
+            datagrams[2],
+            datagrams[0],
+            datagrams[3],
+            datagrams[1],
+        ):
+            index = frontend.pool.acquire()
+            frontend.pool.buffers[index][: len(datagram)] = datagram
+            frontend.queue.push(index, len(datagram), 0.0)
+        stats = frontend.process(now=0.0, ordered=True)
+        assert stats.datagrams == 4
+        assert stats.decode_errors == 0
+
+
+def initiation(router="pr0"):
+    return encode_bmp(InitiationMessage(sys_name=router))
+
+
+class TestBmpFrontend:
+    """The TCP listener against a recording fake collector."""
+
+    class FakeCollector:
+        def __init__(self, ok=True):
+            self.ok = ok
+            self.chunks = []
+
+        def feed(self, router, data):
+            self.chunks.append((router, bytes(data)))
+            return self.ok
+
+    def drive(self, payloads, collector=None, **kwargs):
+        collector = collector or self.FakeCollector()
+        frontend = BmpFrontend(
+            collector, telemetry=Telemetry(name="test"), **kwargs
+        )
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            wake = asyncio.Event()
+            host, port = await frontend.start(loop, wake)
+            reader, writer = await asyncio.open_connection(host, port)
+            total = 0
+            for payload in payloads:
+                writer.write(payload)
+                total += len(payload)
+                await writer.drain()
+            for _ in range(200):
+                if (
+                    sum(frontend.bytes_received.values()) >= total
+                    or frontend.connections_dropped
+                ):
+                    break
+                await asyncio.sleep(0.01)
+            frontend.process()
+            closed = reader.at_eof() or writer.is_closing()
+            if not closed:
+                # Give a close initiated by the frontend time to land.
+                await asyncio.sleep(0.05)
+                closed = reader.at_eof()
+            writer.close()
+            frontend.close()
+            return closed
+
+        closed = asyncio.run(run())
+        return frontend, collector, closed
+
+    def test_initiation_identifies_router(self):
+        body = b"route-bytes-after-identification"
+        frontend, collector, _closed = self.drive(
+            [initiation("pr7"), body]
+        )
+        assert collector.chunks
+        router, data = collector.chunks[0]
+        assert router == "pr7"
+        # Everything, including the initiation itself, reaches the
+        # collector's own stream framer.
+        assert data.startswith(initiation("pr7")[:4])
+        assert frontend.bytes_fed["pr7"] == len(
+            initiation("pr7")
+        ) + len(body)
+
+    def test_non_initiation_first_message_drops_connection(self):
+        # A valid sFlow datagram is not BMP at all.
+        frontend, collector, closed = self.drive(
+            [b"\xff" * 64]
+        )
+        assert frontend.connections_dropped == 1
+        assert collector.chunks == []
+        assert closed
+
+    def test_collector_reported_framing_error_closes_connection(self):
+        bad = self.FakeCollector(ok=False)
+        frontend, collector, closed = self.drive(
+            [initiation("pr0"), b"garbage"], collector=bad
+        )
+        assert frontend.decode_errors >= 1
+        assert closed
+        registry = frontend.telemetry.registry
+        errors = registry.get("ingest_decode_errors_total")
+        assert errors.value(transport="bmp") >= 1.0
+
+    def test_byte_bound_pauses_and_resumes(self):
+        frontend, collector, _closed = self.drive(
+            [initiation("pr0"), b"x" * 4096],
+            max_pending_bytes=256,
+        )
+        assert frontend.queue.pauses >= 1
+        registry = frontend.telemetry.registry
+        pauses = registry.get("ingest_tcp_pauses_total")
+        assert pauses.value(transport="bmp") >= 1.0
+        # process() in drive() resumed the transport and fed the bytes.
+        assert sum(len(d) for _r, d in collector.chunks) == len(
+            initiation("pr0")
+        ) + 4096

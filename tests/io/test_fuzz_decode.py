@@ -1,0 +1,178 @@
+"""Fuzzing the wire decoders: mutated bytes never escape DecodeError.
+
+The socket frontends catch exactly one exception class
+(:class:`~repro.netbase.errors.DecodeError`) to count-and-drop bad
+input.  Anything else a mutated packet can raise — ``struct.error``,
+``IndexError``, an infinite buffer growth — would crash or stall the
+ingest path, so the decoders' contract is: decode fully, or raise
+DecodeError, nothing else.
+"""
+
+import random
+
+import pytest
+
+from repro.bmp.messages import (
+    InitiationMessage,
+    MAX_BMP_MESSAGE_LENGTH,
+    decode_bmp,
+    decode_bmp_stream,
+    encode_bmp,
+)
+from repro.netbase.addr import parse_address
+from repro.netbase.errors import DecodeError
+from repro.sflow.collector import SflowCollector
+from repro.sflow.datagram import SflowDatagram, datagram_meta, iter_sample_fields
+from repro.sflow.agent import InterfaceIndexMap, ObservedFlow, SflowAgent
+
+ROUNDS = 300
+
+
+def valid_sflow_datagram():
+    agent = SflowAgent(
+        router="r0",
+        agent_address=0x0A0B0C0D,
+        interfaces=InterfaceIndexMap(["et0"]),
+        sampling_rate=1,
+        seed=1,
+    )
+    family, dst = parse_address("203.0.113.7")
+    flows = [
+        ObservedFlow(
+            family=family,
+            src_address=1,
+            dst_address=dst,
+            bytes_sent=4000.0,
+            packets=4.0,
+            egress_interface="et0",
+        )
+    ]
+    (datagram,) = agent.observe(flows, now=1.0)
+    return datagram
+
+
+def valid_bmp_message():
+    return encode_bmp(InitiationMessage(sys_name="pr0"))
+
+
+def mutate(rng, data):
+    """One random mutation: flip, truncate, extend, or splice."""
+    data = bytearray(data)
+    choice = rng.randrange(4)
+    if choice == 0 and data:  # flip some bytes
+        for _ in range(rng.randrange(1, 8)):
+            data[rng.randrange(len(data))] = rng.randrange(256)
+    elif choice == 1 and data:  # truncate
+        del data[rng.randrange(len(data)):]
+    elif choice == 2:  # extend with noise
+        data.extend(
+            rng.randrange(256) for _ in range(rng.randrange(1, 64))
+        )
+    else:  # splice a random window
+        start = rng.randrange(len(data) + 1)
+        data[start:start] = bytes(
+            rng.randrange(256) for _ in range(rng.randrange(1, 32))
+        )
+    return bytes(data)
+
+
+class TestSflowDecodeFuzz:
+    def test_mutations_decode_or_raise_decode_error(self):
+        rng = random.Random(0xEDFA)
+        seed_datagram = valid_sflow_datagram()
+        survived = 0
+        for _ in range(ROUNDS):
+            mutated = mutate(rng, seed_datagram)
+            try:
+                agent, samples = iter_sample_fields(mutated)
+                list(samples)
+                datagram_meta(mutated)
+                SflowDatagram.decode(mutated)
+                survived += 1
+            except DecodeError:
+                continue
+        # Some mutations (e.g. payload-only flips) legitimately still
+        # decode; the point is nothing raised anything else.
+        assert survived < ROUNDS
+
+    def test_collector_lenient_feed_counts_and_drops(self):
+        rng = random.Random(0xBEEF)
+        seed_datagram = valid_sflow_datagram()
+        collector = SflowCollector(
+            lambda family, address: None, window_seconds=60.0
+        )
+        collector.register_router(
+            "r0", 0x0A0B0C0D, InterfaceIndexMap(["et0"])
+        )
+        batch = [
+            mutate(rng, seed_datagram) for _ in range(ROUNDS)
+        ] + [seed_datagram]
+        stats = collector.feed_many(batch, now=1.0, lenient=True)
+        # Never raises; every datagram is fed, counted bad, or counted
+        # as an unknown agent (an agent-address flip).  Counts can
+        # overlap — a datagram that parses may still hit per-sample
+        # interface errors — so the accounting is a cover, not a
+        # partition.
+        assert stats.datagrams <= len(batch)
+        assert (
+            stats.datagrams
+            + stats.decode_errors
+            + stats.unknown_agents
+            >= len(batch)
+        )
+        assert stats.datagrams >= 1  # the pristine one fed
+        assert stats.decode_errors > 0
+        assert stats.unknown_agents > 0
+
+
+class TestBmpDecodeFuzz:
+    def test_mutations_decode_or_raise_decode_error(self):
+        rng = random.Random(0xB111)
+        seed_message = valid_bmp_message()
+        for _ in range(ROUNDS):
+            mutated = mutate(rng, seed_message)
+            try:
+                decode_bmp(mutated)
+            except DecodeError:
+                continue
+
+    def test_stream_decoder_never_overruns(self):
+        """Mutated streams either yield messages, stop for more bytes,
+        or raise DecodeError — and a garbage length field can never
+        demand an unbounded buffer."""
+        rng = random.Random(0x57EA)
+        seed_message = valid_bmp_message()
+        for _ in range(ROUNDS):
+            stream = mutate(rng, seed_message * 3)
+            try:
+                messages, remainder = decode_bmp_stream(stream)
+            except DecodeError:
+                continue
+            assert len(remainder) <= len(stream)
+            # Whatever was left unconsumed is a prefix of a message
+            # whose claimed length is bounded.
+            assert len(messages) <= 3 + 64
+
+    def test_length_field_is_capped(self):
+        message = bytearray(valid_bmp_message())
+        # Claim a 1 GiB body.
+        message[1:5] = (1 << 30).to_bytes(4, "big")
+        with pytest.raises(DecodeError):
+            decode_bmp(bytes(message))
+        assert MAX_BMP_MESSAGE_LENGTH < (1 << 30)
+
+
+class TestCollectorStreamFuzz:
+    def test_bmp_collector_feed_survives_garbage(self):
+        """feed() returns False on defects (degradation ladder's cue)
+        and never raises or grows its buffer unboundedly."""
+        from repro.bmp.collector import BmpCollector, PeerRegistry
+
+        rng = random.Random(0xC011)
+        seed_message = valid_bmp_message()
+        collector = BmpCollector(PeerRegistry(), clock=lambda: 0.0)
+        for round_index in range(100):
+            chunk = mutate(rng, seed_message * 2)
+            collector.feed(f"r{round_index % 4}", chunk)
+        for buffer in collector._buffers.values():
+            assert len(buffer) <= 4 << 20

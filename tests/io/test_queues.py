@@ -1,0 +1,124 @@
+"""Unit tests for the ingest buffer pool and bounded queues."""
+
+import pytest
+
+from repro.io.queues import BufferPool, ChunkQueue, DatagramQueue
+
+
+class TestBufferPool:
+    def test_acquire_release_cycle(self):
+        pool = BufferPool(2, buffer_size=64)
+        first = pool.acquire()
+        second = pool.acquire()
+        assert {first, second} == {0, 1}
+        assert pool.acquire() is None
+        assert pool.free_count == 0
+        pool.release(first)
+        assert pool.free_count == 1
+        assert pool.acquire() == first
+
+    def test_view_is_zero_copy_window(self):
+        pool = BufferPool(1, buffer_size=16)
+        index = pool.acquire()
+        pool.buffers[index][:4] = b"abcd"
+        view = pool.view(index, 4)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"abcd"
+        # The view aliases the buffer — no copy was made.
+        pool.buffers[index][0] = ord("z")
+        assert bytes(view) == b"zbcd"
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+
+class TestDatagramQueue:
+    def make(self, capacity=3, max_age=None):
+        pool = BufferPool(capacity + 2, buffer_size=32)
+        return pool, DatagramQueue(
+            pool, capacity, max_age_seconds=max_age
+        )
+
+    def push(self, pool, queue, now=0.0):
+        index = pool.acquire()
+        queue.push(index, 8, now)
+        return index
+
+    def test_drop_oldest_on_overflow(self):
+        pool, queue = self.make(capacity=2)
+        first = self.push(pool, queue)
+        second = self.push(pool, queue)
+        third = self.push(pool, queue)
+        assert queue.dropped == 1
+        assert len(queue) == 2
+        # The oldest entry's buffer went back to the pool.
+        assert pool.acquire() == first
+        drained = queue.drain(now=0.0)
+        assert [index for index, _ in drained] == [second, third]
+
+    def test_shed_oldest(self):
+        pool, queue = self.make(capacity=2)
+        first = self.push(pool, queue)
+        assert queue.shed_oldest() is True
+        assert queue.dropped == 1
+        assert len(queue) == 0
+        assert pool.acquire() == first
+        assert queue.shed_oldest() is False
+
+    def test_stale_entries_expire_at_drain(self):
+        pool, queue = self.make(capacity=3, max_age=1.0)
+        self.push(pool, queue, now=0.0)   # will be stale at t=5
+        fresh = self.push(pool, queue, now=4.5)
+        drained = queue.drain(now=5.0)
+        assert queue.expired == 1
+        assert [index for index, _ in drained] == [fresh]
+
+    def test_release_all_returns_buffers(self):
+        pool, queue = self.make(capacity=3)
+        for _ in range(3):
+            self.push(pool, queue)
+        free_before = pool.free_count
+        drained = queue.drain(now=0.0)
+        queue.release_all(drained)
+        assert pool.free_count == free_before + 3
+
+    def test_peak_depth_high_water_mark(self):
+        pool, queue = self.make(capacity=3)
+        for _ in range(3):
+            self.push(pool, queue)
+        queue.release_all(queue.drain(now=0.0))
+        self.push(pool, queue)
+        assert queue.peak_depth == 3
+
+    def test_drain_respects_max_items(self):
+        pool, queue = self.make(capacity=3)
+        for _ in range(3):
+            self.push(pool, queue)
+        batch = queue.drain(now=0.0, max_items=2)
+        assert len(batch) == 2
+        assert len(queue) == 1
+
+
+class TestChunkQueue:
+    def test_signals_pause_over_byte_bound(self):
+        queue = ChunkQueue(max_bytes=10)
+        assert queue.push("r0", b"x" * 8) is True
+        assert queue.push("r0", b"y" * 8) is False
+        assert queue.pauses == 1
+        assert queue.peak_bytes == 16
+
+    def test_drain_preserves_arrival_order(self):
+        queue = ChunkQueue(max_bytes=100)
+        queue.push("r0", b"one")
+        queue.push("r1", b"two")
+        assert queue.drain() == [("r0", b"one"), ("r1", b"two")]
+        assert queue.pending_bytes == 0
+        assert len(queue) == 0
+
+    def test_push_after_drain_resets_accounting(self):
+        queue = ChunkQueue(max_bytes=4)
+        assert queue.push("r0", b"aaaa") is True
+        assert queue.push("r0", b"b") is False
+        queue.drain()
+        assert queue.push("r0", b"cc") is True
